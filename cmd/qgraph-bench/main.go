@@ -1,0 +1,84 @@
+// Command qgraph-bench regenerates the figures of the paper's evaluation
+// (and the ablations of DESIGN.md §5) and prints the measured series.
+//
+//	qgraph-bench -list
+//	qgraph-bench -exp fig6a
+//	qgraph-bench -exp all -scale quick
+//	qgraph-bench -exp fig7a -scale paper   # paper-sized run (hours)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"qgraph/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		scale   = flag.String("scale", "default", "scale preset: quick | default | paper")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		workers = flag.Int("workers", 0, "override worker count k")
+		queries = flag.Int("queries", 0, "override main workload size")
+		seed    = flag.Uint64("seed", 0, "override workload seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "usage: qgraph-bench -exp <id>|all [-scale quick|default|paper]")
+		fmt.Fprintln(os.Stderr, "known experiments:", strings.Join(experiments.IDs(), " "))
+		os.Exit(2)
+	}
+
+	var sc experiments.Scale
+	switch *scale {
+	case "quick":
+		sc = experiments.QuickScale()
+	case "default":
+		sc = experiments.DefaultScale()
+	case "paper":
+		sc = experiments.PaperScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	if *workers > 0 {
+		sc.Workers = *workers
+	}
+	if *queries > 0 {
+		sc.Queries = *queries
+	}
+	if *seed != 0 {
+		sc.Seed = *seed
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		r, err := experiments.Lookup(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		start := time.Now()
+		tab, err := r(sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Print(tab.String())
+		fmt.Printf("# wall time: %s\n\n", time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,133 @@
+// Command qgraph-gen generates and inspects the synthetic graphs of this
+// reproduction (DESIGN.md §3).
+//
+//	qgraph-gen -kind road -preset bw -scale 64 -out bw.qgr
+//	qgraph-gen -kind social -n 20000 -out social.qgr
+//	qgraph-gen -info bw.qgr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"qgraph/internal/gen"
+	"qgraph/internal/graph"
+)
+
+func main() {
+	var (
+		kind   = flag.String("kind", "road", "graph kind: road | social | knowledge")
+		preset = flag.String("preset", "bw", "road preset: bw | gy")
+		scale  = flag.Int("scale", 64, "road scale divisor (1 = paper size)")
+		n      = flag.Int("n", 20000, "vertex count for social/knowledge graphs")
+		seed   = flag.Uint64("seed", 0, "override generator seed")
+		out    = flag.String("out", "", "output path (QGR1 binary format)")
+		info   = flag.String("info", "", "print statistics of an existing QGR1 file and exit")
+	)
+	flag.Parse()
+
+	if *info != "" {
+		g, err := graph.LoadFile(*info)
+		if err != nil {
+			fatal(err)
+		}
+		printInfo(*info, g)
+		return
+	}
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "usage: qgraph-gen -kind road|social|knowledge -out FILE, or -info FILE")
+		os.Exit(2)
+	}
+
+	var g *graph.Graph
+	switch *kind {
+	case "road":
+		var cfg gen.RoadConfig
+		switch *preset {
+		case "bw":
+			cfg = gen.BWConfig(*scale)
+		case "gy":
+			cfg = gen.GYConfig(*scale)
+		default:
+			fatal(fmt.Errorf("unknown preset %q", *preset))
+		}
+		if *seed != 0 {
+			cfg.Seed = *seed
+		}
+		net, err := gen.Road(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		g = net.G
+		fmt.Printf("road network: %d junctions, %d segments, %d cities\n",
+			g.NumVertices(), g.NumEdges(), len(net.Cities))
+		for _, c := range net.Cities[:min(len(net.Cities), 5)] {
+			fmt.Printf("  %s pop=%.0f radius=%.1fkm center=(%.1f,%.1f)\n",
+				c.Name, c.Pop, c.Radius, c.Center.X, c.Center.Y)
+		}
+	case "social":
+		cfg := gen.DefaultSocialConfig(*n)
+		if *seed != 0 {
+			cfg.Seed = *seed
+		}
+		net, err := gen.Social(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		g = net.G
+		fmt.Printf("social network: %d users, %d edges, %d communities, %d hubs\n",
+			g.NumVertices(), g.NumEdges(), len(net.Communities), len(net.Hubs))
+	case "knowledge":
+		cfg := gen.DefaultKnowledgeConfig(*n)
+		if *seed != 0 {
+			cfg.Seed = *seed
+		}
+		net, err := gen.Knowledge(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		g = net.G
+		fmt.Printf("knowledge graph: %d entities, %d edges, %d topics\n",
+			g.NumVertices(), g.NumEdges(), len(net.Topics))
+	default:
+		fatal(fmt.Errorf("unknown kind %q", *kind))
+	}
+
+	if err := g.SaveFile(*out); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+func printInfo(path string, g *graph.Graph) {
+	fmt.Printf("%s: %d vertices, %d edges", path, g.NumVertices(), g.NumEdges())
+	if g.HasCoords() {
+		fmt.Printf(", coordinates")
+	}
+	if g.HasTags() {
+		tagged := 0
+		for v := 0; v < g.NumVertices(); v++ {
+			if g.Tagged(graph.VertexID(v)) {
+				tagged++
+			}
+		}
+		fmt.Printf(", %d tagged", tagged)
+	}
+	fmt.Println()
+	deg := make(map[int]int)
+	maxDeg := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		d := g.OutDegree(graph.VertexID(v))
+		deg[d]++
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	fmt.Printf("max out-degree: %d, reachable from 0: %d\n", maxDeg, graph.ConnectedFrom(g, 0))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qgraph-gen:", err)
+	os.Exit(1)
+}

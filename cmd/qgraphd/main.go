@@ -1,0 +1,249 @@
+// Command qgraphd runs one node of a distributed Q-Graph deployment over
+// real TCP: either the controller (node 0) or a worker (node w+1). Every
+// node loads the same QGR1 graph file and computes the same deterministic
+// initial partitioning, so no partition data crosses the wire at startup.
+//
+// Example 9-node deployment (1 controller + 8 workers) on one host:
+//
+//	qgraph-gen -kind road -preset bw -scale 64 -out bw.qgr
+//	for w in $(seq 0 7); do
+//	  qgraphd -role worker -id $w -graph bw.qgr -addrs "$ADDRS" &
+//	done
+//	qgraphd -role controller -graph bw.qgr -addrs "$ADDRS" -random 64
+//
+// where ADDRS lists k+1 comma-separated host:port pairs, controller first.
+//
+// The controller accepts queries on stdin, one per line:
+//
+//	sssp <source> <target>
+//	poi <source>
+//	bfs <source> [target]
+//	pagerank <source>
+//
+// and prints one result line per query. -random N instead runs N random
+// SSSP queries and exits.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"qgraph/internal/controller"
+	"qgraph/internal/graph"
+	"qgraph/internal/metrics"
+	"qgraph/internal/partition"
+	"qgraph/internal/protocol"
+	"qgraph/internal/query"
+	"qgraph/internal/transport"
+	"qgraph/internal/worker"
+)
+
+func main() {
+	var (
+		role      = flag.String("role", "", "controller | worker")
+		id        = flag.Int("id", 0, "worker id (role=worker)")
+		graphPath = flag.String("graph", "", "QGR1 graph file (same on all nodes)")
+		addrsFlag = flag.String("addrs", "", "comma-separated host:port list, controller first")
+		adapt     = flag.Bool("adapt", true, "enable adaptive Q-cut (controller)")
+		random    = flag.Int("random", 0, "run N random SSSP queries and exit (controller)")
+		seed      = flag.Uint64("seed", 1, "workload seed for -random")
+	)
+	flag.Parse()
+
+	addrs := strings.Split(*addrsFlag, ",")
+	if *addrsFlag == "" || len(addrs) < 2 {
+		fatal(fmt.Errorf("-addrs needs at least controller plus one worker"))
+	}
+	k := len(addrs) - 1
+	if *graphPath == "" {
+		fatal(fmt.Errorf("-graph is required"))
+	}
+	g, err := graph.LoadFile(*graphPath)
+	if err != nil {
+		fatal(err)
+	}
+	// Deterministic initial partitioning, identical on every node.
+	assign, err := partition.Hash{}.Partition(g, k)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch *role {
+	case "worker":
+		if *id < 0 || *id >= k {
+			fatal(fmt.Errorf("worker id %d out of range [0,%d)", *id, k))
+		}
+		node, err := transport.NewTCPNode(protocol.WorkerNode(partition.WorkerID(*id)), addrs)
+		if err != nil {
+			fatal(err)
+		}
+		defer node.Close()
+		w, err := worker.New(worker.Config{
+			ID: partition.WorkerID(*id), K: k, Graph: g, Owner: assign,
+		}, node)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("qgraphd: worker %d serving %d vertices on %s\n",
+			*id, countOwned(assign, partition.WorkerID(*id)), node.Addr())
+		if err := w.Run(); err != nil {
+			fatal(err)
+		}
+	case "controller":
+		node, err := transport.NewTCPNode(protocol.ControllerNode, addrs)
+		if err != nil {
+			fatal(err)
+		}
+		defer node.Close()
+		rec := metrics.NewRecorder(time.Now())
+		ctrl, err := controller.New(controller.Config{
+			K: k, Graph: g, Owner: assign, Adapt: *adapt, Recorder: rec,
+		}, node)
+		if err != nil {
+			fatal(err)
+		}
+		errCh := make(chan error, 1)
+		go func() { errCh <- ctrl.Run() }()
+		fmt.Printf("qgraphd: controller for %d workers on %s\n", k, node.Addr())
+
+		if *random > 0 {
+			runRandom(ctrl, g, *random, *seed)
+		} else {
+			serveStdin(ctrl, g)
+		}
+		sum := rec.Summarize()
+		fmt.Printf("done: %d queries, total %.3fs, mean %.2fms, locality %.2f\n",
+			sum.Count, sum.TotalLatency.Seconds(),
+			float64(sum.MeanLatency.Microseconds())/1000, sum.MeanLocality)
+		ctrl.Stop()
+		if err := <-errCh; err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("-role must be controller or worker"))
+	}
+}
+
+func countOwned(a partition.Assignment, w partition.WorkerID) int {
+	n := 0
+	for _, o := range a {
+		if o == w {
+			n++
+		}
+	}
+	return n
+}
+
+func runRandom(ctrl *controller.Controller, g *graph.Graph, n int, seed uint64) {
+	rng := rand.New(rand.NewPCG(seed, 77))
+	type pending struct {
+		spec query.Spec
+		ch   <-chan controller.Result
+	}
+	var ps []pending
+	for i := 0; i < n; i++ {
+		spec := query.Spec{
+			ID:     query.ID(i + 1),
+			Kind:   query.KindSSSP,
+			Source: graph.VertexID(rng.IntN(g.NumVertices())),
+			Target: graph.VertexID(rng.IntN(g.NumVertices())),
+		}
+		ch, err := ctrl.Schedule(spec)
+		if err != nil {
+			fatal(err)
+		}
+		ps = append(ps, pending{spec: spec, ch: ch})
+	}
+	for _, p := range ps {
+		res := <-p.ch
+		fmt.Printf("sssp %d->%d dist=%g latency=%s steps=%d local=%d\n",
+			p.spec.Source, p.spec.Target, res.Value, res.Latency.Round(time.Microsecond),
+			res.Supersteps, res.LocalIters)
+	}
+}
+
+func serveStdin(ctrl *controller.Controller, g *graph.Graph) {
+	sc := bufio.NewScanner(os.Stdin)
+	nextID := query.ID(1)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		spec, err := parseQuery(fields, nextID)
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		nextID++
+		ch, err := ctrl.Schedule(spec)
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		res := <-ch
+		fmt.Printf("%s result=%g latency=%s steps=%d touched=%d workers=%d\n",
+			fields[0], res.Value, res.Latency.Round(time.Microsecond),
+			res.Supersteps, res.Touched, res.Workers)
+	}
+	_ = g
+}
+
+func parseQuery(fields []string, id query.ID) (query.Spec, error) {
+	atoi := func(s string) (graph.VertexID, error) {
+		v, err := strconv.ParseInt(s, 10, 32)
+		return graph.VertexID(v), err
+	}
+	spec := query.Spec{ID: id, Target: graph.NilVertex}
+	var err error
+	switch fields[0] {
+	case "sssp":
+		if len(fields) != 3 {
+			return spec, fmt.Errorf("usage: sssp <src> <dst>")
+		}
+		spec.Kind = query.KindSSSP
+		if spec.Source, err = atoi(fields[1]); err != nil {
+			return spec, err
+		}
+		spec.Target, err = atoi(fields[2])
+	case "poi":
+		if len(fields) != 2 {
+			return spec, fmt.Errorf("usage: poi <src>")
+		}
+		spec.Kind = query.KindPOI
+		spec.Source, err = atoi(fields[1])
+	case "bfs":
+		if len(fields) < 2 || len(fields) > 3 {
+			return spec, fmt.Errorf("usage: bfs <src> [dst]")
+		}
+		spec.Kind = query.KindBFS
+		if spec.Source, err = atoi(fields[1]); err != nil {
+			return spec, err
+		}
+		if len(fields) == 3 {
+			spec.Target, err = atoi(fields[2])
+		}
+	case "pagerank":
+		if len(fields) != 2 {
+			return spec, fmt.Errorf("usage: pagerank <src>")
+		}
+		spec.Kind = query.KindPageRank
+		spec.MaxIters = 20
+		spec.Epsilon = 1e-4
+		spec.Source, err = atoi(fields[1])
+	default:
+		return spec, fmt.Errorf("unknown query kind %q", fields[0])
+	}
+	return spec, err
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qgraphd:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,83 @@
+// Quickstart: build a small synthetic road network, start a Q-Graph engine
+// with four workers, and run a handful of shortest-path and point-of-
+// interest queries in parallel.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"qgraph/internal/core"
+	"qgraph/internal/gen"
+	"qgraph/internal/graph"
+	"qgraph/internal/partition"
+	"qgraph/internal/query"
+)
+
+func main() {
+	// 1. A small road network: ~3600 junctions, 4 city hotspots.
+	net, err := gen.Road(gen.RoadConfig{
+		CellsX: 60, CellsY: 60, CellKM: 0.5, Jitter: 0.3,
+		RemoveProb: 0.08, DiagProb: 0.05,
+		HighwayEvery: 12, LocalSpeed: 50, HighwaySpeed: 110,
+		NumCities: 4, ZipfS: 1, TagProb: 0.005, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("road network: %d junctions, %d segments, %d cities\n",
+		net.G.NumVertices(), net.G.NumEdges(), len(net.Cities))
+
+	// 2. Start the engine: 4 workers, hash partitioning, adaptive Q-cut on.
+	eng, err := core.Start(core.Config{
+		Workers:     4,
+		Graph:       net.G,
+		Partitioner: partition.Hash{},
+		Adapt:       true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+
+	// 3. Schedule a few queries in parallel: shortest paths between city
+	// centers and a POI lookup.
+	var handles []*core.Handle
+	id := query.ID(1)
+	for i := 0; i < len(net.Cities); i++ {
+		for j := i + 1; j < len(net.Cities); j++ {
+			h, err := eng.Schedule(query.Spec{
+				ID: id, Kind: query.KindSSSP,
+				Source: net.Cities[i].Vertex, Target: net.Cities[j].Vertex,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			handles = append(handles, h)
+			id++
+		}
+	}
+	poi, err := eng.Schedule(query.Spec{
+		ID: id, Kind: query.KindPOI,
+		Source: net.Cities[0].Vertex, Target: graph.NilVertex,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Collect results.
+	for _, h := range handles {
+		res := h.Wait()
+		fmt.Printf("sssp %5d → %5d: travel time %7.1fs, %3d supersteps, latency %s\n",
+			h.Spec.Source, h.Spec.Target, res.Value, res.Supersteps, res.Latency.Round(100_000))
+	}
+	res := poi.Wait()
+	fmt.Printf("nearest POI from %d: %.1fs away (touched %d vertices on %d workers)\n",
+		poi.Spec.Source, res.Value, res.Touched, res.Workers)
+
+	sum := eng.Recorder().Summarize()
+	fmt.Printf("\n%d queries, mean latency %s, mean locality %.2f\n",
+		sum.Count, sum.MeanLatency.Round(100_000), sum.MeanLocality)
+}

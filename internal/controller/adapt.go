@@ -1,0 +1,174 @@
+package controller
+
+import (
+	"time"
+
+	"qgraph/internal/qcut"
+	"qgraph/internal/query"
+)
+
+// This file is the MAPE loop of Sec. 3.4: Monitor (statistics arrive as
+// barrier piggybacks, handled in barrier.go), Analyze (average query
+// locality against the threshold Φ), Plan (run Q-cut asynchronously on a
+// snapshot of the high-level view), Execute (global barrier with move
+// directives, global.go).
+
+// onTick runs the Analyze step. Repartitioning triggers when the
+// statistics indicate the current partitioning is suboptimal (Sec. 3.4):
+// either the average query locality fell below Φ, or the high-level
+// workload measure Lw = (|V(w)| + Σ|LS(q,w)|)/2 (Appendix A.1) exceeds the
+// balance slack δ — the straggler signal that lets Q-cut improve even on
+// the high-locality Domain partitioning (Figs. 5–6). The trigger uses the
+// same load measure Q-cut optimizes; live traffic imbalance from skewed
+// hotspot populations is not actionable under a locality objective and
+// must not cause repartitioning loops.
+func (c *Controller) onTick() {
+	if !c.cfg.Adapt || c.phase != phaseRun || c.qcutRunning {
+		return
+	}
+	imbalanced := c.lwImbalance() > c.cfg.Delta
+	now := c.cfg.Clock()
+	if c.curCooldown == 0 {
+		c.curCooldown = c.cfg.Cooldown
+	}
+	if now.Sub(c.lastRepart) < c.curCooldown {
+		return
+	}
+	c.pruneWindow(now)
+	if len(c.window) < c.cfg.MinWindowQueries {
+		return
+	}
+	loc := c.avgLocality()
+	if loc >= c.cfg.Phi && !imbalanced {
+		c.curCooldown = c.cfg.Cooldown
+		return
+	}
+	// Backoff when the previous repartitioning did not move the needle.
+	if c.repartitions > 0 {
+		if loc < c.trigLocality+0.02 {
+			c.curCooldown = min(2*c.curCooldown, 16*c.cfg.Cooldown)
+		} else {
+			c.curCooldown = c.cfg.Cooldown
+		}
+	}
+	c.trigLocality = loc
+	// Plan: run Q-cut on a snapshot, asynchronously — the partitioning
+	// latency is hidden behind normal query processing (Sec. 3.4).
+	in := c.snapshot(now)
+	c.qcutRunning = true
+	go func() {
+		c.qcutCh <- qcut.Run(in)
+	}()
+}
+
+// lwImbalance is the straggler signal: the relative spread of the paper's
+// combined load measure Lw = (|V(w)| + Σ_q |LS(q,w)|)/2 computed from the
+// controller's high-level view (windowed and active scope sizes), with the
+// scope term normalized exactly as in Q-cut's balance constraint so the
+// trigger never demands a balance Q-cut cannot deliver.
+func (c *Controller) lwImbalance() float64 {
+	scope := make([]float64, c.cfg.K)
+	var totalV, totalScope float64
+	for w := 0; w < c.cfg.K; w++ {
+		totalV += float64(c.vertCount[w])
+	}
+	for _, we := range c.window {
+		for w, sz := range we.sizes {
+			scope[w] += float64(sz)
+			totalScope += float64(sz)
+		}
+	}
+	for _, ctl := range c.queries {
+		for w, sz := range ctl.scopeSizes {
+			scope[w] += float64(sz)
+			totalScope += float64(sz)
+		}
+	}
+	scale := 1.0
+	if totalScope > totalV && totalScope > 0 {
+		scale = totalV / totalScope
+	}
+	var minL, maxL float64
+	for w := 0; w < c.cfg.K; w++ {
+		l := (float64(c.vertCount[w]) + scale*scope[w]) / 2
+		if w == 0 || l < minL {
+			minL = l
+		}
+		if w == 0 || l > maxL {
+			maxL = l
+		}
+	}
+	if maxL <= 0 {
+		return 0
+	}
+	return (maxL - minL) / maxL
+}
+
+// avgLocality is the Analyze metric: mean fraction of fully-local
+// iterations over the queries in the monitoring window.
+func (c *Controller) avgLocality() float64 {
+	if len(c.window) == 0 {
+		return 1
+	}
+	sum := 0.0
+	for _, we := range c.window {
+		sum += we.locality
+	}
+	return sum / float64(len(c.window))
+}
+
+// snapshot builds the Q-cut input from the high-level global view: scope
+// size rows for windowed (finished) and active queries, aggregated
+// intersections, and the authoritative per-worker vertex counts.
+func (c *Controller) snapshot(now time.Time) qcut.Input {
+	rows := make([]qcut.ScopeRow, 0, len(c.window)+len(c.queries))
+	seen := make(map[query.ID]bool, len(c.window)+len(c.queries))
+	for _, we := range c.window {
+		rows = append(rows, qcut.ScopeRow{Q: we.q, Sizes: append([]int64(nil), we.sizes...)})
+		seen[we.q] = true
+	}
+	for q, ctl := range c.queries {
+		if !seen[q] {
+			rows = append(rows, qcut.ScopeRow{Q: q, Sizes: append([]int64(nil), ctl.scopeSizes...)})
+			seen[q] = true
+		}
+	}
+	// Aggregate per-worker pairwise intersections over workers.
+	agg := make(map[[2]query.ID]int64)
+	for k, shared := range c.inter {
+		if !seen[k.q1] || !seen[k.q2] {
+			continue
+		}
+		agg[[2]query.ID{k.q1, k.q2}] += shared
+	}
+	inter := make([]qcut.Intersection, 0, len(agg))
+	for pair, shared := range agg {
+		inter = append(inter, qcut.Intersection{Q1: pair[0], Q2: pair[1], Shared: shared})
+	}
+	var deadline time.Time
+	if c.cfg.QcutBudget > 0 {
+		deadline = now.Add(c.cfg.QcutBudget)
+	}
+	return qcut.Input{
+		K:              c.cfg.K,
+		Scopes:         rows,
+		Intersections:  inter,
+		VertexCounts:   append([]int64(nil), c.vertCount...),
+		Delta:          c.cfg.Delta,
+		Deadline:       deadline,
+		Seed:           c.cfg.Seed + uint64(c.epoch),
+		NoClustering:   c.cfg.NoClustering,
+		NoPerturbation: c.cfg.NoPerturbation,
+	}
+}
+
+// onQcutDone is the Plan → Execute handoff: if the search found improving
+// moves, execute them under a global barrier.
+func (c *Controller) onQcutDone(res qcut.Result) {
+	c.qcutRunning = false
+	c.lastRepart = c.cfg.Clock()
+	if len(res.Moves) == 0 || c.phase != phaseRun {
+		return
+	}
+	c.beginGlobalBarrier(res.Moves)
+}

@@ -1,0 +1,307 @@
+package controller
+
+import (
+	"fmt"
+	"time"
+
+	"qgraph/internal/graph"
+	"qgraph/internal/metrics"
+	"qgraph/internal/partition"
+	"qgraph/internal/protocol"
+	"qgraph/internal/query"
+)
+
+// This file implements the per-query side of the hybrid barrier
+// synchronization (Sec. 3.3): scheduling a query onto the workers,
+// collecting barrierSynch reports, deciding termination, and releasing the
+// next superstep to exactly the involved workers (limited query barrier) —
+// or to a single worker with the solo flag that enables its local query
+// barrier loop.
+
+// onSchedule starts a query or defers it while a global barrier is active.
+func (c *Controller) onSchedule(req scheduleReq) {
+	if c.phase != phaseRun {
+		c.deferred = append(c.deferred, req)
+		return
+	}
+	c.startQuery(req)
+}
+
+func (c *Controller) startQuery(req scheduleReq) {
+	spec := req.spec
+	// Query ids must be unique while any state of them lingers: an active
+	// duplicate would corrupt barrier bookkeeping, and reusing a windowed
+	// id would confuse the workers' finished-scope tracking.
+	if _, active := c.queries[spec.ID]; active || c.byQ[spec.ID] != nil {
+		req.ch <- Result{Q: spec.ID, Value: query.NoResult, Reason: protocol.FinishRejected}
+		return
+	}
+	if c.cfg.ReplicateQueries {
+		// Future-work (ii): pin the query to its source's owner; all its
+		// processing happens there (replication-style local execution).
+		spec.SetHome(int(c.owner[spec.Source]))
+	}
+	prog := query.MustNew(spec.Kind)
+	ctl := &qctl{
+		spec:       spec,
+		prog:       prog,
+		started:    c.cfg.Clock(),
+		ch:         req.ch,
+		step:       -1,
+		involved:   make(map[partition.WorkerID]bool),
+		reports:    make(map[partition.WorkerID]*protocol.BarrierSynch),
+		scopeSizes: make([]int64, c.cfg.K),
+		everActive: make([]bool, c.cfg.K),
+		bestGoal:   query.NoResult,
+	}
+	c.queries[spec.ID] = ctl
+	c.broadcast(&protocol.ExecuteQuery{Spec: spec})
+
+	// Initial involved set: owners of the initial activations.
+	init := make(map[partition.WorkerID]bool)
+	for _, act := range prog.Init(c.cfg.Graph, spec) {
+		init[c.ownerOf(ctl, act.V)] = true
+	}
+	c.release(ctl, 0, init, nil, false)
+}
+
+// ownerOf mirrors the workers' routing rule, including query pinning.
+func (c *Controller) ownerOf(ctl *qctl, v graph.VertexID) partition.WorkerID {
+	if home, ok := ctl.spec.HomeWorker(); ok {
+		return partition.WorkerID(home)
+	}
+	return c.owner[v]
+}
+
+// release issues barrierReady for superstep step. expect maps each
+// receiver to the batch count it must await (nil = zero). drained marks a
+// post-global-barrier resume.
+func (c *Controller) release(ctl *qctl, step int32, involved map[partition.WorkerID]bool, expect map[partition.WorkerID]int32, drained bool) {
+	if c.cfg.Mode == SyncGlobal {
+		// Traditional BSP baseline (Fig. 6d): every query synchronizes
+		// across all workers every iteration.
+		all := make(map[partition.WorkerID]bool, c.cfg.K)
+		for w := 0; w < c.cfg.K; w++ {
+			all[partition.WorkerID(w)] = true
+		}
+		involved = all
+	}
+	solo := c.cfg.Mode == SyncHybrid && len(involved) == 1 && !drained
+	ctl.involved = involved
+	ctl.reports = make(map[partition.WorkerID]*protocol.BarrierSynch, len(involved))
+	ctl.outstanding = true
+	ctl.paused = false
+	for w := range involved {
+		c.conn.Send(protocol.WorkerNode(w), &protocol.BarrierReady{
+			Q:       ctl.spec.ID,
+			Step:    step,
+			Expect:  expect[w],
+			Solo:    solo,
+			Drained: drained,
+		})
+	}
+}
+
+// onSynch records a worker's barrier report and, once all involved workers
+// reported, collects the superstep.
+func (c *Controller) onSynch(m *protocol.BarrierSynch) error {
+	// Merge piggybacked intersection statistics into the global view
+	// regardless of query liveness.
+	for _, is := range m.Intersections {
+		q1, q2 := is.Q1, is.Q2
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		c.inter[interKey{w: m.W, q1: q1, q2: q2}] = int64(is.Shared)
+	}
+	if m.Finished {
+		// Final statistics after QueryFinish: refresh the window entry.
+		if we := c.byQ[m.Q]; we != nil {
+			we.sizes[m.W] = int64(m.ScopeSize)
+		}
+		return nil
+	}
+	ctl, ok := c.queries[m.Q]
+	if !ok {
+		// Late report of a query we already finished (e.g. a solo loop
+		// that raced the finish decision). Harmless.
+		return nil
+	}
+	if !ctl.involved[m.W] {
+		return fmt.Errorf("controller: synch for query %d from uninvolved worker %d", m.Q, m.W)
+	}
+	if ctl.reports[m.W] != nil {
+		return fmt.Errorf("controller: duplicate synch for query %d from worker %d", m.Q, m.W)
+	}
+	ctl.reports[m.W] = m
+	ctl.scopeSizes[m.W] = int64(m.ScopeSize)
+	if m.Processed > 0 || m.ScopeSize > 0 {
+		ctl.everActive[m.W] = true
+	}
+	if m.BestGoal < ctl.bestGoal {
+		ctl.bestGoal = m.BestGoal
+	}
+	if rec := c.cfg.Recorder; rec != nil && m.Processed > 0 {
+		rec.RecordLoad(metrics.LoadSample{At: c.cfg.Clock(), Worker: int(m.W), Active: int(m.Processed)})
+	}
+	if len(ctl.reports) == len(ctl.involved) {
+		c.collect(ctl)
+	}
+	return nil
+}
+
+// collect advances a query whose current superstep is fully reported:
+// update statistics, decide termination, release the next superstep.
+func (c *Controller) collect(ctl *qctl) {
+	collectedStep := ctl.step
+	minFrontier := query.NoResult
+	totalSent := int32(0)
+	activeWorkers := 0
+	expect := make(map[partition.WorkerID]int32)
+	next := make(map[partition.WorkerID]bool)
+	localExtra := 0
+
+	for w, r := range ctl.reports {
+		if r.Step > collectedStep {
+			collectedStep = r.Step
+		}
+		if r.MinFrontier < minFrontier {
+			minFrontier = r.MinFrontier
+		}
+		if r.Processed > 0 {
+			activeWorkers++
+		}
+		if r.NActiveNext > 0 {
+			next[w] = true
+		}
+		localExtra += int(r.LocalIters)
+		for dst, nb := range r.SentBatches {
+			if nb > 0 {
+				d := partition.WorkerID(dst)
+				expect[d] += nb
+				next[d] = true
+				totalSent += nb
+			}
+		}
+	}
+
+	ctl.stepsDone += int(collectedStep - ctl.step)
+	ctl.step = collectedStep
+	ctl.outstanding = false
+	// Locality accounting (Fig. 6f): the solo-loop steps reported by the
+	// worker plus the just-collected step if at most one worker computed
+	// and nothing crossed workers.
+	ctl.localSteps += localExtra
+	if totalSent == 0 && activeWorkers <= 1 {
+		ctl.localSteps++
+	}
+
+	// Termination (Sec. 2: a query ends when no active vertex remains; the
+	// monotone bound additionally ends goal queries as soon as no
+	// in-flight value can beat the best goal — that is what confines
+	// localized queries to their region).
+	switch {
+	case len(next) == 0:
+		c.finishQuery(ctl, protocol.FinishConverged)
+		return
+	case ctl.prog.Monotone() && ctl.bestGoal < query.NoResult && minFrontier >= ctl.bestGoal:
+		c.finishQuery(ctl, protocol.FinishEarly)
+		return
+	case ctl.spec.MaxIters > 0 && int(collectedStep)+1 >= ctl.spec.MaxIters:
+		c.finishQuery(ctl, protocol.FinishMaxIters)
+		return
+	}
+
+	if c.phase != phaseRun {
+		// A global barrier is forming; hold the release. resumeQueries
+		// re-releases after GlobalStart.
+		ctl.paused = true
+		c.maybeStop()
+		return
+	}
+	c.release(ctl, collectedStep+1, next, expect, false)
+}
+
+// finishQuery ends a query: notify workers, deliver the result, and move
+// its statistics into the monitoring window.
+func (c *Controller) finishQuery(ctl *qctl, reason protocol.FinishReason) {
+	q := ctl.spec.ID
+	delete(c.queries, q)
+	c.broadcast(&protocol.QueryFinish{Q: q, Reason: reason})
+
+	now := c.cfg.Clock()
+	touched := 0
+	workers := 0
+	for w, sz := range ctl.scopeSizes {
+		touched += int(sz)
+		if ctl.everActive[w] {
+			workers++
+		}
+	}
+	res := Result{
+		Q:          q,
+		Value:      ctl.bestGoal,
+		Reason:     reason,
+		Supersteps: ctl.stepsDone,
+		LocalIters: ctl.localSteps,
+		Touched:    touched,
+		Workers:    workers,
+		Latency:    now.Sub(ctl.started),
+	}
+	ctl.ch <- res
+
+	if rec := c.cfg.Recorder; rec != nil {
+		rec.RecordQuery(metrics.QueryRecord{
+			ID:          int64(q),
+			Kind:        ctl.spec.Kind.String(),
+			ScheduledAt: ctl.started,
+			Latency:     res.Latency,
+			Supersteps:  res.Supersteps,
+			LocalIters:  res.LocalIters,
+			Touched:     res.Touched,
+			Workers:     res.Workers,
+			Result:      res.Value,
+		})
+	}
+	c.windowAdd(ctl, now)
+	if c.phase == phaseQuiesce {
+		c.maybeStop()
+	}
+}
+
+// windowAdd records a finished query in the monitoring window (tumbling
+// window of Sec. 3.4, bounded by μ and the query cap).
+func (c *Controller) windowAdd(ctl *qctl, now time.Time) {
+	loc := 1.0
+	if ctl.stepsDone > 0 {
+		loc = float64(ctl.localSteps) / float64(ctl.stepsDone)
+	}
+	we := &windowEntry{
+		q:        ctl.spec.ID,
+		at:       now,
+		sizes:    append([]int64(nil), ctl.scopeSizes...),
+		locality: loc,
+	}
+	c.window = append(c.window, we)
+	c.byQ[ctl.spec.ID] = we
+	c.pruneWindow(now)
+}
+
+// pruneWindow drops entries older than μ and enforces the query cap.
+func (c *Controller) pruneWindow(now time.Time) {
+	keep := c.window[:0]
+	for _, we := range c.window {
+		if now.Sub(we.at) <= c.cfg.Mu {
+			keep = append(keep, we)
+		} else {
+			delete(c.byQ, we.q)
+		}
+	}
+	if over := len(keep) - c.cfg.MaxWindowQueries; over > 0 {
+		for _, we := range keep[:over] {
+			delete(c.byQ, we.q)
+		}
+		keep = keep[over:]
+	}
+	c.window = keep
+}

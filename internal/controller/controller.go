@@ -1,0 +1,415 @@
+// Package controller implements the Q-Graph controller layer (Fig. 2 of
+// the paper): high-level, query-centric graph management with global
+// knowledge. The controller schedules queries onto the workers, coordinates
+// the hybrid barrier synchronization (per-query limited/local barriers plus
+// the global STOP/START barrier, Sec. 3.3), maintains the monitoring window
+// of query statistics (Sec. 3.4), and adapts the partitioning at runtime by
+// running Q-cut asynchronously and executing its move directives under a
+// global barrier.
+//
+// The controller is a single event loop; all state is confined to the Run
+// goroutine.
+package controller
+
+import (
+	"fmt"
+	"time"
+
+	"qgraph/internal/graph"
+	"qgraph/internal/metrics"
+	"qgraph/internal/partition"
+	"qgraph/internal/protocol"
+	"qgraph/internal/qcut"
+	"qgraph/internal/query"
+	"qgraph/internal/transport"
+)
+
+// SyncMode selects the barrier synchronization strategy.
+type SyncMode int
+
+// The three synchronization strategies of the evaluation: the paper's
+// hybrid barrier, the limited-only ablation, and the traditional BSP
+// baseline of Fig. 6d where every query synchronizes across all workers
+// every iteration.
+const (
+	SyncHybrid SyncMode = iota
+	SyncLimited
+	SyncGlobal
+)
+
+// String returns the mode name.
+func (m SyncMode) String() string {
+	switch m {
+	case SyncHybrid:
+		return "hybrid"
+	case SyncLimited:
+		return "limited"
+	case SyncGlobal:
+		return "global"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Config parameterises the controller.
+type Config struct {
+	K     int
+	Graph *graph.Graph
+	// Owner is the initial vertex assignment (the controller keeps its own
+	// authoritative copy and evolves it through moves).
+	Owner partition.Assignment
+	Mode  SyncMode
+
+	// Adapt enables the MAPE adaptivity loop (Q-cut at runtime).
+	Adapt bool
+	// Phi is the locality threshold Φ: average query locality below it
+	// triggers repartitioning (paper: 0.7).
+	Phi float64
+	// Mu is the monitoring window μ: how long finished-query statistics
+	// stay in the global view (paper: 240 s).
+	Mu time.Duration
+	// MaxWindowQueries caps the queries Q-cut sees (paper: 128).
+	MaxWindowQueries int
+	// MinWindowQueries is the minimum finished queries before the trigger
+	// fires (avoids repartitioning on no evidence).
+	MinWindowQueries int
+	// Delta is the workload balance slack δ (paper: 0.25).
+	Delta float64
+	// QcutBudget bounds each Q-cut run (paper: 2 s).
+	QcutBudget time.Duration
+	// CheckEvery is the adaptivity check interval.
+	CheckEvery time.Duration
+	// Cooldown is the minimum time between repartitionings.
+	Cooldown time.Duration
+	// ReplicateQueries enables the future-work (ii) extension: every query
+	// is pinned to the worker owning its source vertex, eliminating its
+	// query-cut via replication-style local execution.
+	ReplicateQueries bool
+	// NoClustering / NoPerturbation are Q-cut ablation switches.
+	NoClustering   bool
+	NoPerturbation bool
+	// Seed feeds Q-cut's randomness.
+	Seed uint64
+
+	// Recorder receives metrics; nil disables recording.
+	Recorder *metrics.Recorder
+	// Clock abstracts time for tests; nil means time.Now.
+	Clock func() time.Time
+}
+
+func (c *Config) fill() error {
+	if c.K < 1 || c.K > partition.MaxWorkers {
+		return fmt.Errorf("controller: bad worker count %d", c.K)
+	}
+	if c.Graph == nil {
+		return fmt.Errorf("controller: nil graph")
+	}
+	if len(c.Owner) != c.Graph.NumVertices() {
+		return fmt.Errorf("controller: ownership covers %d of %d vertices", len(c.Owner), c.Graph.NumVertices())
+	}
+	if c.Phi == 0 {
+		c.Phi = 0.7
+	}
+	if c.Mu <= 0 {
+		c.Mu = 240 * time.Second
+	}
+	if c.MaxWindowQueries <= 0 {
+		c.MaxWindowQueries = 128
+	}
+	if c.MinWindowQueries <= 0 {
+		c.MinWindowQueries = 8
+	}
+	if c.Delta <= 0 {
+		c.Delta = 0.25
+	}
+	if c.QcutBudget <= 0 {
+		c.QcutBudget = 2 * time.Second
+	}
+	if c.CheckEvery <= 0 {
+		c.CheckEvery = 250 * time.Millisecond
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 2 * time.Second
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	return nil
+}
+
+// Result is the outcome of one query delivered to its scheduler.
+type Result struct {
+	Q          query.ID
+	Value      float64 // best goal value (query.NoResult if none)
+	Reason     protocol.FinishReason
+	Supersteps int
+	LocalIters int
+	Touched    int // |GS(q)| — global scope size
+	Workers    int // workers the query ever involved
+	Latency    time.Duration
+}
+
+// qctl is the controller-side state of one active query.
+type qctl struct {
+	spec    query.Spec
+	prog    query.Program
+	started time.Time
+	ch      chan<- Result
+
+	step        int32 // last fully collected superstep (-1 before step 0)
+	outstanding bool  // a release was issued; reports pending
+	paused      bool  // wanted a release while a global barrier was active
+	involved    map[partition.WorkerID]bool
+	reports     map[partition.WorkerID]*protocol.BarrierSynch
+
+	scopeSizes []int64 // latest |LS(q,w)| per worker
+	everActive []bool  // workers that ever processed or held scope
+	bestGoal   float64
+	stepsDone  int
+	localSteps int
+}
+
+type phase int
+
+const (
+	phaseRun phase = iota
+	phaseQuiesce
+	phaseStopping
+	phaseDraining
+	phaseMoving
+	phaseScopeDrain
+)
+
+// scheduleReq is the internal request carrying a user's scheduleQuery call.
+type scheduleReq struct {
+	spec query.Spec
+	ch   chan<- Result
+}
+
+// snapshotReq asks the controller for its current Q-cut input (used by the
+// Fig. 6g experiment and for introspection).
+type snapshotReq struct {
+	ch chan qcut.Input
+}
+
+// Controller is the controller-layer event loop.
+type Controller struct {
+	cfg  Config
+	conn transport.Conn
+
+	owner     partition.Assignment
+	vertCount []int64
+
+	queries map[query.ID]*qctl
+	window  []*windowEntry
+	byQ     map[query.ID]*windowEntry
+	inter   map[interKey]int64
+
+	phase        phase
+	epoch        int32
+	stopAcks     map[partition.WorkerID][]uint64
+	drainAcks    int
+	pendingMoves []qcut.Move
+	movesLeft    int
+	ownDeltaV    []graph.VertexID
+	ownDeltaW    []partition.WorkerID
+	scopeExpect  [][]uint64 // cumulative ScopeData expectations [receiver][sender]
+	deferred     []scheduleReq
+
+	qcutRunning bool
+	qcutCh      chan qcut.Result
+	lastRepart  time.Time
+	// Repartitions counts executed global barriers with moves.
+	repartitions int
+	// Trigger backoff: when repartitioning stops improving locality
+	// (e.g. the workload inherently spans workers), the effective cooldown
+	// doubles up to 16× so global barriers do not thrash the very queries
+	// they are meant to help. Any improvement resets it.
+	curCooldown  time.Duration
+	trigLocality float64
+
+	scheduleCh chan scheduleReq
+	snapshotCh chan snapshotReq
+	stopCh     chan struct{}
+	doneCh     chan struct{}
+	runErr     error
+}
+
+type interKey struct {
+	w      partition.WorkerID
+	q1, q2 query.ID
+}
+
+// windowEntry is one query's statistics in the monitoring window.
+type windowEntry struct {
+	q        query.ID
+	at       time.Time // completion (or last update) time
+	sizes    []int64   // |LS(q,w)| per worker
+	locality float64
+}
+
+// New creates a controller bound to conn.
+func New(cfg Config, conn transport.Conn) (*Controller, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	c := &Controller{
+		cfg:        cfg,
+		conn:       conn,
+		owner:      cfg.Owner.Clone(),
+		vertCount:  make([]int64, cfg.K),
+		queries:    make(map[query.ID]*qctl),
+		byQ:        make(map[query.ID]*windowEntry),
+		inter:      make(map[interKey]int64),
+		qcutCh:     make(chan qcut.Result, 1),
+		scheduleCh: make(chan scheduleReq, 64),
+		snapshotCh: make(chan snapshotReq),
+		stopCh:     make(chan struct{}),
+		doneCh:     make(chan struct{}),
+		scopeExpect: func() [][]uint64 {
+			se := make([][]uint64, cfg.K)
+			for i := range se {
+				se[i] = make([]uint64, cfg.K)
+			}
+			return se
+		}(),
+	}
+	for _, w := range cfg.Owner {
+		c.vertCount[w]++
+	}
+	return c, nil
+}
+
+// Schedule submits a query (paper API scheduleQuery(q)); the result is
+// delivered on the returned channel. It is safe to call from any goroutine
+// while Run is active.
+func (c *Controller) Schedule(spec query.Spec) (<-chan Result, error) {
+	if err := spec.Validate(c.cfg.Graph); err != nil {
+		return nil, err
+	}
+	select {
+	case <-c.doneCh:
+		return nil, fmt.Errorf("controller: stopped")
+	default:
+	}
+	ch := make(chan Result, 1)
+	select {
+	case c.scheduleCh <- scheduleReq{spec: spec, ch: ch}:
+		return ch, nil
+	case <-c.doneCh:
+		return nil, fmt.Errorf("controller: stopped")
+	}
+}
+
+// QcutSnapshot returns the controller's current high-level view as a Q-cut
+// input (Fig. 6g and debugging).
+func (c *Controller) QcutSnapshot() (qcut.Input, error) {
+	req := snapshotReq{ch: make(chan qcut.Input, 1)}
+	select {
+	case c.snapshotCh <- req:
+		return <-req.ch, nil
+	case <-c.doneCh:
+		return qcut.Input{}, fmt.Errorf("controller: stopped")
+	}
+}
+
+// Stop shuts the controller and all workers down. Blocks until Run
+// returned.
+func (c *Controller) Stop() {
+	select {
+	case <-c.stopCh:
+	default:
+		close(c.stopCh)
+	}
+	<-c.doneCh
+}
+
+// Repartitions returns the number of executed repartitioning barriers.
+// Valid after Run returned.
+func (c *Controller) Repartitions() int { return c.repartitions }
+
+// Run processes events until Stop is called. It returns the first fatal
+// protocol error, if any.
+func (c *Controller) Run() error {
+	defer func() {
+		// Order matters: close doneCh first so no new Schedule can
+		// enqueue, then cancel requests that raced in before the close.
+		close(c.doneCh)
+		for {
+			select {
+			case req := <-c.scheduleCh:
+				req.ch <- Result{Q: req.spec.ID, Value: query.NoResult, Reason: protocol.FinishCancelled}
+			default:
+				return
+			}
+		}
+	}()
+	ticker := time.NewTicker(c.cfg.CheckEvery)
+	defer ticker.Stop()
+	inbox := c.conn.Inbox()
+	for {
+		select {
+		case <-c.stopCh:
+			c.broadcast(&protocol.Shutdown{})
+			c.failActive()
+			return c.runErr
+		case req := <-c.scheduleCh:
+			c.onSchedule(req)
+		case req := <-c.snapshotCh:
+			req.ch <- c.snapshot(c.cfg.Clock())
+		case res := <-c.qcutCh:
+			c.onQcutDone(res)
+		case <-ticker.C:
+			c.onTick()
+		case env, ok := <-inbox:
+			if !ok {
+				return c.runErr
+			}
+			if err := c.handle(env); err != nil {
+				c.runErr = err
+				c.broadcast(&protocol.Shutdown{})
+				c.failActive()
+				return err
+			}
+		}
+	}
+}
+
+// failActive delivers a cancelled result to every still-active or
+// still-deferred query so callers never block on Stop.
+func (c *Controller) failActive() {
+	now := c.cfg.Clock()
+	for q, ctl := range c.queries {
+		ctl.ch <- Result{
+			Q: q, Value: ctl.bestGoal, Reason: protocol.FinishCancelled,
+			Supersteps: ctl.stepsDone, LocalIters: ctl.localSteps,
+			Latency: now.Sub(ctl.started),
+		}
+		delete(c.queries, q)
+	}
+	for _, req := range c.deferred {
+		req.ch <- Result{Q: req.spec.ID, Value: query.NoResult, Reason: protocol.FinishCancelled}
+	}
+	c.deferred = nil
+}
+
+func (c *Controller) handle(env transport.Envelope) error {
+	switch m := env.Msg.(type) {
+	case *protocol.BarrierSynch:
+		return c.onSynch(m)
+	case *protocol.StopAck:
+		return c.onStopAck(m)
+	case *protocol.DrainAck:
+		return c.onDrainAck(m)
+	case *protocol.MoveAck:
+		return c.onMoveAck(m)
+	default:
+		return fmt.Errorf("controller: unexpected message %T", env.Msg)
+	}
+}
+
+func (c *Controller) broadcast(m protocol.Message) {
+	for w := 0; w < c.cfg.K; w++ {
+		c.conn.Send(protocol.WorkerNode(partition.WorkerID(w)), m)
+	}
+}

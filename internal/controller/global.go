@@ -1,0 +1,197 @@
+package controller
+
+import (
+	"fmt"
+
+	"qgraph/internal/partition"
+	"qgraph/internal/protocol"
+	"qgraph/internal/qcut"
+)
+
+// This file implements the global barrier (STOP/START, Sec. 3.3) that
+// executes Q-cut's move directives on a provably quiet network:
+//
+//	run → quiesce → stopping → draining → moving → scope-drain → run
+//
+// quiesce:     stop issuing releases; wait until no query has an
+//	            outstanding superstep (workers finish what they compute).
+// stopping:    GlobalStop → collect StopAcks with cumulative batch-send
+//	            counters.
+// draining:    DrainCheck with per-worker expected receive totals →
+//	            DrainAcks prove every in-flight vertex batch arrived.
+// moving:      MoveScope directives → MoveAcks report moved vertex ids;
+//	            the controller updates its ownership table.
+// scope-drain: OwnershipUpdate broadcast + scope-data DrainCheck →
+//	            DrainAcks prove all ScopeData arrived.
+// run:         GlobalStart, re-release all active queries, flush deferred
+//	            schedules.
+
+// beginGlobalBarrier starts the STOP sequence for a set of moves.
+func (c *Controller) beginGlobalBarrier(moves []qcut.Move) {
+	c.pendingMoves = moves
+	c.phase = phaseQuiesce
+	c.maybeStop()
+}
+
+// maybeStop transitions quiesce → stopping once no query is outstanding.
+func (c *Controller) maybeStop() {
+	if c.phase != phaseQuiesce {
+		return
+	}
+	for _, ctl := range c.queries {
+		if ctl.outstanding {
+			return
+		}
+	}
+	c.phase = phaseStopping
+	c.epoch++
+	c.stopAcks = make(map[partition.WorkerID][]uint64, c.cfg.K)
+	c.broadcast(&protocol.GlobalStop{Epoch: c.epoch})
+}
+
+func (c *Controller) onStopAck(m *protocol.StopAck) error {
+	if c.phase != phaseStopping || m.Epoch != c.epoch {
+		return fmt.Errorf("controller: unexpected StopAck (phase %d epoch %d/%d)", c.phase, m.Epoch, c.epoch)
+	}
+	c.stopAcks[m.W] = m.SentTotals
+	if len(c.stopAcks) < c.cfg.K {
+		return nil
+	}
+	// All workers stopped: every batch any worker will ever have sent (up
+	// to this barrier) is accounted in the acks. Ask each worker to
+	// confirm receipt of its column.
+	c.phase = phaseDraining
+	c.drainAcks = 0
+	for w := 0; w < c.cfg.K; w++ {
+		expect := make([]uint64, c.cfg.K)
+		for src := 0; src < c.cfg.K; src++ {
+			expect[src] = c.stopAcks[partition.WorkerID(src)][w]
+		}
+		c.conn.Send(protocol.WorkerNode(partition.WorkerID(w)), &protocol.DrainCheck{
+			Epoch: c.epoch, ExpectRecv: expect,
+		})
+	}
+	return nil
+}
+
+func (c *Controller) onDrainAck(m *protocol.DrainAck) error {
+	if m.Epoch != c.epoch {
+		return fmt.Errorf("controller: stale DrainAck epoch %d/%d", m.Epoch, c.epoch)
+	}
+	switch c.phase {
+	case phaseDraining:
+		c.drainAcks++
+		if c.drainAcks < c.cfg.K {
+			return nil
+		}
+		c.issueMoves()
+		return nil
+	case phaseScopeDrain:
+		c.drainAcks++
+		if c.drainAcks < c.cfg.K {
+			return nil
+		}
+		c.resume()
+		return nil
+	default:
+		return fmt.Errorf("controller: DrainAck in phase %d", c.phase)
+	}
+}
+
+// issueMoves sends the move directives (phase draining → moving), or skips
+// straight to resume when there is nothing to do.
+func (c *Controller) issueMoves() {
+	c.ownDeltaV = nil
+	c.ownDeltaW = nil
+	c.movesLeft = len(c.pendingMoves)
+	if c.movesLeft == 0 {
+		c.resume()
+		return
+	}
+	c.phase = phaseMoving
+	for _, mv := range c.pendingMoves {
+		c.conn.Send(protocol.WorkerNode(mv.From), &protocol.MoveScope{
+			Epoch: c.epoch, Q: mv.Q, To: mv.To,
+		})
+	}
+	c.pendingMoves = nil
+}
+
+func (c *Controller) onMoveAck(m *protocol.MoveAck) error {
+	if c.phase != phaseMoving || m.Epoch != c.epoch {
+		return fmt.Errorf("controller: unexpected MoveAck (phase %d epoch %d/%d)", c.phase, m.Epoch, c.epoch)
+	}
+	for _, v := range m.Vertices {
+		if c.owner[v] == m.From {
+			c.vertCount[m.From]--
+			c.vertCount[m.To]++
+		}
+		c.owner[v] = m.To
+		c.ownDeltaV = append(c.ownDeltaV, v)
+		c.ownDeltaW = append(c.ownDeltaW, m.To)
+	}
+	if len(m.Vertices) > 0 {
+		c.scopeExpect[m.To][m.From]++
+	}
+	// Keep the high-level view consistent with the executed move: the
+	// whole local scope of the query relocated. Without this, the next
+	// Q-cut snapshot would see a phantom split and issue pointless move
+	// directives forever.
+	if we := c.byQ[m.Q]; we != nil {
+		we.sizes[m.To] += we.sizes[m.From]
+		we.sizes[m.From] = 0
+	}
+	if ctl, ok := c.queries[m.Q]; ok {
+		ctl.scopeSizes[m.To] += ctl.scopeSizes[m.From]
+		ctl.scopeSizes[m.From] = 0
+	}
+	c.movesLeft--
+	if c.movesLeft > 0 {
+		return nil
+	}
+	// All moves executed. Broadcast the ownership delta, then verify every
+	// ScopeData transfer arrived before restarting.
+	c.phase = phaseScopeDrain
+	c.drainAcks = 0
+	if len(c.ownDeltaV) > 0 {
+		c.broadcast(&protocol.OwnershipUpdate{
+			Epoch: c.epoch, Vertices: c.ownDeltaV, Owners: c.ownDeltaW,
+		})
+	}
+	for w := 0; w < c.cfg.K; w++ {
+		c.conn.Send(protocol.WorkerNode(partition.WorkerID(w)), &protocol.DrainCheck{
+			Epoch: c.epoch, Scope: true,
+			ExpectRecv: append([]uint64(nil), c.scopeExpect[w]...),
+		})
+	}
+	return nil
+}
+
+// resume ends the global barrier: START, re-release every active query to
+// all workers (scope moves may have relocated pending activations
+// anywhere), and flush deferred schedules.
+func (c *Controller) resume() {
+	c.phase = phaseRun
+	c.repartitions++
+	c.broadcast(&protocol.GlobalStart{Epoch: c.epoch})
+	all := make(map[partition.WorkerID]bool, c.cfg.K)
+	for w := 0; w < c.cfg.K; w++ {
+		all[partition.WorkerID(w)] = true
+	}
+	for _, ctl := range c.queries {
+		if ctl.outstanding {
+			// Cannot happen: quiesce guaranteed collection before STOP.
+			continue
+		}
+		involved := make(map[partition.WorkerID]bool, len(all))
+		for w := range all {
+			involved[w] = true
+		}
+		c.release(ctl, ctl.step+1, involved, nil, true)
+	}
+	deferred := c.deferred
+	c.deferred = nil
+	for _, req := range deferred {
+		c.startQuery(req)
+	}
+}

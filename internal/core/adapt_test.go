@@ -1,0 +1,186 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"qgraph/internal/controller"
+	"qgraph/internal/gen"
+	"qgraph/internal/graph"
+	"qgraph/internal/partition"
+	"qgraph/internal/query"
+	"qgraph/internal/transport"
+	"qgraph/internal/workload"
+)
+
+// hotspotSpecs builds a localized SSSP workload with reference answers.
+func hotspotSpecs(t testing.TB, net *gen.RoadNet, n int) ([]query.Spec, []float64) {
+	t.Helper()
+	g := workload.NewRoadGen(net, 99)
+	specs := make([]query.Spec, n)
+	want := make([]float64, n)
+	for i := range specs {
+		specs[i] = g.SSSP()
+		want[i] = graph.DijkstraTo(net.G, specs[i].Source, specs[i].Target)
+	}
+	return specs, want
+}
+
+func checkResults(t *testing.T, results []controller.Result, specs []query.Spec, want []float64) {
+	t.Helper()
+	byID := make(map[query.ID]float64, len(specs))
+	for i, s := range specs {
+		byID[s.ID] = want[i]
+	}
+	for _, r := range results {
+		w := byID[r.Q]
+		if math.Abs(r.Value-w) > 1e-6*math.Max(1, w) {
+			t.Fatalf("query %d: got %v, want %v (reason %d)", r.Q, r.Value, w, r.Reason)
+		}
+	}
+}
+
+// TestAdaptiveRepartitioningCorrect drives enough localized queries through
+// an aggressively adaptive engine to force repeated Q-cut repartitioning
+// barriers mid-stream, and verifies every result still matches Dijkstra —
+// moves must never corrupt query state.
+func TestAdaptiveRepartitioningCorrect(t *testing.T) {
+	net := testRoad(t)
+	specs, want := hotspotSpecs(t, net, 160)
+	eng := startEngine(t, net.G, func(c *Config) {
+		c.Adapt = true
+		c.Phi = 0.99 // trigger almost always
+		c.CheckEvery = 5 * time.Millisecond
+		c.Cooldown = 10 * time.Millisecond
+		c.QcutBudget = 30 * time.Millisecond
+		c.MinWindowQueries = 4
+		c.Mu = time.Minute
+	})
+	results, err := eng.RunBatch(specs, 16)
+	if err != nil {
+		t.Fatalf("RunBatch: %v", err)
+	}
+	checkResults(t, results, specs, want)
+	if eng.Repartitions() == 0 {
+		t.Fatalf("expected at least one repartitioning barrier")
+	}
+	t.Logf("repartitions: %d", eng.Repartitions())
+}
+
+// TestReplicateQueriesLocal checks the future-work (ii) extension: pinned
+// queries execute fully locally (locality 1, one worker) and still return
+// correct results.
+func TestReplicateQueriesLocal(t *testing.T) {
+	net := testRoad(t)
+	specs, want := hotspotSpecs(t, net, 24)
+	eng := startEngine(t, net.G, func(c *Config) { c.ReplicateQueries = true })
+	results, err := eng.RunBatch(specs, 8)
+	if err != nil {
+		t.Fatalf("RunBatch: %v", err)
+	}
+	checkResults(t, results, specs, want)
+	for _, r := range results {
+		if r.Workers != 1 {
+			t.Fatalf("query %d spanned %d workers, want 1", r.Q, r.Workers)
+		}
+		if r.Supersteps > 0 && r.LocalIters != r.Supersteps {
+			t.Fatalf("query %d: %d/%d local iterations, want all", r.Q, r.LocalIters, r.Supersteps)
+		}
+	}
+}
+
+// TestSimulatedLatencyCorrect runs the workload over the simulated network
+// (the configuration all experiments use) and re-verifies correctness.
+func TestSimulatedLatencyCorrect(t *testing.T) {
+	if testing.Short() {
+		t.Skip("latency-simulation test skipped in -short")
+	}
+	net := testRoad(t)
+	specs, want := hotspotSpecs(t, net, 24)
+	eng := startEngine(t, net.G, func(c *Config) {
+		c.Latency = transport.Latency{
+			WorkerWorker:     200 * time.Microsecond,
+			WorkerController: 100 * time.Microsecond,
+			PerByte:          8 * time.Nanosecond,
+		}
+	})
+	results, err := eng.RunBatch(specs, 16)
+	if err != nil {
+		t.Fatalf("RunBatch: %v", err)
+	}
+	checkResults(t, results, specs, want)
+}
+
+// TestTCPEngineCorrect runs the engine over real loopback TCP — the
+// paper's scale-up deployment (M1/M2) — and re-verifies correctness.
+func TestTCPEngineCorrect(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP test skipped in -short")
+	}
+	net := testRoad(t)
+	specs, want := hotspotSpecs(t, net, 16)
+	tcp, err := transport.NewTCPNetwork(5)
+	if err != nil {
+		t.Fatalf("tcp network: %v", err)
+	}
+	eng, err := Start(Config{
+		Workers: 4, Graph: net.G, Partitioner: partition.Hash{}, Network: tcp,
+	})
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer func() {
+		if err := eng.Close(); err != nil {
+			t.Errorf("engine error: %v", err)
+		}
+		tcp.Close()
+	}()
+	results, err := eng.RunBatch(specs, 8)
+	if err != nil {
+		t.Fatalf("RunBatch: %v", err)
+	}
+	checkResults(t, results, specs, want)
+}
+
+// TestAdaptiveImprovesLocality is the behavioural heart of the paper at
+// test scale: starting from Hash partitioning, adaptive Q-cut must raise
+// the fraction of fully-local query executions substantially (Fig. 6f
+// shows 38% → ~80% at paper scale).
+func TestAdaptiveImprovesLocality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("locality improvement test skipped in -short")
+	}
+	net := testRoad(t)
+	specs, _ := hotspotSpecs(t, net, 300)
+
+	run := func(adapt bool) float64 {
+		eng := startEngine(t, net.G, func(c *Config) {
+			c.Adapt = adapt
+			c.Phi = 0.95
+			c.CheckEvery = 5 * time.Millisecond
+			c.Cooldown = 20 * time.Millisecond
+			c.QcutBudget = 50 * time.Millisecond
+			c.MinWindowQueries = 8
+			c.Mu = time.Minute
+		})
+		if _, err := eng.RunBatch(specs, 16); err != nil {
+			t.Fatalf("RunBatch: %v", err)
+		}
+		// Locality over the last third, once Q-cut had evidence to act on.
+		qs := eng.Recorder().Queries()
+		tail := qs[len(qs)*2/3:]
+		sum := 0.0
+		for _, q := range tail {
+			sum += q.Locality()
+		}
+		return sum / float64(len(tail))
+	}
+
+	static := run(false)
+	adaptive := run(true)
+	t.Logf("tail locality: static hash %.3f, adaptive %.3f", static, adaptive)
+	if adaptive < static {
+		t.Fatalf("adaptive locality %.3f did not improve on static %.3f", adaptive, static)
+	}
+}

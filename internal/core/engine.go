@@ -1,0 +1,312 @@
+// Package core assembles the Q-Graph system: it wires a controller and k
+// workers over a transport, exposes the user-facing API (schedule queries,
+// await results, inspect statistics), and owns component lifecycles.
+//
+// Typical use:
+//
+//	net, _ := gen.Road(gen.BWConfig(64))
+//	eng, _ := core.Start(core.Config{
+//		Workers:     8,
+//		Graph:       net.G,
+//		Partitioner: partition.Hash{},
+//		Adapt:       true,
+//	})
+//	defer eng.Close()
+//	h, _ := eng.Schedule(query.Spec{ID: 1, Kind: query.KindSSSP, Source: a, Target: b})
+//	res := h.Wait()
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"qgraph/internal/controller"
+	"qgraph/internal/graph"
+	"qgraph/internal/metrics"
+	"qgraph/internal/partition"
+	"qgraph/internal/protocol"
+	"qgraph/internal/qcut"
+	"qgraph/internal/query"
+	"qgraph/internal/transport"
+	"qgraph/internal/worker"
+)
+
+// Config assembles an engine. Zero values select the paper's defaults.
+type Config struct {
+	// Workers is k, the number of graph partitions.
+	Workers int
+	// Graph is the shared graph structure.
+	Graph *graph.Graph
+	// Partitioner computes the initial assignment (default: Hash).
+	// Assignment, when non-nil, is used directly instead.
+	Partitioner partition.Partitioner
+	Assignment  partition.Assignment
+
+	// Network is the transport; nil builds an in-process network with
+	// Latency (zero Latency = perfect network, for tests).
+	Network transport.Network
+	Latency transport.Latency
+
+	// Mode selects the barrier strategy (default: hybrid, the paper's).
+	Mode controller.SyncMode
+	// Adapt enables runtime Q-cut repartitioning.
+	Adapt bool
+
+	// Controller knobs (zero = paper defaults; see controller.Config).
+	Phi              float64
+	Mu               time.Duration
+	MaxWindowQueries int
+	MinWindowQueries int
+	Delta            float64
+	QcutBudget       time.Duration
+	CheckEvery       time.Duration
+	Cooldown         time.Duration
+	ReplicateQueries bool
+	NoClustering     bool
+	NoPerturbation   bool
+	Seed             uint64
+
+	// Worker knobs (zero = paper defaults; see worker.Config).
+	BatchMaxMsgs  int
+	BatchMaxBytes int
+	StatsEvery    int
+	ComputeCost   time.Duration
+
+	// Recorder receives metrics; nil creates a fresh one.
+	Recorder *metrics.Recorder
+}
+
+// Engine is a running Q-Graph instance.
+type Engine struct {
+	cfg      Config
+	net      transport.Network
+	ownNet   bool
+	ctrl     *controller.Controller
+	workers  []*worker.Worker
+	recorder *metrics.Recorder
+
+	workerWG sync.WaitGroup
+	ctrlWG   sync.WaitGroup
+	errMu    sync.Mutex
+	runErrs  []error
+	closed   sync.Once
+}
+
+// Handle is a scheduled query awaiting its result.
+type Handle struct {
+	Spec query.Spec
+	ch   <-chan controller.Result
+}
+
+// Wait blocks until the query finished and returns its result.
+func (h *Handle) Wait() controller.Result { return <-h.ch }
+
+// Done exposes the result channel for select loops.
+func (h *Handle) Done() <-chan controller.Result { return h.ch }
+
+// Start builds and launches an engine.
+func Start(cfg Config) (*Engine, error) {
+	if cfg.Workers < 1 || cfg.Workers > partition.MaxWorkers {
+		return nil, fmt.Errorf("core: bad worker count %d", cfg.Workers)
+	}
+	if cfg.Graph == nil {
+		return nil, fmt.Errorf("core: nil graph")
+	}
+	assign := cfg.Assignment
+	if assign == nil {
+		p := cfg.Partitioner
+		if p == nil {
+			p = partition.Hash{}
+		}
+		var err error
+		assign, err = p.Partition(cfg.Graph, cfg.Workers)
+		if err != nil {
+			return nil, fmt.Errorf("core: initial partitioning: %w", err)
+		}
+	}
+	if err := assign.Validate(cfg.Workers); err != nil {
+		return nil, err
+	}
+
+	rec := cfg.Recorder
+	if rec == nil {
+		rec = metrics.NewRecorder(time.Now())
+	}
+	net := cfg.Network
+	ownNet := false
+	if net == nil {
+		net = transport.NewChanNetwork(cfg.Workers+1, cfg.Latency)
+		ownNet = true
+	}
+	if net.Nodes() != cfg.Workers+1 {
+		if ownNet {
+			net.Close()
+		}
+		return nil, fmt.Errorf("core: network has %d nodes, want %d", net.Nodes(), cfg.Workers+1)
+	}
+
+	ctrl, err := controller.New(controller.Config{
+		K:                cfg.Workers,
+		Graph:            cfg.Graph,
+		Owner:            assign,
+		Mode:             cfg.Mode,
+		Adapt:            cfg.Adapt,
+		Phi:              cfg.Phi,
+		Mu:               cfg.Mu,
+		MaxWindowQueries: cfg.MaxWindowQueries,
+		MinWindowQueries: cfg.MinWindowQueries,
+		Delta:            cfg.Delta,
+		QcutBudget:       cfg.QcutBudget,
+		CheckEvery:       cfg.CheckEvery,
+		Cooldown:         cfg.Cooldown,
+		ReplicateQueries: cfg.ReplicateQueries,
+		NoClustering:     cfg.NoClustering,
+		NoPerturbation:   cfg.NoPerturbation,
+		Seed:             cfg.Seed,
+		Recorder:         rec,
+	}, net.Conn(protocol.ControllerNode))
+	if err != nil {
+		if ownNet {
+			net.Close()
+		}
+		return nil, err
+	}
+
+	e := &Engine{cfg: cfg, net: net, ownNet: ownNet, ctrl: ctrl, recorder: rec}
+	for w := 0; w < cfg.Workers; w++ {
+		wk, err := worker.New(worker.Config{
+			ID:            partition.WorkerID(w),
+			K:             cfg.Workers,
+			Graph:         cfg.Graph,
+			Owner:         assign,
+			BatchMaxMsgs:  cfg.BatchMaxMsgs,
+			BatchMaxBytes: cfg.BatchMaxBytes,
+			StatsEvery:    cfg.StatsEvery,
+			ScopeTTL:      cfg.Mu,
+			ComputeCost:   cfg.ComputeCost,
+		}, net.Conn(protocol.WorkerNode(partition.WorkerID(w))))
+		if err != nil {
+			if ownNet {
+				net.Close()
+			}
+			return nil, err
+		}
+		e.workers = append(e.workers, wk)
+	}
+
+	for _, wk := range e.workers {
+		wk := wk
+		e.workerWG.Add(1)
+		go func() {
+			defer e.workerWG.Done()
+			if err := wk.Run(); err != nil {
+				e.addErr(err)
+			}
+		}()
+	}
+	e.ctrlWG.Add(1)
+	go func() {
+		defer e.ctrlWG.Done()
+		if err := ctrl.Run(); err != nil {
+			e.addErr(err)
+		}
+	}()
+	return e, nil
+}
+
+func (e *Engine) addErr(err error) {
+	e.errMu.Lock()
+	e.runErrs = append(e.runErrs, err)
+	e.errMu.Unlock()
+}
+
+// Schedule submits a query for execution.
+func (e *Engine) Schedule(spec query.Spec) (*Handle, error) {
+	ch, err := e.ctrl.Schedule(spec)
+	if err != nil {
+		return nil, err
+	}
+	return &Handle{Spec: spec, ch: ch}, nil
+}
+
+// RunBatch executes specs with at most `parallel` queries in flight (the
+// paper runs batches of 16 parallel queries): as soon as one finishes the
+// next is scheduled. Results are returned in completion order.
+func (e *Engine) RunBatch(specs []query.Spec, parallel int) ([]controller.Result, error) {
+	if parallel < 1 {
+		parallel = 16
+	}
+	out := make(chan controller.Result)
+	errCh := make(chan error, 1)
+	go func() {
+		sem := make(chan struct{}, parallel)
+		for _, spec := range specs {
+			sem <- struct{}{}
+			h, err := e.Schedule(spec)
+			if err != nil {
+				select {
+				case errCh <- err:
+				default:
+				}
+				<-sem
+				continue
+			}
+			go func() {
+				out <- h.Wait()
+				<-sem
+			}()
+		}
+	}()
+	results := make([]controller.Result, 0, len(specs))
+	var firstErr error
+	for len(results) < len(specs) {
+		select {
+		case err := <-errCh:
+			// A schedule failed; one fewer result will arrive.
+			if firstErr == nil {
+				firstErr = err
+			}
+			specs = specs[:len(specs)-1]
+		case r := <-out:
+			results = append(results, r)
+		}
+	}
+	return results, firstErr
+}
+
+// Recorder returns the engine's metrics recorder.
+func (e *Engine) Recorder() *metrics.Recorder { return e.recorder }
+
+// QcutSnapshot exposes the controller's current high-level view.
+func (e *Engine) QcutSnapshot() (qcut.Input, error) { return e.ctrl.QcutSnapshot() }
+
+// Repartitions reports how many global repartitioning barriers ran. Call
+// after Close for a stable value.
+func (e *Engine) Repartitions() int { return e.ctrl.Repartitions() }
+
+// Workers exposes the worker instances (tests assert internal invariants
+// such as the forwarded-message counter).
+func (e *Engine) Workers() []*worker.Worker { return e.workers }
+
+// Close stops the controller and workers and releases the network. It
+// returns the first component error encountered during the run.
+func (e *Engine) Close() error {
+	e.closed.Do(func() {
+		// Order matters: stop the controller (it broadcasts Shutdown as
+		// its final message), let every worker drain its inbox up to that
+		// Shutdown, and only then tear the network down.
+		e.ctrl.Stop()
+		e.ctrlWG.Wait()
+		e.workerWG.Wait()
+		if e.ownNet {
+			e.net.Close()
+		}
+	})
+	e.errMu.Lock()
+	defer e.errMu.Unlock()
+	if len(e.runErrs) > 0 {
+		return e.runErrs[0]
+	}
+	return nil
+}

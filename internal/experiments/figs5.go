@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+
+	"qgraph/internal/gen"
+	"qgraph/internal/metrics"
+	"qgraph/internal/query"
+	"qgraph/internal/workload"
+)
+
+// Fig5a reproduces Figure 5a: adaptive query-aware partitioning reduces
+// SSSP query latency over time on the BW graph, including the disturbance
+// phase where the workload abruptly changes from intra-urban to
+// inter-urban queries. Values are mean latency per workload decile,
+// normalized to static Hash in the same decile (the paper's
+// normalization).
+func Fig5a(sc Scale) (*Table, error) {
+	net, err := bwNet(sc)
+	if err != nil {
+		return nil, err
+	}
+	return fig5(sc, net, "fig5a", "SSSP on BW: normalized latency over time with disturbance")
+}
+
+// Fig5b is Figure 5b: the same experiment on the GY graph, where workload
+// balancing matters more (hotspot populations are more skewed across 64
+// cities).
+func Fig5b(sc Scale) (*Table, error) {
+	net, err := gyNet(sc)
+	if err != nil {
+		return nil, err
+	}
+	return fig5(sc, net, "fig5b", "SSSP on GY: normalized latency over time with disturbance")
+}
+
+func fig5(sc Scale, net *gen.RoadNet, id, title string) (*Table, error) {
+	// Workload: Queries intra-urban SSSP followed by Disturb inter-urban
+	// queries between neighboring cities (Sec. 4.2).
+	mkSpecs := func(seed uint64) []query.Spec {
+		g := workload.NewRoadGen(net, seed)
+		specs := workload.Batch(sc.Queries, g.SSSP)
+		specs = append(specs, workload.Batch(sc.Disturb, g.InterUrban)...)
+		return specs
+	}
+
+	const bins = 10
+	sts := strategies(net)
+	series := make(map[string][]float64, len(sts))
+	var reparts []int
+	for _, st := range sts {
+		rec, rp, err := runStrategy(sc, net, st, sc.Workers, mkSpecs(sc.Seed))
+		if err != nil {
+			return nil, fmt.Errorf("%s %s: %w", id, st.Name, err)
+		}
+		series[st.Name] = binByCompletion(rec, bins)
+		reparts = append(reparts, rp)
+	}
+
+	t := &Table{
+		ID:      id,
+		Title:   title,
+		Columns: []string{"decile", "phase", "hash", "hash+qcut", "domain", "domain+qcut"},
+	}
+	disturbBin := bins * sc.Queries / (sc.Queries + sc.Disturb)
+	for b := 0; b < bins; b++ {
+		phase := "intra"
+		if b >= disturbBin {
+			phase = "disturb"
+		}
+		base := series["hash"][b]
+		row := []string{fmt.Sprintf("%d", b+1), phase}
+		for _, st := range sts {
+			v := series[st.Name][b]
+			if base > 0 {
+				row = append(row, fmt.Sprintf("%.2f", v/base))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"values are mean query latency per workload decile, normalized to static hash (hash = 1.00)",
+		fmt.Sprintf("repartitions: hash+qcut=%d domain+qcut=%d", reparts[1], reparts[3]),
+		fmt.Sprintf("paper: Q-cut up to -49%% vs Hash and -40%% vs Domain on BW; -45%%/-30%% on GY"),
+	)
+	return t, nil
+}
+
+// binByCompletion averages query latency (seconds) over n equal bins of
+// the completion sequence. Binning by sequence rather than wall time keeps
+// strategies with different total runtimes comparable bin-by-bin.
+func binByCompletion(rec *metrics.Recorder, n int) []float64 {
+	qs := rec.Queries()
+	out := make([]float64, n)
+	if len(qs) == 0 {
+		return out
+	}
+	counts := make([]int, n)
+	for i, q := range qs {
+		b := i * n / len(qs)
+		out[b] += q.Latency.Seconds()
+		counts[b]++
+	}
+	for b := range out {
+		if counts[b] > 0 {
+			out[b] /= float64(counts[b])
+		}
+	}
+	return out
+}

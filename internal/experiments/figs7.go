@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"fmt"
+
+	"qgraph/internal/gen"
+	"qgraph/internal/query"
+)
+
+// Fig7a reproduces Figure 7a: scalability of total SSSP query latency on
+// BW over k ∈ {2,4,8,16} workers for the four strategies. The paper's
+// shape: Hash improves to k=8 then degrades (communication overhead);
+// Hash+Qcut keeps improving; Domain scales but suffers stragglers at
+// small k; Domain+Qcut is best overall.
+func Fig7a(sc Scale) (*Table, error) {
+	net, err := bwNet(sc)
+	if err != nil {
+		return nil, err
+	}
+	return fig7(sc, net, "fig7a", "Scalability, SSSP on BW",
+		ssspSpecs(net, sc.ScaleQueries, sc.Seed))
+}
+
+// Fig7b is Figure 7b: the same scalability experiment for POI queries
+// ("similar results were obtained for POI").
+func Fig7b(sc Scale) (*Table, error) {
+	net, err := bwNet(sc)
+	if err != nil {
+		return nil, err
+	}
+	return fig7(sc, net, "fig7b", "Scalability, POI on BW",
+		poiSpecs(net, sc.ScaleQueries, sc.Seed))
+}
+
+func fig7(sc Scale, net *gen.RoadNet, id, title string, specs []query.Spec) (*Table, error) {
+	workers := []int{2, 4, 8, 16}
+	t := &Table{
+		ID: id, Title: title,
+		Columns: []string{"k", "hash", "hash+qcut", "domain", "domain+qcut"},
+	}
+	for _, k := range workers {
+		row := []string{fmt.Sprintf("%d", k)}
+		for _, st := range strategies(net) {
+			rec, _, err := runStrategy(sc, net, st, k, specs)
+			if err != nil {
+				return nil, fmt.Errorf("%s %s k=%d: %w", id, st.Name, k, err)
+			}
+			row = append(row, fmtDur(rec.Summarize().TotalLatency))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"total latency in seconds over the whole workload",
+		"paper shape: hash degrades past k=8; +qcut variants keep improving; domain suffers stragglers at small k")
+	return t, nil
+}

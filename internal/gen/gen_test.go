@@ -1,0 +1,246 @@
+package gen
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"qgraph/internal/graph"
+)
+
+func testRoadConfig() RoadConfig {
+	return RoadConfig{
+		CellsX: 30, CellsY: 20, CellKM: 0.5, Jitter: 0.3,
+		RemoveProb: 0.1, DiagProb: 0.05,
+		HighwayEvery: 8, LocalSpeed: 50, HighwaySpeed: 100,
+		NumCities: 5, ZipfS: 1, TagProb: 0.01, Seed: 3,
+	}
+}
+
+func TestRoadBasics(t *testing.T) {
+	net, err := Road(testRoadConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := net.G
+	if g.NumVertices() != 600 {
+		t.Fatalf("vertices = %d, want 600", g.NumVertices())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasCoords() || !g.HasTags() {
+		t.Fatal("road network must carry coords and tags")
+	}
+	if len(net.Cities) != 5 {
+		t.Fatalf("cities = %d", len(net.Cities))
+	}
+	// Populations are Zipf: strictly decreasing.
+	for i := 1; i < len(net.Cities); i++ {
+		if net.Cities[i].Pop >= net.Cities[i-1].Pop {
+			t.Fatalf("populations not decreasing at %d", i)
+		}
+	}
+}
+
+// TestRoadConnected: the repair pass guarantees full strong connectivity
+// (roads are bidirectional) for a spread of seeds and removal rates.
+func TestRoadConnected(t *testing.T) {
+	f := func(seed uint64) bool {
+		cfg := testRoadConfig()
+		cfg.Seed = seed
+		cfg.RemoveProb = 0.25 // aggressive: the repair pass must cope
+		net, err := Road(cfg)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		return graph.ConnectedFrom(net.G, 0) == net.G.NumVertices()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRoadDeterministic: the same config yields the same graph.
+func TestRoadDeterministic(t *testing.T) {
+	a, err := Road(testRoadConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Road(testRoadConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.G.NumEdges() != b.G.NumEdges() {
+		t.Fatalf("edge counts differ: %d vs %d", a.G.NumEdges(), b.G.NumEdges())
+	}
+	for v := 0; v < a.G.NumVertices(); v++ {
+		ea, eb := a.G.Out(graph.VertexID(v)), b.G.Out(graph.VertexID(v))
+		for i := range ea {
+			if ea[i] != eb[i] {
+				t.Fatalf("vertex %d edge %d differs", v, i)
+			}
+		}
+	}
+}
+
+// TestRoadWeightsAreTravelTimes: every edge weight equals distance/speed
+// within the modeled speed range.
+func TestRoadWeightsAreTravelTimes(t *testing.T) {
+	cfg := testRoadConfig()
+	net, err := Road(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := net.G
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, e := range g.Out(graph.VertexID(v)) {
+			length := g.Coord(graph.VertexID(v)).Dist(g.Coord(e.To))
+			tooFast := float32(length / cfg.HighwaySpeed * 3600 * 0.99)
+			tooSlow := float32(length / cfg.LocalSpeed * 3600 * 1.01)
+			if e.Weight < tooFast || e.Weight > tooSlow {
+				t.Fatalf("edge %d→%d: weight %v outside [%v,%v] for length %.3f",
+					v, e.To, e.Weight, tooFast, tooSlow, length)
+			}
+		}
+	}
+}
+
+func TestBWGYConfigSizes(t *testing.T) {
+	bw := BWConfig(64)
+	if n := bw.CellsX * bw.CellsY; n < 20000 || n > 40000 {
+		t.Fatalf("BW/64 size %d out of expected range", n)
+	}
+	gy := GYConfig(196)
+	if gy.NumCities != 64 {
+		t.Fatalf("GY cities = %d, want 64", gy.NumCities)
+	}
+	if bw.NumCities != 16 {
+		t.Fatalf("BW cities = %d, want 16", bw.NumCities)
+	}
+}
+
+func TestSpatialIndexNearest(t *testing.T) {
+	net, err := Road(testRoadConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(5, 5))
+	for trial := 0; trial < 50; trial++ {
+		p := graph.Coord{X: float32(rng.Float64() * 15), Y: float32(rng.Float64() * 10)}
+		got := net.Index.Nearest(p)
+		// Brute force reference.
+		best, bestD := graph.NilVertex, -1.0
+		for v := 0; v < net.G.NumVertices(); v++ {
+			d := p.Dist(net.G.Coord(graph.VertexID(v)))
+			if bestD < 0 || d < bestD {
+				best, bestD = graph.VertexID(v), d
+			}
+		}
+		if p.Dist(net.G.Coord(got)) > bestD+1e-9 {
+			t.Fatalf("Nearest(%v) = %d (d=%.4f), brute force %d (d=%.4f)",
+				p, got, p.Dist(net.G.Coord(got)), best, bestD)
+		}
+	}
+}
+
+func TestSpatialIndexWithin(t *testing.T) {
+	net, err := Road(testRoadConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	center := net.G.Coord(net.Cities[0].Vertex)
+	got := net.Index.Within(center, 2.0)
+	want := 0
+	for v := 0; v < net.G.NumVertices(); v++ {
+		if center.Dist(net.G.Coord(graph.VertexID(v))) <= 2.0 {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Fatalf("Within: got %d, want %d", len(got), want)
+	}
+}
+
+func TestSocialBasics(t *testing.T) {
+	cfg := DefaultSocialConfig(3000)
+	net, err := Social(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.G.NumVertices() != 3000 {
+		t.Fatalf("vertices = %d", net.G.NumVertices())
+	}
+	if graph.ConnectedFrom(net.G, 0) != 3000 {
+		t.Fatal("social graph not connected")
+	}
+	if len(net.Hubs) == 0 {
+		t.Fatal("no hubs")
+	}
+	// Community assignment covers every vertex consistently.
+	seen := 0
+	for ci, mem := range net.Communities {
+		for _, v := range mem {
+			if int(net.CommunityOf[v]) != ci {
+				t.Fatalf("vertex %d community mismatch", v)
+			}
+			seen++
+		}
+	}
+	if seen != 3000 {
+		t.Fatalf("communities cover %d vertices", seen)
+	}
+	// Hubs really have high degree.
+	for _, h := range net.Hubs {
+		if net.G.OutDegree(h) < cfg.HubDegree/2 {
+			t.Fatalf("hub %d degree %d too small", h, net.G.OutDegree(h))
+		}
+	}
+}
+
+func TestKnowledgeBasics(t *testing.T) {
+	cfg := DefaultKnowledgeConfig(2000)
+	net, err := Knowledge(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.G.NumVertices() != 2000 {
+		t.Fatalf("vertices = %d", net.G.NumVertices())
+	}
+	if graph.ConnectedFrom(net.G, 0) != 2000 {
+		t.Fatal("knowledge graph not connected (preferential attachment must connect)")
+	}
+	if !net.G.HasTags() {
+		t.Fatal("knowledge graph must carry tags")
+	}
+	// Topics are sorted by degree: first topic has the max degree.
+	maxDeg := 0
+	for v := 0; v < net.G.NumVertices(); v++ {
+		if d := net.G.OutDegree(graph.VertexID(v)); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if net.G.OutDegree(net.Topics[0]) != maxDeg {
+		t.Fatalf("top topic degree %d, max %d", net.G.OutDegree(net.Topics[0]), maxDeg)
+	}
+	// Preferential attachment yields a skewed degree distribution: the max
+	// degree far exceeds the mean.
+	mean := float64(net.G.NumEdges()) / float64(net.G.NumVertices())
+	if float64(maxDeg) < 5*mean {
+		t.Fatalf("degree distribution not skewed: max %d, mean %.1f", maxDeg, mean)
+	}
+}
+
+func TestRoadRejectsBadConfig(t *testing.T) {
+	cfg := testRoadConfig()
+	cfg.CellsX = 1
+	if _, err := Road(cfg); err == nil {
+		t.Fatal("tiny grid accepted")
+	}
+	cfg = testRoadConfig()
+	cfg.NumCities = 0
+	if _, err := Road(cfg); err == nil {
+		t.Fatal("zero cities accepted")
+	}
+}

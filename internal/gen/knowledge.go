@@ -1,0 +1,125 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"qgraph/internal/graph"
+)
+
+// KnowledgeConfig parameterises the synthetic knowledge graph of
+// Application 3 (Sec. 1): a preferential-attachment graph (skewed degree
+// distribution, like entity popularity in real knowledge bases) whose
+// tagged vertices stand in for entities matching a retrieval predicate.
+type KnowledgeConfig struct {
+	NumVertices int
+	EdgesPerNew int     // attachment edges per new vertex (Barabási–Albert m)
+	TagProb     float64 // fraction of entities matching the query predicate
+	NumTopics   int     // popular entities around which queries cluster
+	Seed        uint64
+}
+
+// DefaultKnowledgeConfig returns a knowledge-graph config with n entities.
+func DefaultKnowledgeConfig(n int) KnowledgeConfig {
+	return KnowledgeConfig{
+		NumVertices: n,
+		EdgesPerNew: 3,
+		TagProb:     0.002,
+		NumTopics:   max(8, n/1000),
+		Seed:        0x1D9A,
+	}
+}
+
+// KnowledgeNet is a generated knowledge graph. Topics are the most popular
+// (highest-degree) entities; queries cluster around them, producing the
+// dynamic content hotspots the paper describes.
+type KnowledgeNet struct {
+	G      *graph.Graph
+	Topics []graph.VertexID
+}
+
+// Knowledge generates the knowledge graph via preferential attachment.
+// Edge weights are 1; retrieval queries count traversal steps.
+func Knowledge(cfg KnowledgeConfig) (*KnowledgeNet, error) {
+	n := cfg.NumVertices
+	m := cfg.EdgesPerNew
+	if n < m+1 || m < 1 {
+		return nil, fmt.Errorf("gen: knowledge config invalid: n=%d m=%d", n, m)
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0xc4ceb9fe1a85ec53))
+
+	// Repeated-endpoint list for preferential attachment: each vertex
+	// appears once per incident edge, so sampling uniformly from the list
+	// samples proportionally to degree.
+	endpoints := make([]graph.VertexID, 0, 2*m*n)
+	b := graph.NewBuilder(n)
+	degree := make([]int, n)
+	addEdge := func(a, c graph.VertexID) {
+		b.AddBiEdge(a, c, 1)
+		endpoints = append(endpoints, a, c)
+		degree[a]++
+		degree[c]++
+	}
+	// Seed clique over the first m+1 vertices.
+	for i := 0; i <= m; i++ {
+		for j := i + 1; j <= m; j++ {
+			addEdge(graph.VertexID(i), graph.VertexID(j))
+		}
+	}
+	for v := m + 1; v < n; v++ {
+		chosen := make(map[graph.VertexID]bool, m)
+		for len(chosen) < m {
+			t := endpoints[rng.IntN(len(endpoints))]
+			if t != graph.VertexID(v) {
+				chosen[t] = true
+			}
+		}
+		for t := range chosen {
+			addEdge(graph.VertexID(v), t)
+		}
+	}
+
+	tags := make([]bool, n)
+	for i := range tags {
+		if rng.Float64() < cfg.TagProb {
+			tags[i] = true
+		}
+	}
+	b.SetTags(tags)
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	// Topics: the NumTopics highest-degree entities.
+	topics := topKByDegree(degree, cfg.NumTopics)
+	return &KnowledgeNet{G: g, Topics: topics}, nil
+}
+
+func topKByDegree(degree []int, k int) []graph.VertexID {
+	type dv struct {
+		v graph.VertexID
+		d int
+	}
+	// Simple selection: keep a slice of the best k (k is small).
+	best := make([]dv, 0, k+1)
+	for v, d := range degree {
+		pos := len(best)
+		for pos > 0 && best[pos-1].d < d {
+			pos--
+		}
+		if pos < k {
+			best = append(best, dv{})
+			copy(best[pos+1:], best[pos:])
+			best[pos] = dv{graph.VertexID(v), d}
+			if len(best) > k {
+				best = best[:k]
+			}
+		}
+	}
+	out := make([]graph.VertexID, len(best))
+	for i, x := range best {
+		out[i] = x.v
+	}
+	return out
+}

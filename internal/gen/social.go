@@ -1,0 +1,159 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"qgraph/internal/graph"
+)
+
+// SocialConfig parameterises the synthetic social network: a planted-
+// partition (stochastic block model) graph whose communities play the role
+// of the paper's "social circles", with extra hub vertices that create the
+// overlapping computational hotspots described in Application 2 (Sec. 1).
+type SocialConfig struct {
+	NumVertices    int
+	NumCommunities int
+	ZipfS          float64 // community size skew
+	IntraDegree    float64 // expected within-community degree
+	InterDegree    float64 // expected cross-community degree
+	NumHubs        int     // high-degree vertices spanning communities
+	HubDegree      int     // extra edges per hub
+	Seed           uint64
+}
+
+// DefaultSocialConfig returns a small-world-ish social graph config with
+// n vertices.
+func DefaultSocialConfig(n int) SocialConfig {
+	return SocialConfig{
+		NumVertices:    n,
+		NumCommunities: max(8, n/800),
+		ZipfS:          0.8,
+		IntraDegree:    10,
+		InterDegree:    1.5,
+		NumHubs:        max(4, n/2000),
+		HubDegree:      64,
+		Seed:           0x50C1A1,
+	}
+}
+
+// SocialNet is a generated social graph with its planted communities.
+type SocialNet struct {
+	G           *graph.Graph
+	CommunityOf []int32 // community index per vertex
+	Communities [][]graph.VertexID
+	Hubs        []graph.VertexID
+}
+
+// Social generates the social network. Edge weights are all 1 (social
+// queries count hops / propagate influence, they do not model travel time).
+// The graph is undirected (both edge directions present) and connected.
+func Social(cfg SocialConfig) (*SocialNet, error) {
+	n := cfg.NumVertices
+	if n < cfg.NumCommunities || cfg.NumCommunities < 1 {
+		return nil, fmt.Errorf("gen: social config invalid: n=%d communities=%d", n, cfg.NumCommunities)
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0xda3e39cb94b95bdb))
+
+	// Assign community sizes by Zipf and fill membership contiguously, then
+	// shuffle vertex ids so community is uncorrelated with vertex id (the
+	// Hash partitioner must not get community locality for free).
+	weights := make([]float64, cfg.NumCommunities)
+	total := 0.0
+	for i := range weights {
+		weights[i] = 1 / math.Pow(float64(i+1), cfg.ZipfS)
+		total += weights[i]
+	}
+	commOf := make([]int32, n)
+	v := 0
+	for i := range weights {
+		cnt := int(weights[i] / total * float64(n))
+		if i == len(weights)-1 {
+			cnt = n - v
+		}
+		for j := 0; j < cnt && v < n; j++ {
+			commOf[v] = int32(i)
+			v++
+		}
+	}
+	for ; v < n; v++ {
+		commOf[v] = int32(rng.IntN(cfg.NumCommunities))
+	}
+	perm := rng.Perm(n)
+	shuffled := make([]int32, n)
+	for i, p := range perm {
+		shuffled[p] = commOf[i]
+	}
+	commOf = shuffled
+
+	members := make([][]graph.VertexID, cfg.NumCommunities)
+	for i, c := range commOf {
+		members[c] = append(members[c], graph.VertexID(i))
+	}
+
+	type edgeKey struct{ a, b graph.VertexID }
+	seen := make(map[edgeKey]bool, n*8)
+	b := graph.NewBuilder(n)
+	uf := newUnionFind(n)
+	addEdge := func(a, c graph.VertexID) {
+		if a == c {
+			return
+		}
+		if a > c {
+			a, c = c, a
+		}
+		k := edgeKey{a, c}
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		b.AddBiEdge(a, c, 1)
+		uf.union(int(a), int(c))
+	}
+
+	// Intra-community edges: a ring (guaranteeing community connectivity)
+	// plus random pairs up to the expected degree.
+	for _, mem := range members {
+		m := len(mem)
+		if m < 2 {
+			continue
+		}
+		for i := 0; i < m; i++ {
+			addEdge(mem[i], mem[(i+1)%m])
+		}
+		extra := int(float64(m) * (cfg.IntraDegree - 2) / 2)
+		for e := 0; e < extra; e++ {
+			addEdge(mem[rng.IntN(m)], mem[rng.IntN(m)])
+		}
+	}
+	// Cross-community edges.
+	inter := int(float64(n) * cfg.InterDegree / 2)
+	for e := 0; e < inter; e++ {
+		addEdge(graph.VertexID(rng.IntN(n)), graph.VertexID(rng.IntN(n)))
+	}
+	// Hubs: random vertices that gain many extra edges across communities,
+	// creating the changing-popularity hotspots of Application 2.
+	hubs := make([]graph.VertexID, 0, cfg.NumHubs)
+	for h := 0; h < cfg.NumHubs; h++ {
+		hub := graph.VertexID(rng.IntN(n))
+		hubs = append(hubs, hub)
+		for e := 0; e < cfg.HubDegree; e++ {
+			addEdge(hub, graph.VertexID(rng.IntN(n)))
+		}
+	}
+	// Connectivity repair: link every stray component to vertex 0's.
+	root := uf.find(0)
+	for i := 1; i < n; i++ {
+		if uf.find(i) != root {
+			addEdge(0, graph.VertexID(i))
+			root = uf.find(0)
+		}
+	}
+
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &SocialNet{G: g, CommunityOf: commOf, Communities: members, Hubs: hubs}, nil
+}

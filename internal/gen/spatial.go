@@ -1,0 +1,121 @@
+package gen
+
+import (
+	"math"
+
+	"qgraph/internal/graph"
+)
+
+// SpatialIndex buckets vertices of a coordinate-bearing graph into a
+// uniform grid for nearest-vertex and radius queries. Workload generators
+// use it to turn "a point near this city" into a concrete start vertex.
+type SpatialIndex struct {
+	cell       float64
+	minX, minY float64
+	cols, rows int
+	buckets    [][]graph.VertexID
+	g          *graph.Graph
+}
+
+// NewSpatialIndex builds an index over g's coordinates with the given cell
+// size (in coordinate units). g must have coordinates.
+func NewSpatialIndex(g *graph.Graph, cell float64) *SpatialIndex {
+	if !g.HasCoords() {
+		panic("gen: spatial index requires coordinates")
+	}
+	coords := g.Coords()
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, c := range coords {
+		minX = math.Min(minX, float64(c.X))
+		minY = math.Min(minY, float64(c.Y))
+		maxX = math.Max(maxX, float64(c.X))
+		maxY = math.Max(maxY, float64(c.Y))
+	}
+	cols := int((maxX-minX)/cell) + 1
+	rows := int((maxY-minY)/cell) + 1
+	idx := &SpatialIndex{
+		cell: cell, minX: minX, minY: minY,
+		cols: cols, rows: rows,
+		buckets: make([][]graph.VertexID, cols*rows),
+		g:       g,
+	}
+	for v, c := range coords {
+		b := idx.bucketOf(c)
+		idx.buckets[b] = append(idx.buckets[b], graph.VertexID(v))
+	}
+	return idx
+}
+
+func (s *SpatialIndex) bucketOf(c graph.Coord) int {
+	col := int((float64(c.X) - s.minX) / s.cell)
+	row := int((float64(c.Y) - s.minY) / s.cell)
+	col = min(max(col, 0), s.cols-1)
+	row = min(max(row, 0), s.rows-1)
+	return row*s.cols + col
+}
+
+// Nearest returns the vertex closest to p (Euclidean), searching outward
+// ring by ring from p's bucket.
+func (s *SpatialIndex) Nearest(p graph.Coord) graph.VertexID {
+	col := min(max(int((float64(p.X)-s.minX)/s.cell), 0), s.cols-1)
+	row := min(max(int((float64(p.Y)-s.minY)/s.cell), 0), s.rows-1)
+	best := graph.NilVertex
+	bestD := math.Inf(1)
+	maxRing := max(s.cols, s.rows)
+	for ring := 0; ring <= maxRing; ring++ {
+		// Once a candidate is found, one extra ring suffices: anything
+		// farther out is at least (ring-1)*cell away.
+		if best != graph.NilVertex && float64(ring-1)*s.cell > bestD {
+			break
+		}
+		for dr := -ring; dr <= ring; dr++ {
+			for dc := -ring; dc <= ring; dc++ {
+				if max(abs(dr), abs(dc)) != ring {
+					continue // interior already visited
+				}
+				r, c := row+dr, col+dc
+				if r < 0 || r >= s.rows || c < 0 || c >= s.cols {
+					continue
+				}
+				for _, v := range s.buckets[r*s.cols+c] {
+					d := p.Dist(s.g.Coord(v))
+					if d < bestD {
+						bestD = d
+						best = v
+					}
+				}
+			}
+		}
+	}
+	return best
+}
+
+// Within returns all vertices within radius of p.
+func (s *SpatialIndex) Within(p graph.Coord, radius float64) []graph.VertexID {
+	ring := int(radius/s.cell) + 1
+	col := min(max(int((float64(p.X)-s.minX)/s.cell), 0), s.cols-1)
+	row := min(max(int((float64(p.Y)-s.minY)/s.cell), 0), s.rows-1)
+	var out []graph.VertexID
+	for dr := -ring; dr <= ring; dr++ {
+		for dc := -ring; dc <= ring; dc++ {
+			r, c := row+dr, col+dc
+			if r < 0 || r >= s.rows || c < 0 || c >= s.cols {
+				continue
+			}
+			for _, v := range s.buckets[r*s.cols+c] {
+				if p.Dist(s.g.Coord(v)) <= radius {
+					out = append(out, v)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

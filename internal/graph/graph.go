@@ -1,0 +1,191 @@
+// Package graph provides the static graph structure shared by all queries:
+// a directed, weighted graph in compressed sparse row (CSR) form with
+// optional per-vertex geographic coordinates and tags.
+//
+// The graph is immutable after construction. Per-query vertex data is not
+// stored here: following the Q-Graph model (Sec. 2 of the paper), analytics
+// queries read the shared structure but write only query-private data,
+// which lives in internal/worker.
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// VertexID identifies a vertex. IDs are dense: 0 <= id < NumVertices.
+type VertexID int32
+
+// NilVertex is the sentinel for "no vertex".
+const NilVertex VertexID = -1
+
+// Edge is a directed edge with a non-negative weight. For road networks the
+// weight is the travel time over the segment (length / speed limit).
+type Edge struct {
+	To     VertexID
+	Weight float32
+}
+
+// Coord is a planar coordinate for a vertex. Road-network generators use
+// kilometres in a local projection; Euclidean distance is good enough for
+// workload generation (the paper uses Euclidean start/end distance too).
+type Coord struct {
+	X, Y float32
+}
+
+// Dist returns the Euclidean distance between two coordinates.
+func (c Coord) Dist(o Coord) float64 {
+	dx := float64(c.X - o.X)
+	dy := float64(c.Y - o.Y)
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Graph is an immutable directed weighted graph in CSR form.
+//
+// Neighbors of v occupy edges[offsets[v]:offsets[v+1]]. Coordinates and
+// tags are optional (nil when absent).
+type Graph struct {
+	offsets []int32 // len = NumVertices+1
+	edges   []Edge  // len = NumEdges
+	coords  []Coord // optional, len = NumVertices
+	tags    []bool  // optional, len = NumVertices (POI tags)
+}
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int { return len(g.offsets) - 1 }
+
+// NumEdges returns the number of directed edges.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Out returns the out-edges of v. The returned slice aliases internal
+// storage and must not be modified.
+func (g *Graph) Out(v VertexID) []Edge {
+	return g.edges[g.offsets[v]:g.offsets[v+1]]
+}
+
+// OutDegree returns the out-degree of v.
+func (g *Graph) OutDegree(v VertexID) int {
+	return int(g.offsets[v+1] - g.offsets[v])
+}
+
+// HasCoords reports whether vertices carry coordinates.
+func (g *Graph) HasCoords() bool { return g.coords != nil }
+
+// Coord returns the coordinate of v. Valid only if HasCoords.
+func (g *Graph) Coord(v VertexID) Coord { return g.coords[v] }
+
+// Coords returns the full coordinate slice (nil if absent). Read-only.
+func (g *Graph) Coords() []Coord { return g.coords }
+
+// HasTags reports whether vertices carry POI tags.
+func (g *Graph) HasTags() bool { return g.tags != nil }
+
+// Tagged reports whether v carries the POI tag. Valid only if HasTags.
+func (g *Graph) Tagged(v VertexID) bool { return g.tags[v] }
+
+// Validate checks structural invariants and returns a descriptive error on
+// the first violation. It is used by tests and by the graph file loader.
+func (g *Graph) Validate() error {
+	n := g.NumVertices()
+	if n < 0 {
+		return fmt.Errorf("graph: negative vertex count %d", n)
+	}
+	if g.offsets[0] != 0 {
+		return fmt.Errorf("graph: offsets[0] = %d, want 0", g.offsets[0])
+	}
+	for v := 0; v < n; v++ {
+		if g.offsets[v+1] < g.offsets[v] {
+			return fmt.Errorf("graph: offsets not monotone at vertex %d", v)
+		}
+	}
+	if int(g.offsets[n]) != len(g.edges) {
+		return fmt.Errorf("graph: offsets[n] = %d, want %d edges", g.offsets[n], len(g.edges))
+	}
+	for i, e := range g.edges {
+		if e.To < 0 || int(e.To) >= n {
+			return fmt.Errorf("graph: edge %d targets out-of-range vertex %d", i, e.To)
+		}
+		if e.Weight < 0 || math.IsNaN(float64(e.Weight)) {
+			return fmt.Errorf("graph: edge %d has invalid weight %v", i, e.Weight)
+		}
+	}
+	if g.coords != nil && len(g.coords) != n {
+		return fmt.Errorf("graph: %d coords for %d vertices", len(g.coords), n)
+	}
+	if g.tags != nil && len(g.tags) != n {
+		return fmt.Errorf("graph: %d tags for %d vertices", len(g.tags), n)
+	}
+	return nil
+}
+
+// Builder accumulates edges and produces an immutable Graph. It is not safe
+// for concurrent use.
+type Builder struct {
+	n      int
+	adj    [][]Edge
+	coords []Coord
+	tags   []bool
+}
+
+// NewBuilder creates a builder for a graph with n vertices.
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n, adj: make([][]Edge, n)}
+}
+
+// AddEdge appends a directed edge from -> to with the given weight.
+func (b *Builder) AddEdge(from, to VertexID, weight float32) {
+	b.adj[from] = append(b.adj[from], Edge{To: to, Weight: weight})
+}
+
+// AddBiEdge appends directed edges in both directions with the same weight.
+func (b *Builder) AddBiEdge(a, c VertexID, weight float32) {
+	b.AddEdge(a, c, weight)
+	b.AddEdge(c, a, weight)
+}
+
+// SetCoords attaches coordinates; len(coords) must equal the vertex count.
+func (b *Builder) SetCoords(coords []Coord) { b.coords = coords }
+
+// SetTags attaches POI tags; len(tags) must equal the vertex count.
+func (b *Builder) SetTags(tags []bool) { b.tags = tags }
+
+// Build produces the immutable CSR graph. The builder must not be used
+// afterwards.
+func (b *Builder) Build() (*Graph, error) {
+	offsets := make([]int32, b.n+1)
+	total := 0
+	for v, es := range b.adj {
+		total += len(es)
+		offsets[v+1] = int32(total)
+	}
+	edges := make([]Edge, 0, total)
+	for _, es := range b.adj {
+		edges = append(edges, es...)
+	}
+	g := &Graph{offsets: offsets, edges: edges, coords: b.coords, tags: b.tags}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	b.adj = nil
+	return g, nil
+}
+
+// MustBuild is Build that panics on error; for tests and generators whose
+// inputs are correct by construction.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// FromCSR constructs a graph directly from CSR arrays (used by the binary
+// loader). The slices are retained; callers must not modify them.
+func FromCSR(offsets []int32, edges []Edge, coords []Coord, tags []bool) (*Graph, error) {
+	g := &Graph{offsets: offsets, edges: edges, coords: coords, tags: tags}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

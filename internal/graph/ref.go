@@ -1,0 +1,154 @@
+package graph
+
+import (
+	"container/heap"
+	"math"
+)
+
+// This file holds sequential reference algorithms. They are the ground
+// truth the distributed engine is validated against in tests: whatever the
+// partitioning, synchronization mode, or adaptivity decisions, query
+// results must match these.
+
+// Inf is the distance assigned to unreachable vertices.
+const Inf = math.MaxFloat64
+
+type pqItem struct {
+	v    VertexID
+	dist float64
+}
+
+type priorityQueue []pqItem
+
+func (p priorityQueue) Len() int            { return len(p) }
+func (p priorityQueue) Less(i, j int) bool  { return p[i].dist < p[j].dist }
+func (p priorityQueue) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
+func (p *priorityQueue) Push(x interface{}) { *p = append(*p, x.(pqItem)) }
+func (p *priorityQueue) Pop() interface{} {
+	old := *p
+	n := len(old)
+	it := old[n-1]
+	*p = old[:n-1]
+	return it
+}
+
+// Dijkstra computes shortest-path distances from source to every vertex.
+// Unreachable vertices get Inf.
+func Dijkstra(g *Graph, source VertexID) []float64 {
+	dist := make([]float64, g.NumVertices())
+	for i := range dist {
+		dist[i] = Inf
+	}
+	dist[source] = 0
+	pq := &priorityQueue{{source, 0}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(pqItem)
+		if it.dist > dist[it.v] {
+			continue
+		}
+		for _, e := range g.Out(it.v) {
+			nd := it.dist + float64(e.Weight)
+			if nd < dist[e.To] {
+				dist[e.To] = nd
+				heap.Push(pq, pqItem{e.To, nd})
+			}
+		}
+	}
+	return dist
+}
+
+// DijkstraTo computes the shortest-path distance from source to target,
+// stopping as soon as the target is settled. Returns Inf if unreachable.
+func DijkstraTo(g *Graph, source, target VertexID) float64 {
+	dist := make([]float64, g.NumVertices())
+	for i := range dist {
+		dist[i] = Inf
+	}
+	dist[source] = 0
+	pq := &priorityQueue{{source, 0}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(pqItem)
+		if it.v == target {
+			return it.dist
+		}
+		if it.dist > dist[it.v] {
+			continue
+		}
+		for _, e := range g.Out(it.v) {
+			nd := it.dist + float64(e.Weight)
+			if nd < dist[e.To] {
+				dist[e.To] = nd
+				heap.Push(pq, pqItem{e.To, nd})
+			}
+		}
+	}
+	return Inf
+}
+
+// NearestTagged finds the tagged vertex with the smallest travel time from
+// source (the POI reference). It returns NilVertex and Inf when no tagged
+// vertex is reachable.
+func NearestTagged(g *Graph, source VertexID) (VertexID, float64) {
+	if !g.HasTags() {
+		return NilVertex, Inf
+	}
+	dist := make([]float64, g.NumVertices())
+	for i := range dist {
+		dist[i] = Inf
+	}
+	dist[source] = 0
+	pq := &priorityQueue{{source, 0}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(pqItem)
+		if it.dist > dist[it.v] {
+			continue
+		}
+		if g.Tagged(it.v) {
+			return it.v, it.dist
+		}
+		for _, e := range g.Out(it.v) {
+			nd := it.dist + float64(e.Weight)
+			if nd < dist[e.To] {
+				dist[e.To] = nd
+				heap.Push(pq, pqItem{e.To, nd})
+			}
+		}
+	}
+	return NilVertex, Inf
+}
+
+// BFSHops computes hop counts from source (edge weights ignored);
+// unreachable vertices get -1.
+func BFSHops(g *Graph, source VertexID) []int {
+	hops := make([]int, g.NumVertices())
+	for i := range hops {
+		hops[i] = -1
+	}
+	hops[source] = 0
+	frontier := []VertexID{source}
+	for len(frontier) > 0 {
+		var next []VertexID
+		for _, v := range frontier {
+			for _, e := range g.Out(v) {
+				if hops[e.To] == -1 {
+					hops[e.To] = hops[v] + 1
+					next = append(next, e.To)
+				}
+			}
+		}
+		frontier = next
+	}
+	return hops
+}
+
+// ConnectedFrom returns the number of vertices reachable from source.
+func ConnectedFrom(g *Graph, source VertexID) int {
+	hops := BFSHops(g, source)
+	n := 0
+	for _, h := range hops {
+		if h >= 0 {
+			n++
+		}
+	}
+	return n
+}

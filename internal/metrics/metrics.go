@@ -1,0 +1,229 @@
+// Package metrics records the measurements of the paper's evaluation:
+// per-query latency and locality, time-binned series (Fig. 5), workload
+// imbalance across workers (Fig. 6e), and locality over time (Fig. 6f).
+// All recorders are safe for concurrent use.
+package metrics
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// QueryRecord is the outcome of one finished query.
+type QueryRecord struct {
+	ID          int64
+	Kind        string
+	ScheduledAt time.Time
+	Latency     time.Duration
+	Supersteps  int
+	LocalIters  int // supersteps executed fully locally on one worker
+	Touched     int // global query scope size |GS(q)|
+	Workers     int // workers the query ever involved (its query-cut share)
+	Result      float64
+}
+
+// Locality returns the fraction of supersteps executed fully locally.
+func (r QueryRecord) Locality() float64 {
+	if r.Supersteps == 0 {
+		return 1
+	}
+	return float64(r.LocalIters) / float64(r.Supersteps)
+}
+
+// Recorder accumulates query records and worker load samples.
+type Recorder struct {
+	mu      sync.Mutex
+	start   time.Time
+	queries []QueryRecord
+	loads   []LoadSample
+}
+
+// LoadSample is one observation of a worker's load (active vertices
+// processed), used for the imbalance series of Fig. 6e.
+type LoadSample struct {
+	At     time.Time
+	Worker int
+	Active int
+}
+
+// NewRecorder creates a recorder; t0 anchors the time-binned series.
+func NewRecorder(t0 time.Time) *Recorder {
+	return &Recorder{start: t0}
+}
+
+// Start returns the recorder's time origin.
+func (r *Recorder) Start() time.Time { return r.start }
+
+// RecordQuery appends a finished query.
+func (r *Recorder) RecordQuery(q QueryRecord) {
+	r.mu.Lock()
+	r.queries = append(r.queries, q)
+	r.mu.Unlock()
+}
+
+// RecordLoad appends a worker load observation.
+func (r *Recorder) RecordLoad(s LoadSample) {
+	r.mu.Lock()
+	r.loads = append(r.loads, s)
+	r.mu.Unlock()
+}
+
+// Queries returns a copy of all query records.
+func (r *Recorder) Queries() []QueryRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]QueryRecord, len(r.queries))
+	copy(out, r.queries)
+	return out
+}
+
+// Summary aggregates query records.
+type Summary struct {
+	Count          int
+	TotalLatency   time.Duration
+	MeanLatency    time.Duration
+	P50, P95, P99  time.Duration
+	MeanLocality   float64
+	MeanSupersteps float64
+	MeanTouched    float64
+	MeanWorkers    float64
+}
+
+// Summarize aggregates all recorded queries.
+func (r *Recorder) Summarize() Summary {
+	return SummarizeRecords(r.Queries())
+}
+
+// SummarizeRecords aggregates a record slice.
+func SummarizeRecords(qs []QueryRecord) Summary {
+	var s Summary
+	s.Count = len(qs)
+	if s.Count == 0 {
+		return s
+	}
+	lats := make([]time.Duration, 0, len(qs))
+	var loc, steps, touched, workers float64
+	for _, q := range qs {
+		s.TotalLatency += q.Latency
+		lats = append(lats, q.Latency)
+		loc += q.Locality()
+		steps += float64(q.Supersteps)
+		touched += float64(q.Touched)
+		workers += float64(q.Workers)
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	s.MeanLatency = s.TotalLatency / time.Duration(s.Count)
+	s.P50 = lats[len(lats)/2]
+	s.P95 = lats[min(len(lats)*95/100, len(lats)-1)]
+	s.P99 = lats[min(len(lats)*99/100, len(lats)-1)]
+	s.MeanLocality = loc / float64(s.Count)
+	s.MeanSupersteps = steps / float64(s.Count)
+	s.MeanTouched = touched / float64(s.Count)
+	s.MeanWorkers = workers / float64(s.Count)
+	return s
+}
+
+// SeriesPoint is one bin of a time series.
+type SeriesPoint struct {
+	Bin   int
+	Start time.Duration // offset of the bin from the recorder origin
+	Value float64
+	Count int
+}
+
+// LatencySeries bins mean query latency (seconds) by completion time.
+func (r *Recorder) LatencySeries(bin time.Duration) []SeriesPoint {
+	return r.querySeries(bin, func(q QueryRecord) float64 { return q.Latency.Seconds() })
+}
+
+// LocalitySeries bins mean per-query locality by completion time
+// (the running average of Fig. 6f).
+func (r *Recorder) LocalitySeries(bin time.Duration) []SeriesPoint {
+	return r.querySeries(bin, func(q QueryRecord) float64 { return q.Locality() })
+}
+
+func (r *Recorder) querySeries(bin time.Duration, f func(QueryRecord) float64) []SeriesPoint {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if bin <= 0 || len(r.queries) == 0 {
+		return nil
+	}
+	sums := map[int]*SeriesPoint{}
+	maxBin := 0
+	for _, q := range r.queries {
+		done := q.ScheduledAt.Add(q.Latency)
+		b := int(done.Sub(r.start) / bin)
+		if b < 0 {
+			b = 0
+		}
+		p := sums[b]
+		if p == nil {
+			p = &SeriesPoint{Bin: b, Start: time.Duration(b) * bin}
+			sums[b] = p
+		}
+		p.Value += f(q)
+		p.Count++
+		if b > maxBin {
+			maxBin = b
+		}
+	}
+	out := make([]SeriesPoint, 0, len(sums))
+	for _, p := range sums {
+		p.Value /= float64(p.Count)
+		out = append(out, *p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Bin < out[j].Bin })
+	return out
+}
+
+// ImbalanceSeries bins worker load samples and reports, per bin, the mean
+// relative deviation of per-worker load from the bin average — the paper's
+// workload imbalance measure of Fig. 6e. k is the worker count.
+func (r *Recorder) ImbalanceSeries(bin time.Duration, k int) []SeriesPoint {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if bin <= 0 || len(r.loads) == 0 || k <= 0 {
+		return nil
+	}
+	type binLoad struct {
+		perWorker []float64
+	}
+	bins := map[int]*binLoad{}
+	for _, s := range r.loads {
+		b := int(s.At.Sub(r.start) / bin)
+		if b < 0 {
+			b = 0
+		}
+		bl := bins[b]
+		if bl == nil {
+			bl = &binLoad{perWorker: make([]float64, k)}
+			bins[b] = bl
+		}
+		if s.Worker >= 0 && s.Worker < k {
+			bl.perWorker[s.Worker] += float64(s.Active)
+		}
+	}
+	out := make([]SeriesPoint, 0, len(bins))
+	for b, bl := range bins {
+		mean := 0.0
+		for _, v := range bl.perWorker {
+			mean += v
+		}
+		mean /= float64(k)
+		if mean == 0 {
+			continue
+		}
+		dev := 0.0
+		for _, v := range bl.perWorker {
+			dev += math.Abs(v-mean) / mean
+		}
+		out = append(out, SeriesPoint{
+			Bin: b, Start: time.Duration(b) * bin,
+			Value: dev / float64(k), Count: k,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Bin < out[j].Bin })
+	return out
+}

@@ -1,0 +1,157 @@
+package metrics
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func mkRecorder(latencies ...time.Duration) *Recorder {
+	t0 := time.Unix(1000, 0)
+	r := NewRecorder(t0)
+	for i, l := range latencies {
+		r.RecordQuery(QueryRecord{
+			ID:          int64(i + 1),
+			ScheduledAt: t0.Add(time.Duration(i) * time.Second),
+			Latency:     l,
+			Supersteps:  10,
+			LocalIters:  i % 11,
+			Touched:     100,
+			Workers:     2,
+		})
+	}
+	return r
+}
+
+func TestSummarize(t *testing.T) {
+	r := mkRecorder(time.Second, 3*time.Second, 2*time.Second)
+	s := r.Summarize()
+	if s.Count != 3 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.TotalLatency != 6*time.Second {
+		t.Fatalf("total = %v", s.TotalLatency)
+	}
+	if s.MeanLatency != 2*time.Second {
+		t.Fatalf("mean = %v", s.MeanLatency)
+	}
+	if s.P50 != 2*time.Second {
+		t.Fatalf("p50 = %v", s.P50)
+	}
+	if s.MeanTouched != 100 || s.MeanWorkers != 2 {
+		t.Fatalf("touched/workers = %v/%v", s.MeanTouched, s.MeanWorkers)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	r := NewRecorder(time.Now())
+	s := r.Summarize()
+	if s.Count != 0 || s.TotalLatency != 0 {
+		t.Fatalf("empty summary %+v", s)
+	}
+}
+
+func TestLocality(t *testing.T) {
+	q := QueryRecord{Supersteps: 10, LocalIters: 4}
+	if q.Locality() != 0.4 {
+		t.Fatalf("locality = %v", q.Locality())
+	}
+	zero := QueryRecord{}
+	if zero.Locality() != 1 {
+		t.Fatalf("zero-step locality = %v (a query that never iterated is trivially local)", zero.Locality())
+	}
+}
+
+func TestLatencySeriesBinning(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	r := NewRecorder(t0)
+	// Two queries completing in bin 0, one in bin 2.
+	r.RecordQuery(QueryRecord{ID: 1, ScheduledAt: t0, Latency: 100 * time.Millisecond, Supersteps: 1})
+	r.RecordQuery(QueryRecord{ID: 2, ScheduledAt: t0, Latency: 300 * time.Millisecond, Supersteps: 1})
+	r.RecordQuery(QueryRecord{ID: 3, ScheduledAt: t0.Add(2 * time.Second), Latency: 500 * time.Millisecond, Supersteps: 1})
+	pts := r.LatencySeries(time.Second)
+	if len(pts) != 2 {
+		t.Fatalf("bins = %d, want 2", len(pts))
+	}
+	if pts[0].Bin != 0 || pts[0].Count != 2 || pts[0].Value != 0.2 {
+		t.Fatalf("bin0 = %+v", pts[0])
+	}
+	if pts[1].Bin != 2 || pts[1].Count != 1 || pts[1].Value != 0.5 {
+		t.Fatalf("bin1 = %+v", pts[1])
+	}
+}
+
+func TestImbalanceSeries(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	r := NewRecorder(t0)
+	// Perfectly balanced bin: both workers 100.
+	r.RecordLoad(LoadSample{At: t0, Worker: 0, Active: 100})
+	r.RecordLoad(LoadSample{At: t0, Worker: 1, Active: 100})
+	// Fully skewed bin: worker 0 gets everything.
+	r.RecordLoad(LoadSample{At: t0.Add(time.Second), Worker: 0, Active: 200})
+	pts := r.ImbalanceSeries(time.Second, 2)
+	if len(pts) != 2 {
+		t.Fatalf("bins = %d", len(pts))
+	}
+	if pts[0].Value != 0 {
+		t.Fatalf("balanced bin imbalance = %v", pts[0].Value)
+	}
+	// Loads 200 and 0, mean 100 → mean |dev|/mean = (1+1)/2 = 1.
+	if pts[1].Value != 1 {
+		t.Fatalf("skewed bin imbalance = %v", pts[1].Value)
+	}
+}
+
+// TestSeriesSorted: series points are always in bin order and values
+// finite (property-based over random records).
+func TestSeriesSorted(t *testing.T) {
+	f := func(lats []uint16) bool {
+		t0 := time.Unix(0, 0)
+		r := NewRecorder(t0)
+		for i, l := range lats {
+			r.RecordQuery(QueryRecord{
+				ID:          int64(i),
+				ScheduledAt: t0.Add(time.Duration(i%7) * time.Second),
+				Latency:     time.Duration(l) * time.Millisecond,
+				Supersteps:  1,
+			})
+		}
+		pts := r.LocalitySeries(time.Second)
+		for i := 1; i < len(pts); i++ {
+			if pts[i].Bin <= pts[i-1].Bin {
+				return false
+			}
+		}
+		for _, p := range pts {
+			if p.Value < 0 || p.Value > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentRecording: the recorder is safe under concurrent use.
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRecorder(time.Now())
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		g := g
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 500; i++ {
+				r.RecordQuery(QueryRecord{ID: int64(g*1000 + i), Latency: time.Millisecond, Supersteps: 1})
+				r.RecordLoad(LoadSample{Worker: g, Active: i})
+			}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if got := len(r.Queries()); got != 2000 {
+		t.Fatalf("recorded %d queries, want 2000", got)
+	}
+}

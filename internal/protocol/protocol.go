@@ -1,0 +1,304 @@
+// Package protocol defines the messages exchanged between the Q-Graph
+// controller, workers, and worker peers. It is the concrete realisation of
+// the paper's API (Table 2): scheduleQuery/executeQuery, barrierSynch/
+// barrierReady with piggybacked statistics, move, and the global STOP/START
+// barrier — plus the low-level vertex message batches.
+//
+// Node addressing: node 0 is the controller, node w+1 is worker w.
+package protocol
+
+import (
+	"qgraph/internal/graph"
+	"qgraph/internal/partition"
+	"qgraph/internal/query"
+)
+
+// NodeID addresses a protocol participant: 0 = controller, w+1 = worker w.
+type NodeID uint8
+
+// ControllerNode is the controller's node id.
+const ControllerNode NodeID = 0
+
+// WorkerNode converts a worker id to its node id.
+func WorkerNode(w partition.WorkerID) NodeID { return NodeID(w) + 1 }
+
+// WorkerOf converts a worker node id back to the worker id. Must not be
+// called with ControllerNode.
+func WorkerOf(n NodeID) partition.WorkerID { return partition.WorkerID(n - 1) }
+
+// MsgType discriminates wire messages.
+type MsgType uint8
+
+// Message type tags. The numeric values are part of the wire format.
+const (
+	// controller → worker
+	TExecuteQuery MsgType = iota + 1
+	TBarrierReady
+	TQueryFinish
+	TGlobalStop
+	TDrainCheck
+	TMoveScope
+	TOwnershipUpdate
+	TGlobalStart
+	TShutdown
+	// worker → controller
+	TBarrierSynch
+	TStopAck
+	TDrainAck
+	TMoveAck
+	// worker ↔ worker
+	TVertexBatch
+	TScopeData
+)
+
+// Message is any protocol message.
+type Message interface {
+	Type() MsgType
+}
+
+// ---------------------------------------------------------------------------
+// Controller → worker
+
+// ExecuteQuery asks workers to start executing a query (paper API
+// executeQuery(q)). It is broadcast; only workers owning initially active
+// vertices do work in superstep 0.
+type ExecuteQuery struct {
+	Spec query.Spec
+}
+
+// Type implements Message.
+func (*ExecuteQuery) Type() MsgType { return TExecuteQuery }
+
+// BarrierReady releases a worker waiting on query Q's barrier for superstep
+// Step (paper API barrierReady(q)). Expect is the number of vertex batches
+// tagged (Q, Step-1) the worker must have received before computing Step.
+// Solo marks the worker as the only one involved, enabling the local query
+// barrier: it may keep iterating without controller round-trips while the
+// query stays local. Drained means a global barrier intervened and all
+// in-flight batches were already delivered (skip the Expect wait).
+type BarrierReady struct {
+	Q       query.ID
+	Step    int32
+	Expect  int32
+	Solo    bool
+	Drained bool
+}
+
+// Type implements Message.
+func (*BarrierReady) Type() MsgType { return TBarrierReady }
+
+// FinishReason says why a query ended.
+type FinishReason uint8
+
+// Finish reasons.
+const (
+	FinishConverged FinishReason = iota + 1 // no active vertices remain
+	FinishEarly                             // monotone bound: goal can't improve
+	FinishMaxIters                          // superstep cap reached
+	FinishCancelled                         // shutdown or user cancel
+	FinishRejected                          // invalid request (e.g. reused query id)
+)
+
+// QueryFinish tells a worker to drop query Q's state. The worker answers
+// with a final BarrierSynch carrying its intersection statistics if Stats
+// is set.
+type QueryFinish struct {
+	Q      query.ID
+	Reason FinishReason
+}
+
+// Type implements Message.
+func (*QueryFinish) Type() MsgType { return TQueryFinish }
+
+// GlobalStop initiates the STOP phase of the global barrier (Sec. 3.3):
+// workers pause query execution at the next superstep boundary and answer
+// with StopAck carrying their cumulative per-peer batch send counters.
+type GlobalStop struct {
+	Epoch int32
+}
+
+// Type implements Message.
+func (*GlobalStop) Type() MsgType { return TGlobalStop }
+
+// DrainCheck is sent after all StopAcks: ExpectRecv[w] is the cumulative
+// number of vertex batches worker w should have received from each peer
+// (indexed by sender worker id). The worker answers DrainAck once its
+// receive counters match — then the network is provably quiet. With Scope
+// set, the expectations refer to ScopeData messages instead (the second
+// drain round of a global barrier, after moves).
+type DrainCheck struct {
+	Epoch      int32
+	Scope      bool
+	ExpectRecv []uint64 // indexed by sender worker id
+}
+
+// Type implements Message.
+func (*DrainCheck) Type() MsgType { return TDrainCheck }
+
+// MoveScope asks the receiving worker to move the local query scope
+// LS(Q, w) — the vertices query Q touched on it — to worker To (paper API
+// move(LS(q,w), w, w')). Sent only inside a global barrier. The worker
+// ships the vertices' query data in a ScopeData message and reports the
+// moved vertex ids in MoveAck.
+type MoveScope struct {
+	Epoch int32
+	Q     query.ID
+	To    partition.WorkerID
+}
+
+// Type implements Message.
+func (*MoveScope) Type() MsgType { return TMoveScope }
+
+// OwnershipUpdate broadcasts vertex ownership changes resulting from the
+// moves of one global barrier. Workers apply it before GlobalStart.
+type OwnershipUpdate struct {
+	Epoch    int32
+	Vertices []graph.VertexID
+	Owners   []partition.WorkerID // parallel to Vertices
+}
+
+// Type implements Message.
+func (*OwnershipUpdate) Type() MsgType { return TOwnershipUpdate }
+
+// GlobalStart ends the global barrier; queries resume.
+type GlobalStart struct {
+	Epoch int32
+}
+
+// Type implements Message.
+func (*GlobalStart) Type() MsgType { return TGlobalStart }
+
+// Shutdown terminates a worker.
+type Shutdown struct{}
+
+// Type implements Message.
+func (*Shutdown) Type() MsgType { return TShutdown }
+
+// ---------------------------------------------------------------------------
+// Worker → controller
+
+// IntersectionStat reports |LS(Q1,w) ∩ LS(Q2,w)|: the paper's intersection
+// function Iw restricted to query pairs, which is what Q-cut's clustering
+// consumes.
+type IntersectionStat struct {
+	Q1, Q2 query.ID
+	Shared int32
+}
+
+// BarrierSynch reports that worker W finished query Q's superstep Step
+// (paper API barrierSynch(q,w)), with the monitoring statistics of
+// stats(q, |LS(q,w)|, Iw, w) piggybacked (Sec. 3.4).
+//
+// FromStep < Step when the worker ran local (solo) supersteps without
+// controller round-trips; LocalIters counts them.
+type BarrierSynch struct {
+	Q          query.ID
+	W          partition.WorkerID
+	Step       int32 // last completed superstep
+	FromStep   int32 // first superstep covered by this report
+	LocalIters int32
+
+	Processed   int32   // active vertices computed in Step (load signal)
+	NActiveNext int32   // local activations pending for Step+1
+	ScopeSize   int32   // |LS(Q, W)|: vertices Q touched on W so far
+	SentBatches []int32 // vertex batches sent during Step, by dest worker
+	BestGoal    float64 // best goal value seen on W (query.NoResult if none)
+	MinFrontier float64 // min over pending local msgs + values sent in Step
+
+	Intersections []IntersectionStat // piggybacked stats, may be nil
+	Finished      bool               // response to QueryFinish (final stats)
+}
+
+// Type implements Message.
+func (*BarrierSynch) Type() MsgType { return TBarrierSynch }
+
+// StopAck acknowledges GlobalStop. SentTotals[w] is the cumulative number
+// of vertex batches this worker has ever sent to worker w.
+type StopAck struct {
+	Epoch      int32
+	W          partition.WorkerID
+	SentTotals []uint64
+}
+
+// Type implements Message.
+func (*StopAck) Type() MsgType { return TStopAck }
+
+// DrainAck confirms all expected batches arrived.
+type DrainAck struct {
+	Epoch int32
+	W     partition.WorkerID
+}
+
+// Type implements Message.
+func (*DrainAck) Type() MsgType { return TDrainAck }
+
+// MoveAck reports the vertices actually moved for a MoveScope directive,
+// so the controller can broadcast the ownership delta.
+type MoveAck struct {
+	Epoch    int32
+	Q        query.ID
+	From, To partition.WorkerID
+	Vertices []graph.VertexID
+}
+
+// Type implements Message.
+func (*MoveAck) Type() MsgType { return TMoveAck }
+
+// ---------------------------------------------------------------------------
+// Worker ↔ worker
+
+// VertexMsg is one vertex-to-vertex message.
+type VertexMsg struct {
+	To  graph.VertexID
+	Val float64
+}
+
+// VertexBatch carries vertex messages of query Q emitted during superstep
+// Step from worker From, to be consumed in superstep Step+1. The sender
+// splits batches at the configured batch limits (Sec. 4.1(iv)).
+type VertexBatch struct {
+	Q       query.ID
+	Step    int32
+	From    partition.WorkerID
+	Entries []VertexMsg
+}
+
+// Type implements Message.
+func (*VertexBatch) Type() MsgType { return TVertexBatch }
+
+// QueryValue is a (query, value) pair of a moved vertex.
+type QueryValue struct {
+	Q   query.ID
+	Val float64
+}
+
+// PendingMsg is an undelivered inbox entry of a moved vertex.
+type PendingMsg struct {
+	Q    query.ID
+	Step int32
+	Val  float64
+}
+
+// MovedVertex is the full migratable state of one vertex: its value under
+// every live query that touched it, pending inbox entries, and the ids of
+// finished queries whose remembered scopes contain it (so future move
+// directives for those historical hotspots keep working).
+type MovedVertex struct {
+	V        graph.VertexID
+	Values   []QueryValue
+	Pending  []PendingMsg
+	Finished []query.ID
+}
+
+// ScopeData carries the state of vertices moved by a MoveScope directive.
+// Sent worker→worker during a global barrier, when the network is
+// otherwise quiet.
+type ScopeData struct {
+	Epoch    int32
+	Q        query.ID
+	From     partition.WorkerID
+	Vertices []MovedVertex
+}
+
+// Type implements Message.
+func (*ScopeData) Type() MsgType { return TScopeData }

@@ -1,0 +1,114 @@
+package qcut
+
+import "math/rand/v2"
+
+// localSearch is Algorithm 2 of the paper: best-improvement moves of whole
+// scope clusters between workers until no successor state has lower cost,
+// restricted to successors that keep the workload balanced. The deadline
+// callback allows interruption mid-descent (the current state is always a
+// valid solution).
+func (s *state) localSearch(deadline func() bool) {
+	for {
+		bestC, bestA, bestB := -1, 0, 0
+		var bestDelta int64
+		for c := range s.clusters {
+			for a := 0; a < s.k; a++ {
+				x := s.clusterMass(c, a)
+				if x == 0 {
+					continue
+				}
+				for b := 0; b < s.k; b++ {
+					if b == a || !s.moveOK(a, b, x) {
+						continue
+					}
+					d := s.moveDelta(c, a, b)
+					if d < bestDelta {
+						bestDelta = d
+						bestC, bestA, bestB = c, a, b
+					}
+				}
+			}
+			if deadline != nil && deadline() {
+				break
+			}
+		}
+		if bestC < 0 {
+			return // local minimum
+		}
+		s.applyMove(bestC, bestA, bestB)
+		if deadline != nil && deadline() {
+			return
+		}
+	}
+}
+
+// moveDelta computes the cost change of moving cluster c's mass from a to
+// b without mutating the state. Only the member queries' costs change.
+func (s *state) moveDelta(c, a, b int) int64 {
+	var delta int64
+	for _, q := range s.clusters[c] {
+		m := s.cur[q][a]
+		if m == 0 {
+			continue
+		}
+		var oldMax, newMax int64
+		for w := 0; w < s.k; w++ {
+			v := s.cur[q][w]
+			if v > oldMax {
+				oldMax = v
+			}
+			switch w {
+			case a:
+				v = 0
+			case b:
+				v += m
+			}
+			if v > newMax {
+				newMax = v
+			}
+		}
+		// cost_q = total_q − max; total is invariant.
+		delta += oldMax - newMax
+	}
+	return delta
+}
+
+// perturb implements Appendix A.2: fuse a split query's scopes onto its
+// largest worker (informed disorder), then restore balance by random
+// max→min scope moves.
+func (s *state) perturb(rng *rand.Rand) {
+	// I. Random cluster spread across at least two workers.
+	var split []int
+	for c := range s.clusters {
+		n := 0
+		for w := 0; w < s.k; w++ {
+			if s.clusterMass(c, w) > 0 {
+				n++
+				if n >= 2 {
+					split = append(split, c)
+					break
+				}
+			}
+		}
+	}
+	if len(split) == 0 {
+		return
+	}
+	c := split[rng.IntN(len(split))]
+
+	// II. Move all of c's mass to its largest worker, ignoring balance.
+	target, targetMass := 0, int64(-1)
+	for w := 0; w < s.k; w++ {
+		if m := s.clusterMass(c, w); m > targetMass {
+			target, targetMass = w, m
+		}
+	}
+	for w := 0; w < s.k; w++ {
+		if w != target && s.clusterMass(c, w) > 0 {
+			s.applyMove(c, w, target)
+		}
+	}
+
+	// III. Re-establish workload balance.
+	s.rebalance(rng)
+}

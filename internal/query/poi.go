@@ -1,0 +1,40 @@
+package query
+
+import "qgraph/internal/graph"
+
+// POI is the point-of-interest query of Sec. 4.1: retrieve the closest
+// vertex carrying the POI tag (e.g. a gas station) to a given start vertex.
+// It floods distances like SSSP; every tagged vertex is a goal, so the
+// engine stops as soon as no in-flight distance can beat the best tagged
+// vertex found, keeping the explored region a disc around the start.
+type POI struct{}
+
+// Kind implements Program.
+func (POI) Kind() Kind { return KindPOI }
+
+// Combine keeps the smaller distance.
+func (POI) Combine(a, b float64) float64 { return min(a, b) }
+
+// Init activates the start vertex with distance 0.
+func (POI) Init(_ *graph.Graph, spec Spec) []Activation {
+	return []Activation{{V: spec.Source, Msg: 0}}
+}
+
+// Compute relaxes v exactly like SSSP.
+func (POI) Compute(g *graph.Graph, _ Spec, v graph.VertexID, old float64, hasOld bool, msg float64, emit Emit) (float64, bool) {
+	if hasOld && msg >= old {
+		return old, false
+	}
+	for _, e := range g.Out(v) {
+		emit(e.To, msg+float64(e.Weight))
+	}
+	return msg, true
+}
+
+// Goal marks every tagged vertex.
+func (POI) Goal(g *graph.Graph, _ Spec, v graph.VertexID, _ float64) bool {
+	return g.Tagged(v)
+}
+
+// Monotone reports that distances only grow along paths.
+func (POI) Monotone() bool { return true }

@@ -1,0 +1,77 @@
+package query
+
+import "qgraph/internal/graph"
+
+// SSSP is single-source shortest path with an optional end vertex
+// (Sec. 2 and 4.1 of the paper): the vertex value is the best known travel
+// time from the source; improvements propagate along out-edges. With a
+// Target set, the engine stops the query as soon as no in-flight distance
+// can beat the target's settled distance, which confines the query to the
+// region between the endpoints.
+type SSSP struct{}
+
+// Kind implements Program.
+func (SSSP) Kind() Kind { return KindSSSP }
+
+// Combine keeps the smaller distance.
+func (SSSP) Combine(a, b float64) float64 { return min(a, b) }
+
+// Init activates the source with distance 0.
+func (SSSP) Init(_ *graph.Graph, spec Spec) []Activation {
+	return []Activation{{V: spec.Source, Msg: 0}}
+}
+
+// Compute relaxes v: if the incoming distance improves on the stored one,
+// store it and offer dist+w to every out-neighbor.
+func (SSSP) Compute(g *graph.Graph, _ Spec, v graph.VertexID, old float64, hasOld bool, msg float64, emit Emit) (float64, bool) {
+	if hasOld && msg >= old {
+		return old, false
+	}
+	for _, e := range g.Out(v) {
+		emit(e.To, msg+float64(e.Weight))
+	}
+	return msg, true
+}
+
+// Goal marks the target vertex (never true for flood queries).
+func (SSSP) Goal(_ *graph.Graph, spec Spec, v graph.VertexID, _ float64) bool {
+	return spec.Target != graph.NilVertex && v == spec.Target
+}
+
+// Monotone reports that distances only grow along paths.
+func (SSSP) Monotone() bool { return true }
+
+// BFS is hop-count flooding: SSSP with unit weights. Tests use it because
+// expected results are easy to state; it also models reachability and
+// friend-of-friend queries on social graphs.
+type BFS struct{}
+
+// Kind implements Program.
+func (BFS) Kind() Kind { return KindBFS }
+
+// Combine keeps the smaller hop count.
+func (BFS) Combine(a, b float64) float64 { return min(a, b) }
+
+// Init activates the source at hop 0.
+func (BFS) Init(_ *graph.Graph, spec Spec) []Activation {
+	return []Activation{{V: spec.Source, Msg: 0}}
+}
+
+// Compute stores the improved hop count and offers hops+1 to neighbors.
+func (BFS) Compute(g *graph.Graph, _ Spec, v graph.VertexID, old float64, hasOld bool, msg float64, emit Emit) (float64, bool) {
+	if hasOld && msg >= old {
+		return old, false
+	}
+	for _, e := range g.Out(v) {
+		emit(e.To, msg+1)
+	}
+	return msg, true
+}
+
+// Goal marks the optional target vertex.
+func (BFS) Goal(_ *graph.Graph, spec Spec, v graph.VertexID, _ float64) bool {
+	return spec.Target != graph.NilVertex && v == spec.Target
+}
+
+// Monotone reports that hop counts only grow along paths.
+func (BFS) Monotone() bool { return true }

@@ -1,0 +1,189 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"qgraph/internal/protocol"
+)
+
+// Latency models the simulated network of the in-process transport.
+// A message of wire size s sent from a to b is delivered at
+//
+//	max(sendTime + Propagation(a,b), previousDeliveryOnLink) + s * PerByte
+//
+// i.e. links are FIFO pipes with propagation delay and finite bandwidth.
+// The zero value is a perfect network (instant delivery), which unit tests
+// use; experiments use Default() so that remote communication has the cost
+// whose removal Q-cut's locality is worth measuring.
+type Latency struct {
+	// WorkerWorker is the one-way propagation delay between workers.
+	WorkerWorker time.Duration
+	// WorkerController is the one-way delay worker ↔ controller; a barrier
+	// round-trip costs twice this.
+	WorkerController time.Duration
+	// PerByte is the transmission time per wire byte (inverse bandwidth).
+	PerByte time.Duration
+}
+
+// DefaultLatency returns the simulated network used by the experiments:
+// 250µs propagation (same-rack Ethernet scale), ~1 Gbit/s bandwidth.
+func DefaultLatency() Latency {
+	return Latency{
+		WorkerWorker:     250 * time.Microsecond,
+		WorkerController: 125 * time.Microsecond,
+		PerByte:          8 * time.Nanosecond, // ≈ 1 Gbit/s
+	}
+}
+
+// Zero reports whether the model is the perfect network.
+func (l Latency) Zero() bool {
+	return l.WorkerWorker == 0 && l.WorkerController == 0 && l.PerByte == 0
+}
+
+func (l Latency) propagation(a, b protocol.NodeID) time.Duration {
+	if a == protocol.ControllerNode || b == protocol.ControllerNode {
+		return l.WorkerController
+	}
+	return l.WorkerWorker
+}
+
+// ChanNetwork is the in-process transport: per-link FIFO queues drained by
+// delivery goroutines that enforce the latency model.
+type ChanNetwork struct {
+	latency Latency
+	conns   []*chanConn
+	links   []*queue // links[from*n+to]
+	wg      sync.WaitGroup
+	closed  chan struct{}
+	once    sync.Once
+}
+
+type chanConn struct {
+	net   *ChanNetwork
+	id    protocol.NodeID
+	inbox chan Envelope
+	inQ   *queue // local unbounded buffer feeding inbox
+}
+
+// NewChanNetwork creates an in-process network with n nodes (node 0 is the
+// controller) under the given latency model.
+func NewChanNetwork(n int, lat Latency) *ChanNetwork {
+	cn := &ChanNetwork{
+		latency: lat,
+		conns:   make([]*chanConn, n),
+		links:   make([]*queue, n*n),
+		closed:  make(chan struct{}),
+	}
+	for i := range cn.conns {
+		c := &chanConn{
+			net:   cn,
+			id:    protocol.NodeID(i),
+			inbox: make(chan Envelope, 256),
+			inQ:   newQueue(),
+		}
+		cn.conns[i] = c
+		// Pump: unbounded buffer → bounded inbox channel, so senders never
+		// block on slow receivers.
+		cn.wg.Add(1)
+		go func() {
+			defer cn.wg.Done()
+			defer close(c.inbox)
+			for {
+				it, ok := c.inQ.pop()
+				if !ok {
+					return
+				}
+				c.inbox <- it.env
+			}
+		}()
+	}
+	for from := 0; from < n; from++ {
+		for to := 0; to < n; to++ {
+			if from == to {
+				continue
+			}
+			q := newQueue()
+			cn.links[from*n+to] = q
+			cn.wg.Add(1)
+			go cn.deliver(protocol.NodeID(from), protocol.NodeID(to), q)
+		}
+	}
+	return cn
+}
+
+// deliver drains one link, sleeping per the latency model before handing
+// envelopes to the destination buffer.
+func (cn *ChanNetwork) deliver(from, to protocol.NodeID, q *queue) {
+	defer cn.wg.Done()
+	prop := cn.latency.propagation(from, to)
+	var lastDeliver time.Time
+	for {
+		it, ok := q.pop()
+		if !ok {
+			return
+		}
+		if !cn.latency.Zero() {
+			arrive := time.Unix(0, it.sentAt).Add(prop)
+			if arrive.Before(lastDeliver) {
+				arrive = lastDeliver
+			}
+			arrive = arrive.Add(time.Duration(it.size) * cn.latency.PerByte)
+			if d := time.Until(arrive); d > 0 {
+				time.Sleep(d)
+			}
+			lastDeliver = arrive
+		}
+		cn.conns[to].inQ.push(it)
+	}
+}
+
+// Conn implements Network.
+func (cn *ChanNetwork) Conn(n protocol.NodeID) Conn { return cn.conns[n] }
+
+// Nodes implements Network.
+func (cn *ChanNetwork) Nodes() int { return len(cn.conns) }
+
+// Close implements Network.
+func (cn *ChanNetwork) Close() error {
+	cn.once.Do(func() {
+		close(cn.closed)
+		for _, q := range cn.links {
+			if q != nil {
+				q.close()
+			}
+		}
+		for _, c := range cn.conns {
+			c.inQ.close()
+		}
+	})
+	cn.wg.Wait()
+	return nil
+}
+
+// Send implements Conn.
+func (c *chanConn) Send(to protocol.NodeID, m protocol.Message) error {
+	if int(to) >= len(c.net.conns) || to == c.id {
+		return fmt.Errorf("transport: bad destination %d", to)
+	}
+	q := c.net.links[int(c.id)*len(c.net.conns)+int(to)]
+	it := queueItem{
+		env:    Envelope{From: c.id, Msg: m},
+		sentAt: time.Now().UnixNano(),
+		size:   WireSize(m),
+	}
+	if !q.push(it) {
+		return fmt.Errorf("transport: network closed")
+	}
+	return nil
+}
+
+// Inbox implements Conn.
+func (c *chanConn) Inbox() <-chan Envelope { return c.inbox }
+
+// Close implements Conn. Closing one endpoint of the in-process network is
+// a no-op; use Network.Close.
+func (c *chanConn) Close() error { return nil }
+
+var _ Network = (*ChanNetwork)(nil)

@@ -1,0 +1,431 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"qgraph/internal/graph"
+	"qgraph/internal/partition"
+	"qgraph/internal/protocol"
+	"qgraph/internal/query"
+)
+
+// Binary codec for protocol messages. Frames on the wire are
+//
+//	[u32 payload length][u8 message type][payload]
+//
+// with all integers little-endian. The codec is hand-rolled (stdlib only)
+// and round-trip tested for every message type.
+
+type encoder struct{ buf []byte }
+
+func (e *encoder) u8(v uint8) { e.buf = append(e.buf, v) }
+func (e *encoder) bool(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+func (e *encoder) u32(v uint32)  { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+func (e *encoder) i32(v int32)   { e.u32(uint32(v)) }
+func (e *encoder) u64(v uint64)  { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+func (e *encoder) i64(v int64)   { e.u64(uint64(v)) }
+func (e *encoder) f64(v float64) { e.u64(math.Float64bits(v)) }
+
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("transport: truncated %s at offset %d", what, d.off)
+	}
+}
+
+func (d *decoder) u8() uint8 {
+	if d.err != nil || d.off+1 > len(d.buf) {
+		d.fail("u8")
+		return 0
+	}
+	v := d.buf[d.off]
+	d.off++
+	return v
+}
+
+func (d *decoder) bool() bool { return d.u8() != 0 }
+
+func (d *decoder) u32() uint32 {
+	if d.err != nil || d.off+4 > len(d.buf) {
+		d.fail("u32")
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *decoder) i32() int32 { return int32(d.u32()) }
+
+func (d *decoder) u64() uint64 {
+	if d.err != nil || d.off+8 > len(d.buf) {
+		d.fail("u64")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *decoder) i64() int64   { return int64(d.u64()) }
+func (d *decoder) f64() float64 { return math.Float64frombits(d.u64()) }
+
+// sliceLen reads a length prefix and bounds-checks it against the remaining
+// payload (elemSize is the minimum encoded element size) so corrupt frames
+// cannot trigger huge allocations.
+func (d *decoder) sliceLen(elemSize int) int {
+	n := int(d.u32())
+	if d.err == nil && (n < 0 || n*elemSize > len(d.buf)-d.off) {
+		d.err = fmt.Errorf("transport: slice length %d exceeds payload", n)
+		return 0
+	}
+	return n
+}
+
+// Encode serializes m into a frame ready to write to a stream.
+func Encode(m protocol.Message) ([]byte, error) {
+	e := &encoder{buf: make([]byte, 5, 64)} // length + type filled at the end
+	switch v := m.(type) {
+	case *protocol.ExecuteQuery:
+		e.i64(int64(v.Spec.ID))
+		e.u8(uint8(v.Spec.Kind))
+		e.i32(int32(v.Spec.Source))
+		e.i32(int32(v.Spec.Target))
+		e.i32(int32(v.Spec.MaxIters))
+		e.f64(v.Spec.Epsilon)
+		e.u32(uint32(uint16(v.Spec.HomeWire())))
+	case *protocol.BarrierReady:
+		e.i64(int64(v.Q))
+		e.i32(v.Step)
+		e.i32(v.Expect)
+		e.bool(v.Solo)
+		e.bool(v.Drained)
+	case *protocol.QueryFinish:
+		e.i64(int64(v.Q))
+		e.u8(uint8(v.Reason))
+	case *protocol.GlobalStop:
+		e.i32(v.Epoch)
+	case *protocol.DrainCheck:
+		e.i32(v.Epoch)
+		e.bool(v.Scope)
+		e.u32(uint32(len(v.ExpectRecv)))
+		for _, x := range v.ExpectRecv {
+			e.u64(x)
+		}
+	case *protocol.MoveScope:
+		e.i32(v.Epoch)
+		e.i64(int64(v.Q))
+		e.u8(uint8(v.To))
+	case *protocol.OwnershipUpdate:
+		e.i32(v.Epoch)
+		if len(v.Vertices) != len(v.Owners) {
+			return nil, fmt.Errorf("transport: ownership update lengths differ")
+		}
+		e.u32(uint32(len(v.Vertices)))
+		for i := range v.Vertices {
+			e.i32(int32(v.Vertices[i]))
+			e.u8(uint8(v.Owners[i]))
+		}
+	case *protocol.GlobalStart:
+		e.i32(v.Epoch)
+	case *protocol.Shutdown:
+	case *protocol.BarrierSynch:
+		e.i64(int64(v.Q))
+		e.u8(uint8(v.W))
+		e.i32(v.Step)
+		e.i32(v.FromStep)
+		e.i32(v.LocalIters)
+		e.i32(v.Processed)
+		e.i32(v.NActiveNext)
+		e.i32(v.ScopeSize)
+		e.u32(uint32(len(v.SentBatches)))
+		for _, x := range v.SentBatches {
+			e.i32(x)
+		}
+		e.f64(v.BestGoal)
+		e.f64(v.MinFrontier)
+		e.u32(uint32(len(v.Intersections)))
+		for _, s := range v.Intersections {
+			e.i64(int64(s.Q1))
+			e.i64(int64(s.Q2))
+			e.i32(s.Shared)
+		}
+		e.bool(v.Finished)
+	case *protocol.StopAck:
+		e.i32(v.Epoch)
+		e.u8(uint8(v.W))
+		e.u32(uint32(len(v.SentTotals)))
+		for _, x := range v.SentTotals {
+			e.u64(x)
+		}
+	case *protocol.DrainAck:
+		e.i32(v.Epoch)
+		e.u8(uint8(v.W))
+	case *protocol.MoveAck:
+		e.i32(v.Epoch)
+		e.i64(int64(v.Q))
+		e.u8(uint8(v.From))
+		e.u8(uint8(v.To))
+		e.u32(uint32(len(v.Vertices)))
+		for _, x := range v.Vertices {
+			e.i32(int32(x))
+		}
+	case *protocol.VertexBatch:
+		e.i64(int64(v.Q))
+		e.i32(v.Step)
+		e.u8(uint8(v.From))
+		e.u32(uint32(len(v.Entries)))
+		for _, en := range v.Entries {
+			e.i32(int32(en.To))
+			e.f64(en.Val)
+		}
+	case *protocol.ScopeData:
+		e.i32(v.Epoch)
+		e.i64(int64(v.Q))
+		e.u8(uint8(v.From))
+		e.u32(uint32(len(v.Vertices)))
+		for _, mv := range v.Vertices {
+			e.i32(int32(mv.V))
+			e.u32(uint32(len(mv.Values)))
+			for _, qv := range mv.Values {
+				e.i64(int64(qv.Q))
+				e.f64(qv.Val)
+			}
+			e.u32(uint32(len(mv.Pending)))
+			for _, pm := range mv.Pending {
+				e.i64(int64(pm.Q))
+				e.i32(pm.Step)
+				e.f64(pm.Val)
+			}
+			e.u32(uint32(len(mv.Finished)))
+			for _, fq := range mv.Finished {
+				e.i64(int64(fq))
+			}
+		}
+	default:
+		return nil, fmt.Errorf("transport: cannot encode %T", m)
+	}
+	binary.LittleEndian.PutUint32(e.buf[0:4], uint32(len(e.buf)-5))
+	e.buf[4] = byte(m.Type())
+	return e.buf, nil
+}
+
+// Decode parses one frame payload (without the length prefix).
+func Decode(t protocol.MsgType, payload []byte) (protocol.Message, error) {
+	d := &decoder{buf: payload}
+	var m protocol.Message
+	switch t {
+	case protocol.TExecuteQuery:
+		v := &protocol.ExecuteQuery{}
+		v.Spec.ID = query.ID(d.i64())
+		v.Spec.Kind = query.Kind(d.u8())
+		v.Spec.Source = graph.VertexID(d.i32())
+		v.Spec.Target = graph.VertexID(d.i32())
+		v.Spec.MaxIters = int(d.i32())
+		v.Spec.Epsilon = d.f64()
+		v.Spec.SetHomeWire(int16(uint16(d.u32())))
+		m = v
+	case protocol.TBarrierReady:
+		v := &protocol.BarrierReady{}
+		v.Q = query.ID(d.i64())
+		v.Step = d.i32()
+		v.Expect = d.i32()
+		v.Solo = d.bool()
+		v.Drained = d.bool()
+		m = v
+	case protocol.TQueryFinish:
+		v := &protocol.QueryFinish{}
+		v.Q = query.ID(d.i64())
+		v.Reason = protocol.FinishReason(d.u8())
+		m = v
+	case protocol.TGlobalStop:
+		m = &protocol.GlobalStop{Epoch: d.i32()}
+	case protocol.TDrainCheck:
+		v := &protocol.DrainCheck{Epoch: d.i32(), Scope: d.bool()}
+		if n := d.sliceLen(8); n > 0 {
+			v.ExpectRecv = make([]uint64, n)
+			for i := range v.ExpectRecv {
+				v.ExpectRecv[i] = d.u64()
+			}
+		}
+		m = v
+	case protocol.TMoveScope:
+		v := &protocol.MoveScope{}
+		v.Epoch = d.i32()
+		v.Q = query.ID(d.i64())
+		v.To = partition.WorkerID(d.u8())
+		m = v
+	case protocol.TOwnershipUpdate:
+		v := &protocol.OwnershipUpdate{Epoch: d.i32()}
+		if n := d.sliceLen(5); n > 0 {
+			v.Vertices = make([]graph.VertexID, n)
+			v.Owners = make([]partition.WorkerID, n)
+			for i := 0; i < n; i++ {
+				v.Vertices[i] = graph.VertexID(d.i32())
+				v.Owners[i] = partition.WorkerID(d.u8())
+			}
+		}
+		m = v
+	case protocol.TGlobalStart:
+		m = &protocol.GlobalStart{Epoch: d.i32()}
+	case protocol.TShutdown:
+		m = &protocol.Shutdown{}
+	case protocol.TBarrierSynch:
+		v := &protocol.BarrierSynch{}
+		v.Q = query.ID(d.i64())
+		v.W = partition.WorkerID(d.u8())
+		v.Step = d.i32()
+		v.FromStep = d.i32()
+		v.LocalIters = d.i32()
+		v.Processed = d.i32()
+		v.NActiveNext = d.i32()
+		v.ScopeSize = d.i32()
+		if nb := d.sliceLen(4); nb > 0 {
+			v.SentBatches = make([]int32, nb)
+			for i := range v.SentBatches {
+				v.SentBatches[i] = d.i32()
+			}
+		}
+		v.BestGoal = d.f64()
+		v.MinFrontier = d.f64()
+		ni := d.sliceLen(20)
+		if ni > 0 {
+			v.Intersections = make([]protocol.IntersectionStat, ni)
+			for i := range v.Intersections {
+				v.Intersections[i].Q1 = query.ID(d.i64())
+				v.Intersections[i].Q2 = query.ID(d.i64())
+				v.Intersections[i].Shared = d.i32()
+			}
+		}
+		v.Finished = d.bool()
+		m = v
+	case protocol.TStopAck:
+		v := &protocol.StopAck{}
+		v.Epoch = d.i32()
+		v.W = partition.WorkerID(d.u8())
+		if n := d.sliceLen(8); n > 0 {
+			v.SentTotals = make([]uint64, n)
+			for i := range v.SentTotals {
+				v.SentTotals[i] = d.u64()
+			}
+		}
+		m = v
+	case protocol.TDrainAck:
+		v := &protocol.DrainAck{}
+		v.Epoch = d.i32()
+		v.W = partition.WorkerID(d.u8())
+		m = v
+	case protocol.TMoveAck:
+		v := &protocol.MoveAck{}
+		v.Epoch = d.i32()
+		v.Q = query.ID(d.i64())
+		v.From = partition.WorkerID(d.u8())
+		v.To = partition.WorkerID(d.u8())
+		if n := d.sliceLen(4); n > 0 {
+			v.Vertices = make([]graph.VertexID, n)
+			for i := range v.Vertices {
+				v.Vertices[i] = graph.VertexID(d.i32())
+			}
+		}
+		m = v
+	case protocol.TVertexBatch:
+		v := &protocol.VertexBatch{}
+		v.Q = query.ID(d.i64())
+		v.Step = d.i32()
+		v.From = partition.WorkerID(d.u8())
+		if n := d.sliceLen(12); n > 0 {
+			v.Entries = make([]protocol.VertexMsg, n)
+			for i := range v.Entries {
+				v.Entries[i].To = graph.VertexID(d.i32())
+				v.Entries[i].Val = d.f64()
+			}
+		}
+		m = v
+	case protocol.TScopeData:
+		v := &protocol.ScopeData{}
+		v.Epoch = d.i32()
+		v.Q = query.ID(d.i64())
+		v.From = partition.WorkerID(d.u8())
+		n := d.sliceLen(12)
+		v.Vertices = make([]protocol.MovedVertex, n)
+		for i := range v.Vertices {
+			v.Vertices[i].V = graph.VertexID(d.i32())
+			if nv := d.sliceLen(16); nv > 0 {
+				v.Vertices[i].Values = make([]protocol.QueryValue, nv)
+				for j := range v.Vertices[i].Values {
+					v.Vertices[i].Values[j].Q = query.ID(d.i64())
+					v.Vertices[i].Values[j].Val = d.f64()
+				}
+			}
+			np := d.sliceLen(20)
+			if np > 0 {
+				v.Vertices[i].Pending = make([]protocol.PendingMsg, np)
+				for j := range v.Vertices[i].Pending {
+					v.Vertices[i].Pending[j].Q = query.ID(d.i64())
+					v.Vertices[i].Pending[j].Step = d.i32()
+					v.Vertices[i].Pending[j].Val = d.f64()
+				}
+			}
+			nf := d.sliceLen(8)
+			if nf > 0 {
+				v.Vertices[i].Finished = make([]query.ID, nf)
+				for j := range v.Vertices[i].Finished {
+					v.Vertices[i].Finished[j] = query.ID(d.i64())
+				}
+			}
+		}
+		m = v
+	default:
+		return nil, fmt.Errorf("transport: unknown message type %d", t)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(payload) {
+		return nil, fmt.Errorf("transport: %d trailing bytes in %d frame", len(payload)-d.off, t)
+	}
+	return m, nil
+}
+
+// WireSize estimates the encoded size of m without encoding it; the
+// simulated network uses it for transmission-time accounting.
+func WireSize(m protocol.Message) int {
+	const hdr = 5
+	switch v := m.(type) {
+	case *protocol.VertexBatch:
+		return hdr + 17 + 12*len(v.Entries)
+	case *protocol.ScopeData:
+		n := hdr + 17
+		for _, mv := range v.Vertices {
+			n += 16 + 16*len(mv.Values) + 20*len(mv.Pending) + 8*len(mv.Finished)
+		}
+		return n
+	case *protocol.BarrierSynch:
+		return hdr + 55 + 4*len(v.SentBatches) + 20*len(v.Intersections)
+	case *protocol.OwnershipUpdate:
+		return hdr + 8 + 5*len(v.Vertices)
+	case *protocol.MoveAck:
+		return hdr + 18 + 4*len(v.Vertices)
+	case *protocol.DrainCheck:
+		return hdr + 9 + 8*len(v.ExpectRecv)
+	case *protocol.StopAck:
+		return hdr + 9 + 8*len(v.SentTotals)
+	case *protocol.ExecuteQuery:
+		return hdr + 33
+	default:
+		return hdr + 16
+	}
+}

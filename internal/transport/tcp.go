@@ -1,0 +1,260 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"qgraph/internal/protocol"
+)
+
+// TCPNode is one node of a TCP-connected Q-Graph deployment. Frames are the
+// codec frames of this package; each node dials its peers lazily and
+// accepts inbound connections, so deployments need no start-up ordering
+// beyond "listeners up before traffic".
+//
+// The dial handshake is a single byte carrying the dialer's NodeID.
+type TCPNode struct {
+	id    protocol.NodeID
+	addrs []string // addrs[n] is node n's listen address
+	ln    net.Listener
+
+	mu       sync.Mutex
+	peers    map[protocol.NodeID]*tcpPeer
+	accepted []net.Conn
+
+	inbox  chan Envelope
+	inQ    *queue
+	wg     sync.WaitGroup
+	closed chan struct{}
+	once   sync.Once
+}
+
+type tcpPeer struct {
+	conn net.Conn
+	bw   *bufio.Writer
+	mu   sync.Mutex // serializes frame writes
+}
+
+// NewTCPNode starts node id listening on addrs[id]. addrs lists every
+// node's address (index = NodeID).
+func NewTCPNode(id protocol.NodeID, addrs []string) (*TCPNode, error) {
+	if int(id) >= len(addrs) {
+		return nil, fmt.Errorf("transport: node %d not in address list (len %d)", id, len(addrs))
+	}
+	ln, err := net.Listen("tcp", addrs[id])
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addrs[id], err)
+	}
+	return newTCPNodeWithListener(id, addrs, ln), nil
+}
+
+func newTCPNodeWithListener(id protocol.NodeID, addrs []string, ln net.Listener) *TCPNode {
+	n := &TCPNode{
+		id:     id,
+		addrs:  addrs,
+		ln:     ln,
+		peers:  make(map[protocol.NodeID]*tcpPeer),
+		inbox:  make(chan Envelope, 256),
+		inQ:    newQueue(),
+		closed: make(chan struct{}),
+	}
+	n.wg.Add(2)
+	go n.acceptLoop()
+	go n.pump()
+	return n
+}
+
+// Addr returns the actual listen address (useful with ":0" ports in tests).
+func (n *TCPNode) Addr() string { return n.ln.Addr().String() }
+
+func (n *TCPNode) pump() {
+	defer n.wg.Done()
+	defer close(n.inbox)
+	for {
+		it, ok := n.inQ.pop()
+		if !ok {
+			return
+		}
+		n.inbox <- it.env
+	}
+}
+
+func (n *TCPNode) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.mu.Lock()
+		select {
+		case <-n.closed:
+			n.mu.Unlock()
+			conn.Close()
+			return
+		default:
+		}
+		n.accepted = append(n.accepted, conn)
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			n.serveConn(conn)
+		}()
+	}
+}
+
+// serveConn reads the handshake then pushes decoded frames into the inbox.
+func (n *TCPNode) serveConn(conn net.Conn) {
+	defer conn.Close()
+	var hs [1]byte
+	if _, err := io.ReadFull(conn, hs[:]); err != nil {
+		return
+	}
+	from := protocol.NodeID(hs[0])
+	br := bufio.NewReaderSize(conn, 1<<16)
+	for {
+		m, err := readFrame(br)
+		if err != nil {
+			return
+		}
+		if !n.inQ.push(queueItem{env: Envelope{From: from, Msg: m}}) {
+			return
+		}
+	}
+}
+
+func readFrame(r io.Reader) (protocol.Message, error) {
+	var head [5]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		return nil, err
+	}
+	length := binary.LittleEndian.Uint32(head[0:4])
+	if length > 1<<28 {
+		return nil, fmt.Errorf("transport: oversized frame %d", length)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return Decode(protocol.MsgType(head[4]), payload)
+}
+
+func (n *TCPNode) peer(to protocol.NodeID) (*tcpPeer, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if p, ok := n.peers[to]; ok {
+		return p, nil
+	}
+	if int(to) >= len(n.addrs) {
+		return nil, fmt.Errorf("transport: unknown node %d", to)
+	}
+	conn, err := net.Dial("tcp", n.addrs[to])
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial node %d (%s): %w", to, n.addrs[to], err)
+	}
+	if _, err := conn.Write([]byte{byte(n.id)}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	p := &tcpPeer{conn: conn, bw: bufio.NewWriterSize(conn, 1<<16)}
+	n.peers[to] = p
+	return p, nil
+}
+
+// Send implements Conn. Frames are written synchronously to the socket
+// buffer and flushed immediately; the kernel provides the async pipe.
+func (n *TCPNode) Send(to protocol.NodeID, m protocol.Message) error {
+	frame, err := Encode(m)
+	if err != nil {
+		return err
+	}
+	p, err := n.peer(to)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, err := p.bw.Write(frame); err != nil {
+		return err
+	}
+	return p.bw.Flush()
+}
+
+// Inbox implements Conn.
+func (n *TCPNode) Inbox() <-chan Envelope { return n.inbox }
+
+// Close implements Conn.
+func (n *TCPNode) Close() error {
+	n.once.Do(func() {
+		close(n.closed)
+		n.ln.Close()
+		n.mu.Lock()
+		for _, p := range n.peers {
+			p.conn.Close()
+		}
+		for _, c := range n.accepted {
+			c.Close()
+		}
+		n.mu.Unlock()
+		n.inQ.close()
+	})
+	n.wg.Wait()
+	return nil
+}
+
+var _ Conn = (*TCPNode)(nil)
+
+// TCPNetwork bundles in-process TCPNodes into a Network, used by tests and
+// by single-machine multi-process-less TCP runs (the paper's loopback-TCP
+// scale-up configuration M1/M2).
+type TCPNetwork struct {
+	nodes []*TCPNode
+}
+
+// NewTCPNetwork starts n nodes on loopback with ephemeral ports: listeners
+// are bound first so every node knows all final addresses before anyone
+// dials.
+func NewTCPNetwork(n int) (*TCPNetwork, error) {
+	listeners := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for j := 0; j < i; j++ {
+				listeners[j].Close()
+			}
+			return nil, err
+		}
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	nodes := make([]*TCPNode, n)
+	for i := 0; i < n; i++ {
+		nodes[i] = newTCPNodeWithListener(protocol.NodeID(i), append([]string(nil), addrs...), listeners[i])
+	}
+	return &TCPNetwork{nodes: nodes}, nil
+}
+
+// Conn implements Network.
+func (t *TCPNetwork) Conn(n protocol.NodeID) Conn { return t.nodes[n] }
+
+// Nodes implements Network.
+func (t *TCPNetwork) Nodes() int { return len(t.nodes) }
+
+// Close implements Network.
+func (t *TCPNetwork) Close() error {
+	var first error
+	for _, n := range t.nodes {
+		if err := n.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+var _ Network = (*TCPNetwork)(nil)

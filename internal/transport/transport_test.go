@@ -1,0 +1,144 @@
+package transport
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"qgraph/internal/graph"
+	"qgraph/internal/protocol"
+)
+
+// exerciseNetwork sends numbered messages across every ordered node pair
+// and verifies complete, per-link-ordered delivery.
+func exerciseNetwork(t *testing.T, net Network, msgs int) {
+	t.Helper()
+	n := net.Nodes()
+	type key struct{ from, to protocol.NodeID }
+	done := make(chan error, n)
+
+	for to := 0; to < n; to++ {
+		to := protocol.NodeID(to)
+		go func() {
+			lastSeen := map[protocol.NodeID]int32{}
+			want := msgs * (n - 1)
+			got := 0
+			timeout := time.After(20 * time.Second)
+			for got < want {
+				select {
+				case env, ok := <-net.Conn(to).Inbox():
+					if !ok {
+						done <- fmt.Errorf("node %d: inbox closed after %d/%d", to, got, want)
+						return
+					}
+					b, isB := env.Msg.(*protocol.GlobalStop)
+					if !isB {
+						done <- fmt.Errorf("node %d: unexpected %T", to, env.Msg)
+						return
+					}
+					if last, ok := lastSeen[env.From]; ok && b.Epoch <= last {
+						done <- fmt.Errorf("node %d: out of order from %d: %d after %d", to, env.From, b.Epoch, last)
+						return
+					}
+					lastSeen[env.From] = b.Epoch
+					got++
+				case <-timeout:
+					done <- fmt.Errorf("node %d: timeout after %d/%d", to, got, want)
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+
+	for from := 0; from < n; from++ {
+		from := protocol.NodeID(from)
+		go func() {
+			for i := 1; i <= msgs; i++ {
+				for to := 0; to < n; to++ {
+					if protocol.NodeID(to) == from {
+						continue
+					}
+					if err := net.Conn(from).Send(protocol.NodeID(to), &protocol.GlobalStop{Epoch: int32(i)}); err != nil {
+						t.Errorf("send %d→%d: %v", from, to, err)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	for i := 0; i < n; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestChanNetworkDelivery exercises the in-process transport without and
+// with simulated latency.
+func TestChanNetworkDelivery(t *testing.T) {
+	net := NewChanNetwork(4, Latency{})
+	defer net.Close()
+	exerciseNetwork(t, net, 200)
+}
+
+func TestChanNetworkLatencyDelivery(t *testing.T) {
+	net := NewChanNetwork(3, Latency{
+		WorkerWorker:     200 * time.Microsecond,
+		WorkerController: 100 * time.Microsecond,
+		PerByte:          10 * time.Nanosecond,
+	})
+	defer net.Close()
+	exerciseNetwork(t, net, 50)
+}
+
+// TestChanNetworkLatencyOrdering checks that a link delivers no earlier
+// than the propagation delay.
+func TestChanNetworkLatencyOrdering(t *testing.T) {
+	lat := Latency{WorkerWorker: 2 * time.Millisecond, WorkerController: 1 * time.Millisecond}
+	net := NewChanNetwork(3, lat)
+	defer net.Close()
+	start := time.Now()
+	if err := net.Conn(1).Send(2, &protocol.GlobalStop{Epoch: 1}); err != nil {
+		t.Fatal(err)
+	}
+	<-net.Conn(2).Inbox()
+	if el := time.Since(start); el < lat.WorkerWorker {
+		t.Fatalf("delivered after %v, want >= %v", el, lat.WorkerWorker)
+	}
+}
+
+// TestTCPNetworkDelivery exercises the TCP transport end to end.
+func TestTCPNetworkDelivery(t *testing.T) {
+	net, err := NewTCPNetwork(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	exerciseNetwork(t, net, 200)
+}
+
+// TestTCPLargeBatch pushes a large vertex batch through TCP.
+func TestTCPLargeBatch(t *testing.T) {
+	net, err := NewTCPNetwork(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	entries := make([]protocol.VertexMsg, 50000)
+	for i := range entries {
+		entries[i] = protocol.VertexMsg{To: graph.VertexID(i), Val: float64(i) / 3}
+	}
+	if err := net.Conn(0).Send(1, &protocol.VertexBatch{Q: 1, Step: 2, From: 0, Entries: entries}); err != nil {
+		t.Fatal(err)
+	}
+	env := <-net.Conn(1).Inbox()
+	got := env.Msg.(*protocol.VertexBatch)
+	if len(got.Entries) != len(entries) {
+		t.Fatalf("got %d entries, want %d", len(got.Entries), len(entries))
+	}
+	if got.Entries[49999] != entries[49999] {
+		t.Fatalf("entry mismatch: %+v", got.Entries[49999])
+	}
+}

@@ -1,0 +1,198 @@
+package worker
+
+import (
+	"time"
+
+	"qgraph/internal/graph"
+	"qgraph/internal/partition"
+	"qgraph/internal/protocol"
+	"qgraph/internal/query"
+)
+
+// ownerOf resolves which worker processes vertex v for query qs: normally
+// the vertex owner, but queries pinned by the replication extension run
+// entirely at their home worker (query.Spec.SetHome).
+func (w *Worker) ownerOf(qs *queryState, v graph.VertexID) partition.WorkerID {
+	if home, ok := qs.spec.HomeWorker(); ok {
+		return partition.WorkerID(home)
+	}
+	return w.owner[v]
+}
+
+// stepResult summarises one computed superstep.
+type stepResult struct {
+	processed   int32
+	nActiveNext int32
+	sent        []int32 // batches sent per destination worker
+	sentTotal   int32
+	minFrontier float64
+}
+
+// stepOnce computes the query's next superstep under its active release.
+// When the release marks this worker as solo and the query stayed local,
+// the query is re-queued for another local superstep instead of reporting
+// a barrier message (the local query barrier of Sec. 3.3) — but only one
+// superstep runs per call, so concurrent queries interleave fairly.
+func (w *Worker) stepOnce(q query.ID, qs *queryState) {
+	step := qs.step
+	res := w.computeStep(qs, step)
+	canLoop := qs.release.Solo &&
+		!w.stopping &&
+		res.sentTotal == 0 &&
+		res.nActiveNext > 0 &&
+		!(qs.prog.Monotone() && res.minFrontier >= qs.bestGoal) &&
+		(qs.spec.MaxIters == 0 || int(step+1) < qs.spec.MaxIters)
+	if canLoop {
+		w.ready = append(w.ready, q)
+		return
+	}
+	qs.release = nil
+	w.sendSynch(q, qs, qs.soloFrom, step, res)
+}
+
+// computeStep executes one superstep of qs: consume the combined inbox,
+// run the vertex function per active vertex, stage emissions, and flush
+// remote batches.
+func (w *Worker) computeStep(qs *queryState, step int32) stepResult {
+	box := qs.inbox[step]
+	delete(qs.inbox, step)
+
+	res := stepResult{
+		processed:   int32(len(box)),
+		minFrontier: query.NoResult,
+		sent:        make([]int32, w.k),
+	}
+	g, spec, prog := w.g, qs.spec, qs.prog
+	emit := func(to graph.VertexID, val float64) {
+		dst := w.ownerOf(qs, to)
+		if dst == w.id {
+			w.combineIn(qs, step+1, to, val)
+			return
+		}
+		buf := w.outBuf[dst]
+		if buf == nil {
+			buf = make(map[graph.VertexID]float64)
+			w.outBuf[dst] = buf
+		}
+		if old, ok := buf[to]; ok {
+			buf[to] = prog.Combine(old, val)
+		} else {
+			buf[to] = val
+		}
+	}
+
+	for v, msg := range box {
+		old, hasOld := qs.data[v]
+		newVal, changed := prog.Compute(g, spec, v, old, hasOld, msg, emit)
+		if !changed {
+			continue
+		}
+		if !hasOld {
+			qs.sig[int32(v)>>sigShift]++
+		}
+		qs.data[v] = newVal
+		if prog.Goal(g, spec, v, newVal) && newVal < qs.bestGoal {
+			qs.bestGoal = newVal
+		}
+	}
+	if w.cfg.ComputeCost > 0 && len(box) > 0 {
+		// Accumulate simulated compute and sleep in ~1ms quanta: short
+		// sleeps oversleep by scheduler granularity, which would inflate
+		// every superstep's critical path instead of modelling load.
+		w.computeDebt += time.Duration(len(box)) * w.cfg.ComputeCost
+		if w.computeDebt >= time.Millisecond {
+			time.Sleep(w.computeDebt)
+			w.computeDebt = 0
+		}
+	}
+
+	// Flush remote buffers as batches and fold their values into the
+	// frontier bound.
+	for dst := 0; dst < w.k; dst++ {
+		buf := w.outBuf[dst]
+		if len(buf) == 0 {
+			continue
+		}
+		w.outBuf[dst] = nil
+		entries := make([]protocol.VertexMsg, 0, len(buf))
+		for v, val := range buf {
+			entries = append(entries, protocol.VertexMsg{To: v, Val: val})
+			if val < res.minFrontier {
+				res.minFrontier = val
+			}
+		}
+		res.sent[dst] = w.sendBatch(qs.spec.ID, step, partition.WorkerID(dst), entries)
+		res.sentTotal += res.sent[dst]
+	}
+
+	// Local activations pending for the next superstep also bound the
+	// frontier.
+	for _, val := range qs.inbox[step+1] {
+		if val < res.minFrontier {
+			res.minFrontier = val
+		}
+	}
+	res.nActiveNext = int32(len(qs.inbox[step+1]))
+	qs.step = step + 1
+	return res
+}
+
+// sendBatch ships entries to worker dst, splitting at the configured batch
+// limits (Sec. 4.1(iv)), and returns the number of batches sent.
+func (w *Worker) sendBatch(q query.ID, step int32, dst partition.WorkerID, entries []protocol.VertexMsg) int32 {
+	const entryBytes = 12
+	maxEntries := w.cfg.BatchMaxMsgs
+	if byBytes := w.cfg.BatchMaxBytes / entryBytes; byBytes < maxEntries {
+		maxEntries = byBytes
+	}
+	if maxEntries < 1 {
+		maxEntries = 1
+	}
+	var batches int32
+	for len(entries) > 0 {
+		n := min(len(entries), maxEntries)
+		w.conn.Send(protocol.WorkerNode(dst), &protocol.VertexBatch{
+			Q: q, Step: step, From: w.id, Entries: entries[:n:n],
+		})
+		entries = entries[n:]
+		batches++
+	}
+	w.sentTotals[dst] += uint64(batches)
+	return batches
+}
+
+// sendSynch reports a completed superstep range to the controller with the
+// monitoring statistics piggybacked (Sec. 3.4).
+func (w *Worker) sendSynch(q query.ID, qs *queryState, fromStep, step int32, res stepResult) {
+	qs.synchs++
+	var inter []protocol.IntersectionStat
+	if qs.synchs%w.cfg.StatsEvery == 0 {
+		inter = w.intersections(q, qs)
+	}
+	minFrontier := res.minFrontier
+	// Older pending inboxes (from earlier remote activations) also bound
+	// the frontier; include everything still buffered.
+	for s, box := range qs.inbox {
+		if s == step+1 {
+			continue // already folded in
+		}
+		for _, val := range box {
+			if val < minFrontier {
+				minFrontier = val
+			}
+		}
+	}
+	w.conn.Send(protocol.ControllerNode, &protocol.BarrierSynch{
+		Q: q, W: w.id,
+		Step:          step,
+		FromStep:      fromStep,
+		LocalIters:    step - fromStep,
+		Processed:     res.processed,
+		NActiveNext:   res.nActiveNext,
+		ScopeSize:     int32(len(qs.data)),
+		SentBatches:   res.sent,
+		BestGoal:      qs.bestGoal,
+		MinFrontier:   minFrontier,
+		Intersections: inter,
+	})
+}

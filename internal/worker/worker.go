@@ -1,0 +1,529 @@
+// Package worker implements the Q-Graph worker layer (Fig. 2 of the
+// paper): low-level, vertex-centric graph processing with local knowledge.
+// A worker owns a partition of the vertices, executes the vertex functions
+// of all queries over its partition superstep by superstep, batches
+// messages to remote vertices, tracks each query's local scope LS(q,w),
+// and cooperates with the controller through the barrier protocol —
+// including the local query barrier that lets it iterate a solo query
+// without any controller round-trips (Sec. 3.3).
+//
+// A worker is a single event loop over its transport inbox; all state is
+// confined to that goroutine.
+package worker
+
+import (
+	"fmt"
+	"time"
+
+	"qgraph/internal/graph"
+	"qgraph/internal/partition"
+	"qgraph/internal/protocol"
+	"qgraph/internal/query"
+	"qgraph/internal/transport"
+)
+
+// Config parameterises a worker.
+type Config struct {
+	// ID is this worker's id; K the total worker count.
+	ID partition.WorkerID
+	K  int
+	// Graph is the shared immutable graph structure (each worker process
+	// loads its own copy in distributed deployments).
+	Graph *graph.Graph
+	// Owner is the initial vertex→worker assignment; the worker keeps a
+	// private copy and applies ownership updates to it.
+	Owner partition.Assignment
+	// BatchMaxMsgs / BatchMaxBytes bound vertex message batches
+	// (Sec. 4.1(iv): 32 messages / 32 KB per batch).
+	BatchMaxMsgs  int
+	BatchMaxBytes int
+	// StatsEvery piggybacks intersection statistics on every n-th barrier
+	// message of a query (sizes are piggybacked on all of them).
+	StatsEvery int
+	// ScopeTTL is how long the vertex sets of finished queries are kept
+	// for move directives (the controller's monitoring window μ).
+	ScopeTTL time.Duration
+	// ComputeCost simulates per-active-vertex work beyond the actual
+	// vertex function (heavier application logic, (de)serialization of
+	// vertex data). A worker saturates when hotspot load concentrates on
+	// it — the straggler effect the paper's balance constraint guards
+	// against. Zero disables the simulation.
+	ComputeCost time.Duration
+	// Clock abstracts time for tests; nil means time.Now.
+	Clock func() time.Time
+}
+
+func (c *Config) fill() {
+	if c.BatchMaxMsgs <= 0 {
+		c.BatchMaxMsgs = 32
+	}
+	if c.BatchMaxBytes <= 0 {
+		c.BatchMaxBytes = 32 << 10
+	}
+	if c.StatsEvery <= 0 {
+		c.StatsEvery = 8
+	}
+	if c.ScopeTTL <= 0 {
+		c.ScopeTTL = 240 * time.Second
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+}
+
+// queryState is the worker-local state of one query: its private vertex
+// data (the local query scope) and per-superstep inboxes.
+type queryState struct {
+	spec query.Spec
+	prog query.Program
+
+	// data holds the query-private value of every vertex the query touched
+	// on this worker; its key set is LS(q, w).
+	data map[graph.VertexID]float64
+	// sig is a coarse signature of the scope: touched vertices per
+	// sigShift-sized id block. Intersection statistics are estimated from
+	// signatures instead of exact key-set walks, which keeps the Iw
+	// piggyback (Sec. 3.4) O(scope/2^sigShift) instead of O(scope) per
+	// query pair — the clustering that consumes them only needs affinity.
+	sig map[int32]int32
+	// inbox[s] holds combined messages to be consumed by superstep s.
+	inbox map[int32]map[graph.VertexID]float64
+	// recvBatches[s] counts vertex batches received that were sent during
+	// superstep s (consumed by s+1); the barrier release waits on it.
+	recvBatches map[int32]int32
+	// pending is a barrier release we cannot honor yet because expected
+	// batches have not all arrived.
+	pending *protocol.BarrierReady
+	// release is the active barrier release being executed; while it has
+	// Solo set, the worker keeps re-queueing the query for further local
+	// supersteps (the local query barrier) without controller round-trips.
+	release *protocol.BarrierReady
+	// soloFrom is the first superstep covered by the current release.
+	soloFrom int32
+	// step is the next superstep to compute.
+	step int32
+	// bestGoal is the best goal value seen on this worker.
+	bestGoal float64
+	// synchs counts barrier messages sent, for stats piggyback cadence.
+	synchs int
+}
+
+// sigShift is the scope-signature block size exponent: vertices v and v'
+// share a block iff v>>sigShift == v'>>sigShift. Road-network vertex ids
+// are row-major, so a block is a spatially contiguous strip.
+const sigShift = 6
+
+// sigOverlap estimates |A ∩ B| from two signatures as Σ_block min(a, b).
+func sigOverlap(a, b map[int32]int32) int32 {
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	var shared int32
+	for blk, ca := range a {
+		if cb, ok := b[blk]; ok {
+			shared += min(ca, cb)
+		}
+	}
+	return shared
+}
+
+// finishedScope remembers the vertex set of a completed query so later
+// move directives can still relocate its hotspot, plus its signature for
+// intersection estimates.
+type finishedScope struct {
+	verts map[graph.VertexID]bool
+	sig   map[int32]int32
+	at    time.Time
+}
+
+// Worker is the worker-layer event loop.
+type Worker struct {
+	cfg  Config
+	conn transport.Conn
+	g    *graph.Graph
+	k    int
+	id   partition.WorkerID
+
+	owner   partition.Assignment
+	queries map[query.ID]*queryState
+	done    map[query.ID]*finishedScope
+	// finished records every query id this worker has seen finish, so late
+	// batches can be distinguished from batches that raced ahead of the
+	// ExecuteQuery broadcast on another link.
+	finished map[query.ID]time.Time
+	// early buffers batches that arrived before their query's
+	// ExecuteQuery; they are replayed when it arrives.
+	early map[query.ID][]*protocol.VertexBatch
+
+	sentTotals []uint64 // cumulative batches sent, by destination worker
+	recvTotals []uint64 // cumulative batches received, by source worker
+
+	// Scope-data counters for the second drain round of a global barrier.
+	scopeSentTotals []uint64
+	scopeRecvTotals []uint64
+
+	// Global barrier state.
+	stopping     bool
+	stopEpoch    int32
+	pendingDrain *protocol.DrainCheck
+	// arrived tracks vertices received via ScopeData in the current global
+	// barrier. Move directives exclude them, so chained directives
+	// (q: w1→w2 and q: w2→w3 in the same barrier) relocate exactly the
+	// scopes the controller saw, independent of delivery order.
+	arrived map[graph.VertexID]bool
+
+	// Forwarded counts batch entries that arrived for vertices this worker
+	// does not own. The protocol guarantees zero; tests assert it.
+	Forwarded int
+
+	// ready queues queries with a runnable superstep. Processing one
+	// superstep per scheduling turn interleaves concurrent queries fairly:
+	// a long solo query must not monopolize the worker while others wait
+	// (multi-query execution, Sec. 3.3).
+	ready []query.ID
+	// computeDebt accumulates simulated per-vertex compute time until it
+	// is large enough to sleep accurately (see Config.ComputeCost).
+	computeDebt time.Duration
+
+	// scratch buffers for superstep compute, reused across supersteps.
+	outBuf []map[graph.VertexID]float64
+}
+
+// New creates a worker bound to conn.
+func New(cfg Config, conn transport.Conn) (*Worker, error) {
+	cfg.fill()
+	if cfg.Graph == nil {
+		return nil, fmt.Errorf("worker %d: nil graph", cfg.ID)
+	}
+	if len(cfg.Owner) != cfg.Graph.NumVertices() {
+		return nil, fmt.Errorf("worker %d: ownership table covers %d of %d vertices",
+			cfg.ID, len(cfg.Owner), cfg.Graph.NumVertices())
+	}
+	w := &Worker{
+		cfg:             cfg,
+		conn:            conn,
+		g:               cfg.Graph,
+		k:               cfg.K,
+		id:              cfg.ID,
+		owner:           cfg.Owner.Clone(),
+		queries:         make(map[query.ID]*queryState),
+		done:            make(map[query.ID]*finishedScope),
+		finished:        make(map[query.ID]time.Time),
+		early:           make(map[query.ID][]*protocol.VertexBatch),
+		sentTotals:      make([]uint64, cfg.K),
+		recvTotals:      make([]uint64, cfg.K),
+		scopeSentTotals: make([]uint64, cfg.K),
+		scopeRecvTotals: make([]uint64, cfg.K),
+		outBuf:          make([]map[graph.VertexID]float64, cfg.K),
+	}
+	return w, nil
+}
+
+// Run processes the inbox until Shutdown arrives or the inbox closes.
+// Incoming messages take priority; between messages the worker executes
+// one queued superstep per turn. It returns the first fatal error (nil on
+// clean shutdown).
+func (w *Worker) Run() error {
+	inbox := w.conn.Inbox()
+	for {
+		var env transport.Envelope
+		var ok bool
+		if len(w.ready) == 0 {
+			env, ok = <-inbox
+		} else {
+			select {
+			case env, ok = <-inbox:
+			default:
+				w.runReady()
+				continue
+			}
+		}
+		if !ok {
+			return nil
+		}
+		stop, err := w.handle(env)
+		if err != nil {
+			return fmt.Errorf("worker %d: %w", w.id, err)
+		}
+		if stop {
+			return nil
+		}
+	}
+}
+
+// runReady executes one superstep of the oldest runnable query.
+func (w *Worker) runReady() {
+	q := w.ready[0]
+	w.ready = w.ready[1:]
+	if len(w.ready) == 0 {
+		w.ready = nil
+	}
+	qs, ok := w.queries[q]
+	if !ok || qs.release == nil {
+		return // query finished or was superseded meanwhile
+	}
+	w.stepOnce(q, qs)
+}
+
+func (w *Worker) handle(env transport.Envelope) (stop bool, err error) {
+	switch m := env.Msg.(type) {
+	case *protocol.ExecuteQuery:
+		err = w.onExecute(m)
+	case *protocol.BarrierReady:
+		err = w.onBarrierReady(m)
+	case *protocol.QueryFinish:
+		err = w.onFinish(m)
+	case *protocol.VertexBatch:
+		err = w.onVertexBatch(m)
+	case *protocol.GlobalStop:
+		err = w.onGlobalStop(m)
+	case *protocol.DrainCheck:
+		w.pendingDrain = m
+		w.checkDrain()
+	case *protocol.MoveScope:
+		err = w.onMoveScope(m)
+	case *protocol.ScopeData:
+		err = w.onScopeData(m)
+	case *protocol.OwnershipUpdate:
+		for i, v := range m.Vertices {
+			w.owner[v] = m.Owners[i]
+		}
+	case *protocol.GlobalStart:
+		w.stopping = false
+	case *protocol.Shutdown:
+		return true, nil
+	default:
+		err = fmt.Errorf("unexpected message %T", env.Msg)
+	}
+	return false, err
+}
+
+// onExecute registers a query. ExecuteQuery is broadcast to every worker so
+// that all of them know the spec (scope moves may later hand any worker a
+// piece of any query); only owners of initially active vertices get work.
+func (w *Worker) onExecute(m *protocol.ExecuteQuery) error {
+	if _, ok := w.queries[m.Spec.ID]; ok {
+		return fmt.Errorf("query %d already executing", m.Spec.ID)
+	}
+	prog, err := query.New(m.Spec.Kind)
+	if err != nil {
+		return err
+	}
+	qs := &queryState{
+		spec:        m.Spec,
+		prog:        prog,
+		data:        make(map[graph.VertexID]float64),
+		sig:         make(map[int32]int32),
+		inbox:       make(map[int32]map[graph.VertexID]float64),
+		recvBatches: make(map[int32]int32),
+		bestGoal:    query.NoResult,
+	}
+	for _, act := range prog.Init(w.g, m.Spec) {
+		if w.ownerOf(qs, act.V) == w.id {
+			w.combineIn(qs, 0, act.V, act.Msg)
+		}
+	}
+	w.queries[m.Spec.ID] = qs
+	// Replay any batches that raced ahead of this broadcast on a
+	// worker-worker link.
+	if buffered := w.early[m.Spec.ID]; buffered != nil {
+		delete(w.early, m.Spec.ID)
+		for _, b := range buffered {
+			w.deliverBatch(qs, b)
+		}
+	}
+	return nil
+}
+
+// combineIn merges a message for vertex v into the inbox of superstep s.
+func (w *Worker) combineIn(qs *queryState, s int32, v graph.VertexID, val float64) {
+	box := qs.inbox[s]
+	if box == nil {
+		box = make(map[graph.VertexID]float64)
+		qs.inbox[s] = box
+	}
+	if old, ok := box[v]; ok {
+		box[v] = qs.prog.Combine(old, val)
+	} else {
+		box[v] = val
+	}
+}
+
+// onBarrierReady releases (or defers) the next superstep of a query.
+func (w *Worker) onBarrierReady(m *protocol.BarrierReady) error {
+	qs, ok := w.queries[m.Q]
+	if !ok {
+		return fmt.Errorf("barrierReady for unknown query %d", m.Q)
+	}
+	qs.pending = m
+	w.tryAdvance(m.Q, qs)
+	return nil
+}
+
+// tryAdvance activates the pending release once all expected batches
+// arrived, queueing the query's superstep for execution.
+func (w *Worker) tryAdvance(q query.ID, qs *queryState) {
+	m := qs.pending
+	if m == nil {
+		return
+	}
+	if !m.Drained && m.Expect > 0 && qs.recvBatches[m.Step-1] < m.Expect {
+		return // batches still in flight
+	}
+	qs.pending = nil
+	delete(qs.recvBatches, m.Step-1)
+	qs.release = m
+	qs.soloFrom = m.Step
+	qs.step = m.Step
+	w.ready = append(w.ready, q)
+}
+
+// onVertexBatch buffers remote messages and re-checks any deferred release.
+func (w *Worker) onVertexBatch(m *protocol.VertexBatch) error {
+	// Count the arrival unconditionally: the drain protocol accounts every
+	// batch, whatever happens to its contents.
+	w.recvTotals[m.From]++
+	qs, ok := w.queries[m.Q]
+	if !ok {
+		if _, fin := w.finished[m.Q]; !fin {
+			// The batch raced ahead of the ExecuteQuery broadcast on
+			// another link; hold it until the query is known.
+			w.early[m.Q] = append(w.early[m.Q], m)
+		}
+		// Batches of finished queries are obsolete: the controller only
+		// finishes a query once no improving message can exist.
+		w.checkDrain()
+		return nil
+	}
+	w.deliverBatch(qs, m)
+	w.tryAdvance(m.Q, qs)
+	w.checkDrain()
+	return nil
+}
+
+// deliverBatch merges a batch's entries into the query inbox.
+func (w *Worker) deliverBatch(qs *queryState, m *protocol.VertexBatch) {
+	qs.recvBatches[m.Step]++
+	for _, e := range m.Entries {
+		if w.ownerOf(qs, e.To) != w.id {
+			// Should be impossible: ownership only changes while the
+			// network is drained. Count and forward defensively.
+			w.Forwarded++
+			w.sendBatch(qs.spec.ID, m.Step, w.ownerOf(qs, e.To), []protocol.VertexMsg{e})
+			continue
+		}
+		w.combineIn(qs, m.Step+1, e.To, e.Val)
+	}
+}
+
+// onGlobalStop acknowledges the STOP barrier with cumulative send counters.
+// The controller quiesces all queries before stopping, so the ready queue
+// is empty here; any stragglers are drained first (with the stopping flag
+// set they report out after one superstep), keeping the counters complete.
+func (w *Worker) onGlobalStop(m *protocol.GlobalStop) error {
+	w.stopping = true
+	w.stopEpoch = m.Epoch
+	w.arrived = make(map[graph.VertexID]bool)
+	for len(w.ready) > 0 {
+		w.runReady()
+	}
+	totals := make([]uint64, w.k)
+	copy(totals, w.sentTotals)
+	return w.conn.Send(protocol.ControllerNode, &protocol.StopAck{
+		Epoch: m.Epoch, W: w.id, SentTotals: totals,
+	})
+}
+
+// checkDrain answers a pending DrainCheck once every expected message has
+// arrived (vertex batches, or scope transfers when the check's Scope flag
+// is set).
+func (w *Worker) checkDrain() {
+	m := w.pendingDrain
+	if m == nil {
+		return
+	}
+	have := w.recvTotals
+	if m.Scope {
+		have = w.scopeRecvTotals
+	}
+	for src, want := range m.ExpectRecv {
+		if have[src] < want {
+			return
+		}
+	}
+	w.pendingDrain = nil
+	w.conn.Send(protocol.ControllerNode, &protocol.DrainAck{Epoch: m.Epoch, W: w.id})
+}
+
+// onFinish drops a query's live state, keeping its vertex set for future
+// scope moves, and reports final statistics.
+func (w *Worker) onFinish(m *protocol.QueryFinish) error {
+	now := w.cfg.Clock()
+	w.finished[m.Q] = now
+	delete(w.early, m.Q)
+	qs, ok := w.queries[m.Q]
+	if !ok {
+		return nil
+	}
+	verts := make(map[graph.VertexID]bool, len(qs.data))
+	for v := range qs.data {
+		verts[v] = true
+	}
+	inter := w.intersections(m.Q, qs)
+	delete(w.queries, m.Q)
+	if len(verts) > 0 {
+		w.done[m.Q] = &finishedScope{verts: verts, sig: qs.sig, at: now}
+	}
+	w.pruneDone(now)
+	return w.conn.Send(protocol.ControllerNode, &protocol.BarrierSynch{
+		Q: m.Q, W: w.id,
+		ScopeSize:     int32(len(verts)),
+		BestGoal:      qs.bestGoal,
+		MinFrontier:   query.NoResult,
+		Intersections: inter,
+		Finished:      true,
+	})
+}
+
+// pruneDone expires finished scopes and finished-id markers beyond the
+// monitoring window.
+func (w *Worker) pruneDone(now time.Time) {
+	for q, fs := range w.done {
+		if now.Sub(fs.at) > w.cfg.ScopeTTL {
+			delete(w.done, q)
+		}
+	}
+	for q, at := range w.finished {
+		if now.Sub(at) > w.cfg.ScopeTTL {
+			delete(w.finished, q)
+		}
+	}
+}
+
+// intersections estimates |LS(q) ∩ LS(q2)| against every other query on
+// this worker — live ones and the remembered scopes of finished ones — the
+// worker-side transformation of low-level vertex knowledge into the
+// high-level intersection function Iw of Sec. 3.4. Including finished
+// scopes matters: queries of the same hotspot rarely overlap in time, and
+// it is exactly these temporal chains that let Q-cut's clustering move a
+// hotspot as one unit.
+func (w *Worker) intersections(q query.ID, qs *queryState) []protocol.IntersectionStat {
+	var out []protocol.IntersectionStat
+	for q2, qs2 := range w.queries {
+		if q2 == q {
+			continue
+		}
+		if shared := sigOverlap(qs.sig, qs2.sig); shared > 0 {
+			out = append(out, protocol.IntersectionStat{Q1: q, Q2: q2, Shared: shared})
+		}
+	}
+	for q2, fs := range w.done {
+		if q2 == q {
+			continue
+		}
+		if shared := sigOverlap(qs.sig, fs.sig); shared > 0 {
+			out = append(out, protocol.IntersectionStat{Q1: q, Q2: q2, Shared: shared})
+		}
+	}
+	return out
+}

@@ -1,0 +1,284 @@
+package worker
+
+import (
+	"testing"
+	"time"
+
+	"qgraph/internal/graph"
+	"qgraph/internal/partition"
+	"qgraph/internal/protocol"
+	"qgraph/internal/query"
+	"qgraph/internal/transport"
+)
+
+// harness drives one or two real workers through a scripted controller.
+type harness struct {
+	t   *testing.T
+	net *transport.ChanNetwork
+	g   *graph.Graph
+	k   int
+}
+
+// lineGraph builds 0 ↔ 1 ↔ 2 ↔ 3 ↔ 4 with unit weights.
+func lineGraph() *graph.Graph {
+	b := graph.NewBuilder(5)
+	for v := 0; v+1 < 5; v++ {
+		b.AddBiEdge(graph.VertexID(v), graph.VertexID(v+1), 1)
+	}
+	return b.MustBuild()
+}
+
+// newHarness starts k real workers; vertices 0..2 on worker 0, 3..4 on
+// worker 1 (when k=2).
+func newHarness(t *testing.T, k int) *harness {
+	t.Helper()
+	g := lineGraph()
+	net := transport.NewChanNetwork(k+1, transport.Latency{})
+	owner := make(partition.Assignment, g.NumVertices())
+	for v := range owner {
+		if k > 1 && v >= 3 {
+			owner[v] = 1
+		}
+	}
+	for w := 0; w < k; w++ {
+		wk, err := New(Config{
+			ID: partition.WorkerID(w), K: k, Graph: g, Owner: owner,
+			StatsEvery: 1000, // keep synchs stat-free unless finishing
+		}, net.Conn(protocol.WorkerNode(partition.WorkerID(w))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		go wk.Run()
+	}
+	t.Cleanup(func() { net.Close() })
+	return &harness{t: t, net: net, g: g, k: k}
+}
+
+func (h *harness) send(w partition.WorkerID, m protocol.Message) {
+	h.t.Helper()
+	if err := h.net.Conn(protocol.ControllerNode).Send(protocol.WorkerNode(w), m); err != nil {
+		h.t.Fatal(err)
+	}
+}
+
+// recv waits for the next message at the controller.
+func (h *harness) recv() protocol.Message {
+	h.t.Helper()
+	select {
+	case env := <-h.net.Conn(protocol.ControllerNode).Inbox():
+		return env.Msg
+	case <-time.After(5 * time.Second):
+		h.t.Fatal("timeout waiting for worker message")
+		return nil
+	}
+}
+
+func (h *harness) recvSynch() *protocol.BarrierSynch {
+	h.t.Helper()
+	m, ok := h.recv().(*protocol.BarrierSynch)
+	if !ok {
+		h.t.Fatalf("expected BarrierSynch, got %T", m)
+	}
+	return m
+}
+
+// TestSingleWorkerQueryLifecycle drives a BFS flood on one worker through
+// the raw protocol and checks every synch field.
+func TestSingleWorkerQueryLifecycle(t *testing.T) {
+	h := newHarness(t, 1)
+	spec := query.Spec{ID: 7, Kind: query.KindBFS, Source: 0, Target: graph.NilVertex}
+	h.send(0, &protocol.ExecuteQuery{Spec: spec})
+	h.send(0, &protocol.BarrierReady{Q: 7, Step: 0})
+
+	s := h.recvSynch()
+	if s.Q != 7 || s.W != 0 || s.Step != 0 || s.Processed != 1 {
+		t.Fatalf("step0 synch: %+v", s)
+	}
+	if s.NActiveNext != 1 { // vertex 1 activated locally
+		t.Fatalf("NActiveNext = %d", s.NActiveNext)
+	}
+	// Drive remaining steps one at a time (non-solo release).
+	for step := int32(1); ; step++ {
+		h.send(0, &protocol.BarrierReady{Q: 7, Step: step})
+		s = h.recvSynch()
+		if s.Step != step {
+			t.Fatalf("synch for step %d, want %d", s.Step, step)
+		}
+		if s.NActiveNext == 0 {
+			break
+		}
+	}
+	if s.ScopeSize != 5 {
+		t.Fatalf("final scope size %d, want 5", s.ScopeSize)
+	}
+	h.send(0, &protocol.QueryFinish{Q: 7, Reason: protocol.FinishConverged})
+	fin := h.recvSynch()
+	if !fin.Finished || fin.ScopeSize != 5 {
+		t.Fatalf("finish synch: %+v", fin)
+	}
+}
+
+// TestSoloLoopReportsOnce: a solo release runs the whole local query and
+// reports one multi-step synch with LocalIters accounting.
+func TestSoloLoopReportsOnce(t *testing.T) {
+	h := newHarness(t, 1)
+	spec := query.Spec{ID: 9, Kind: query.KindBFS, Source: 0, Target: graph.NilVertex}
+	h.send(0, &protocol.ExecuteQuery{Spec: spec})
+	h.send(0, &protocol.BarrierReady{Q: 9, Step: 0, Solo: true})
+	s := h.recvSynch()
+	// Line graph 0→4: activations at steps 0..4, step 4 activates nothing
+	// beyond vertex 4... vertex 4's compute at step 4 emits to 3 (worse,
+	// no change) so step 5 has no activity; loop ends when NActiveNext==0.
+	if s.FromStep != 0 || s.NActiveNext != 0 {
+		t.Fatalf("solo synch: %+v", s)
+	}
+	if s.LocalIters != s.Step-s.FromStep {
+		t.Fatalf("LocalIters %d != %d", s.LocalIters, s.Step-s.FromStep)
+	}
+	if s.ScopeSize != 5 {
+		t.Fatalf("scope %d", s.ScopeSize)
+	}
+}
+
+// TestRemoteBatchesAndExpect: messages crossing the 0|1 boundary are
+// batched, counted, and the receiving worker honors the Expect count.
+func TestRemoteBatchesAndExpect(t *testing.T) {
+	h := newHarness(t, 2)
+	spec := query.Spec{ID: 11, Kind: query.KindBFS, Source: 2, Target: graph.NilVertex}
+	h.send(0, &protocol.ExecuteQuery{Spec: spec})
+	h.send(1, &protocol.ExecuteQuery{Spec: spec})
+	h.send(0, &protocol.BarrierReady{Q: 11, Step: 0})
+	s := h.recvSynch()
+	if s.W != 0 || s.SentBatches[1] != 1 {
+		t.Fatalf("step0 synch: %+v", s)
+	}
+	// Release worker 1 for step 1 expecting that batch; worker 0 also has
+	// local activation (vertex 1).
+	h.send(0, &protocol.BarrierReady{Q: 11, Step: 1})
+	h.send(1, &protocol.BarrierReady{Q: 11, Step: 1, Expect: 1})
+	got := map[partition.WorkerID]*protocol.BarrierSynch{}
+	for len(got) < 2 {
+		s := h.recvSynch()
+		got[s.W] = s
+	}
+	if got[1].Processed != 1 {
+		t.Fatalf("worker 1 processed %d, want 1 (vertex 3)", got[1].Processed)
+	}
+}
+
+// TestEarlyBatchBuffered: a vertex batch arriving before ExecuteQuery is
+// buffered and replayed, not lost.
+func TestEarlyBatchBuffered(t *testing.T) {
+	h2 := newHarness(t, 2)
+	spec := query.Spec{ID: 13, Kind: query.KindBFS, Source: 2, Target: graph.NilVertex}
+	// Worker 1 gets a batch for query 13 before its ExecuteQuery.
+	if err := h2.net.Conn(protocol.WorkerNode(0)).Send(protocol.WorkerNode(1), &protocol.VertexBatch{
+		Q: 13, Step: 0, From: 0,
+		Entries: []protocol.VertexMsg{{To: 3, Val: 1}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	h2.send(1, &protocol.ExecuteQuery{Spec: spec})
+	h2.send(1, &protocol.BarrierReady{Q: 13, Step: 1, Expect: 1})
+	s := h2.recvSynch()
+	if s.W != 1 || s.Processed != 1 {
+		t.Fatalf("replayed batch not processed: %+v", s)
+	}
+}
+
+// TestGlobalBarrierProtocol drives stop → drain → move → ownership →
+// scope drain → start across two workers, verifying the moved scope lands
+// intact.
+func TestGlobalBarrierProtocol(t *testing.T) {
+	h := newHarness(t, 2)
+	spec := query.Spec{ID: 21, Kind: query.KindBFS, Source: 0, Target: graph.NilVertex}
+	h.send(0, &protocol.ExecuteQuery{Spec: spec})
+	h.send(1, &protocol.ExecuteQuery{Spec: spec})
+	h.send(0, &protocol.BarrierReady{Q: 21, Step: 0, Solo: true})
+	s := h.recvSynch() // worker 0 runs locally until it must send to worker 1
+	if s.SentBatches[1] == 0 {
+		t.Fatalf("expected boundary crossing, got %+v", s)
+	}
+
+	// Global barrier instead of releasing the next step.
+	h.send(0, &protocol.GlobalStop{Epoch: 1})
+	h.send(1, &protocol.GlobalStop{Epoch: 1})
+	acks := map[partition.WorkerID][]uint64{}
+	for len(acks) < 2 {
+		m, ok := h.recv().(*protocol.StopAck)
+		if !ok {
+			t.Fatalf("expected StopAck")
+		}
+		acks[m.W] = m.SentTotals
+	}
+	// Drain: worker 1 must confirm receipt of worker 0's batches.
+	h.send(0, &protocol.DrainCheck{Epoch: 1, ExpectRecv: []uint64{0, acks[1][0]}})
+	h.send(1, &protocol.DrainCheck{Epoch: 1, ExpectRecv: []uint64{acks[0][1], 0}})
+	for i := 0; i < 2; i++ {
+		if _, ok := h.recv().(*protocol.DrainAck); !ok {
+			t.Fatalf("expected DrainAck")
+		}
+	}
+	// Move query 21's scope from worker 0 to worker 1.
+	h.send(0, &protocol.MoveScope{Epoch: 1, Q: 21, To: 1})
+	mv, ok := h.recv().(*protocol.MoveAck)
+	if !ok || mv.From != 0 || mv.To != 1 {
+		t.Fatalf("expected MoveAck, got %#v", mv)
+	}
+	if len(mv.Vertices) != 3 {
+		t.Fatalf("moved %d vertices, want 3 (worker 0's scope)", len(mv.Vertices))
+	}
+	// Scope drain at the receiver, then start.
+	h.send(1, &protocol.DrainCheck{Epoch: 1, Scope: true, ExpectRecv: []uint64{1, 0}})
+	h.send(0, &protocol.DrainCheck{Epoch: 1, Scope: true, ExpectRecv: []uint64{0, 0}})
+	for i := 0; i < 2; i++ {
+		if _, ok := h.recv().(*protocol.DrainAck); !ok {
+			t.Fatalf("expected scope DrainAck")
+		}
+	}
+	h.send(0, &protocol.GlobalStart{Epoch: 1})
+	h.send(1, &protocol.GlobalStart{Epoch: 1})
+
+	// Resume: release both with drained. Worker 1 now owns everything the
+	// query touched plus its pending messages; worker 0 must be empty.
+	h.send(0, &protocol.BarrierReady{Q: 21, Step: s.Step + 1, Drained: true})
+	h.send(1, &protocol.BarrierReady{Q: 21, Step: s.Step + 1, Drained: true})
+	got := map[partition.WorkerID]*protocol.BarrierSynch{}
+	for len(got) < 2 {
+		r := h.recvSynch()
+		got[r.W] = r
+	}
+	if got[0].Processed != 0 || got[0].ScopeSize != 0 {
+		t.Fatalf("worker 0 still has state after move: %+v", got[0])
+	}
+	if got[1].Processed == 0 {
+		t.Fatalf("worker 1 did not process moved pending messages: %+v", got[1])
+	}
+}
+
+// TestComputeDebtAccumulates: the simulated compute cost stalls the worker
+// roughly proportionally to processed vertices.
+func TestComputeDebtAccumulates(t *testing.T) {
+	g := lineGraph()
+	net := transport.NewChanNetwork(2, transport.Latency{})
+	defer net.Close()
+	owner := make(partition.Assignment, g.NumVertices())
+	wk, err := New(Config{
+		ID: 0, K: 1, Graph: g, Owner: owner,
+		ComputeCost: 2 * time.Millisecond, // 1 vertex/step → 2ms/step, debt flushes every step
+	}, net.Conn(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	go wk.Run()
+	ctrl := net.Conn(0)
+	spec := query.Spec{ID: 1, Kind: query.KindBFS, Source: 0, Target: graph.NilVertex}
+	ctrl.Send(1, &protocol.ExecuteQuery{Spec: spec})
+	start := time.Now()
+	ctrl.Send(1, &protocol.BarrierReady{Q: 1, Step: 0, Solo: true})
+	<-ctrl.Inbox()
+	// 5 supersteps × ≥1 vertex × 2ms ≥ 10ms.
+	if el := time.Since(start); el < 10*time.Millisecond {
+		t.Fatalf("compute cost not applied: %v", el)
+	}
+}

@@ -1,0 +1,236 @@
+// Package workload generates the query workloads of the paper's evaluation
+// (Sec. 4.1): localized queries clustered around population-weighted city
+// hotspots, with intra-urban SSSP (variable Euclidean start/end distance),
+// inter-urban disturbance queries between neighboring cities (Fig. 5), POI
+// retrieval queries, plus social-circle and knowledge-graph workloads for
+// the example applications.
+package workload
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"qgraph/internal/gen"
+	"qgraph/internal/graph"
+	"qgraph/internal/query"
+)
+
+// RoadGen draws road-network queries around the hotspots of a RoadNet,
+// choosing each query's city proportionally to its population (the paper
+// keeps "the number of queries per city proportional to their
+// populations").
+type RoadGen struct {
+	net    *gen.RoadNet
+	rng    *rand.Rand
+	cum    []float64 // cumulative population weights
+	nextID query.ID
+	// MinDistKM / MaxDistKM bound the Euclidean start→end distance of SSSP
+	// queries (intra- vs inter-urban mix).
+	MinDistKM, MaxDistKM float64
+}
+
+// NewRoadGen creates a generator over net with the given seed. The
+// start→end distance range defaults to the paper's intra-urban scale
+// (up to ~8 km), shrunk proportionally on scaled-down maps so queries stay
+// localized relative to the hotspot layout: an "urban" query must not span
+// several Voronoi cells just because the map is small.
+func NewRoadGen(net *gen.RoadNet, seed uint64) *RoadGen {
+	cum := make([]float64, len(net.Cities))
+	total := 0.0
+	for i, c := range net.Cities {
+		total += c.Pop
+		cum[i] = total
+	}
+	mapKM := float64(net.Config.CellsX) * net.Config.CellKM
+	// One hotspot "owns" roughly mapKM/sqrt(cities) km of map; queries stay
+	// well inside that.
+	maxDist := mapKM / math.Sqrt(float64(len(net.Cities))) / 3
+	maxDist = math.Min(8, math.Max(2*net.Config.CellKM, maxDist))
+	return &RoadGen{
+		net: net, rng: rand.New(rand.NewPCG(seed, 0xbf58476d1ce4e5b9)),
+		cum:       cum,
+		MinDistKM: math.Min(0.5, maxDist/4), MaxDistKM: maxDist,
+		nextID: 1,
+	}
+}
+
+// pickCity samples a city index proportionally to population.
+func (g *RoadGen) pickCity() int {
+	total := g.cum[len(g.cum)-1]
+	x := g.rng.Float64() * total
+	lo, hi := 0, len(g.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if g.cum[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// nearCity samples a vertex from a Gaussian around the city center with the
+// city's hotspot radius as standard deviation.
+func (g *RoadGen) nearCity(c gen.City) graph.VertexID {
+	p := graph.Coord{
+		X: c.Center.X + float32(g.rng.NormFloat64()*c.Radius),
+		Y: c.Center.Y + float32(g.rng.NormFloat64()*c.Radius),
+	}
+	return g.net.Index.Nearest(p)
+}
+
+// SSSP generates one intra-urban shortest-path query: the start vertex near
+// a population-sampled hotspot, the end vertex at a uniform Euclidean
+// distance in [MinDistKM, MaxDistKM] from the start in a random direction.
+func (g *RoadGen) SSSP() query.Spec {
+	ci := g.pickCity()
+	src := g.nearCity(g.net.Cities[ci])
+	d := g.MinDistKM + g.rng.Float64()*(g.MaxDistKM-g.MinDistKM)
+	ang := g.rng.Float64() * 2 * math.Pi
+	sc := g.net.G.Coord(src)
+	dst := g.net.Index.Nearest(graph.Coord{
+		X: sc.X + float32(d*math.Cos(ang)),
+		Y: sc.Y + float32(d*math.Sin(ang)),
+	})
+	id := g.nextID
+	g.nextID++
+	return query.Spec{ID: id, Kind: query.KindSSSP, Source: src, Target: dst}
+}
+
+// InterUrban generates one disturbance query (Fig. 5): a shortest path
+// between a random city and one of its nearest neighbor cities.
+func (g *RoadGen) InterUrban() query.Spec {
+	ci := g.pickCity()
+	from := g.net.Cities[ci]
+	// Nearest other city by center distance.
+	best, bestD := -1, math.Inf(1)
+	for j, c := range g.net.Cities {
+		if j == ci {
+			continue
+		}
+		if d := from.Center.Dist(c.Center); d < bestD {
+			best, bestD = j, d
+		}
+	}
+	src := g.nearCity(from)
+	dst := g.nearCity(g.net.Cities[best])
+	id := g.nextID
+	g.nextID++
+	return query.Spec{ID: id, Kind: query.KindSSSP, Source: src, Target: dst}
+}
+
+// POI generates one point-of-interest query from a hotspot start vertex.
+func (g *RoadGen) POI() query.Spec {
+	ci := g.pickCity()
+	src := g.nearCity(g.net.Cities[ci])
+	id := g.nextID
+	g.nextID++
+	return query.Spec{ID: id, Kind: query.KindPOI, Source: src, Target: graph.NilVertex}
+}
+
+// Batch produces n specs from f (a method value like g.SSSP).
+func Batch(n int, f func() query.Spec) []query.Spec {
+	out := make([]query.Spec, n)
+	for i := range out {
+		out[i] = f()
+	}
+	return out
+}
+
+// SocialGen draws social-network queries: localized PageRank or k-hop BFS
+// seeded inside a community, with hub-adjacent seeds overrepresented —
+// Application 2's overlapping personal-network analyses.
+type SocialGen struct {
+	net    *gen.SocialNet
+	rng    *rand.Rand
+	nextID query.ID
+	// HubBias is the probability a query seeds at a hub neighborhood.
+	HubBias float64
+}
+
+// NewSocialGen creates a generator over net.
+func NewSocialGen(net *gen.SocialNet, seed uint64) *SocialGen {
+	return &SocialGen{
+		net: net, rng: rand.New(rand.NewPCG(seed, 0x94d049bb133111eb)),
+		HubBias: 0.3, nextID: 1,
+	}
+}
+
+func (g *SocialGen) seed() graph.VertexID {
+	if len(g.net.Hubs) > 0 && g.rng.Float64() < g.HubBias {
+		return g.net.Hubs[g.rng.IntN(len(g.net.Hubs))]
+	}
+	comm := g.net.Communities[g.rng.IntN(len(g.net.Communities))]
+	if len(comm) == 0 {
+		return graph.VertexID(g.rng.IntN(g.net.G.NumVertices()))
+	}
+	return comm[g.rng.IntN(len(comm))]
+}
+
+// PageRank generates a localized personalized-PageRank query.
+func (g *SocialGen) PageRank() query.Spec {
+	id := g.nextID
+	g.nextID++
+	return query.Spec{
+		ID: id, Kind: query.KindPageRank, Source: g.seed(),
+		Target: graph.NilVertex, MaxIters: 20, Epsilon: 1e-4,
+	}
+}
+
+// Circle generates a k-hop BFS exploring a social circle.
+func (g *SocialGen) Circle(hops int) query.Spec {
+	id := g.nextID
+	g.nextID++
+	return query.Spec{
+		ID: id, Kind: query.KindBFS, Source: g.seed(),
+		Target: graph.NilVertex, MaxIters: hops,
+	}
+}
+
+// KnowledgeGen draws retrieval queries clustered around popular entities
+// (Application 3: content with dynamic popularity).
+type KnowledgeGen struct {
+	net    *gen.KnowledgeNet
+	rng    *rand.Rand
+	nextID query.ID
+	// Hot is the subset of topics currently popular; queries concentrate on
+	// it and it can be rotated to model popularity changes.
+	Hot []graph.VertexID
+}
+
+// NewKnowledgeGen creates a generator over net with the first half of the
+// topics hot.
+func NewKnowledgeGen(net *gen.KnowledgeNet, seed uint64) *KnowledgeGen {
+	hot := net.Topics[:max(1, len(net.Topics)/2)]
+	return &KnowledgeGen{
+		net: net, rng: rand.New(rand.NewPCG(seed, 0xd6e8feb86659fd93)),
+		Hot: hot, nextID: 1,
+	}
+}
+
+// Rotate shifts popularity to the other half of the topics — the dynamic
+// hotspot change adaptivity experiments need.
+func (g *KnowledgeGen) Rotate() {
+	half := max(1, len(g.net.Topics)/2)
+	if len(g.Hot) > 0 && g.Hot[0] == g.net.Topics[0] {
+		g.Hot = g.net.Topics[half:]
+		if len(g.Hot) == 0 {
+			g.Hot = g.net.Topics
+		}
+	} else {
+		g.Hot = g.net.Topics[:half]
+	}
+}
+
+// Retrieve generates one tag-retrieval query from a hot entity: find the
+// closest tagged entity (POI program over the knowledge graph).
+func (g *KnowledgeGen) Retrieve() query.Spec {
+	id := g.nextID
+	g.nextID++
+	return query.Spec{
+		ID: id, Kind: query.KindPOI,
+		Source: g.Hot[g.rng.IntN(len(g.Hot))],
+		Target: graph.NilVertex,
+	}
+}

@@ -1,0 +1,197 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"qgraph/internal/gen"
+	"qgraph/internal/graph"
+	"qgraph/internal/query"
+)
+
+func testNet(t *testing.T) *gen.RoadNet {
+	t.Helper()
+	cfg := gen.RoadConfig{
+		CellsX: 40, CellsY: 40, CellKM: 0.5, Jitter: 0.3,
+		RemoveProb: 0.08, DiagProb: 0.05,
+		HighwayEvery: 10, LocalSpeed: 50, HighwaySpeed: 100,
+		NumCities: 6, ZipfS: 1, TagProb: 0.01, Seed: 17,
+	}
+	net, err := gen.Road(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// TestSSSPSpecsLocalized: generated queries have valid, distinct ids, and
+// their Euclidean extent respects the generator bounds.
+func TestSSSPSpecsLocalized(t *testing.T) {
+	net := testNet(t)
+	g := NewRoadGen(net, 3)
+	seen := map[query.ID]bool{}
+	for i := 0; i < 200; i++ {
+		spec := g.SSSP()
+		if err := spec.Validate(net.G); err != nil {
+			t.Fatal(err)
+		}
+		if seen[spec.ID] {
+			t.Fatalf("duplicate query id %d", spec.ID)
+		}
+		seen[spec.ID] = true
+		d := net.G.Coord(spec.Source).Dist(net.G.Coord(spec.Target))
+		// Nearest-vertex snapping can stretch the distance slightly
+		// beyond MaxDistKM.
+		if d > g.MaxDistKM+2*net.Config.CellKM {
+			t.Fatalf("query %d spans %.2f km > max %.2f", spec.ID, d, g.MaxDistKM)
+		}
+	}
+}
+
+// TestPopulationProportional: the biggest city receives the most queries
+// (the paper keeps query counts proportional to populations).
+func TestPopulationProportional(t *testing.T) {
+	net := testNet(t)
+	g := NewRoadGen(net, 4)
+	counts := make([]int, len(net.Cities))
+	for i := 0; i < 2000; i++ {
+		spec := g.SSSP()
+		// Attribute the query to its nearest city.
+		src := net.G.Coord(spec.Source)
+		best, bestD := 0, math.Inf(1)
+		for ci, c := range net.Cities {
+			if d := src.Dist(c.Center); d < bestD {
+				best, bestD = ci, d
+			}
+		}
+		counts[best]++
+	}
+	if counts[0] <= counts[len(counts)-1] {
+		t.Fatalf("biggest city got %d queries, smallest %d", counts[0], counts[len(counts)-1])
+	}
+	// Top city's share should be near its population share (0.29 under
+	// Zipf-1 over 6 cities ≈ 0.41 of total 2.45); allow wide tolerance.
+	share := float64(counts[0]) / 2000
+	if share < 0.2 || share > 0.65 {
+		t.Fatalf("top city share %.2f implausible", share)
+	}
+}
+
+// TestInterUrbanSpansCities: disturbance queries start and end near
+// different cities.
+func TestInterUrbanSpansCities(t *testing.T) {
+	net := testNet(t)
+	g := NewRoadGen(net, 5)
+	longer := 0
+	for i := 0; i < 100; i++ {
+		spec := g.InterUrban()
+		if err := spec.Validate(net.G); err != nil {
+			t.Fatal(err)
+		}
+		d := net.G.Coord(spec.Source).Dist(net.G.Coord(spec.Target))
+		if d > g.MaxDistKM {
+			longer++
+		}
+	}
+	if longer < 30 {
+		t.Fatalf("only %d/100 inter-urban queries exceed the intra-urban range", longer)
+	}
+}
+
+func TestPOISpecs(t *testing.T) {
+	net := testNet(t)
+	g := NewRoadGen(net, 6)
+	for i := 0; i < 50; i++ {
+		spec := g.POI()
+		if spec.Kind != query.KindPOI {
+			t.Fatalf("kind = %v", spec.Kind)
+		}
+		if err := spec.Validate(net.G); err != nil {
+			t.Fatal(err)
+		}
+		if spec.Target != graph.NilVertex {
+			t.Fatalf("POI must not have a target")
+		}
+	}
+}
+
+func TestBatch(t *testing.T) {
+	net := testNet(t)
+	g := NewRoadGen(net, 7)
+	specs := Batch(25, g.SSSP)
+	if len(specs) != 25 {
+		t.Fatalf("len = %d", len(specs))
+	}
+	for i := 1; i < len(specs); i++ {
+		if specs[i].ID == specs[i-1].ID {
+			t.Fatal("duplicate ids in batch")
+		}
+	}
+}
+
+func TestDeterministicWorkload(t *testing.T) {
+	net := testNet(t)
+	a := Batch(50, NewRoadGen(net, 11).SSSP)
+	b := Batch(50, NewRoadGen(net, 11).SSSP)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("spec %d differs across same-seed generators", i)
+		}
+	}
+	c := Batch(50, NewRoadGen(net, 12).SSSP)
+	same := 0
+	for i := range a {
+		if a[i].Source == c[i].Source {
+			same++
+		}
+	}
+	if same == 50 {
+		t.Fatal("different seeds produced identical workloads")
+	}
+}
+
+func TestSocialGen(t *testing.T) {
+	net, err := gen.Social(gen.DefaultSocialConfig(2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewSocialGen(net, 13)
+	for i := 0; i < 50; i++ {
+		pr := g.PageRank()
+		if err := pr.Validate(net.G); err != nil {
+			t.Fatal(err)
+		}
+		if pr.MaxIters == 0 && pr.Epsilon == 0 {
+			t.Fatal("unbounded pagerank generated")
+		}
+		bf := g.Circle(3)
+		if bf.Kind != query.KindBFS || bf.MaxIters != 3 {
+			t.Fatalf("circle spec %+v", bf)
+		}
+	}
+}
+
+func TestKnowledgeGenRotate(t *testing.T) {
+	net, err := gen.Knowledge(gen.DefaultKnowledgeConfig(2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewKnowledgeGen(net, 14)
+	before := append([]graph.VertexID(nil), g.Hot...)
+	spec := g.Retrieve()
+	if err := spec.Validate(net.G); err != nil {
+		t.Fatal(err)
+	}
+	g.Rotate()
+	overlap := 0
+	for _, a := range before {
+		for _, b := range g.Hot {
+			if a == b {
+				overlap++
+			}
+		}
+	}
+	if overlap == len(before) && len(net.Topics) > 1 {
+		t.Fatal("Rotate did not change the hot set")
+	}
+}
