@@ -1,0 +1,231 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qgraph/internal/metrics"
+	"qgraph/internal/serve"
+)
+
+// Open-loop HTTP load mode: fire requests at a qgraphd -serve endpoint at
+// a fixed arrival rate regardless of completions (the serving-systems way
+// to measure throughput and admission behavior under concurrency), then
+// print client-side latency aggregates and the server's /stats.
+
+type loadOptions struct {
+	URL      string
+	Rate     float64 // arrivals per second
+	Duration time.Duration
+	Mix      string // e.g. "sssp=0.6,bfs=0.3,pagerank=0.1"
+	Pool     int    // distinct queries drawn from (smaller = more cache hits)
+	Tenants  int
+	Timeout  time.Duration
+	Seed     uint64
+}
+
+// parseMix parses "kind=weight,..." into a cumulative distribution.
+func parseMix(s string) (kinds []string, cum []float64, err error) {
+	total := 0.0
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return nil, nil, fmt.Errorf("bad mix entry %q (want kind=weight)", part)
+		}
+		w, err := strconv.ParseFloat(kv[1], 64)
+		if err != nil || w < 0 {
+			return nil, nil, fmt.Errorf("bad mix weight %q", kv[1])
+		}
+		switch kv[0] {
+		case "sssp", "bfs", "poi", "pagerank":
+		default:
+			return nil, nil, fmt.Errorf("unknown mix kind %q", kv[0])
+		}
+		total += w
+		kinds = append(kinds, kv[0])
+		cum = append(cum, total)
+	}
+	if total <= 0 {
+		return nil, nil, fmt.Errorf("mix weights sum to zero")
+	}
+	return kinds, cum, nil
+}
+
+// runLoad drives the open-loop generator and prints the measurement.
+func runLoad(o loadOptions) error {
+	if o.Rate <= 0 {
+		return fmt.Errorf("-rate must be positive, got %g", o.Rate)
+	}
+	base := strings.TrimRight(o.URL, "/")
+	kinds, cum, err := parseMix(o.Mix)
+	if err != nil {
+		return err
+	}
+	client := &http.Client{Timeout: o.Timeout}
+	vertices, err := fetchVertices(client, base)
+	if err != nil {
+		return fmt.Errorf("probing %s/stats: %w", base, err)
+	}
+	if o.Pool < 1 {
+		o.Pool = 256
+	}
+	if o.Tenants < 1 {
+		o.Tenants = 1
+	}
+
+	// A fixed pool of distinct queries: repeats are what exercise the
+	// result cache, and the pool size sets the repeat probability.
+	rng := rand.New(rand.NewPCG(o.Seed, 0x9e3779b97f4a7c15))
+	pool := make([]serve.QueryRequest, o.Pool)
+	for i := range pool {
+		k := kinds[len(kinds)-1]
+		x := rng.Float64() * cum[len(cum)-1]
+		for j, c := range cum {
+			if x <= c {
+				k = kinds[j]
+				break
+			}
+		}
+		sp := serve.QueryRequest{Kind: k, Source: rng.Int64N(int64(vertices))}
+		switch k {
+		case "sssp", "bfs":
+			t := rng.Int64N(int64(vertices))
+			sp.Target = &t
+		case "pagerank":
+			sp.MaxIters, sp.Epsilon = 20, 1e-4
+		}
+		pool[i] = sp
+	}
+
+	var (
+		sent, ok, rejected, expired, failed atomic.Int64
+		clientTimeout                       atomic.Int64
+		cacheHits                           atomic.Int64
+		mu                                  sync.Mutex
+		records                             []metrics.QueryRecord
+		wg                                  sync.WaitGroup
+	)
+	interval := time.Duration(float64(time.Second) / o.Rate)
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	start := time.Now()
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	// Per-goroutine randomness must not share rng; pre-draw choices.
+	for now := start; now.Sub(start) < o.Duration; now = <-ticker.C {
+		sp := pool[rng.IntN(len(pool))]
+		sp.Tenant = "tenant-" + strconv.Itoa(rng.IntN(o.Tenants))
+		sent.Add(1)
+		wg.Add(1)
+		go func(sp serve.QueryRequest) {
+			defer wg.Done()
+			body, _ := json.Marshal(sp)
+			t0 := time.Now()
+			resp, err := client.Post(base+"/query", "application/json", bytes.NewReader(body))
+			if err != nil {
+				// A client-side timeout is our own -load-timeout expiring
+				// (often below the server's deadline), not a server error.
+				var ne net.Error
+				if errors.As(err, &ne) && ne.Timeout() {
+					clientTimeout.Add(1)
+				} else {
+					failed.Add(1)
+				}
+				return
+			}
+			defer resp.Body.Close()
+			var qr struct {
+				CacheHit bool `json:"cache_hit"`
+			}
+			_ = json.NewDecoder(resp.Body).Decode(&qr)
+			switch resp.StatusCode {
+			case http.StatusOK:
+				ok.Add(1)
+				if qr.CacheHit {
+					cacheHits.Add(1)
+				}
+				mu.Lock()
+				records = append(records, metrics.QueryRecord{
+					Kind: sp.Kind, ScheduledAt: t0, Latency: time.Since(t0),
+				})
+				mu.Unlock()
+			case http.StatusTooManyRequests:
+				rejected.Add(1)
+			case http.StatusGatewayTimeout:
+				expired.Add(1)
+			default:
+				failed.Add(1)
+			}
+		}(sp)
+	}
+	genWindow := time.Since(start) // arrival window, before the drain
+	wg.Wait()
+	wall := time.Since(start)
+
+	sum := metrics.SummarizeRecords(records)
+	fmt.Printf("# open-loop load: %s for %s at %.0f req/s (%d tenants, pool %d)\n",
+		base, o.Duration, o.Rate, o.Tenants, o.Pool)
+	fmt.Printf("sent=%d ok=%d rejected_429=%d expired_504=%d client_timeout=%d failed=%d\n",
+		sent.Load(), ok.Load(), rejected.Load(), expired.Load(), clientTimeout.Load(), failed.Load())
+	// Report the achieved arrival rate over the generation window (not
+	// the post-generation drain): time.Ticker drops ticks when the
+	// generator lags, so the offered load can fall short of -rate.
+	fmt.Printf("offered=%.1f req/s goodput=%.1f qps client_cache_hits=%d\n",
+		float64(sent.Load())/genWindow.Seconds(), float64(ok.Load())/wall.Seconds(), cacheHits.Load())
+	if sum.Count > 0 {
+		fmt.Printf("latency mean=%.2fms p50=%.2fms p95=%.2fms p99=%.2fms\n",
+			msOf(sum.MeanLatency), msOf(sum.P50), msOf(sum.P95), msOf(sum.P99))
+	}
+	if stats, err := fetchRaw(client, base+"/stats"); err == nil {
+		fmt.Printf("# server /stats\n%s\n", stats)
+	}
+	return nil
+}
+
+func msOf(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// fetchVertices learns the graph size from the server so the generator
+// needs no local copy of the graph.
+func fetchVertices(client *http.Client, base string) (int, error) {
+	resp, err := client.Get(base + "/stats")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var st struct {
+		Engine struct {
+			Vertices int `json:"vertices"`
+		} `json:"engine"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return 0, err
+	}
+	if st.Engine.Vertices <= 0 {
+		return 0, fmt.Errorf("server reported %d vertices", st.Engine.Vertices)
+	}
+	return st.Engine.Vertices, nil
+}
+
+func fetchRaw(client *http.Client, url string) (string, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		return "", err
+	}
+	return strings.TrimSpace(buf.String()), nil
+}

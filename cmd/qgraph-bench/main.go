@@ -5,6 +5,12 @@
 //	qgraph-bench -exp fig6a
 //	qgraph-bench -exp all -scale quick
 //	qgraph-bench -exp fig7a -scale paper   # paper-sized run (hours)
+//
+// With -load it instead drives open-loop HTTP load against a qgraphd
+// -serve endpoint, measuring throughput, admission rejections, and cache
+// effectiveness under concurrency:
+//
+//	qgraph-bench -load http://localhost:8080 -rate 500 -load-duration 30s
 package main
 
 import (
@@ -25,8 +31,31 @@ func main() {
 		workers = flag.Int("workers", 0, "override worker count k")
 		queries = flag.Int("queries", 0, "override main workload size")
 		seed    = flag.Uint64("seed", 0, "override workload seed")
+
+		load        = flag.String("load", "", "open-loop HTTP load mode: base URL of a qgraphd -serve endpoint")
+		rate        = flag.Float64("rate", 200, "arrival rate in req/s (-load)")
+		loadDur     = flag.Duration("load-duration", 10*time.Second, "how long to generate load (-load)")
+		loadMix     = flag.String("load-mix", "sssp=0.6,bfs=0.3,pagerank=0.1", "query kind mix (-load)")
+		loadPool    = flag.Int("load-pool", 256, "distinct query pool size; smaller = more cache hits (-load)")
+		loadTenants = flag.Int("load-tenants", 4, "tenants to spread requests over (-load)")
+		loadTimeout = flag.Duration("load-timeout", 10*time.Second, "client-side request timeout (-load)")
 	)
 	flag.Parse()
+
+	if *load != "" {
+		s := *seed
+		if s == 0 {
+			s = 1
+		}
+		if err := runLoad(loadOptions{
+			URL: *load, Rate: *rate, Duration: *loadDur, Mix: *loadMix,
+			Pool: *loadPool, Tenants: *loadTenants, Timeout: *loadTimeout, Seed: s,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "qgraph-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {

@@ -13,7 +13,15 @@
 //
 // where ADDRS lists k+1 comma-separated host:port pairs, controller first.
 //
-// The controller accepts queries on stdin, one per line:
+// With -serve the controller exposes the HTTP/JSON query API of
+// internal/serve (POST /query, GET /result/{id}, GET /healthz, GET /stats)
+// with admission control and a result cache:
+//
+//	qgraphd -role controller -graph bw.qgr -addrs "$ADDRS" -serve :8080
+//	curl -s localhost:8080/query -d '{"kind":"sssp","source":3,"target":99}'
+//
+// Without -serve, the controller falls back to accepting queries on stdin,
+// one per line:
 //
 //	sssp <source> <target>
 //	poi <source>
@@ -22,16 +30,26 @@
 //
 // and prints one result line per query. -random N instead runs N random
 // SSSP queries and exits.
+//
+// SIGINT/SIGTERM shut the controller down gracefully: the HTTP listener
+// closes, in-flight queries drain, and the workers are stopped through the
+// protocol instead of dying mid-superstep.
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"math/rand/v2"
+	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"qgraph/internal/controller"
@@ -40,22 +58,32 @@ import (
 	"qgraph/internal/partition"
 	"qgraph/internal/protocol"
 	"qgraph/internal/query"
+	"qgraph/internal/serve"
 	"qgraph/internal/transport"
 	"qgraph/internal/worker"
 )
 
 func main() {
 	var (
-		role      = flag.String("role", "", "controller | worker")
-		id        = flag.Int("id", 0, "worker id (role=worker)")
-		graphPath = flag.String("graph", "", "QGR1 graph file (same on all nodes)")
-		addrsFlag = flag.String("addrs", "", "comma-separated host:port list, controller first")
-		adapt     = flag.Bool("adapt", true, "enable adaptive Q-cut (controller)")
-		random    = flag.Int("random", 0, "run N random SSSP queries and exit (controller)")
-		seed      = flag.Uint64("seed", 1, "workload seed for -random")
+		role       = flag.String("role", "", "controller | worker")
+		id         = flag.Int("id", 0, "worker id (role=worker)")
+		graphPath  = flag.String("graph", "", "QGR1 graph file (same on all nodes)")
+		addrsFlag  = flag.String("addrs", "", "comma-separated host:port list, controller first")
+		adapt      = flag.Bool("adapt", true, "enable adaptive Q-cut (controller)")
+		random     = flag.Int("random", 0, "run N random SSSP queries and exit (controller)")
+		seed       = flag.Uint64("seed", 1, "workload seed for -random")
+		serveAddr  = flag.String("serve", "", "HTTP serving address host:port (controller role; replaces the stdin REPL)")
+		maxInfl    = flag.Int("max-inflight", 16, "admission: max queries executing concurrently (-serve)")
+		maxQueue   = flag.Int("max-queue", 64, "admission: max queued queries before 429 (-serve)")
+		cacheSize  = flag.Int("cache-size", 4096, "result cache capacity (-serve)")
+		cacheTTL   = flag.Duration("cache-ttl", time.Minute, "result cache entry lifetime (-serve)")
+		reqTimeout = flag.Duration("timeout", 30*time.Second, "default per-request deadline (-serve)")
 	)
 	flag.Parse()
 
+	if *serveAddr != "" && *random > 0 {
+		fatal(fmt.Errorf("-serve and -random are mutually exclusive"))
+	}
 	addrs := strings.Split(*addrsFlag, ",")
 	if *addrsFlag == "" || len(addrs) < 2 {
 		fatal(fmt.Errorf("-addrs needs at least controller plus one worker"))
@@ -112,10 +140,66 @@ func main() {
 		go func() { errCh <- ctrl.Run() }()
 		fmt.Printf("qgraphd: controller for %d workers on %s\n", k, node.Addr())
 
-		if *random > 0 {
-			runRandom(ctrl, g, *random, *seed)
-		} else {
-			serveStdin(ctrl, g)
+		// Graceful shutdown: the first SIGINT/SIGTERM drains; a second
+		// signal kills the process the default way.
+		ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stopSignals()
+
+		switch {
+		case *serveAddr != "":
+			srv, err := serve.New(serve.Config{
+				Backend:      ctrl,
+				Graph:        g,
+				GraphVersion: graphVersion(*graphPath, g),
+				Admit: serve.AdmitConfig{
+					MaxInFlight: *maxInfl,
+					MaxQueue:    *maxQueue,
+				},
+				CacheSize:      *cacheSize,
+				CacheTTL:       *cacheTTL,
+				DefaultTimeout: *reqTimeout,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			httpSrv := &http.Server{Addr: *serveAddr, Handler: srv.Handler()}
+			httpErr := make(chan error, 1)
+			go func() { httpErr <- httpSrv.ListenAndServe() }()
+			fmt.Printf("qgraphd: serving queries on http://%s (POST /query)\n", *serveAddr)
+			select {
+			case <-ctx.Done():
+				fmt.Println("qgraphd: signal received, draining")
+			case err := <-httpErr:
+				if !errors.Is(err, http.ErrServerClosed) {
+					fatal(err)
+				}
+			case err := <-errCh:
+				// The engine died; serving 503s behind a green /healthz
+				// helps nobody — close the listener and exit loudly.
+				_ = httpSrv.Close()
+				if err == nil {
+					err = fmt.Errorf("controller stopped unexpectedly")
+				}
+				fatal(fmt.Errorf("controller failed: %w", err))
+			}
+			// Restore default signal disposition so a second signal kills
+			// the process instead of being swallowed during the drain.
+			stopSignals()
+			shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+			_ = httpSrv.Shutdown(shutCtx)
+			if err := srv.Drain(shutCtx); err != nil {
+				fmt.Println("qgraphd: drain timed out, stopping anyway")
+			}
+			cancel()
+			snap := srv.Counters().Snapshot(time.Now())
+			fmt.Printf("served: %d completed, %d rejected, %d expired, hit ratio %.2f, %.1f qps\n",
+				snap.Completed, snap.Rejected, snap.Expired, snap.HitRatio, snap.QPS)
+		case *random > 0:
+			runRandom(ctx, ctrl, g, *random, *seed)
+			stopSignals()
+		default:
+			serveStdin(ctx, ctrl)
+			stopSignals()
 		}
 		sum := rec.Summarize()
 		fmt.Printf("done: %d queries, total %.3fs, mean %.2fms, locality %.2f\n",
@@ -140,7 +224,16 @@ func countOwned(a partition.Assignment, w partition.WorkerID) int {
 	return n
 }
 
-func runRandom(ctrl *controller.Controller, g *graph.Graph, n int, seed uint64) {
+// graphVersion derives a stable version tag for the cache epoch from the
+// graph file identity and shape.
+func graphVersion(path string, g *graph.Graph) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(path))
+	fmt.Fprintf(h, "|%d|%d", g.NumVertices(), g.NumEdges())
+	return h.Sum64()
+}
+
+func runRandom(ctx context.Context, ctrl *controller.Controller, g *graph.Graph, n int, seed uint64) {
 	rng := rand.New(rand.NewPCG(seed, 77))
 	type pending struct {
 		spec query.Spec
@@ -161,18 +254,41 @@ func runRandom(ctrl *controller.Controller, g *graph.Graph, n int, seed uint64) 
 		ps = append(ps, pending{spec: spec, ch: ch})
 	}
 	for _, p := range ps {
-		res := <-p.ch
-		fmt.Printf("sssp %d->%d dist=%g latency=%s steps=%d local=%d\n",
-			p.spec.Source, p.spec.Target, res.Value, res.Latency.Round(time.Microsecond),
-			res.Supersteps, res.LocalIters)
+		select {
+		case res := <-p.ch:
+			fmt.Printf("sssp %d->%d dist=%g latency=%s steps=%d local=%d\n",
+				p.spec.Source, p.spec.Target, res.Value, res.Latency.Round(time.Microsecond),
+				res.Supersteps, res.LocalIters)
+		case <-ctx.Done():
+			fmt.Println("qgraphd: signal received, abandoning remaining queries")
+			return
+		}
 	}
 }
 
-func serveStdin(ctrl *controller.Controller, g *graph.Graph) {
-	sc := bufio.NewScanner(os.Stdin)
+func serveStdin(ctx context.Context, ctrl *controller.Controller) {
+	lines := make(chan string)
+	go func() {
+		sc := bufio.NewScanner(os.Stdin)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
 	nextID := query.ID(1)
-	for sc.Scan() {
-		fields := strings.Fields(sc.Text())
+	for {
+		var line string
+		var ok bool
+		select {
+		case line, ok = <-lines:
+			if !ok {
+				return
+			}
+		case <-ctx.Done():
+			fmt.Println("qgraphd: signal received, closing REPL")
+			return
+		}
+		fields := strings.Fields(line)
 		if len(fields) == 0 {
 			continue
 		}
@@ -187,12 +303,17 @@ func serveStdin(ctrl *controller.Controller, g *graph.Graph) {
 			fmt.Println("error:", err)
 			continue
 		}
-		res := <-ch
-		fmt.Printf("%s result=%g latency=%s steps=%d touched=%d workers=%d\n",
-			fields[0], res.Value, res.Latency.Round(time.Microsecond),
-			res.Supersteps, res.Touched, res.Workers)
+		select {
+		case res := <-ch:
+			fmt.Printf("%s result=%g latency=%s steps=%d touched=%d workers=%d\n",
+				fields[0], res.Value, res.Latency.Round(time.Microsecond),
+				res.Supersteps, res.Touched, res.Workers)
+		case <-ctx.Done():
+			ctrl.Cancel(spec.ID)
+			fmt.Println("qgraphd: signal received, cancelling query")
+			return
+		}
 	}
-	_ = g
 }
 
 func parseQuery(fields []string, id query.ID) (query.Spec, error) {

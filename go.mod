@@ -1,0 +1,3 @@
+module qgraph
+
+go 1.24

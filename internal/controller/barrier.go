@@ -65,6 +65,34 @@ func (c *Controller) startQuery(req scheduleReq) {
 	c.release(ctl, 0, init, nil, false)
 }
 
+// onCancel abandons a query on behalf of its caller. A deferred query is
+// cancelled immediately. An executing one is finished eagerly outside the
+// global-barrier move phases: the QueryFinish broadcast interrupts even
+// solo local loops, because workers drain their inbox between local
+// supersteps, and late BarrierSynch reports for the dropped query are
+// tolerated by onSynch. During the barrier phases (stopping → scope
+// drain) the network must stay quiet, so the cancel is only marked and
+// honored at resume.
+func (c *Controller) onCancel(q query.ID) {
+	if ctl, ok := c.queries[q]; ok {
+		ctl.cancelled = true
+		if c.phase == phaseRun || c.phase == phaseQuiesce {
+			c.finishQuery(ctl, protocol.FinishCancelled)
+		}
+		return
+	}
+	for i, req := range c.deferred {
+		if req.spec.ID == q {
+			req.ch <- Result{Q: q, Value: query.NoResult, Reason: protocol.FinishCancelled}
+			c.deferred = append(c.deferred[:i], c.deferred[i+1:]...)
+			return
+		}
+	}
+	// Neither active nor deferred: the query already finished, or the id
+	// was never scheduled. Either way, a no-op — cancels ride the schedule
+	// FIFO, so they cannot overtake the schedule they refer to.
+}
+
 // ownerOf mirrors the workers' routing rule, including query pinning.
 func (c *Controller) ownerOf(ctl *qctl, v graph.VertexID) partition.WorkerID {
 	if home, ok := ctl.spec.HomeWorker(); ok {

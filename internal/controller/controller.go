@@ -13,6 +13,7 @@ package controller
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"qgraph/internal/graph"
@@ -167,6 +168,10 @@ type qctl struct {
 	bestGoal   float64
 	stepsDone  int
 	localSteps int
+	// cancelled marks a query whose caller abandoned it (Cancel) while a
+	// global barrier was executing; it is honored at resume (cancels
+	// outside the barrier phases finish the query eagerly instead).
+	cancelled bool
 }
 
 type phase int
@@ -180,10 +185,14 @@ const (
 	phaseScopeDrain
 )
 
-// scheduleReq is the internal request carrying a user's scheduleQuery call.
+// scheduleReq is the internal request carrying a user's scheduleQuery call
+// — or, with cancel set, a Cancel for the id in spec.ID. Both flow through
+// one FIFO channel so a cancel issued after Schedule returned can never
+// overtake its schedule in the event loop.
 type scheduleReq struct {
-	spec query.Spec
-	ch   chan<- Result
+	spec   query.Spec
+	ch     chan<- Result
+	cancel bool
 }
 
 // snapshotReq asks the controller for its current Q-cut input (used by the
@@ -221,6 +230,10 @@ type Controller struct {
 	lastRepart  time.Time
 	// Repartitions counts executed global barriers with moves.
 	repartitions int
+	// repartEpoch mirrors repartitions atomically so concurrent readers
+	// (the serving layer's result cache) can observe partition changes
+	// while Run is live.
+	repartEpoch atomic.Int64
 	// Trigger backoff: when repartitioning stops improving locality
 	// (e.g. the workload inherently spans workers), the effective cooldown
 	// doubles up to 16× so global barriers do not thrash the very queries
@@ -301,6 +314,20 @@ func (c *Controller) Schedule(spec query.Spec) (<-chan Result, error) {
 	}
 }
 
+// Cancel requests that query q be abandoned: if it is still queued the
+// caller gets an immediate FinishCancelled result; if it is executing, the
+// controller finishes it with FinishCancelled and tells the workers to
+// drop its state. Cancelling an unknown or already-finished query is a
+// no-op. Cancels share the schedule FIFO, so a Cancel issued after its
+// Schedule returned is always processed after the query started. Safe
+// from any goroutine while Run is active.
+func (c *Controller) Cancel(q query.ID) {
+	select {
+	case c.scheduleCh <- scheduleReq{spec: query.Spec{ID: q}, cancel: true}:
+	case <-c.doneCh:
+	}
+}
+
 // QcutSnapshot returns the controller's current high-level view as a Q-cut
 // input (Fig. 6g and debugging).
 func (c *Controller) QcutSnapshot() (qcut.Input, error) {
@@ -328,6 +355,12 @@ func (c *Controller) Stop() {
 // Valid after Run returned.
 func (c *Controller) Repartitions() int { return c.repartitions }
 
+// RepartitionEpoch returns the number of executed repartitioning barriers
+// as a monotone epoch. Unlike Repartitions it is safe to call concurrently
+// with Run; the serving layer uses it to invalidate cached results when
+// the partitioning changes.
+func (c *Controller) RepartitionEpoch() int64 { return c.repartEpoch.Load() }
+
 // Run processes events until Stop is called. It returns the first fatal
 // protocol error, if any.
 func (c *Controller) Run() error {
@@ -338,7 +371,9 @@ func (c *Controller) Run() error {
 		for {
 			select {
 			case req := <-c.scheduleCh:
-				req.ch <- Result{Q: req.spec.ID, Value: query.NoResult, Reason: protocol.FinishCancelled}
+				if req.ch != nil { // cancel requests carry no channel
+					req.ch <- Result{Q: req.spec.ID, Value: query.NoResult, Reason: protocol.FinishCancelled}
+				}
 			default:
 				return
 			}
@@ -354,7 +389,11 @@ func (c *Controller) Run() error {
 			c.failActive()
 			return c.runErr
 		case req := <-c.scheduleCh:
-			c.onSchedule(req)
+			if req.cancel {
+				c.onCancel(req.spec.ID)
+			} else {
+				c.onSchedule(req)
+			}
 		case req := <-c.snapshotCh:
 			req.ch <- c.snapshot(c.cfg.Clock())
 		case res := <-c.qcutCh:

@@ -173,6 +173,7 @@ func (c *Controller) onMoveAck(m *protocol.MoveAck) error {
 func (c *Controller) resume() {
 	c.phase = phaseRun
 	c.repartitions++
+	c.repartEpoch.Store(int64(c.repartitions))
 	c.broadcast(&protocol.GlobalStart{Epoch: c.epoch})
 	all := make(map[partition.WorkerID]bool, c.cfg.K)
 	for w := 0; w < c.cfg.K; w++ {
@@ -181,6 +182,12 @@ func (c *Controller) resume() {
 	for _, ctl := range c.queries {
 		if ctl.outstanding {
 			// Cannot happen: quiesce guaranteed collection before STOP.
+			continue
+		}
+		if ctl.cancelled {
+			// Abandoned while the barrier was forming; finish instead of
+			// re-releasing (deleting during range is safe in Go).
+			c.finishQuery(ctl, protocol.FinishCancelled)
 			continue
 		}
 		involved := make(map[partition.WorkerID]bool, len(all))

@@ -275,6 +275,17 @@ func (e *Engine) RunBatch(specs []query.Spec, parallel int) ([]controller.Result
 	return results, firstErr
 }
 
+// Cancel abandons a scheduled query (see controller.Cancel).
+func (e *Engine) Cancel(q query.ID) { e.ctrl.Cancel(q) }
+
+// Controller exposes the controller, which implements the serving layer's
+// backend contract (Schedule, Cancel, RepartitionEpoch).
+func (e *Engine) Controller() *controller.Controller { return e.ctrl }
+
+// RepartitionEpoch returns the live repartition count (safe concurrently
+// with the run; see controller.RepartitionEpoch).
+func (e *Engine) RepartitionEpoch() int64 { return e.ctrl.RepartitionEpoch() }
+
 // Recorder returns the engine's metrics recorder.
 func (e *Engine) Recorder() *metrics.Recorder { return e.recorder }
 

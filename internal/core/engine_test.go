@@ -264,3 +264,49 @@ func TestCloseWithInflightQueries(t *testing.T) {
 		t.Fatal("handles blocked after Close")
 	}
 }
+
+// TestCancelQuery exercises the serving layer's abandonment path on a
+// real engine: a long-running query is cancelled mid-flight, finishes
+// promptly with FinishCancelled, and the engine keeps answering fresh
+// queries correctly afterwards.
+func TestCancelQuery(t *testing.T) {
+	net := testRoad(t)
+	eng := startEngine(t, net.G, func(c *Config) {
+		c.ComputeCost = 50 * time.Microsecond // keep the victim running a while
+	})
+
+	// A flooding BFS with a huge superstep budget runs long enough that
+	// the cancel lands while it is executing.
+	h, err := eng.Schedule(query.Spec{
+		ID: 1, Kind: query.KindBFS, Source: 0, Target: graph.NilVertex, MaxIters: 10000,
+	})
+	if err != nil {
+		t.Fatalf("schedule: %v", err)
+	}
+	eng.Cancel(1)
+	select {
+	case res := <-h.Done():
+		// FinishCancelled if the cancel landed in time; a small graph may
+		// legitimately converge first, but it must not hang either way.
+		if res.Reason != protocol.FinishCancelled && res.Reason != protocol.FinishConverged {
+			t.Fatalf("reason %v, want cancelled or converged", res.Reason)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled query never finished")
+	}
+
+	// Cancelling an unknown query is a no-op and must not wedge the loop.
+	eng.Cancel(9999)
+
+	// The engine still answers new queries, and the freed query ID stays
+	// burned (its window entry lingers), so reuse is rejected.
+	src, dst := graph.VertexID(3), graph.VertexID(net.G.NumVertices()-1)
+	h2, err := eng.Schedule(query.Spec{ID: 2, Kind: query.KindSSSP, Source: src, Target: dst})
+	if err != nil {
+		t.Fatalf("schedule after cancel: %v", err)
+	}
+	res := h2.Wait()
+	if want := graph.DijkstraTo(net.G, src, dst); math.Abs(res.Value-want) > 1e-9 {
+		t.Fatalf("post-cancel sssp: got %g, want %g", res.Value, want)
+	}
+}

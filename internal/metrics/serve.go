@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// ServeCounters are the serving-layer counters: request admission, cache
+// effectiveness, and queue wait. All fields are atomics, safe for
+// concurrent use on the request path without locking.
+type ServeCounters struct {
+	start atomic.Int64 // unix nanos of the first Reset/first observation
+
+	Received  atomic.Int64 // POST /query requests accepted for processing
+	Completed atomic.Int64 // queries answered with a result
+	Failed    atomic.Int64 // queries that ended in an engine error
+	Rejected  atomic.Int64 // admission rejections (429)
+	Expired   atomic.Int64 // requests that hit their deadline (504)
+
+	CacheHits   atomic.Int64 // answered from the result cache
+	Coalesced   atomic.Int64 // joined an identical in-flight query
+	CacheMisses atomic.Int64 // cache lookups that missed (no_cache requests never look)
+	Invalidated atomic.Int64 // cache flushes (repartition / graph version)
+
+	QueueWaitNanos atomic.Int64 // total admission queue wait
+	QueueWaits     atomic.Int64 // count of admitted requests (wait samples)
+}
+
+// NewServeCounters returns counters anchored at now.
+func NewServeCounters(now time.Time) *ServeCounters {
+	c := &ServeCounters{}
+	c.start.Store(now.UnixNano())
+	return c
+}
+
+// ObserveQueueWait records one admission grant and its queue wait.
+func (c *ServeCounters) ObserveQueueWait(d time.Duration) {
+	c.QueueWaitNanos.Add(int64(d))
+	c.QueueWaits.Add(1)
+}
+
+// ServeSnapshot is a consistent-enough copy of the counters with the
+// derived rates the /stats endpoint reports.
+type ServeSnapshot struct {
+	Uptime    time.Duration `json:"uptime"`
+	Received  int64         `json:"received"`
+	Completed int64         `json:"completed"`
+	Failed    int64         `json:"failed"`
+	Rejected  int64         `json:"rejected"`
+	Expired   int64         `json:"expired"`
+
+	CacheHits   int64 `json:"cache_hits"`
+	Coalesced   int64 `json:"coalesced"`
+	CacheMisses int64 `json:"cache_misses"`
+	Invalidated int64 `json:"cache_invalidations"`
+
+	// QPS is completed queries per second of uptime.
+	QPS float64 `json:"qps"`
+	// HitRatio is (hits+coalesced) / lookups.
+	HitRatio float64 `json:"cache_hit_ratio"`
+	// MeanQueueWait averages admission queue wait over admitted requests.
+	MeanQueueWait time.Duration `json:"mean_queue_wait"`
+}
+
+// Snapshot derives the reportable view at time now.
+func (c *ServeCounters) Snapshot(now time.Time) ServeSnapshot {
+	s := ServeSnapshot{
+		Received:    c.Received.Load(),
+		Completed:   c.Completed.Load(),
+		Failed:      c.Failed.Load(),
+		Rejected:    c.Rejected.Load(),
+		Expired:     c.Expired.Load(),
+		CacheHits:   c.CacheHits.Load(),
+		Coalesced:   c.Coalesced.Load(),
+		CacheMisses: c.CacheMisses.Load(),
+		Invalidated: c.Invalidated.Load(),
+	}
+	if t0 := c.start.Load(); t0 != 0 {
+		s.Uptime = now.Sub(time.Unix(0, t0))
+	}
+	if sec := s.Uptime.Seconds(); sec > 0 {
+		s.QPS = float64(s.Completed) / sec
+	}
+	if lookups := s.CacheHits + s.Coalesced + s.CacheMisses; lookups > 0 {
+		s.HitRatio = float64(s.CacheHits+s.Coalesced) / float64(lookups)
+	}
+	if n := c.QueueWaits.Load(); n > 0 {
+		s.MeanQueueWait = time.Duration(c.QueueWaitNanos.Load() / n)
+	}
+	return s
+}

@@ -99,6 +99,24 @@ const (
 	FinishRejected                          // invalid request (e.g. reused query id)
 )
 
+// String returns the reason name (also the serving API's wire value).
+func (r FinishReason) String() string {
+	switch r {
+	case FinishConverged:
+		return "converged"
+	case FinishEarly:
+		return "early"
+	case FinishMaxIters:
+		return "max_iters"
+	case FinishCancelled:
+		return "cancelled"
+	case FinishRejected:
+		return "rejected"
+	default:
+		return "unknown"
+	}
+}
+
 // QueryFinish tells a worker to drop query Q's state. The worker answers
 // with a final BarrierSynch carrying its intersection statistics if Stats
 // is set.

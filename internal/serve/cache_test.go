@@ -1,0 +1,206 @@
+package serve
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"qgraph/internal/graph"
+	"qgraph/internal/protocol"
+	"qgraph/internal/query"
+)
+
+func okOutcome(v float64) Outcome {
+	return Outcome{Value: v, Reason: protocol.FinishConverged, Supersteps: 3}
+}
+
+func testKey(i int) Key {
+	return Key{Kind: query.KindSSSP, Source: 1, Target: graph.VertexID(i)}
+}
+
+func TestCacheHitAndMiss(t *testing.T) {
+	c := NewCache(8, time.Minute, nil)
+	k := testKey(2)
+	_, f, st := c.Begin(k)
+	if st != BeginLead {
+		t.Fatalf("first Begin: state %v, want lead", st)
+	}
+	c.Complete(f, okOutcome(42), nil)
+	out, _, st := c.Begin(k)
+	if st != BeginHit || out.Value != 42 {
+		t.Fatalf("second Begin: state %v value %v, want hit 42", st, out.Value)
+	}
+	if s := c.Stats(); s.Hits != 1 || s.Misses != 1 || s.Entries != 1 {
+		t.Fatalf("stats %+v, want 1 hit 1 miss 1 entry", s)
+	}
+}
+
+func TestCacheCoalescing(t *testing.T) {
+	c := NewCache(8, time.Minute, nil)
+	k := testKey(3)
+	_, lead, st := c.Begin(k)
+	if st != BeginLead {
+		t.Fatalf("leader state %v", st)
+	}
+	_, join, st := c.Begin(k)
+	if st != BeginJoin {
+		t.Fatalf("follower state %v, want join", st)
+	}
+	select {
+	case <-join.Done():
+		t.Fatal("flight done before completion")
+	default:
+	}
+	c.Complete(lead, okOutcome(7), nil)
+	<-join.Done()
+	out, err := join.Result()
+	if err != nil || out.Value != 7 {
+		t.Fatalf("joined result %v err %v, want 7", out.Value, err)
+	}
+}
+
+func TestCacheLeaderErrorPropagates(t *testing.T) {
+	c := NewCache(8, time.Minute, nil)
+	k := testKey(4)
+	_, lead, _ := c.Begin(k)
+	_, join, st := c.Begin(k)
+	if st != BeginJoin {
+		t.Fatalf("state %v, want join", st)
+	}
+	boom := errors.New("boom")
+	c.Complete(lead, Outcome{}, boom)
+	<-join.Done()
+	if _, err := join.Result(); !errors.Is(err, boom) {
+		t.Fatalf("joined err %v, want boom", err)
+	}
+	// Errors must not be cached; the next Begin leads again.
+	if _, _, st := c.Begin(k); st != BeginLead {
+		t.Fatalf("state after error %v, want lead", st)
+	}
+}
+
+func TestCacheTTLExpiry(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	c := NewCache(8, 10*time.Second, clock)
+	k := testKey(5)
+	_, f, _ := c.Begin(k)
+	c.Complete(f, okOutcome(1), nil)
+	now = now.Add(11 * time.Second)
+	if _, _, st := c.Begin(k); st != BeginLead {
+		t.Fatalf("state after TTL %v, want lead (expired)", st)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2, time.Minute, nil)
+	for i := 0; i < 3; i++ {
+		_, f, _ := c.Begin(testKey(i))
+		c.Complete(f, okOutcome(float64(i)), nil)
+	}
+	if _, _, st := c.Begin(testKey(0)); st != BeginLead {
+		t.Fatal("oldest entry should have been evicted")
+	}
+	// Abort the led flight so it does not linger.
+	_, f, _ := c.Begin(testKey(1))
+	if f != nil {
+		t.Fatal("expected hit for recent key")
+	}
+}
+
+func TestCacheEpochFlush(t *testing.T) {
+	c := NewCache(8, time.Minute, nil)
+	k := testKey(6)
+	_, f, _ := c.Begin(k)
+	c.Complete(f, okOutcome(9), nil)
+	if c.SetEpoch(Epoch{Repartition: 0}) {
+		t.Fatal("same epoch must not flush")
+	}
+	if !c.SetEpoch(Epoch{Repartition: 1}) {
+		t.Fatal("new epoch must flush")
+	}
+	if _, _, st := c.Begin(k); st != BeginLead {
+		t.Fatal("entry survived epoch flush")
+	}
+	// A flight led under the old epoch must not store into the new one,
+	// and post-flush requests must not coalesce onto it either.
+	_, f2, _ := c.Begin(testKey(7))
+	c.SetEpoch(Epoch{Repartition: 2})
+	_, fNew, st := c.Begin(testKey(7))
+	if st != BeginLead {
+		t.Fatal("post-flush request joined a pre-epoch flight")
+	}
+	// The stale leader finishing must neither store nor displace the
+	// fresh flight for the same key.
+	c.Complete(f2, okOutcome(1), nil)
+	if _, _, st := c.Begin(testKey(7)); st != BeginJoin {
+		t.Fatal("fresh flight lost when the stale leader completed")
+	}
+	c.Complete(fNew, okOutcome(2), nil)
+	if out, _, st := c.Begin(testKey(7)); st != BeginHit || out.Value != 2 {
+		t.Fatalf("fresh-epoch result not stored (state %v, value %v)", st, out.Value)
+	}
+}
+
+func TestCacheEpochNeverRegresses(t *testing.T) {
+	c := NewCache(8, time.Minute, nil)
+	if !c.SetEpoch(Epoch{Repartition: 3}) && c.Stats().Epoch.Repartition != 3 {
+		t.Fatal("epoch did not advance")
+	}
+	_, f, _ := c.Begin(testKey(1))
+	c.Complete(f, okOutcome(5), nil)
+	// A stale reader racing a fresher request must not flush or regress.
+	if c.SetEpoch(Epoch{Repartition: 2}) {
+		t.Fatal("stale epoch flushed the cache")
+	}
+	if _, _, st := c.Begin(testKey(1)); st != BeginHit {
+		t.Fatal("entry lost to a stale epoch reader")
+	}
+	if got := c.Stats().Epoch.Repartition; got != 3 {
+		t.Fatalf("epoch regressed to %d", got)
+	}
+	// A graph-version change flushes regardless of repartition ordering.
+	if !c.SetEpoch(Epoch{Graph: 9, Repartition: 0}) {
+		t.Fatal("graph change did not flush")
+	}
+}
+
+func TestCachePeek(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	c := NewCache(8, 10*time.Second, clock)
+	if c.Peek(testKey(1)) {
+		t.Fatal("peek hit on empty cache")
+	}
+	_, f, _ := c.Begin(testKey(1))
+	if !c.Peek(testKey(1)) {
+		t.Fatal("peek missed an in-flight computation")
+	}
+	c.Complete(f, okOutcome(1), nil)
+	if !c.Peek(testKey(1)) {
+		t.Fatal("peek missed a stored result")
+	}
+	now = now.Add(11 * time.Second)
+	if c.Peek(testKey(1)) {
+		t.Fatal("peek hit an expired entry")
+	}
+}
+
+func TestCacheDoesNotStoreUncacheable(t *testing.T) {
+	c := NewCache(8, time.Minute, nil)
+	k := testKey(8)
+	_, f, _ := c.Begin(k)
+	c.Complete(f, Outcome{Value: 1, Reason: protocol.FinishCancelled}, nil)
+	if _, _, st := c.Begin(k); st != BeginLead {
+		t.Fatal("cancelled outcome was cached")
+	}
+}
+
+func TestKeyOfIgnoresIDAndHome(t *testing.T) {
+	a := query.Spec{ID: 1, Kind: query.KindBFS, Source: 3, Target: 4}
+	b := query.Spec{ID: 99, Kind: query.KindBFS, Source: 3, Target: 4}
+	b.SetHome(2)
+	if KeyOf(a) != KeyOf(b) {
+		t.Fatal("cache key must ignore query ID and home pinning")
+	}
+}

@@ -1,0 +1,680 @@
+package serve
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qgraph/internal/controller"
+	"qgraph/internal/graph"
+	"qgraph/internal/metrics"
+	"qgraph/internal/query"
+)
+
+// Backend is what the serving layer needs from the engine. Both
+// *controller.Controller and *core.Engine's Controller() satisfy it.
+type Backend interface {
+	// Schedule submits a query; the result arrives on the channel.
+	Schedule(spec query.Spec) (<-chan controller.Result, error)
+	// Cancel abandons a scheduled query (best effort).
+	Cancel(q query.ID)
+	// RepartitionEpoch counts executed repartitioning barriers; a change
+	// invalidates cached results.
+	RepartitionEpoch() int64
+}
+
+// Config parameterises a Server. Zero values select sane defaults.
+type Config struct {
+	Backend Backend
+	// Graph validates request specs (source/target ranges, POI tags).
+	Graph *graph.Graph
+	// GraphVersion distinguishes graph generations in the cache epoch.
+	GraphVersion uint64
+
+	Admit AdmitConfig
+	// CacheSize / CacheTTL bound the result cache (default 4096 / 1m).
+	CacheSize int
+	CacheTTL  time.Duration
+	// DefaultTimeout / MaxTimeout bound per-request deadlines
+	// (default 30s / 2m). A request past its deadline is answered 504 and
+	// its query cancelled on the engine.
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// ResultTTL is how long async results stay retrievable (default 1m).
+	ResultTTL time.Duration
+	// MaxAsyncResults caps retained async results (default 4096); async
+	// submissions beyond it are rejected 429. This is the hard memory
+	// bound — the admission pre-bounce is only advisory (cache-answerable
+	// requests bypass it, and its check races the later Acquire).
+	MaxAsyncResults int
+
+	// Counters receives serving metrics; nil creates a fresh set.
+	Counters *metrics.ServeCounters
+	// Clock abstracts time for tests; nil means time.Now.
+	Clock func() time.Time
+}
+
+func (c *Config) fill() error {
+	if c.Backend == nil {
+		return fmt.Errorf("serve: nil backend")
+	}
+	if c.Graph == nil {
+		return fmt.Errorf("serve: nil graph")
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	// The default deadline must be reachable by an explicit timeout_ms,
+	// and storePending relies on MaxTimeout bounding every request.
+	if c.MaxTimeout < c.DefaultTimeout {
+		c.MaxTimeout = c.DefaultTimeout
+	}
+	if c.ResultTTL <= 0 {
+		c.ResultTTL = time.Minute
+	}
+	if c.MaxAsyncResults <= 0 {
+		c.MaxAsyncResults = 4096
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	if c.Counters == nil {
+		c.Counters = metrics.NewServeCounters(c.Clock())
+	}
+	return nil
+}
+
+// Server is the multi-tenant HTTP front-end over one Q-Graph controller.
+type Server struct {
+	cfg    Config
+	admit  *Admission
+	cache  *Cache
+	ctr    *metrics.ServeCounters
+	nextID atomic.Int64
+
+	mu        sync.Mutex
+	results   map[int64]*asyncResult
+	lastPrune time.Time
+
+	draining atomic.Bool
+	wg       sync.WaitGroup
+}
+
+// asyncResult is a stored outcome of an async (wait-free) request.
+type asyncResult struct {
+	done    bool
+	code    int
+	resp    QueryResponse
+	errBody *errorResponse
+	expires time.Time
+}
+
+// New builds a Server.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	return &Server{
+		cfg:     cfg,
+		admit:   NewAdmission(cfg.Admit, cfg.Clock),
+		cache:   NewCache(cfg.CacheSize, cfg.CacheTTL, cfg.Clock),
+		ctr:     cfg.Counters,
+		results: make(map[int64]*asyncResult),
+	}, nil
+}
+
+// Counters exposes the serving counters (shared with /stats).
+func (s *Server) Counters() *metrics.ServeCounters { return s.ctr }
+
+// Handler returns the HTTP API:
+//
+//	POST /query        run a query (or enqueue it with "async": true)
+//	GET  /result/{id}  fetch an async query's result
+//	GET  /healthz      liveness (503 while draining)
+//	GET  /stats        serving, admission, cache, and engine counters
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("GET /result/{id}", s.handleResult)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return mux
+}
+
+// Drain stops accepting new queries and waits for in-flight ones (both
+// sync and async) to finish, or for ctx to expire.
+func (s *Server) Drain(ctx context.Context) error {
+	// The mutex orders the store against begin(): once Drain holds it,
+	// every later request observes draining and is rejected, so wg cannot
+	// grow from zero concurrently with Wait.
+	s.mu.Lock()
+	s.draining.Store(true)
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Wire types
+
+// QueryRequest is the POST /query body.
+type QueryRequest struct {
+	// Kind is sssp | bfs | poi | pagerank.
+	Kind   string `json:"kind"`
+	Source int64  `json:"source"`
+	// Target is the end vertex for point-to-point SSSP/BFS; omitted or
+	// null floods from the source.
+	Target   *int64  `json:"target,omitempty"`
+	MaxIters int     `json:"max_iters,omitempty"`
+	Epsilon  float64 `json:"epsilon,omitempty"`
+	// Tenant scopes weighted-fair queueing; empty means "default".
+	Tenant string `json:"tenant,omitempty"`
+	// TimeoutMS overrides the server's default request deadline.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// NoCache bypasses result-cache lookup and storage.
+	NoCache bool `json:"no_cache,omitempty"`
+	// Async returns immediately with an id; fetch via GET /result/{id}.
+	Async bool `json:"async,omitempty"`
+}
+
+// QueryResponse is the result representation of both /query and /result.
+type QueryResponse struct {
+	// ID is the engine query id for synchronous responses, or the opaque
+	// retrieval token for async ones (pass it to GET /result/{id}).
+	ID     int64  `json:"id"`
+	Kind   string `json:"kind"`
+	Status string `json:"status"` // "done" | "pending"
+	// Value is the query result; null when no goal vertex was reached.
+	Value      *float64 `json:"value"`
+	Reason     string   `json:"reason,omitempty"`
+	Supersteps int      `json:"supersteps"`
+	Touched    int      `json:"touched"`
+	Workers    int      `json:"workers"`
+	CacheHit   bool     `json:"cache_hit,omitempty"`
+	Coalesced  bool     `json:"coalesced,omitempty"`
+	// LatencyMS is this request's wall time; for cache hits it is the
+	// lookup time, while EngineMS always reports the executing run.
+	LatencyMS   float64 `json:"latency_ms"`
+	EngineMS    float64 `json:"engine_ms"`
+	QueueWaitMS float64 `json:"queue_wait_ms"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// StatsResponse is the GET /stats body.
+type StatsResponse struct {
+	Serve     metrics.ServeSnapshot `json:"serve"`
+	Admission AdmitStats            `json:"admission"`
+	Cache     CacheStats            `json:"cache"`
+	Engine    struct {
+		RepartitionEpoch int64  `json:"repartition_epoch"`
+		GraphVersion     uint64 `json:"graph_version"`
+		Vertices         int    `json:"vertices"`
+	} `json:"engine"`
+}
+
+// ---------------------------------------------------------------------------
+// Handlers
+
+// begin registers one request with the drain WaitGroup, or reports that
+// the server is draining. Every true return must be paired with wg.Done.
+func (s *Server) begin() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining.Load() {
+		return false
+	}
+	s.wg.Add(1)
+	return true
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if !s.begin() {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server draining"})
+		return
+	}
+	defer s.wg.Done()
+	var req QueryRequest
+	// Requests are tiny; bound the body so one client cannot buffer
+	// arbitrary amounts of memory into the decoder.
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		code := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			code = http.StatusRequestEntityTooLarge
+		}
+		writeJSON(w, code, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	spec, err := s.specOf(req)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	tenant := req.Tenant
+	if tenant == "" {
+		tenant = "default"
+	}
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		// Compare in milliseconds before converting: a huge timeout_ms
+		// would overflow the nanosecond conversion into a negative
+		// duration and defeat the cap.
+		if req.TimeoutMS >= int64(s.cfg.MaxTimeout/time.Millisecond) {
+			timeout = s.cfg.MaxTimeout
+		} else {
+			timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+		}
+	}
+	s.ctr.Received.Add(1)
+
+	if req.Async {
+		// Bounce a hopeless submission before allocating a result slot
+		// and goroutine: an async flood against a full queue would
+		// otherwise retain a stored rejection per request for ResultTTL.
+		// A request the cache can answer (or coalesce) consumes no engine
+		// capacity, so it is admitted even with a full queue — matching
+		// the sync path, which consults the cache before admission. The
+		// epoch must advance before Peek, or entries a repartition just
+		// invalidated would defeat the bounce.
+		if s.admit.Full(tenant) {
+			epoch := Epoch{Graph: s.cfg.GraphVersion, Repartition: s.cfg.Backend.RepartitionEpoch()}
+			if s.cache.SetEpoch(epoch) {
+				s.ctr.Invalidated.Add(1)
+			}
+			if req.NoCache || !s.cache.Peek(KeyOf(spec)) {
+				s.ctr.Rejected.Add(1)
+				w.Header().Set("Retry-After", s.retryAfter())
+				writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "admission queue full"})
+				return
+			}
+		}
+		// Results are retrieved by an unguessable token, not the sequential
+		// engine id: tenancy carries no authentication, so enumerable ids
+		// would let any client read other tenants' results.
+		token := newResultToken()
+		spec.ID = query.ID(s.nextID.Add(1))
+		if !s.storePending(token) {
+			s.ctr.Rejected.Add(1)
+			w.Header().Set("Retry-After", s.retryAfter())
+			writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "async result store full"})
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), timeout)
+			defer cancel()
+			resp, code, errBody := s.execute(ctx, spec, req, tenant)
+			resp.ID = token
+			s.storeDone(token, resp, code, errBody)
+		}()
+		writeJSON(w, http.StatusAccepted, QueryResponse{
+			ID: token, Kind: spec.Kind.String(), Status: "pending", Value: nil,
+		})
+		return
+	}
+
+	spec.ID = query.ID(s.nextID.Add(1))
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	resp, code, errBody := s.execute(ctx, spec, req, tenant)
+	if errBody != nil {
+		if code == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", s.retryAfter())
+		}
+		writeJSON(w, code, *errBody)
+		return
+	}
+	writeJSON(w, code, resp)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad result id"})
+		return
+	}
+	s.mu.Lock()
+	s.pruneResults(false)
+	ar := s.results[id]
+	s.mu.Unlock()
+	switch {
+	case ar == nil:
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown or expired result id"})
+	case !ar.done:
+		writeJSON(w, http.StatusOK, QueryResponse{ID: id, Status: "pending", Value: nil})
+	case ar.errBody != nil:
+		writeJSON(w, ar.code, *ar.errBody)
+	default:
+		writeJSON(w, ar.code, ar.resp)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	var resp StatsResponse
+	resp.Serve = s.ctr.Snapshot(s.cfg.Clock())
+	resp.Admission = s.admit.Stats()
+	resp.Cache = s.cache.Stats()
+	resp.Engine.RepartitionEpoch = s.cfg.Backend.RepartitionEpoch()
+	resp.Engine.GraphVersion = s.cfg.GraphVersion
+	resp.Engine.Vertices = s.cfg.Graph.NumVertices()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ---------------------------------------------------------------------------
+// Execution path
+
+// execute runs one admitted-or-coalesced query to completion and maps the
+// outcome to an HTTP response. spec.ID is already assigned.
+func (s *Server) execute(ctx context.Context, spec query.Spec, req QueryRequest, tenant string) (QueryResponse, int, *errorResponse) {
+	started := s.cfg.Clock()
+	key := KeyOf(spec)
+	// Advance the cache epoch before the lookup so a repartition or graph
+	// change since the last request flushes stale results.
+	epoch := Epoch{Graph: s.cfg.GraphVersion, Repartition: s.cfg.Backend.RepartitionEpoch()}
+	if s.cache.SetEpoch(epoch) {
+		s.ctr.Invalidated.Add(1)
+	}
+
+	var flight *Flight
+	if req.NoCache {
+		flight = s.cache.Lead()
+	} else {
+	lookup:
+		for {
+			out, f, state := s.cache.Begin(key)
+			switch state {
+			case BeginHit:
+				s.ctr.CacheHits.Add(1)
+				s.ctr.Completed.Add(1)
+				resp := s.respFrom(spec, out, started, 0)
+				resp.CacheHit = true
+				return resp, http.StatusOK, nil
+			case BeginJoin:
+				select {
+				case <-f.Done():
+					if out, err := f.Result(); err == nil {
+						s.ctr.Coalesced.Add(1)
+						s.ctr.Completed.Add(1)
+						resp := s.respFrom(spec, out, started, 0)
+						resp.Coalesced = true
+						return resp, http.StatusOK, nil
+					}
+					// The leader failed (rejected, expired, engine error).
+					// Do not inherit its failure: race to lead the retry,
+					// so admission decides for this caller too. Each round
+					// promotes exactly one waiter, so this terminates.
+					continue
+				case <-ctx.Done():
+					// Only this follower gives up; the leader keeps going.
+					s.ctr.Expired.Add(1)
+					return QueryResponse{}, http.StatusGatewayTimeout,
+						&errorResponse{Error: "deadline exceeded waiting for coalesced query"}
+				}
+			case BeginLead:
+				// A real lookup miss; NoCache requests never looked and
+				// must not skew the hit ratio's denominator.
+				s.ctr.CacheMisses.Add(1)
+				flight = f
+				break lookup
+			}
+		}
+	}
+
+	release, wait, err := s.admit.Acquire(ctx, tenant)
+	if err != nil {
+		s.cache.Complete(flight, Outcome{}, err)
+		if err == ErrQueueFull {
+			s.ctr.Rejected.Add(1)
+			return QueryResponse{}, http.StatusTooManyRequests,
+				&errorResponse{Error: "admission queue full"}
+		}
+		s.ctr.Expired.Add(1)
+		return QueryResponse{}, http.StatusGatewayTimeout,
+			&errorResponse{Error: "deadline exceeded in admission queue"}
+	}
+	s.ctr.ObserveQueueWait(wait)
+
+	ch, err := s.cfg.Backend.Schedule(spec)
+	if err != nil {
+		release()
+		s.cache.Complete(flight, Outcome{}, err)
+		s.ctr.Failed.Add(1)
+		return QueryResponse{}, http.StatusServiceUnavailable,
+			&errorResponse{Error: "schedule: " + err.Error()}
+	}
+
+	select {
+	case res := <-ch:
+		release()
+		out := outcomeOf(res)
+		if !out.Cacheable() {
+			// Cancelled (engine stopping) or rejected: no reusable answer.
+			s.cache.Complete(flight, Outcome{}, fmt.Errorf("query finished %s", res.Reason))
+			s.ctr.Failed.Add(1)
+			return QueryResponse{}, http.StatusServiceUnavailable,
+				&errorResponse{Error: "query finished " + res.Reason.String()}
+		}
+		s.cache.Complete(flight, out, nil)
+		s.ctr.Completed.Add(1)
+		return s.respFrom(spec, out, started, wait), http.StatusOK, nil
+	case <-ctx.Done():
+		// The caller abandoned the query: cancel it on the engine and free
+		// the admission slot only when the engine actually lets go of it,
+		// so MaxInFlight keeps metering true engine load. If the result
+		// races the cancel and completes anyway, keep it — the work is
+		// paid for; the next request for this key should hit the cache.
+		s.cfg.Backend.Cancel(spec.ID)
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			res := <-ch
+			release()
+			if out := outcomeOf(res); !req.NoCache && out.Cacheable() {
+				s.cache.Store(key, flight.epoch, out)
+			}
+		}()
+		s.cache.Complete(flight, Outcome{}, ctx.Err())
+		s.ctr.Expired.Add(1)
+		return QueryResponse{}, http.StatusGatewayTimeout,
+			&errorResponse{Error: "deadline exceeded; query cancelled"}
+	}
+}
+
+// respFrom maps an outcome to the wire response.
+func (s *Server) respFrom(spec query.Spec, out Outcome, started time.Time, wait time.Duration) QueryResponse {
+	resp := QueryResponse{
+		ID:          int64(spec.ID),
+		Kind:        spec.Kind.String(),
+		Status:      "done",
+		Reason:      out.Reason.String(),
+		Supersteps:  out.Supersteps,
+		Touched:     out.Touched,
+		Workers:     out.Workers,
+		LatencyMS:   durMS(s.cfg.Clock().Sub(started)),
+		EngineMS:    durMS(out.EngineLatency),
+		QueueWaitMS: durMS(wait),
+	}
+	if out.Value != query.NoResult {
+		v := out.Value
+		resp.Value = &v
+	}
+	return resp
+}
+
+func outcomeOf(res controller.Result) Outcome {
+	return Outcome{
+		Value:         res.Value,
+		Reason:        res.Reason,
+		Supersteps:    res.Supersteps,
+		LocalIters:    res.LocalIters,
+		Touched:       res.Touched,
+		Workers:       res.Workers,
+		EngineLatency: res.Latency,
+	}
+}
+
+// specOf parses and validates a request into a query spec (without ID).
+func (s *Server) specOf(req QueryRequest) (query.Spec, error) {
+	// Bound-check before the int32 narrowing: a wrapped vertex id would
+	// silently answer a different query (or turn -1 into a NilVertex
+	// flood) instead of failing validation.
+	if req.Source < 0 || req.Source > math.MaxInt32 {
+		return query.Spec{}, fmt.Errorf("source %d out of range", req.Source)
+	}
+	spec := query.Spec{
+		Source:   graph.VertexID(req.Source),
+		Target:   graph.NilVertex,
+		MaxIters: req.MaxIters,
+		Epsilon:  req.Epsilon,
+	}
+	if req.Target != nil {
+		if *req.Target < 0 || *req.Target > math.MaxInt32 {
+			return query.Spec{}, fmt.Errorf("target %d out of range (omit target to flood)", *req.Target)
+		}
+		spec.Target = graph.VertexID(*req.Target)
+	}
+	switch req.Kind {
+	case "sssp":
+		spec.Kind = query.KindSSSP
+	case "bfs":
+		spec.Kind = query.KindBFS
+	case "poi":
+		spec.Kind = query.KindPOI
+	case "pagerank":
+		spec.Kind = query.KindPageRank
+		if spec.MaxIters <= 0 && spec.Epsilon <= 0 {
+			// The REPL's defaults; keeps curl one-liners terminating.
+			spec.MaxIters, spec.Epsilon = 20, 1e-4
+		}
+	default:
+		return spec, fmt.Errorf("unknown query kind %q (want sssp|bfs|poi|pagerank)", req.Kind)
+	}
+	if err := spec.Validate(s.cfg.Graph); err != nil {
+		return spec, err
+	}
+	return spec, nil
+}
+
+// retryAfter estimates how long a rejected client should back off from
+// the current queue depth (a lifetime mean would barely move during a
+// sudden overload after a quiet period): one second plus roughly one
+// second per full drain generation queued, capped at 30.
+func (s *Server) retryAfter() string {
+	st := s.admit.Stats()
+	sec := int64(1)
+	if st.MaxInFlight > 0 {
+		sec += int64(st.Queued / st.MaxInFlight)
+	}
+	if sec > 30 {
+		sec = 30
+	}
+	return strconv.FormatInt(sec, 10)
+}
+
+// storePending registers an async result slot, or reports the store full
+// (the submission must then be rejected). Pending slots carry no expiry:
+// the TTL starts when the result lands (storeDone), so a query outliving
+// ResultTTL is not silently dropped mid-run — execute always completes
+// (deadlines are capped by MaxTimeout), so every pending slot eventually
+// becomes done and expires from there.
+func (s *Server) storePending(id int64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pruneResults(false)
+	if len(s.results) >= s.cfg.MaxAsyncResults {
+		// At the cap the throttled prune may be stale; sweep for real
+		// before rejecting.
+		s.pruneResults(true)
+		if len(s.results) >= s.cfg.MaxAsyncResults {
+			return false
+		}
+	}
+	s.results[id] = &asyncResult{}
+	return true
+}
+
+// storeDone publishes an async result.
+func (s *Server) storeDone(id int64, resp QueryResponse, code int, errBody *errorResponse) {
+	s.mu.Lock()
+	if ar := s.results[id]; ar != nil {
+		ar.done = true
+		ar.resp, ar.code, ar.errBody = resp, code, errBody
+		ar.expires = s.cfg.Clock().Add(s.cfg.ResultTTL)
+	}
+	s.mu.Unlock()
+}
+
+// pruneResults drops expired async results; pending ones (not yet done)
+// never expire here. Unless forced, the scan is throttled: it is
+// O(results) under the server-wide mutex, so running it on every request
+// would serialize the whole request path at high async rates. Caller
+// holds mu.
+func (s *Server) pruneResults(force bool) {
+	now := s.cfg.Clock()
+	if !force && now.Sub(s.lastPrune) < s.cfg.ResultTTL/16 {
+		return
+	}
+	s.lastPrune = now
+	for id, ar := range s.results {
+		if ar.done && now.After(ar.expires) {
+			delete(s.results, id)
+		}
+	}
+}
+
+// newResultToken draws a random positive retrieval token. Tokens stay
+// below 2^53 so they survive JSON round trips through IEEE-754 clients
+// (JavaScript); ~9e15 values is plenty of enumeration resistance for a
+// short-lived result handle.
+func newResultToken() int64 {
+	var b [8]byte
+	_, _ = rand.Read(b[:])
+	v := int64(binary.LittleEndian.Uint64(b[:]) & (1<<53 - 1))
+	if v == 0 {
+		v = 1
+	}
+	return v
+}
+
+func durMS(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
