@@ -8,12 +8,14 @@ import (
 	"math/rand/v2"
 	"net"
 	"net/http"
+	"os"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"qgraph/internal/delta"
 	"qgraph/internal/metrics"
 	"qgraph/internal/serve"
 )
@@ -32,6 +34,13 @@ type loadOptions struct {
 	Tenants  int
 	Timeout  time.Duration
 	Seed     uint64
+
+	// Mixed read/write mode: stream MutateRate ops/s to POST /mutate in
+	// MutateBatch-sized requests while the query load runs, replaying
+	// MutationsFile if set (synthetic ops otherwise).
+	MutateRate    float64
+	MutateBatch   int
+	MutationsFile string
 }
 
 // parseMix parses "kind=weight,..." into a cumulative distribution.
@@ -119,6 +128,25 @@ func runLoad(o loadOptions) error {
 	if interval <= 0 {
 		interval = time.Millisecond
 	}
+
+	// Mixed read/write mode: a closed-loop mutation streamer runs beside
+	// the open-loop query generator for the same window.
+	var mut *mutationStreamer
+	stopMut := make(chan struct{})
+	mutDone := make(chan struct{})
+	if o.MutateRate > 0 {
+		var err error
+		if mut, err = newMutationStreamer(o, client, base, vertices); err != nil {
+			return err
+		}
+		go func() {
+			defer close(mutDone)
+			mut.run(stopMut)
+		}()
+	} else {
+		close(mutDone)
+	}
+
 	start := time.Now()
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
@@ -170,7 +198,9 @@ func runLoad(o loadOptions) error {
 		}(sp)
 	}
 	genWindow := time.Since(start) // arrival window, before the drain
+	close(stopMut)
 	wg.Wait()
+	<-mutDone
 	wall := time.Since(start)
 
 	sum := metrics.SummarizeRecords(records)
@@ -187,10 +217,160 @@ func runLoad(o loadOptions) error {
 		fmt.Printf("latency mean=%.2fms p50=%.2fms p95=%.2fms p99=%.2fms\n",
 			msOf(sum.MeanLatency), msOf(sum.P50), msOf(sum.P95), msOf(sum.P99))
 	}
+	if mut != nil {
+		mut.report(genWindow)
+	}
 	if stats, err := fetchRaw(client, base+"/stats"); err == nil {
 		fmt.Printf("# server /stats\n%s\n", stats)
 	}
 	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Mutation streaming (mixed read/write mode)
+
+// mutationStreamer pushes update batches to POST /mutate at a fixed op
+// rate, closed-loop per batch: send, await the commit, sleep out the
+// interval. Ops come from a replay file (qgraph-gen -mutations) or from a
+// synthetic generator that adds edges and churns the weights of edges it
+// added earlier (so set_weight ops actually apply).
+type mutationStreamer struct {
+	client  *http.Client
+	base    string
+	batch   int
+	rate    float64
+	replay  []serve.MutateOp // nil = synthetic
+	rng     *rand.Rand
+	nVerts  int64
+	added   [][2]int64 // synthetic: edges added so far, for weight churn
+	nextIdx int
+
+	sent, applied, noops, failed, batches int64
+	commits                               []metrics.QueryRecord
+}
+
+func newMutationStreamer(o loadOptions, client *http.Client, base string, vertices int) (*mutationStreamer, error) {
+	m := &mutationStreamer{
+		client: client,
+		base:   base,
+		batch:  max(o.MutateBatch, 1),
+		rate:   o.MutateRate,
+		rng:    rand.New(rand.NewPCG(o.Seed, 0xa0761d6478bd642f)),
+		nVerts: int64(vertices),
+	}
+	if o.MutationsFile != "" {
+		f, err := os.Open(o.MutationsFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		ops, err := delta.ReadOps(f)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", o.MutationsFile, err)
+		}
+		m.replay = make([]serve.MutateOp, len(ops))
+		for i, op := range ops {
+			m.replay[i] = serve.MutateOp{
+				Op: op.Kind.String(), From: int64(op.From), To: int64(op.To),
+				Weight: float64(op.Weight),
+			}
+		}
+	}
+	return m, nil
+}
+
+// nextBatch draws the next batch, or nil when a replay stream ran dry.
+func (m *mutationStreamer) nextBatch() []serve.MutateOp {
+	if m.replay != nil {
+		if m.nextIdx >= len(m.replay) {
+			return nil
+		}
+		end := min(m.nextIdx+m.batch, len(m.replay))
+		ops := m.replay[m.nextIdx:end]
+		m.nextIdx = end
+		return ops
+	}
+	ops := make([]serve.MutateOp, m.batch)
+	for i := range ops {
+		if len(m.added) > 0 && m.rng.Float64() < 0.3 {
+			pair := m.added[m.rng.IntN(len(m.added))]
+			ops[i] = serve.MutateOp{
+				Op: "set_weight", From: pair[0], To: pair[1],
+				Weight: 0.1 + m.rng.Float64()*2,
+			}
+			continue
+		}
+		u, v := m.rng.Int64N(m.nVerts), m.rng.Int64N(m.nVerts)
+		ops[i] = serve.MutateOp{Op: "add_edge", From: u, To: v, Weight: 0.1 + m.rng.Float64()*2}
+		m.added = append(m.added, [2]int64{u, v})
+	}
+	return ops
+}
+
+func (m *mutationStreamer) run(stop <-chan struct{}) {
+	interval := time.Duration(float64(m.batch) / m.rate * float64(time.Second))
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		ops := m.nextBatch()
+		if ops == nil {
+			return // replay exhausted
+		}
+		t0 := time.Now()
+		m.post(ops)
+		if d := interval - time.Since(t0); d > 0 {
+			select {
+			case <-stop:
+				return
+			case <-time.After(d):
+			}
+		}
+	}
+}
+
+func (m *mutationStreamer) post(ops []serve.MutateOp) {
+	m.sent += int64(len(ops))
+	body, _ := json.Marshal(serve.MutateRequest{Ops: ops})
+	t0 := time.Now()
+	resp, err := m.client.Post(m.base+"/mutate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		m.failed += int64(len(ops))
+		return
+	}
+	defer resp.Body.Close()
+	var mr serve.MutateResponse
+	if resp.StatusCode != http.StatusOK {
+		m.failed += int64(len(ops))
+		return
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
+		m.failed += int64(len(ops))
+		return
+	}
+	m.applied += int64(mr.Applied)
+	m.noops += int64(mr.NoOps)
+	m.batches++
+	m.commits = append(m.commits, metrics.QueryRecord{
+		Kind: "mutate", ScheduledAt: t0, Latency: time.Since(t0),
+	})
+}
+
+// report prints the write-plane side of the mixed run.
+func (m *mutationStreamer) report(window time.Duration) {
+	fmt.Printf("mutations: sent=%d applied=%d noop=%d failed=%d batches=%d\n",
+		m.sent, m.applied, m.noops, m.failed, m.batches)
+	sec := window.Seconds()
+	if sec > 0 {
+		fmt.Printf("mutations: offered=%.1f ops/s apply_throughput=%.1f ops/s\n",
+			float64(m.sent)/sec, float64(m.applied)/sec)
+	}
+	if sum := metrics.SummarizeRecords(m.commits); sum.Count > 0 {
+		fmt.Printf("mutations: commit mean=%.2fms p50=%.2fms p95=%.2fms\n",
+			msOf(sum.MeanLatency), msOf(sum.P50), msOf(sum.P95))
+	}
 }
 
 func msOf(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

@@ -11,6 +11,14 @@
 // effectiveness under concurrency:
 //
 //	qgraph-bench -load http://localhost:8080 -rate 500 -load-duration 30s
+//
+// Adding -mutate-rate turns that into a mixed read/write run: graph
+// mutations stream to POST /mutate while the query load runs, and the
+// report shows mutation apply throughput and commit latency alongside
+// query goodput:
+//
+//	qgraph-bench -load http://localhost:8080 -rate 500 -mutate-rate 200 \
+//	  -mutations bw.qgr.mut -load-duration 30s
 package main
 
 import (
@@ -39,6 +47,10 @@ func main() {
 		loadPool    = flag.Int("load-pool", 256, "distinct query pool size; smaller = more cache hits (-load)")
 		loadTenants = flag.Int("load-tenants", 4, "tenants to spread requests over (-load)")
 		loadTimeout = flag.Duration("load-timeout", 10*time.Second, "client-side request timeout (-load)")
+
+		mutateRate  = flag.Float64("mutate-rate", 0, "mixed read/write mode: stream graph mutations at this many ops/s during -load")
+		mutateBatch = flag.Int("mutate-batch", 32, "ops per POST /mutate request (-mutate-rate)")
+		mutateFile  = flag.String("mutations", "", "replay this update stream (qgraph-gen -mutations) instead of synthetic ops")
 	)
 	flag.Parse()
 
@@ -50,6 +62,7 @@ func main() {
 		if err := runLoad(loadOptions{
 			URL: *load, Rate: *rate, Duration: *loadDur, Mix: *loadMix,
 			Pool: *loadPool, Tenants: *loadTenants, Timeout: *loadTimeout, Seed: s,
+			MutateRate: *mutateRate, MutateBatch: *mutateBatch, MutationsFile: *mutateFile,
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, "qgraph-bench:", err)
 			os.Exit(1)

@@ -14,11 +14,12 @@
 // where ADDRS lists k+1 comma-separated host:port pairs, controller first.
 //
 // With -serve the controller exposes the HTTP/JSON query API of
-// internal/serve (POST /query, GET /result/{id}, GET /healthz, GET /stats)
-// with admission control and a result cache:
+// internal/serve (POST /query, GET /result/{id}, POST /mutate,
+// GET /healthz, GET /stats) with admission control and a result cache:
 //
 //	qgraphd -role controller -graph bw.qgr -addrs "$ADDRS" -serve :8080
 //	curl -s localhost:8080/query -d '{"kind":"sssp","source":3,"target":99}'
+//	curl -s localhost:8080/mutate -d '{"ops":[{"op":"add_edge","from":3,"to":99,"weight":1.5}]}'
 //
 // Without -serve, the controller falls back to accepting queries on stdin,
 // one per line:
@@ -78,6 +79,11 @@ func main() {
 		cacheSize  = flag.Int("cache-size", 4096, "result cache capacity (-serve)")
 		cacheTTL   = flag.Duration("cache-ttl", time.Minute, "result cache entry lifetime (-serve)")
 		reqTimeout = flag.Duration("timeout", 30*time.Second, "default per-request deadline (-serve)")
+
+		commitEvery = flag.Duration("commit-every", 250*time.Millisecond, "max time staged graph mutations wait before the commit barrier (controller)")
+		maxBatchOps = flag.Int("max-batch-ops", 4096, "commit the staged mutation batch early at this many ops (controller)")
+		hbEvery     = flag.Duration("heartbeat-every", time.Second, "worker liveness probe interval; negative disables (controller)")
+		hbTimeout   = flag.Duration("heartbeat-timeout", 5*time.Second, "silence after which a worker is declared dead (controller)")
 	)
 	flag.Parse()
 
@@ -132,6 +138,8 @@ func main() {
 		rec := metrics.NewRecorder(time.Now())
 		ctrl, err := controller.New(controller.Config{
 			K: k, Graph: g, Owner: assign, Adapt: *adapt, Recorder: rec,
+			CommitEvery: *commitEvery, MaxBatchOps: *maxBatchOps,
+			HeartbeatEvery: *hbEvery, HeartbeatTimeout: *hbTimeout,
 		}, node)
 		if err != nil {
 			fatal(err)
@@ -148,9 +156,8 @@ func main() {
 		switch {
 		case *serveAddr != "":
 			srv, err := serve.New(serve.Config{
-				Backend:      ctrl,
-				Graph:        g,
-				GraphVersion: graphVersion(*graphPath, g),
+				Backend: ctrl,
+				GraphID: graphID(*graphPath, g),
 				Admit: serve.AdmitConfig{
 					MaxInFlight: *maxInfl,
 					MaxQueue:    *maxQueue,
@@ -224,9 +231,9 @@ func countOwned(a partition.Assignment, w partition.WorkerID) int {
 	return n
 }
 
-// graphVersion derives a stable version tag for the cache epoch from the
-// graph file identity and shape.
-func graphVersion(path string, g *graph.Graph) uint64 {
+// graphID derives a stable base-graph identity for the cache epoch from
+// the graph file identity and shape.
+func graphID(path string, g *graph.Graph) uint64 {
 	h := fnv.New64a()
 	_, _ = h.Write([]byte(path))
 	fmt.Fprintf(h, "|%d|%d", g.NumVertices(), g.NumEdges())

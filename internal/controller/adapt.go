@@ -23,11 +23,13 @@ import (
 // hotspot populations is not actionable under a locality objective and
 // must not cause repartitioning loops.
 func (c *Controller) onTick() {
+	now := c.cfg.Clock()
+	c.heartbeat(now)
+	c.maybeCommit(now)
 	if !c.cfg.Adapt || c.phase != phaseRun || c.qcutRunning {
 		return
 	}
 	imbalanced := c.lwImbalance() > c.cfg.Delta
-	now := c.cfg.Clock()
 	if c.curCooldown == 0 {
 		c.curCooldown = c.cfg.Cooldown
 	}

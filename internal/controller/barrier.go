@@ -20,6 +20,13 @@ import (
 
 // onSchedule starts a query or defers it while a global barrier is active.
 func (c *Controller) onSchedule(req scheduleReq) {
+	if len(c.deadWorkers) > 0 {
+		// Degraded: fail fast even mid-barrier — a barrier missing a dead
+		// worker's acks never resumes, so a deferred query would hang
+		// forever instead of being rejected.
+		req.ch <- Result{Q: req.spec.ID, Value: query.NoResult, Reason: protocol.FinishWorkerLost}
+		return
+	}
 	if c.phase != phaseRun {
 		c.deferred = append(c.deferred, req)
 		return
@@ -29,6 +36,12 @@ func (c *Controller) onSchedule(req scheduleReq) {
 
 func (c *Controller) startQuery(req scheduleReq) {
 	spec := req.spec
+	if len(c.deadWorkers) > 0 {
+		// Degraded: a dead worker would wedge the query (every query
+		// broadcasts and any barrier needs the full worker set). Fail fast.
+		req.ch <- Result{Q: spec.ID, Value: query.NoResult, Reason: protocol.FinishWorkerLost}
+		return
+	}
 	// Query ids must be unique while any state of them lingers: an active
 	// duplicate would corrupt barrier bookkeeping, and reusing a windowed
 	// id would confuse the workers' finished-scope tracking.
@@ -59,7 +72,7 @@ func (c *Controller) startQuery(req scheduleReq) {
 
 	// Initial involved set: owners of the initial activations.
 	init := make(map[partition.WorkerID]bool)
-	for _, act := range prog.Init(c.cfg.Graph, spec) {
+	for _, act := range prog.Init(c.view, spec) {
 		init[c.ownerOf(ctl, act.V)] = true
 	}
 	c.release(ctl, 0, init, nil, false)

@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"qgraph/internal/delta"
 	"qgraph/internal/graph"
 	"qgraph/internal/metrics"
 	"qgraph/internal/partition"
@@ -92,6 +93,20 @@ type Config struct {
 	// Seed feeds Q-cut's randomness.
 	Seed uint64
 
+	// CommitEvery is the maximum time staged graph mutations wait before
+	// they are committed at a barrier (streaming updates, internal/delta).
+	CommitEvery time.Duration
+	// MaxBatchOps commits the staged batch early once it holds this many
+	// operations.
+	MaxBatchOps int
+	// HeartbeatEvery is the worker liveness probe interval; negative
+	// disables heartbeats (zero selects the default).
+	HeartbeatEvery time.Duration
+	// HeartbeatTimeout is how long a worker may stay silent before it is
+	// declared dead: its in-flight queries fail with FinishWorkerLost and
+	// the controller reports degraded health.
+	HeartbeatTimeout time.Duration
+
 	// Recorder receives metrics; nil disables recording.
 	Recorder *metrics.Recorder
 	// Clock abstracts time for tests; nil means time.Now.
@@ -131,6 +146,18 @@ func (c *Config) fill() error {
 	}
 	if c.Cooldown <= 0 {
 		c.Cooldown = 2 * time.Second
+	}
+	if c.CommitEvery <= 0 {
+		c.CommitEvery = 250 * time.Millisecond
+	}
+	if c.MaxBatchOps <= 0 {
+		c.MaxBatchOps = 4096
+	}
+	if c.HeartbeatEvery == 0 {
+		c.HeartbeatEvery = time.Second
+	}
+	if c.HeartbeatTimeout <= 0 {
+		c.HeartbeatTimeout = 5 * time.Second
 	}
 	if c.Clock == nil {
 		c.Clock = time.Now
@@ -181,6 +208,7 @@ const (
 	phaseQuiesce
 	phaseStopping
 	phaseDraining
+	phaseDeltaCommit
 	phaseMoving
 	phaseScopeDrain
 )
@@ -199,6 +227,36 @@ type scheduleReq struct {
 // Fig. 6g experiment and for introspection).
 type snapshotReq struct {
 	ch chan qcut.Input
+}
+
+// MutationResult reports the outcome of one Mutate call after its batch
+// committed: the graph version the ops landed in, how many applied, and
+// how many were no-ops (remove/set_weight of a non-existent edge).
+type MutationResult struct {
+	Version uint64
+	Applied int
+	NoOps   int
+	Err     error
+}
+
+// mutateReq carries one client mutation batch into the event loop.
+type mutateReq struct {
+	ops []delta.Op
+	ch  chan<- MutationResult
+}
+
+// pendingMut tracks one client batch staged for the next commit; n is its
+// op count (for splitting the commit's per-op statuses back per caller).
+type pendingMut struct {
+	n  int
+	ch chan<- MutationResult
+}
+
+// Health is the controller's liveness self-assessment, surfaced through
+// the serving layer's /healthz.
+type Health struct {
+	Degraded    bool  `json:"degraded"`
+	DeadWorkers []int `json:"dead_workers,omitempty"`
 }
 
 // Controller is the controller-layer event loop.
@@ -225,6 +283,34 @@ type Controller struct {
 	scopeExpect  [][]uint64 // cumulative ScopeData expectations [receiver][sender]
 	deferred     []scheduleReq
 
+	// Streaming graph updates (internal/delta). view is the Run-loop-owned
+	// committed graph; curView mirrors it atomically for concurrent readers
+	// (Schedule validation, the serving layer). graphVersion counts
+	// committed batches.
+	view         *delta.View
+	curView      atomic.Pointer[delta.View]
+	graphVersion atomic.Uint64
+	pendingOps   []delta.Op
+	pendingMuts  []pendingMut
+	pendingNewV  int // AddVertex ops staged (range validation)
+	firstOpAt    time.Time
+	commitBatch  *protocol.DeltaBatch
+	commitMuts   []pendingMut
+	deltaAcks    int
+	// barrierHadMoves marks the active global barrier as a repartitioning
+	// one (scope moves executed); delta-only barriers do not count as
+	// repartitions.
+	barrierHadMoves bool
+
+	// Worker liveness. missedPings[w] counts heartbeat probes since w's
+	// last answer; past the limit the worker is declared dead, its queries
+	// fail with FinishWorkerLost, and health reports degraded.
+	lastPingAt  time.Time
+	pingSeq     int64
+	missedPings []int
+	deadWorkers map[partition.WorkerID]bool
+	health      atomic.Pointer[Health]
+
 	qcutRunning bool
 	qcutCh      chan qcut.Result
 	lastRepart  time.Time
@@ -243,6 +329,7 @@ type Controller struct {
 
 	scheduleCh chan scheduleReq
 	snapshotCh chan snapshotReq
+	mutateCh   chan mutateReq
 	stopCh     chan struct{}
 	doneCh     chan struct{}
 	runErr     error
@@ -267,18 +354,22 @@ func New(cfg Config, conn transport.Conn) (*Controller, error) {
 		return nil, err
 	}
 	c := &Controller{
-		cfg:        cfg,
-		conn:       conn,
-		owner:      cfg.Owner.Clone(),
-		vertCount:  make([]int64, cfg.K),
-		queries:    make(map[query.ID]*qctl),
-		byQ:        make(map[query.ID]*windowEntry),
-		inter:      make(map[interKey]int64),
-		qcutCh:     make(chan qcut.Result, 1),
-		scheduleCh: make(chan scheduleReq, 64),
-		snapshotCh: make(chan snapshotReq),
-		stopCh:     make(chan struct{}),
-		doneCh:     make(chan struct{}),
+		cfg:         cfg,
+		conn:        conn,
+		owner:       cfg.Owner.Clone(),
+		vertCount:   make([]int64, cfg.K),
+		queries:     make(map[query.ID]*qctl),
+		byQ:         make(map[query.ID]*windowEntry),
+		inter:       make(map[interKey]int64),
+		view:        delta.NewView(cfg.Graph),
+		missedPings: make([]int, cfg.K),
+		deadWorkers: make(map[partition.WorkerID]bool),
+		qcutCh:      make(chan qcut.Result, 1),
+		scheduleCh:  make(chan scheduleReq, 64),
+		snapshotCh:  make(chan snapshotReq),
+		mutateCh:    make(chan mutateReq, 64),
+		stopCh:      make(chan struct{}),
+		doneCh:      make(chan struct{}),
 		scopeExpect: func() [][]uint64 {
 			se := make([][]uint64, cfg.K)
 			for i := range se {
@@ -290,6 +381,8 @@ func New(cfg Config, conn transport.Conn) (*Controller, error) {
 	for _, w := range cfg.Owner {
 		c.vertCount[w]++
 	}
+	c.curView.Store(c.view)
+	c.health.Store(&Health{})
 	return c, nil
 }
 
@@ -297,7 +390,9 @@ func New(cfg Config, conn transport.Conn) (*Controller, error) {
 // delivered on the returned channel. It is safe to call from any goroutine
 // while Run is active.
 func (c *Controller) Schedule(spec query.Spec) (<-chan Result, error) {
-	if err := spec.Validate(c.cfg.Graph); err != nil {
+	// Validate against the current committed view: streaming updates may
+	// have grown the graph past the base the controller was built with.
+	if err := spec.Validate(c.curView.Load()); err != nil {
 		return nil, err
 	}
 	select {
@@ -327,6 +422,37 @@ func (c *Controller) Cancel(q query.ID) {
 	case <-c.doneCh:
 	}
 }
+
+// Mutate stages one batch of graph mutations for the next commit barrier
+// and returns a channel that delivers the MutationResult once the batch
+// committed (or failed). Multiple Mutate calls may be folded into one
+// commit; each caller still gets its own per-op accounting. Safe from any
+// goroutine while Run is active.
+func (c *Controller) Mutate(ops []delta.Op) (<-chan MutationResult, error) {
+	if len(ops) == 0 {
+		return nil, fmt.Errorf("controller: empty mutation batch")
+	}
+	ch := make(chan MutationResult, 1)
+	select {
+	case c.mutateCh <- mutateReq{ops: ops, ch: ch}:
+		return ch, nil
+	case <-c.doneCh:
+		return nil, fmt.Errorf("controller: stopped")
+	}
+}
+
+// GraphVersion returns the number of committed mutation batches as a
+// monotone graph version. Safe to call concurrently with Run; the serving
+// layer folds it into the result-cache epoch.
+func (c *Controller) GraphVersion() uint64 { return c.graphVersion.Load() }
+
+// GraphView returns the current committed graph view (a consistent
+// snapshot; later commits do not mutate it). Safe to call concurrently
+// with Run.
+func (c *Controller) GraphView() graph.View { return c.curView.Load() }
+
+// Health reports worker liveness. Safe to call concurrently with Run.
+func (c *Controller) Health() Health { return *c.health.Load() }
 
 // QcutSnapshot returns the controller's current high-level view as a Q-cut
 // input (Fig. 6g and debugging).
@@ -365,8 +491,8 @@ func (c *Controller) RepartitionEpoch() int64 { return c.repartEpoch.Load() }
 // protocol error, if any.
 func (c *Controller) Run() error {
 	defer func() {
-		// Order matters: close doneCh first so no new Schedule can
-		// enqueue, then cancel requests that raced in before the close.
+		// Order matters: close doneCh first so no new Schedule or Mutate
+		// can enqueue, then fail requests that raced in before the close.
 		close(c.doneCh)
 		for {
 			select {
@@ -374,6 +500,8 @@ func (c *Controller) Run() error {
 				if req.ch != nil { // cancel requests carry no channel
 					req.ch <- Result{Q: req.spec.ID, Value: query.NoResult, Reason: protocol.FinishCancelled}
 				}
+			case req := <-c.mutateCh:
+				req.ch <- MutationResult{Err: fmt.Errorf("controller: stopped")}
 			default:
 				return
 			}
@@ -396,6 +524,8 @@ func (c *Controller) Run() error {
 			}
 		case req := <-c.snapshotCh:
 			req.ch <- c.snapshot(c.cfg.Clock())
+		case req := <-c.mutateCh:
+			c.onMutate(req)
 		case res := <-c.qcutCh:
 			c.onQcutDone(res)
 		case <-ticker.C:
@@ -415,7 +545,8 @@ func (c *Controller) Run() error {
 }
 
 // failActive delivers a cancelled result to every still-active or
-// still-deferred query so callers never block on Stop.
+// still-deferred query — and an error to every staged mutation — so
+// callers never block on Stop.
 func (c *Controller) failActive() {
 	now := c.cfg.Clock()
 	for q, ctl := range c.queries {
@@ -430,6 +561,24 @@ func (c *Controller) failActive() {
 		req.ch <- Result{Q: req.spec.ID, Value: query.NoResult, Reason: protocol.FinishCancelled}
 	}
 	c.deferred = nil
+	stopped := fmt.Errorf("controller: stopped")
+	c.failMutations(stopped, stopped)
+}
+
+// failMutations delivers errors to every staged (pendingErr) and
+// in-commit (commitErr) mutation batch. The two differ on worker death:
+// staged ops were never broadcast, while a broadcast batch may already be
+// applied on surviving replicas.
+func (c *Controller) failMutations(pendingErr, commitErr error) {
+	for _, pm := range c.pendingMuts {
+		pm.ch <- MutationResult{Err: pendingErr}
+	}
+	for _, pm := range c.commitMuts {
+		pm.ch <- MutationResult{Err: commitErr}
+	}
+	c.pendingMuts, c.commitMuts = nil, nil
+	c.pendingOps, c.pendingNewV, c.firstOpAt = nil, 0, time.Time{}
+	c.commitBatch = nil
 }
 
 func (c *Controller) handle(env transport.Envelope) error {
@@ -442,6 +591,11 @@ func (c *Controller) handle(env transport.Envelope) error {
 		return c.onDrainAck(m)
 	case *protocol.MoveAck:
 		return c.onMoveAck(m)
+	case *protocol.DeltaAck:
+		return c.onDeltaAck(m)
+	case *protocol.Pong:
+		c.onPong(m)
+		return nil
 	default:
 		return fmt.Errorf("controller: unexpected message %T", env.Msg)
 	}

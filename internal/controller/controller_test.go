@@ -35,7 +35,9 @@ func newCtlHarness(t *testing.T, k int, mut func(*Config)) *ctlHarness {
 	for v := range owner {
 		owner[v] = partition.WorkerID(v % k)
 	}
-	cfg := Config{K: k, Graph: g, Owner: owner}
+	// Heartbeats are disabled by default: these tests script the worker
+	// side exactly, and unanswered pings would declare the fakes dead.
+	cfg := Config{K: k, Graph: g, Owner: owner, HeartbeatEvery: -1}
 	if mut != nil {
 		mut(&cfg)
 	}

@@ -1,0 +1,154 @@
+package controller
+
+import (
+	"fmt"
+	"time"
+
+	"qgraph/internal/delta"
+	"qgraph/internal/partition"
+	"qgraph/internal/protocol"
+)
+
+// This file is the controller side of the streaming-update data plane
+// (internal/delta): Mutate calls stage operations into a pending batch;
+// the batch commits under the global STOP/START barrier — the same
+// machinery that executes Q-cut moves — while the vertex-message network
+// is provably quiet. Every node (controller and workers) applies the same
+// batch between supersteps, so queries always run against one consistent
+// graph version and the serving layer can invalidate its result cache
+// exactly at the version bump.
+
+// onMutate validates and stages one client batch.
+func (c *Controller) onMutate(req mutateReq) {
+	if len(c.deadWorkers) > 0 {
+		req.ch <- MutationResult{Err: fmt.Errorf("controller: degraded (%d dead workers)", len(c.deadWorkers))}
+		return
+	}
+	// Range-validate against the staged future: committed view plus every
+	// vertex an earlier staged (or in-commit) op will add.
+	n := c.view.NumVertices() + c.pendingNewV
+	if c.commitBatch != nil {
+		n += len(c.commitBatch.NewOwners)
+	}
+	nAfter := n
+	var err error
+	for i, op := range req.ops {
+		if nAfter, err = op.Validate(nAfter); err != nil {
+			req.ch <- MutationResult{Err: fmt.Errorf("op %d: %w", i, err)}
+			return
+		}
+	}
+	c.pendingOps = append(c.pendingOps, req.ops...)
+	c.pendingNewV += nAfter - n
+	c.pendingMuts = append(c.pendingMuts, pendingMut{n: len(req.ops), ch: req.ch})
+	if c.firstOpAt.IsZero() {
+		c.firstOpAt = c.cfg.Clock()
+	}
+	c.maybeCommit(c.cfg.Clock())
+}
+
+// maybeCommit starts a commit barrier once the staged batch is old or big
+// enough and no other barrier is running.
+func (c *Controller) maybeCommit(now time.Time) {
+	if c.phase != phaseRun || c.commitBatch != nil || len(c.pendingOps) == 0 {
+		return
+	}
+	if len(c.pendingOps) < c.cfg.MaxBatchOps && now.Sub(c.firstOpAt) < c.cfg.CommitEvery {
+		return
+	}
+	c.startCommit()
+}
+
+// startCommit seals the staged ops into the next version's DeltaBatch —
+// assigning each new vertex to the least-loaded worker — and begins the
+// global barrier that will broadcast it.
+func (c *Controller) startCommit() {
+	var owners []partition.WorkerID
+	counts := append([]int64(nil), c.vertCount...)
+	for _, op := range c.pendingOps {
+		if op.Kind != delta.OpAddVertex {
+			continue
+		}
+		best := 0
+		for w := 1; w < c.cfg.K; w++ {
+			if counts[w] < counts[best] {
+				best = w
+			}
+		}
+		owners = append(owners, partition.WorkerID(best))
+		counts[best]++
+	}
+	c.commitBatch = &protocol.DeltaBatch{
+		Version:   c.graphVersion.Load() + 1,
+		Ops:       c.pendingOps,
+		NewOwners: owners,
+	}
+	c.commitMuts = c.pendingMuts
+	c.pendingOps, c.pendingMuts, c.pendingNewV, c.firstOpAt = nil, nil, 0, time.Time{}
+	c.beginGlobalBarrier(nil)
+}
+
+// sendCommit broadcasts the sealed batch (phase draining → delta commit);
+// the network is quiet, so workers apply it between supersteps.
+func (c *Controller) sendCommit() {
+	c.phase = phaseDeltaCommit
+	c.deltaAcks = 0
+	c.broadcast(c.commitBatch)
+}
+
+// onDeltaAck collects worker acknowledgements; once all workers applied
+// the batch, the controller applies it to its own view, publishes the new
+// version, and continues the barrier (moves, then resume).
+func (c *Controller) onDeltaAck(m *protocol.DeltaAck) error {
+	if c.phase != phaseDeltaCommit || c.commitBatch == nil || m.Version != c.commitBatch.Version {
+		if len(c.deadWorkers) > 0 {
+			// A worker death abandoned the commit; stragglers from live
+			// workers are expected, not protocol violations.
+			return nil
+		}
+		return fmt.Errorf("controller: unexpected DeltaAck (phase %d version %d)", c.phase, m.Version)
+	}
+	c.deltaAcks++
+	if c.deltaAcks < c.cfg.K {
+		return nil
+	}
+	if err := c.applyCommit(); err != nil {
+		return err
+	}
+	c.issueMoves()
+	return nil
+}
+
+// applyCommit applies the acknowledged batch to the controller's view and
+// delivers per-caller results.
+func (c *Controller) applyCommit() error {
+	batch := c.commitBatch
+	nv, statuses, err := c.view.Apply(batch.Ops)
+	if err != nil {
+		// The batch was validated when staged; failing here means the
+		// replicas that just acked diverged from us — fatal.
+		return fmt.Errorf("controller: committed batch %d failed to apply: %w", batch.Version, err)
+	}
+	c.view = nv
+	c.curView.Store(nv)
+	c.graphVersion.Store(batch.Version)
+	c.owner = append(c.owner, batch.NewOwners...)
+	for _, o := range batch.NewOwners {
+		c.vertCount[o]++
+	}
+	i := 0
+	for _, pm := range c.commitMuts {
+		applied, noops := 0, 0
+		for j := 0; j < pm.n; j++ {
+			if statuses[i+j] == delta.OpNoOp {
+				noops++
+			} else {
+				applied++
+			}
+		}
+		i += pm.n
+		pm.ch <- MutationResult{Version: batch.Version, Applied: applied, NoOps: noops}
+	}
+	c.commitBatch, c.commitMuts = nil, nil
+	return nil
+}

@@ -26,9 +26,12 @@ import (
 // run:         GlobalStart, re-release all active queries, flush deferred
 //	            schedules.
 
-// beginGlobalBarrier starts the STOP sequence for a set of moves.
+// beginGlobalBarrier starts the STOP sequence for a set of moves (which
+// may be empty: a mutation-commit barrier carries its batch in
+// c.commitBatch instead).
 func (c *Controller) beginGlobalBarrier(moves []qcut.Move) {
 	c.pendingMoves = moves
+	c.barrierHadMoves = false
 	c.phase = phaseQuiesce
 	c.maybeStop()
 }
@@ -84,6 +87,12 @@ func (c *Controller) onDrainAck(m *protocol.DrainAck) error {
 		if c.drainAcks < c.cfg.K {
 			return nil
 		}
+		// The network is quiet: apply a pending mutation commit first (the
+		// graph version changes while no superstep runs), then the moves.
+		if c.commitBatch != nil {
+			c.sendCommit()
+			return nil
+		}
 		c.issueMoves()
 		return nil
 	case phaseScopeDrain:
@@ -108,6 +117,7 @@ func (c *Controller) issueMoves() {
 		c.resume()
 		return
 	}
+	c.barrierHadMoves = true
 	c.phase = phaseMoving
 	for _, mv := range c.pendingMoves {
 		c.conn.Send(protocol.WorkerNode(mv.From), &protocol.MoveScope{
@@ -172,8 +182,12 @@ func (c *Controller) onMoveAck(m *protocol.MoveAck) error {
 // anywhere), and flush deferred schedules.
 func (c *Controller) resume() {
 	c.phase = phaseRun
-	c.repartitions++
-	c.repartEpoch.Store(int64(c.repartitions))
+	if c.barrierHadMoves {
+		// Only barriers that executed scope moves count as repartitions;
+		// mutation-commit barriers bump the graph version instead.
+		c.repartitions++
+		c.repartEpoch.Store(int64(c.repartitions))
+	}
 	c.broadcast(&protocol.GlobalStart{Epoch: c.epoch})
 	all := make(map[partition.WorkerID]bool, c.cfg.K)
 	for w := 0; w < c.cfg.K; w++ {

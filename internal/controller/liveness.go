@@ -1,0 +1,110 @@
+package controller
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"qgraph/internal/partition"
+	"qgraph/internal/protocol"
+	"qgraph/internal/query"
+)
+
+// Worker liveness detection (ROADMAP open item, scoped to detection). The
+// controller only ever learned about workers through protocol responses,
+// so a crashed worker wedged its in-flight queries silently. Heartbeats
+// close that gap: the controller pings every worker on a fixed cadence;
+// workers drain their inbox between supersteps, so only a dead or wedged
+// worker misses consecutive pings. A worker past the miss limit is
+// declared dead: every active and deferred query fails immediately with
+// FinishWorkerLost (any query can involve any worker after scope moves,
+// and barriers cannot complete without the full set), staged mutations
+// fail, subsequent schedules are rejected, and Health reports degraded so
+// the serving layer's /healthz turns red instead of serving a wedged
+// engine behind a green check.
+
+// heartbeat runs on the controller tick: send the next probe round and
+// account the previous one.
+func (c *Controller) heartbeat(now time.Time) {
+	if c.cfg.HeartbeatEvery < 0 {
+		return
+	}
+	if c.lastPingAt.IsZero() {
+		c.lastPingAt = now
+		return
+	}
+	if now.Sub(c.lastPingAt) < c.cfg.HeartbeatEvery {
+		return
+	}
+	c.lastPingAt = now
+	c.pingSeq++
+	// Misses needed before a worker is dead: the timeout expressed in
+	// probe rounds, at least 2 so one scheduling hiccup never kills.
+	limit := int(c.cfg.HeartbeatTimeout / c.cfg.HeartbeatEvery)
+	if limit < 2 {
+		limit = 2
+	}
+	for w := 0; w < c.cfg.K; w++ {
+		wid := partition.WorkerID(w)
+		if c.deadWorkers[wid] {
+			continue
+		}
+		if c.missedPings[w] >= limit {
+			c.onWorkerDead(wid)
+			continue
+		}
+		c.missedPings[w]++
+		c.conn.Send(protocol.WorkerNode(wid), &protocol.Ping{Seq: c.pingSeq})
+	}
+}
+
+// onPong records a worker's liveness answer.
+func (c *Controller) onPong(m *protocol.Pong) {
+	if int(m.W) < len(c.missedPings) {
+		c.missedPings[m.W] = 0
+	}
+}
+
+// onWorkerDead fails everything the dead worker blocks and publishes the
+// degraded health state.
+func (c *Controller) onWorkerDead(w partition.WorkerID) {
+	if c.deadWorkers[w] {
+		return
+	}
+	c.deadWorkers[w] = true
+	c.publishHealth()
+
+	now := c.cfg.Clock()
+	for q, ctl := range c.queries {
+		ctl.ch <- Result{
+			Q: q, Value: ctl.bestGoal, Reason: protocol.FinishWorkerLost,
+			Supersteps: ctl.stepsDone, LocalIters: ctl.localSteps,
+			Latency: now.Sub(ctl.started),
+		}
+		delete(c.queries, q)
+		c.broadcast(&protocol.QueryFinish{Q: q, Reason: protocol.FinishWorkerLost})
+	}
+	for _, req := range c.deferred {
+		req.ch <- Result{Q: req.spec.ID, Value: query.NoResult, Reason: protocol.FinishWorkerLost}
+	}
+	c.deferred = nil
+	// A degraded controller is terminal (detection only — no recovery): no
+	// barrier missing the dead worker's acks can ever complete, so staged
+	// mutations are failed outright, and an in-flight commit — already
+	// broadcast, possibly applied on surviving replicas — is reported with
+	// its uncertainty instead of a flat failure.
+	c.failMutations(
+		fmt.Errorf("controller: degraded (worker %d lost)", w),
+		fmt.Errorf("controller: degraded (worker %d lost) during commit; batch state unknown on surviving replicas", w),
+	)
+}
+
+// publishHealth snapshots the dead-worker set for concurrent readers.
+func (c *Controller) publishHealth() {
+	h := &Health{Degraded: len(c.deadWorkers) > 0}
+	for w := range c.deadWorkers {
+		h.DeadWorkers = append(h.DeadWorkers, int(w))
+	}
+	sort.Ints(h.DeadWorkers)
+	c.health.Store(h)
+}

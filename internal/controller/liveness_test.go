@@ -1,0 +1,200 @@
+package controller
+
+import (
+	"testing"
+	"time"
+
+	"qgraph/internal/delta"
+	"qgraph/internal/graph"
+	"qgraph/internal/partition"
+	"qgraph/internal/protocol"
+	"qgraph/internal/query"
+	"qgraph/internal/transport"
+	"qgraph/internal/worker"
+)
+
+// TestWorkerDeathDetection runs a real worker 0 beside a silent worker 1:
+// the controller must detect the dead peer via missed heartbeats, fail the
+// wedged query with FinishWorkerLost instead of hanging forever, report
+// degraded health, and reject subsequent queries and mutations.
+func TestWorkerDeathDetection(t *testing.T) {
+	g := lineGraph(8)
+	net := transport.NewChanNetwork(3, transport.Latency{})
+	defer net.Close()
+	owner := make(partition.Assignment, g.NumVertices())
+	for v := range owner {
+		owner[v] = partition.WorkerID(v % 2)
+	}
+	ctrl, err := New(Config{
+		K: 2, Graph: g, Owner: owner,
+		CheckEvery:       2 * time.Millisecond,
+		HeartbeatEvery:   10 * time.Millisecond,
+		HeartbeatTimeout: 40 * time.Millisecond,
+	}, net.Conn(protocol.ControllerNode))
+	if err != nil {
+		t.Fatal(err)
+	}
+	go ctrl.Run()
+	defer ctrl.Stop()
+
+	// Worker 0 is real and keeps answering pings; worker 1 never runs.
+	w0, err := worker.New(worker.Config{ID: 0, K: 2, Graph: g, Owner: owner},
+		net.Conn(protocol.WorkerNode(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	go w0.Run()
+
+	// A BFS flood from vertex 0 crosses into worker 1's partition and
+	// wedges there: without liveness detection this would hang forever.
+	ch, err := ctrl.Schedule(query.Spec{ID: 1, Kind: query.KindBFS, Source: 0, Target: graph.NilVertex})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case res := <-ch:
+		if res.Reason != protocol.FinishWorkerLost {
+			t.Fatalf("result reason %v, want worker_lost", res.Reason)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("dead worker not detected")
+	}
+
+	h := ctrl.Health()
+	if !h.Degraded || len(h.DeadWorkers) != 1 || h.DeadWorkers[0] != 1 {
+		t.Fatalf("health = %+v, want degraded with dead worker 1", h)
+	}
+
+	// New queries fail fast instead of wedging.
+	ch2, err := ctrl.Schedule(query.Spec{ID: 2, Kind: query.KindBFS, Source: 0, Target: graph.NilVertex})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case res := <-ch2:
+		if res.Reason != protocol.FinishWorkerLost {
+			t.Fatalf("post-death schedule reason %v, want worker_lost", res.Reason)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("post-death schedule not answered")
+	}
+
+	// Mutations fail fast too: their commit barrier needs every worker.
+	mch, err := ctrl.Mutate([]delta.Op{{Kind: delta.OpAddVertex}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case res := <-mch:
+		if res.Err == nil {
+			t.Fatal("mutation on degraded controller succeeded")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("mutation on degraded controller not answered")
+	}
+}
+
+// TestDeathDuringBarrierFailsSchedulesFast: a worker dying while a commit
+// barrier is in flight wedges the barrier forever (its acks never come);
+// queries scheduled afterwards must be rejected immediately with
+// worker_lost, not deferred into the barrier that never resumes.
+func TestDeathDuringBarrierFailsSchedulesFast(t *testing.T) {
+	g := lineGraph(8)
+	net := transport.NewChanNetwork(3, transport.Latency{})
+	defer net.Close()
+	owner := make(partition.Assignment, g.NumVertices())
+	for v := range owner {
+		owner[v] = partition.WorkerID(v % 2)
+	}
+	ctrl, err := New(Config{
+		K: 2, Graph: g, Owner: owner,
+		CheckEvery:       2 * time.Millisecond,
+		CommitEvery:      time.Millisecond,
+		MaxBatchOps:      1,
+		HeartbeatEvery:   10 * time.Millisecond,
+		HeartbeatTimeout: 40 * time.Millisecond,
+	}, net.Conn(protocol.ControllerNode))
+	if err != nil {
+		t.Fatal(err)
+	}
+	go ctrl.Run()
+	defer ctrl.Stop()
+	w0, err := worker.New(worker.Config{ID: 0, K: 2, Graph: g, Owner: owner},
+		net.Conn(protocol.WorkerNode(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	go w0.Run()
+	// Worker 1 never runs: the commit barrier wedges awaiting its acks.
+
+	mch, err := ctrl.Mutate([]delta.Op{{Kind: delta.OpAddEdge, From: 0, To: 7, Weight: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case res := <-mch:
+		if res.Err == nil {
+			t.Fatalf("commit without worker 1 succeeded: %+v", res)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("wedged commit never failed")
+	}
+
+	// The barrier is still wedged, but schedules must fail fast.
+	ch, err := ctrl.Schedule(query.Spec{ID: 1, Kind: query.KindBFS, Source: 0, Target: graph.NilVertex})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case res := <-ch:
+		if res.Reason != protocol.FinishWorkerLost {
+			t.Fatalf("schedule during wedged barrier: reason %v, want worker_lost", res.Reason)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("schedule during wedged barrier hung")
+	}
+}
+
+// TestHealthyEngineStaysHealthy: with live workers answering heartbeats,
+// aggressive probe settings must not produce false positives.
+func TestHealthyEngineStaysHealthy(t *testing.T) {
+	g := lineGraph(8)
+	net := transport.NewChanNetwork(3, transport.Latency{})
+	defer net.Close()
+	owner := make(partition.Assignment, g.NumVertices())
+	for v := range owner {
+		owner[v] = partition.WorkerID(v % 2)
+	}
+	ctrl, err := New(Config{
+		K: 2, Graph: g, Owner: owner,
+		CheckEvery:       time.Millisecond,
+		HeartbeatEvery:   5 * time.Millisecond,
+		HeartbeatTimeout: 20 * time.Millisecond,
+	}, net.Conn(protocol.ControllerNode))
+	if err != nil {
+		t.Fatal(err)
+	}
+	go ctrl.Run()
+	defer ctrl.Stop()
+	for wid := partition.WorkerID(0); wid < 2; wid++ {
+		wk, err := worker.New(worker.Config{ID: wid, K: 2, Graph: g, Owner: owner},
+			net.Conn(protocol.WorkerNode(wid)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		go wk.Run()
+	}
+	// Let many probe rounds elapse while running a query.
+	ch, err := ctrl.Schedule(query.Spec{ID: 1, Kind: query.KindBFS, Source: 0, Target: graph.NilVertex})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := <-ch
+	if res.Reason != protocol.FinishConverged {
+		t.Fatalf("query reason %v, want converged", res.Reason)
+	}
+	time.Sleep(100 * time.Millisecond)
+	if h := ctrl.Health(); h.Degraded {
+		t.Fatalf("healthy workers declared dead: %+v", h)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"qgraph/internal/controller"
+	"qgraph/internal/delta"
 	"qgraph/internal/graph"
 	"qgraph/internal/metrics"
 	"qgraph/internal/partition"
@@ -66,6 +67,12 @@ type Config struct {
 	NoClustering     bool
 	NoPerturbation   bool
 	Seed             uint64
+	// Streaming-update and liveness knobs (zero = defaults; see
+	// controller.Config).
+	CommitEvery      time.Duration
+	MaxBatchOps      int
+	HeartbeatEvery   time.Duration
+	HeartbeatTimeout time.Duration
 
 	// Worker knobs (zero = paper defaults; see worker.Config).
 	BatchMaxMsgs  int
@@ -164,6 +171,10 @@ func Start(cfg Config) (*Engine, error) {
 		NoClustering:     cfg.NoClustering,
 		NoPerturbation:   cfg.NoPerturbation,
 		Seed:             cfg.Seed,
+		CommitEvery:      cfg.CommitEvery,
+		MaxBatchOps:      cfg.MaxBatchOps,
+		HeartbeatEvery:   cfg.HeartbeatEvery,
+		HeartbeatTimeout: cfg.HeartbeatTimeout,
 		Recorder:         rec,
 	}, net.Conn(protocol.ControllerNode))
 	if err != nil {
@@ -277,6 +288,22 @@ func (e *Engine) RunBatch(specs []query.Spec, parallel int) ([]controller.Result
 
 // Cancel abandons a scheduled query (see controller.Cancel).
 func (e *Engine) Cancel(q query.ID) { e.ctrl.Cancel(q) }
+
+// Mutate stages a batch of streaming graph updates; the result arrives on
+// the channel once the batch committed (see controller.Mutate).
+func (e *Engine) Mutate(ops []delta.Op) (<-chan controller.MutationResult, error) {
+	return e.ctrl.Mutate(ops)
+}
+
+// GraphVersion returns the number of committed mutation batches (safe
+// concurrently with the run).
+func (e *Engine) GraphVersion() uint64 { return e.ctrl.GraphVersion() }
+
+// GraphView returns a snapshot of the current committed graph.
+func (e *Engine) GraphView() graph.View { return e.ctrl.GraphView() }
+
+// Health reports worker liveness (see controller.Health).
+func (e *Engine) Health() controller.Health { return e.ctrl.Health() }
 
 // Controller exposes the controller, which implements the serving layer's
 // backend contract (Schedule, Cancel, RepartitionEpoch).

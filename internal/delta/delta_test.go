@@ -1,0 +1,220 @@
+package delta
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"qgraph/internal/graph"
+)
+
+// lineGraph builds a directed path 0 → 1 → … → n-1 with unit weights.
+func lineGraph(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for v := 0; v+1 < n; v++ {
+		b.AddEdge(graph.VertexID(v), graph.VertexID(v+1), 1)
+	}
+	return b.MustBuild()
+}
+
+func mustApply(t *testing.T, v *View, ops ...Op) (*View, []OpStatus) {
+	t.Helper()
+	nv, st, err := v.Apply(ops)
+	if err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	return nv, st
+}
+
+func TestViewApplySemantics(t *testing.T) {
+	v0 := NewView(lineGraph(4))
+	if v0.Version() != 0 || v0.NumVertices() != 4 || v0.NumEdges() != 3 {
+		t.Fatalf("base view: version %d, %d vertices, %d edges", v0.Version(), v0.NumVertices(), v0.NumEdges())
+	}
+
+	v1, st := mustApply(t, v0,
+		Op{Kind: OpAddEdge, From: 0, To: 3, Weight: 9},
+		Op{Kind: OpSetWeight, From: 1, To: 2, Weight: 5},
+		Op{Kind: OpRemoveEdge, From: 2, To: 3},
+		Op{Kind: OpRemoveEdge, From: 2, To: 3}, // already gone: no-op
+	)
+	for i, want := range []OpStatus{OpApplied, OpApplied, OpApplied, OpNoOp} {
+		if st[i] != want {
+			t.Errorf("op %d status %d, want %d", i, st[i], want)
+		}
+	}
+	if v1.Version() != 1 {
+		t.Errorf("version %d, want 1", v1.Version())
+	}
+	if v1.NumEdges() != 3 { // +1 added, -1 removed
+		t.Errorf("edges %d, want 3", v1.NumEdges())
+	}
+	if got := v1.Out(0); len(got) != 2 || got[1] != (graph.Edge{To: 3, Weight: 9}) {
+		t.Errorf("Out(0) = %v", got)
+	}
+	if got := v1.Out(1); len(got) != 1 || got[0].Weight != 5 {
+		t.Errorf("Out(1) = %v", got)
+	}
+	if got := v1.Out(2); len(got) != 0 {
+		t.Errorf("Out(2) = %v, want empty", got)
+	}
+
+	// The old view must be untouched (snapshot semantics).
+	if got := v0.Out(0); len(got) != 1 || got[0].Weight != 1 {
+		t.Errorf("old view Out(0) = %v", got)
+	}
+	if got := v0.Out(2); len(got) != 1 {
+		t.Errorf("old view Out(2) = %v", got)
+	}
+
+	// Vertex growth: new vertex connected to the path.
+	v2, _ := mustApply(t, v1,
+		Op{Kind: OpAddVertex},
+		Op{Kind: OpAddEdge, From: 4, To: 0, Weight: 2},
+		Op{Kind: OpAddEdge, From: 3, To: 4, Weight: 2},
+	)
+	if v2.NumVertices() != 5 || v2.Version() != 2 {
+		t.Fatalf("after growth: %d vertices version %d", v2.NumVertices(), v2.Version())
+	}
+	if got := v2.Out(4); len(got) != 1 || got[0].To != 0 {
+		t.Errorf("Out(new) = %v", got)
+	}
+	if v2.OutDegree(3) != 1 {
+		t.Errorf("OutDegree(3) = %d, want 1", v2.OutDegree(3))
+	}
+	if v2.Tagged(4) || v2.Coord(4) != (graph.Coord{}) {
+		t.Errorf("new vertex should be untagged at the zero coordinate")
+	}
+}
+
+func TestViewApplyValidation(t *testing.T) {
+	v := NewView(lineGraph(3))
+	bad := [][]Op{
+		{{Kind: OpAddEdge, From: 3, To: 0, Weight: 1}},   // from out of range
+		{{Kind: OpAddEdge, From: 0, To: -1, Weight: 1}},  // to out of range
+		{{Kind: OpAddEdge, From: 0, To: 1, Weight: -1}},  // negative weight
+		{{Kind: OpSetWeight, From: 0, To: 9, Weight: 1}}, // to out of range
+		{{Kind: Op{}.Kind, From: 0, To: 1}},              // unknown kind
+		{{Kind: OpRemoveEdge, From: 0, To: 5}},           // to out of range
+	}
+	for i, ops := range bad {
+		if _, _, err := v.Apply(ops); err == nil {
+			t.Errorf("bad batch %d accepted", i)
+		}
+	}
+	// A vertex added earlier in the batch is addressable later in it.
+	if _, _, err := v.Apply([]Op{
+		{Kind: OpAddVertex},
+		{Kind: OpAddEdge, From: 3, To: 3, Weight: 1},
+	}); err != nil {
+		t.Errorf("intra-batch new vertex rejected: %v", err)
+	}
+}
+
+// TestViewMatchesMaterialized replays a random op stream and checks the
+// overlay against a full rebuild after every batch — overlay reads,
+// compaction, and Materialize must agree exactly.
+func TestViewMatchesMaterialized(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	v := NewView(lineGraph(16))
+	for batch := 0; batch < 30; batch++ {
+		var ops []Op
+		for i := 0; i < 8; i++ {
+			n := v.NumVertices()
+			switch rng.IntN(4) {
+			case 0:
+				ops = append(ops, Op{Kind: OpAddEdge,
+					From: graph.VertexID(rng.IntN(n)), To: graph.VertexID(rng.IntN(n)),
+					Weight: float32(rng.IntN(10) + 1)})
+			case 1:
+				ops = append(ops, Op{Kind: OpRemoveEdge,
+					From: graph.VertexID(rng.IntN(n)), To: graph.VertexID(rng.IntN(n))})
+			case 2:
+				ops = append(ops, Op{Kind: OpSetWeight,
+					From: graph.VertexID(rng.IntN(n)), To: graph.VertexID(rng.IntN(n)),
+					Weight: float32(rng.IntN(10) + 1)})
+			case 3:
+				ops = append(ops, Op{Kind: OpAddVertex})
+			}
+		}
+		v, _ = mustApply(t, v, ops...)
+		m := v.Materialize()
+		if m.NumVertices() != v.NumVertices() || m.NumEdges() != v.NumEdges() {
+			t.Fatalf("batch %d: materialized %d/%d vs view %d/%d", batch,
+				m.NumVertices(), m.NumEdges(), v.NumVertices(), v.NumEdges())
+		}
+		for u := 0; u < v.NumVertices(); u++ {
+			a, b := v.Out(graph.VertexID(u)), m.Out(graph.VertexID(u))
+			if len(a) != len(b) {
+				t.Fatalf("batch %d vertex %d: overlay %v vs materialized %v", batch, u, a, b)
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("batch %d vertex %d edge %d: %v vs %v", batch, u, i, a[i], b[i])
+				}
+			}
+		}
+	}
+	if v.Version() != 30 {
+		t.Errorf("version %d, want 30", v.Version())
+	}
+}
+
+// TestViewAutoCompaction patches enough vertices to trigger the fold and
+// checks the logical graph survives it.
+func TestViewAutoCompaction(t *testing.T) {
+	n := compactMinPatched * compactFactor
+	v := NewView(lineGraph(n))
+	// Patch > n/compactFactor vertices in one batch.
+	var ops []Op
+	for u := 0; u < compactMinPatched+8; u++ {
+		ops = append(ops, Op{Kind: OpSetWeight, From: graph.VertexID(u), To: graph.VertexID(u + 1), Weight: 3})
+	}
+	nv, _ := mustApply(t, v, ops...)
+	if nv.Compactions() != 1 {
+		t.Fatalf("compactions = %d, want 1", nv.Compactions())
+	}
+	if nv.OverlaySize() != 0 {
+		t.Fatalf("overlay size %d after compaction", nv.OverlaySize())
+	}
+	if nv.Version() != 1 || nv.NumVertices() != n {
+		t.Fatalf("compacted view: version %d, %d vertices", nv.Version(), nv.NumVertices())
+	}
+	if got := nv.Out(0); len(got) != 1 || got[0].Weight != 3 {
+		t.Fatalf("Out(0) after compaction = %v", got)
+	}
+	if got := nv.Out(graph.VertexID(n - 1)); len(got) != 0 {
+		t.Fatalf("Out(last) after compaction = %v", got)
+	}
+}
+
+func TestStreamRoundTrip(t *testing.T) {
+	ops := []Op{
+		{Kind: OpAddEdge, From: 1, To: 2, Weight: 1.5},
+		{Kind: OpRemoveEdge, From: 2, To: 1},
+		{Kind: OpSetWeight, From: 0, To: 1, Weight: 0.25},
+		{Kind: OpAddVertex},
+	}
+	var buf bytes.Buffer
+	if err := WriteOps(&buf, ops); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadOps(strings.NewReader("# comment\n\n" + buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ops) {
+		t.Fatalf("read %d ops, want %d", len(got), len(ops))
+	}
+	for i := range ops {
+		if got[i] != ops[i] {
+			t.Errorf("op %d: %v != %v", i, got[i], ops[i])
+		}
+	}
+	for _, bad := range []string{"add_edge 1", "add_edge 1 2 -3", "frobnicate", "set_weight a b 1"} {
+		if _, err := ParseOp(bad); err == nil {
+			t.Errorf("parsed invalid line %q", bad)
+		}
+	}
+}

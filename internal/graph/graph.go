@@ -40,6 +40,24 @@ func (c Coord) Dist(o Coord) float64 {
 	return math.Sqrt(dx*dx + dy*dy)
 }
 
+// View is read-only access to a directed weighted graph. *Graph is the
+// immutable CSR implementation; internal/delta layers committed mutation
+// batches over a base *Graph and implements the same contract. Everything
+// that only reads graph structure (vertex programs, validation, the
+// serving layer) accepts a View so it works on both.
+type View interface {
+	NumVertices() int
+	NumEdges() int
+	// Out returns the out-edges of v. The slice aliases internal storage
+	// and must not be modified.
+	Out(v VertexID) []Edge
+	OutDegree(v VertexID) int
+	HasCoords() bool
+	Coord(v VertexID) Coord
+	HasTags() bool
+	Tagged(v VertexID) bool
+}
+
 // Graph is an immutable directed weighted graph in CSR form.
 //
 // Neighbors of v occupy edges[offsets[v]:offsets[v+1]]. Coordinates and
@@ -179,6 +197,8 @@ func (b *Builder) MustBuild() *Graph {
 	}
 	return g
 }
+
+var _ View = (*Graph)(nil)
 
 // FromCSR constructs a graph directly from CSR arrays (used by the binary
 // loader). The slices are retained; callers must not modify them.

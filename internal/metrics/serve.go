@@ -24,6 +24,12 @@ type ServeCounters struct {
 
 	QueueWaitNanos atomic.Int64 // total admission queue wait
 	QueueWaits     atomic.Int64 // count of admitted requests (wait samples)
+
+	MutationOps      atomic.Int64 // ops received on POST /mutate
+	MutationsApplied atomic.Int64 // ops that changed the graph
+	MutationNoOps    atomic.Int64 // ops referencing a non-existent edge
+	MutationBatches  atomic.Int64 // client batches committed
+	MutationsFailed  atomic.Int64 // batches rejected, failed, or timed out
 }
 
 // NewServeCounters returns counters anchored at now.
@@ -54,8 +60,16 @@ type ServeSnapshot struct {
 	CacheMisses int64 `json:"cache_misses"`
 	Invalidated int64 `json:"cache_invalidations"`
 
+	MutationOps      int64 `json:"mutation_ops"`
+	MutationsApplied int64 `json:"mutations_applied"`
+	MutationNoOps    int64 `json:"mutation_noops"`
+	MutationBatches  int64 `json:"mutation_batches"`
+	MutationsFailed  int64 `json:"mutations_failed"`
+
 	// QPS is completed queries per second of uptime.
 	QPS float64 `json:"qps"`
+	// ApplyRate is applied mutation ops per second of uptime.
+	ApplyRate float64 `json:"mutation_apply_rate"`
 	// HitRatio is (hits+coalesced) / lookups.
 	HitRatio float64 `json:"cache_hit_ratio"`
 	// MeanQueueWait averages admission queue wait over admitted requests.
@@ -74,12 +88,19 @@ func (c *ServeCounters) Snapshot(now time.Time) ServeSnapshot {
 		Coalesced:   c.Coalesced.Load(),
 		CacheMisses: c.CacheMisses.Load(),
 		Invalidated: c.Invalidated.Load(),
+
+		MutationOps:      c.MutationOps.Load(),
+		MutationsApplied: c.MutationsApplied.Load(),
+		MutationNoOps:    c.MutationNoOps.Load(),
+		MutationBatches:  c.MutationBatches.Load(),
+		MutationsFailed:  c.MutationsFailed.Load(),
 	}
 	if t0 := c.start.Load(); t0 != 0 {
 		s.Uptime = now.Sub(time.Unix(0, t0))
 	}
 	if sec := s.Uptime.Seconds(); sec > 0 {
 		s.QPS = float64(s.Completed) / sec
+		s.ApplyRate = float64(s.MutationsApplied) / sec
 	}
 	if lookups := s.CacheHits + s.Coalesced + s.CacheMisses; lookups > 0 {
 		s.HitRatio = float64(s.CacheHits+s.Coalesced) / float64(lookups)

@@ -8,6 +8,7 @@
 package protocol
 
 import (
+	"qgraph/internal/delta"
 	"qgraph/internal/graph"
 	"qgraph/internal/partition"
 	"qgraph/internal/query"
@@ -49,6 +50,14 @@ const (
 	// worker ↔ worker
 	TVertexBatch
 	TScopeData
+	// Streaming graph updates and liveness (appended to keep the earlier
+	// wire values stable).
+	// controller → worker
+	TDeltaBatch
+	TPing
+	// worker → controller
+	TDeltaAck
+	TPong
 )
 
 // Message is any protocol message.
@@ -92,11 +101,12 @@ type FinishReason uint8
 
 // Finish reasons.
 const (
-	FinishConverged FinishReason = iota + 1 // no active vertices remain
-	FinishEarly                             // monotone bound: goal can't improve
-	FinishMaxIters                          // superstep cap reached
-	FinishCancelled                         // shutdown or user cancel
-	FinishRejected                          // invalid request (e.g. reused query id)
+	FinishConverged  FinishReason = iota + 1 // no active vertices remain
+	FinishEarly                              // monotone bound: goal can't improve
+	FinishMaxIters                           // superstep cap reached
+	FinishCancelled                          // shutdown or user cancel
+	FinishRejected                           // invalid request (e.g. reused query id)
+	FinishWorkerLost                         // a worker stopped answering heartbeats
 )
 
 // String returns the reason name (also the serving API's wire value).
@@ -112,6 +122,8 @@ func (r FinishReason) String() string {
 		return "cancelled"
 	case FinishRejected:
 		return "rejected"
+	case FinishWorkerLost:
+		return "worker_lost"
 	default:
 		return "unknown"
 	}
@@ -320,3 +332,52 @@ type ScopeData struct {
 
 // Type implements Message.
 func (*ScopeData) Type() MsgType { return TScopeData }
+
+// ---------------------------------------------------------------------------
+// Streaming graph updates (internal/delta)
+
+// DeltaBatch commits one batch of graph mutations as graph version
+// Version. It is broadcast inside a global barrier while the
+// vertex-message network is drained, so every worker applies it between
+// supersteps and no query ever observes a half-applied batch. NewOwners
+// assigns an owner to each vertex the batch adds (in op order); every
+// node extends its ownership table identically.
+type DeltaBatch struct {
+	Version   uint64
+	Ops       []delta.Op
+	NewOwners []partition.WorkerID
+}
+
+// Type implements Message.
+func (*DeltaBatch) Type() MsgType { return TDeltaBatch }
+
+// DeltaAck confirms a worker applied DeltaBatch Version.
+type DeltaAck struct {
+	Version uint64
+	W       partition.WorkerID
+}
+
+// Type implements Message.
+func (*DeltaAck) Type() MsgType { return TDeltaAck }
+
+// ---------------------------------------------------------------------------
+// Liveness
+
+// Ping is the controller's heartbeat probe; workers answer with Pong
+// carrying the same sequence number. Workers drain their inbox between
+// supersteps, so only a dead or wedged worker stays silent.
+type Ping struct {
+	Seq int64
+}
+
+// Type implements Message.
+func (*Ping) Type() MsgType { return TPing }
+
+// Pong answers a Ping.
+type Pong struct {
+	Seq int64
+	W   partition.WorkerID
+}
+
+// Type implements Message.
+func (*Pong) Type() MsgType { return TPong }

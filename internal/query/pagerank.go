@@ -27,7 +27,7 @@ func (PageRank) Kind() Kind { return KindPageRank }
 func (PageRank) Combine(a, b float64) float64 { return a + b }
 
 // Init injects one unit of rank mass at the seed.
-func (PageRank) Init(_ *graph.Graph, spec Spec) []Activation {
+func (PageRank) Init(_ graph.View, spec Spec) []Activation {
 	return []Activation{{V: spec.Source, Msg: 1}}
 }
 
@@ -35,7 +35,7 @@ func (PageRank) Init(_ *graph.Graph, spec Spec) []Activation {
 // pushes d of it onward, split across out-edges — the push formulation of
 // personalized PageRank. Pushes below Epsilon are dropped, localizing the
 // query.
-func (PageRank) Compute(g *graph.Graph, spec Spec, v graph.VertexID, old float64, hasOld bool, msg float64, emit Emit) (float64, bool) {
+func (PageRank) Compute(g graph.View, spec Spec, v graph.VertexID, old float64, hasOld bool, msg float64, emit Emit) (float64, bool) {
 	if msg <= 0 {
 		return old, false
 	}
@@ -57,7 +57,7 @@ func (PageRank) Compute(g *graph.Graph, spec Spec, v graph.VertexID, old float64
 
 // Goal is never true: PageRank has no result vertex; the per-vertex scores
 // are the result.
-func (PageRank) Goal(_ *graph.Graph, _ Spec, _ graph.VertexID, _ float64) bool {
+func (PageRank) Goal(_ graph.View, _ Spec, _ graph.VertexID, _ float64) bool {
 	return false
 }
 
@@ -67,7 +67,7 @@ func (PageRank) Monotone() bool { return false }
 // RefPageRank is a sequential reference of the same push process, used by
 // tests to validate the distributed execution. It returns the score map of
 // every touched vertex.
-func RefPageRank(g *graph.Graph, spec Spec) map[graph.VertexID]float64 {
+func RefPageRank(g graph.View, spec Spec) map[graph.VertexID]float64 {
 	scores := make(map[graph.VertexID]float64)
 	inbox := map[graph.VertexID]float64{spec.Source: 1}
 	for iter := 0; len(inbox) > 0 && (spec.MaxIters == 0 || iter < spec.MaxIters); iter++ {
@@ -93,7 +93,7 @@ func RefPageRank(g *graph.Graph, spec Spec) map[graph.VertexID]float64 {
 
 // RefPageRankMass returns the total score mass of RefPageRank, a scalar
 // fingerprint tests can compare against the distributed run.
-func RefPageRankMass(g *graph.Graph, spec Spec) float64 {
+func RefPageRankMass(g graph.View, spec Spec) float64 {
 	total := 0.0
 	for _, s := range RefPageRank(g, spec) {
 		total += s

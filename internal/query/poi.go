@@ -16,12 +16,12 @@ func (POI) Kind() Kind { return KindPOI }
 func (POI) Combine(a, b float64) float64 { return min(a, b) }
 
 // Init activates the start vertex with distance 0.
-func (POI) Init(_ *graph.Graph, spec Spec) []Activation {
+func (POI) Init(_ graph.View, spec Spec) []Activation {
 	return []Activation{{V: spec.Source, Msg: 0}}
 }
 
 // Compute relaxes v exactly like SSSP.
-func (POI) Compute(g *graph.Graph, _ Spec, v graph.VertexID, old float64, hasOld bool, msg float64, emit Emit) (float64, bool) {
+func (POI) Compute(g graph.View, _ Spec, v graph.VertexID, old float64, hasOld bool, msg float64, emit Emit) (float64, bool) {
 	if hasOld && msg >= old {
 		return old, false
 	}
@@ -32,7 +32,7 @@ func (POI) Compute(g *graph.Graph, _ Spec, v graph.VertexID, old float64, hasOld
 }
 
 // Goal marks every tagged vertex.
-func (POI) Goal(g *graph.Graph, _ Spec, v graph.VertexID, _ float64) bool {
+func (POI) Goal(g graph.View, _ Spec, v graph.VertexID, _ float64) bool {
 	return g.Tagged(v)
 }
 

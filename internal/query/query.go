@@ -97,7 +97,7 @@ func (s Spec) HomeWire() int16 { return s.home }
 func (s *Spec) SetHomeWire(v int16) { s.home = v }
 
 // Validate checks the spec against a graph.
-func (s Spec) Validate(g *graph.Graph) error {
+func (s Spec) Validate(g graph.View) error {
 	n := graph.VertexID(g.NumVertices())
 	if s.Source < 0 || s.Source >= n {
 		return fmt.Errorf("query %d: source %d out of range [0,%d)", s.ID, s.Source, n)
@@ -141,16 +141,16 @@ type Program interface {
 	// superstep (min for distance-style programs, sum for PageRank).
 	Combine(a, b float64) float64
 	// Init returns the initial activations (the paper's Vsub).
-	Init(g *graph.Graph, spec Spec) []Activation
+	Init(g graph.View, spec Spec) []Activation
 	// Compute runs the vertex function f(Dv, m*→v): old is the current
 	// query-private value of v (hasOld=false on first touch), msg the
 	// combined incoming message. It returns the new value and whether it
 	// changed (only changed values are stored and propagate).
-	Compute(g *graph.Graph, spec Spec, v graph.VertexID, old float64, hasOld bool, msg float64, emit Emit) (newVal float64, changed bool)
+	Compute(g graph.View, spec Spec, v graph.VertexID, old float64, hasOld bool, msg float64, emit Emit) (newVal float64, changed bool)
 	// Goal reports whether v holding val is a result candidate (the SSSP
 	// target, a tagged POI vertex). The query result is the minimal goal
 	// value observed.
-	Goal(g *graph.Graph, spec Spec, v graph.VertexID, val float64) bool
+	Goal(g graph.View, spec Spec, v graph.VertexID, val float64) bool
 	// Monotone reports whether message values never decrease along a path
 	// (true for distance-style programs). Monotone queries terminate early
 	// once the smallest in-flight frontier value is no better than the best

@@ -22,7 +22,7 @@ func diamondGraph() *graph.Graph {
 
 // runSequential executes a program in a simple single-node BSP loop — a
 // miniature reference engine used to test program semantics in isolation.
-func runSequential(g *graph.Graph, spec Spec) (values map[graph.VertexID]float64, steps int) {
+func runSequential(g graph.View, spec Spec) (values map[graph.VertexID]float64, steps int) {
 	prog := MustNew(spec.Kind)
 	values = make(map[graph.VertexID]float64)
 	inbox := make(map[graph.VertexID]float64)

@@ -17,13 +17,13 @@ func (SSSP) Kind() Kind { return KindSSSP }
 func (SSSP) Combine(a, b float64) float64 { return min(a, b) }
 
 // Init activates the source with distance 0.
-func (SSSP) Init(_ *graph.Graph, spec Spec) []Activation {
+func (SSSP) Init(_ graph.View, spec Spec) []Activation {
 	return []Activation{{V: spec.Source, Msg: 0}}
 }
 
 // Compute relaxes v: if the incoming distance improves on the stored one,
 // store it and offer dist+w to every out-neighbor.
-func (SSSP) Compute(g *graph.Graph, _ Spec, v graph.VertexID, old float64, hasOld bool, msg float64, emit Emit) (float64, bool) {
+func (SSSP) Compute(g graph.View, _ Spec, v graph.VertexID, old float64, hasOld bool, msg float64, emit Emit) (float64, bool) {
 	if hasOld && msg >= old {
 		return old, false
 	}
@@ -34,7 +34,7 @@ func (SSSP) Compute(g *graph.Graph, _ Spec, v graph.VertexID, old float64, hasOl
 }
 
 // Goal marks the target vertex (never true for flood queries).
-func (SSSP) Goal(_ *graph.Graph, spec Spec, v graph.VertexID, _ float64) bool {
+func (SSSP) Goal(_ graph.View, spec Spec, v graph.VertexID, _ float64) bool {
 	return spec.Target != graph.NilVertex && v == spec.Target
 }
 
@@ -53,12 +53,12 @@ func (BFS) Kind() Kind { return KindBFS }
 func (BFS) Combine(a, b float64) float64 { return min(a, b) }
 
 // Init activates the source at hop 0.
-func (BFS) Init(_ *graph.Graph, spec Spec) []Activation {
+func (BFS) Init(_ graph.View, spec Spec) []Activation {
 	return []Activation{{V: spec.Source, Msg: 0}}
 }
 
 // Compute stores the improved hop count and offers hops+1 to neighbors.
-func (BFS) Compute(g *graph.Graph, _ Spec, v graph.VertexID, old float64, hasOld bool, msg float64, emit Emit) (float64, bool) {
+func (BFS) Compute(g graph.View, _ Spec, v graph.VertexID, old float64, hasOld bool, msg float64, emit Emit) (float64, bool) {
 	if hasOld && msg >= old {
 		return old, false
 	}
@@ -69,7 +69,7 @@ func (BFS) Compute(g *graph.Graph, _ Spec, v graph.VertexID, old float64, hasOld
 }
 
 // Goal marks the optional target vertex.
-func (BFS) Goal(_ *graph.Graph, spec Spec, v graph.VertexID, _ float64) bool {
+func (BFS) Goal(_ graph.View, spec Spec, v graph.VertexID, _ float64) bool {
 	return spec.Target != graph.NilVertex && v == spec.Target
 }
 

@@ -33,14 +33,30 @@ func KeyOf(spec query.Spec) Key {
 	}
 }
 
-// Epoch is the validity domain of cached results: a new graph version or a
-// controller repartition opens a new epoch and flushes the cache. (A
-// repartition does not change query answers on a static graph, but it does
-// change every execution-side statistic and is the natural invalidation
-// point once streaming graph updates ride on the same barrier.)
+// Epoch is the validity domain of cached results: a different base graph,
+// a committed mutation batch (graph version bump), or a controller
+// repartition opens a new epoch and flushes the cache. Version is the
+// live counter streaming updates advance at every commit barrier — the
+// serving layer reads it before each lookup, so no result cached under an
+// older topology survives a commit. (A repartition does not change query
+// answers, but it does change every execution-side statistic.)
 type Epoch struct {
-	Graph       uint64 `json:"graph"`
-	Repartition int64  `json:"repartition"`
+	Graph       uint64 `json:"graph"`       // identity of the loaded base graph
+	Version     uint64 `json:"version"`     // committed mutation batches
+	Repartition int64  `json:"repartition"` // executed repartition barriers
+}
+
+// newerThan reports whether e supersedes old: both live counters are
+// monotone, so any strictly smaller counter marks a stale reader racing a
+// fresher request. A different base graph always supersedes.
+func (e Epoch) newerThan(old Epoch) bool {
+	if e.Graph != old.Graph {
+		return true
+	}
+	if e.Version != old.Version {
+		return e.Version > old.Version
+	}
+	return e.Repartition > old.Repartition
 }
 
 // Outcome is the cacheable portion of a finished query: everything except
@@ -151,10 +167,7 @@ func NewCache(capacity int, ttl time.Duration, clock func() time.Time) *Cache {
 func (c *Cache) SetEpoch(e Epoch) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if e == c.epoch {
-		return false
-	}
-	if e.Graph == c.epoch.Graph && e.Repartition < c.epoch.Repartition {
+	if !e.newerThan(c.epoch) {
 		return false
 	}
 	c.epoch = e

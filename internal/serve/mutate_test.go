@@ -1,0 +1,198 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"qgraph/internal/controller"
+	"qgraph/internal/core"
+	"qgraph/internal/delta"
+	"qgraph/internal/graph"
+	"qgraph/internal/partition"
+)
+
+func postMutate(t *testing.T, url string, req MutateRequest) (int, MutateResponse) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(url+"/mutate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /mutate: %v", err)
+	}
+	defer resp.Body.Close()
+	var mr MutateResponse
+	_ = json.NewDecoder(resp.Body).Decode(&mr)
+	return resp.StatusCode, mr
+}
+
+// TestMutateEndpoint exercises the wire layer against the stub backend:
+// valid batches land with a version, malformed ones are 400s, and the
+// serving counters track ops.
+func TestMutateEndpoint(t *testing.T) {
+	b := newStubBackend()
+	s, ts := newTestServer(t, b, nil)
+
+	code, mr := postMutate(t, ts.URL, MutateRequest{Ops: []MutateOp{
+		{Op: "add_edge", From: 0, To: 5, Weight: 2.5},
+		{Op: "add_vertex"},
+	}})
+	if code != http.StatusOK || mr.Version != 1 || mr.Applied != 2 {
+		t.Fatalf("mutate = %d %+v", code, mr)
+	}
+	if len(b.mutations) != 1 || len(b.mutations[0]) != 2 {
+		t.Fatalf("backend saw %v", b.mutations)
+	}
+	if b.mutations[0][0] != (delta.Op{Kind: delta.OpAddEdge, From: 0, To: 5, Weight: 2.5}) {
+		t.Fatalf("op converted wrong: %+v", b.mutations[0][0])
+	}
+
+	for _, bad := range []MutateRequest{
+		{},                                 // empty ops
+		{Ops: []MutateOp{{Op: "explode"}}}, // unknown kind
+		{Ops: []MutateOp{{Op: "add_edge", From: -1, To: 0}}},            // bad vertex
+		{Ops: []MutateOp{{Op: "add_edge", From: 0, To: 1, Weight: -2}}}, // bad weight
+	} {
+		if code, _ := postMutate(t, ts.URL, bad); code != http.StatusBadRequest {
+			t.Errorf("bad request %+v -> %d, want 400", bad, code)
+		}
+	}
+
+	snap := s.Counters().Snapshot(time.Now())
+	if snap.MutationOps != 2 || snap.MutationsApplied != 2 || snap.MutationBatches != 1 {
+		t.Fatalf("counters = %+v", snap)
+	}
+}
+
+// TestHealthzReportsVersionsAndDegradation: /healthz carries the live
+// graph version and repartition epoch, and turns 503 when the engine is
+// degraded.
+func TestHealthzReportsVersionsAndDegradation(t *testing.T) {
+	b := newStubBackend()
+	b.version.Store(4)
+	b.epoch.Store(2)
+	_, ts := newTestServer(t, b, nil)
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hz healthzResponse
+	_ = json.NewDecoder(resp.Body).Decode(&hz)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || hz.Status != "ok" ||
+		hz.GraphVersion != 4 || hz.RepartitionEpoch != 2 {
+		t.Fatalf("healthz = %d %+v", resp.StatusCode, hz)
+	}
+
+	b.mu.Lock()
+	b.health = controller.Health{Degraded: true, DeadWorkers: []int{1}}
+	b.mu.Unlock()
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = json.NewDecoder(resp.Body).Decode(&hz)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || hz.Status != "degraded" ||
+		len(hz.DeadWorkers) != 1 || hz.DeadWorkers[0] != 1 {
+		t.Fatalf("degraded healthz = %d %+v", resp.StatusCode, hz)
+	}
+}
+
+// TestMutateFlushesCacheExactlyOnCommit is the serving-layer end-to-end
+// acceptance: over a real engine, a cached result is served until the
+// commit, and the very next query after the commit reflects the mutated
+// topology — never a stale cached answer across the version bump.
+func TestMutateFlushesCacheExactlyOnCommit(t *testing.T) {
+	b := graph.NewBuilder(6)
+	for v := 0; v+1 < 6; v++ {
+		b.AddEdge(graph.VertexID(v), graph.VertexID(v+1), 1)
+	}
+	g := b.MustBuild()
+	eng, err := core.Start(core.Config{
+		Workers: 2, Graph: g, Partitioner: partition.Hash{},
+		CommitEvery: time.Millisecond, MaxBatchOps: 1, CheckEvery: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := eng.Close(); err != nil {
+			t.Errorf("engine: %v", err)
+		}
+	}()
+	srv, err := New(Config{Backend: eng.Controller(), GraphID: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	q := QueryRequest{Kind: "sssp", Source: 0, Target: ptr(int64(5))}
+	code, qr, _ := postQuery(t, ts.URL, q)
+	if code != http.StatusOK || qr.Value == nil || *qr.Value != 5 {
+		t.Fatalf("first query = %d %+v", code, qr)
+	}
+	// Identical repeat is a cache hit with the same answer.
+	_, qr, _ = postQuery(t, ts.URL, q)
+	if !qr.CacheHit || *qr.Value != 5 {
+		t.Fatalf("repeat not served from cache: %+v", qr)
+	}
+
+	// Commit a weight change on the path.
+	ops := make([]MutateOp, 5)
+	for v := 0; v < 5; v++ {
+		ops[v] = MutateOp{Op: "set_weight", From: int64(v), To: int64(v + 1), Weight: 3}
+	}
+	mcode, mr := postMutate(t, ts.URL, MutateRequest{Ops: ops})
+	if mcode != http.StatusOK || mr.Version != 1 || mr.Applied != 5 {
+		t.Fatalf("mutate = %d %+v", mcode, mr)
+	}
+
+	// The next query must NOT be served from the pre-commit cache.
+	_, qr, _ = postQuery(t, ts.URL, q)
+	if qr.CacheHit {
+		t.Fatalf("stale cache hit across version bump: %+v", qr)
+	}
+	if qr.Value == nil || *qr.Value != 15 {
+		t.Fatalf("post-commit value = %+v, want 15", qr.Value)
+	}
+	// And the new answer is cached under the new epoch.
+	_, qr, _ = postQuery(t, ts.URL, q)
+	if !qr.CacheHit || *qr.Value != 15 {
+		t.Fatalf("post-commit repeat not cached: %+v", qr)
+	}
+
+	// Growth through the HTTP plane: add a vertex and route to it.
+	mcode, mr = postMutate(t, ts.URL, MutateRequest{Ops: []MutateOp{
+		{Op: "add_vertex"},
+		{Op: "add_edge", From: 5, To: 6, Weight: 2},
+	}})
+	if mcode != http.StatusOK || mr.Version != 2 {
+		t.Fatalf("growth mutate = %d %+v", mcode, mr)
+	}
+	code, qr, _ = postQuery(t, ts.URL, QueryRequest{Kind: "sssp", Source: 0, Target: ptr(int64(6))})
+	if code != http.StatusOK || qr.Value == nil || *qr.Value != 17 {
+		t.Fatalf("query to added vertex = %d %+v", code, qr)
+	}
+
+	// Stats reflect the mutation plane.
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st StatsResponse
+	_ = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if st.Engine.GraphVersion != 2 || st.Engine.Vertices != 7 {
+		t.Fatalf("stats engine = %+v", st.Engine)
+	}
+	if st.Serve.MutationsApplied != 7 || st.Cache.Epoch.Version != 2 {
+		t.Fatalf("stats mutations=%d cache epoch=%+v", st.Serve.MutationsApplied, st.Cache.Epoch)
+	}
+}
+
+func ptr[T any](v T) *T { return &v }

@@ -15,13 +15,14 @@ import (
 	"time"
 
 	"qgraph/internal/controller"
+	"qgraph/internal/delta"
 	"qgraph/internal/graph"
 	"qgraph/internal/metrics"
 	"qgraph/internal/query"
 )
 
-// Backend is what the serving layer needs from the engine. Both
-// *controller.Controller and *core.Engine's Controller() satisfy it.
+// Backend is what the serving layer needs from the engine.
+// *controller.Controller satisfies it (use core.Engine's Controller()).
 type Backend interface {
 	// Schedule submits a query; the result arrives on the channel.
 	Schedule(spec query.Spec) (<-chan controller.Result, error)
@@ -30,15 +31,25 @@ type Backend interface {
 	// RepartitionEpoch counts executed repartitioning barriers; a change
 	// invalidates cached results.
 	RepartitionEpoch() int64
+	// GraphVersion counts committed mutation batches; a change invalidates
+	// cached results (the streaming-update data plane).
+	GraphVersion() uint64
+	// GraphView returns a consistent snapshot of the current graph, used
+	// to validate request specs (source/target ranges, POI tags).
+	GraphView() graph.View
+	// Mutate stages a batch of graph mutations; the result arrives once
+	// the batch committed.
+	Mutate(ops []delta.Op) (<-chan controller.MutationResult, error)
+	// Health reports worker liveness for /healthz.
+	Health() controller.Health
 }
 
 // Config parameterises a Server. Zero values select sane defaults.
 type Config struct {
 	Backend Backend
-	// Graph validates request specs (source/target ranges, POI tags).
-	Graph *graph.Graph
-	// GraphVersion distinguishes graph generations in the cache epoch.
-	GraphVersion uint64
+	// GraphID distinguishes base-graph generations in the cache epoch
+	// (e.g. a hash of the loaded graph file).
+	GraphID uint64
 
 	Admit AdmitConfig
 	// CacheSize / CacheTTL bound the result cache (default 4096 / 1m).
@@ -66,9 +77,6 @@ type Config struct {
 func (c *Config) fill() error {
 	if c.Backend == nil {
 		return fmt.Errorf("serve: nil backend")
-	}
-	if c.Graph == nil {
-		return fmt.Errorf("serve: nil graph")
 	}
 	if c.DefaultTimeout <= 0 {
 		c.DefaultTimeout = 30 * time.Second
@@ -142,15 +150,26 @@ func (s *Server) Counters() *metrics.ServeCounters { return s.ctr }
 //
 //	POST /query        run a query (or enqueue it with "async": true)
 //	GET  /result/{id}  fetch an async query's result
-//	GET  /healthz      liveness (503 while draining)
+//	POST /mutate       apply a batch of streaming graph updates
+//	GET  /healthz      liveness (503 while draining or degraded)
 //	GET  /stats        serving, admission, cache, and engine counters
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.handleQuery)
 	mux.HandleFunc("GET /result/{id}", s.handleResult)
+	mux.HandleFunc("POST /mutate", s.handleMutate)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	return mux
+}
+
+// epoch reads the live cache-validity coordinates from the backend.
+func (s *Server) epoch() Epoch {
+	return Epoch{
+		Graph:       s.cfg.GraphID,
+		Version:     s.cfg.Backend.GraphVersion(),
+		Repartition: s.cfg.Backend.RepartitionEpoch(),
+	}
 }
 
 // Drain stops accepting new queries and waits for in-flight ones (both
@@ -231,9 +250,42 @@ type StatsResponse struct {
 	Cache     CacheStats            `json:"cache"`
 	Engine    struct {
 		RepartitionEpoch int64  `json:"repartition_epoch"`
+		GraphID          uint64 `json:"graph_id"`
 		GraphVersion     uint64 `json:"graph_version"`
 		Vertices         int    `json:"vertices"`
+		Edges            int    `json:"edges"`
+		Degraded         bool   `json:"degraded,omitempty"`
+		DeadWorkers      []int  `json:"dead_workers,omitempty"`
 	} `json:"engine"`
+}
+
+// MutateOp is one operation of a POST /mutate batch.
+type MutateOp struct {
+	// Op is add_edge | remove_edge | set_weight | add_vertex.
+	Op     string  `json:"op"`
+	From   int64   `json:"from,omitempty"`
+	To     int64   `json:"to,omitempty"`
+	Weight float64 `json:"weight,omitempty"`
+}
+
+// MutateRequest is the POST /mutate body. The whole batch commits
+// atomically at the engine's next commit barrier.
+type MutateRequest struct {
+	Ops []MutateOp `json:"ops"`
+	// TimeoutMS bounds the wait for the commit (default: the server's
+	// request default).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// MutateResponse reports a committed batch.
+type MutateResponse struct {
+	// Version is the graph version the ops landed in.
+	Version uint64 `json:"version"`
+	// Applied counts ops that changed the graph; NoOps ones that
+	// referenced a non-existent edge.
+	Applied   int     `json:"applied"`
+	NoOps     int     `json:"noops"`
+	LatencyMS float64 `json:"latency_ms"`
 }
 
 // ---------------------------------------------------------------------------
@@ -303,8 +355,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		// epoch must advance before Peek, or entries a repartition just
 		// invalidated would defeat the bounce.
 		if s.admit.Full(tenant) {
-			epoch := Epoch{Graph: s.cfg.GraphVersion, Repartition: s.cfg.Backend.RepartitionEpoch()}
-			if s.cache.SetEpoch(epoch) {
+			if s.cache.SetEpoch(s.epoch()) {
 				s.ctr.Invalidated.Add(1)
 			}
 			if req.NoCache || !s.cache.Peek(KeyOf(spec)) {
@@ -376,12 +427,143 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if s.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+// healthzResponse is the GET /healthz body. Operators watch GraphVersion
+// and RepartitionEpoch here to observe mutation and adaptation progress
+// without pulling full /stats.
+type healthzResponse struct {
+	Status           string `json:"status"` // ok | draining | degraded
+	GraphVersion     uint64 `json:"graph_version"`
+	RepartitionEpoch int64  `json:"repartition_epoch"`
+	DeadWorkers      []int  `json:"dead_workers,omitempty"`
+}
+
+// handleMutate ingests one batch of streaming graph updates. The batch is
+// staged on the engine, committed atomically at its next commit barrier,
+// and the response reports the resulting graph version — after which the
+// result cache is invalidated at the next lookup, so no post-commit query
+// is answered from pre-commit state.
+func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	if !s.begin() {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server draining"})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	defer s.wg.Done()
+	started := s.cfg.Clock()
+	var req MutateRequest
+	// Mutation batches are bigger than queries but still bounded: 1 MiB
+	// holds tens of thousands of ops.
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		code := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			code = http.StatusRequestEntityTooLarge
+		}
+		writeJSON(w, code, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	ops, err := opsOf(req.Ops)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	// Pre-check vertex ranges against the live view so a plainly bad op is
+	// a 400, not a 503. The engine re-validates against its staged view
+	// (which may already hold add_vertex ops), so this is advisory only —
+	// an op racing a concurrent growth commit still resolves there.
+	if err := delta.ValidateOps(ops, s.cfg.Backend.GraphView().NumVertices()); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		if req.TimeoutMS >= int64(s.cfg.MaxTimeout/time.Millisecond) {
+			timeout = s.cfg.MaxTimeout
+		} else {
+			timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+		}
+	}
+	s.ctr.MutationOps.Add(int64(len(ops)))
+	ch, err := s.cfg.Backend.Mutate(ops)
+	if err != nil {
+		s.ctr.MutationsFailed.Add(1)
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "mutate: " + err.Error()})
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	select {
+	case res := <-ch:
+		if res.Err != nil {
+			s.ctr.MutationsFailed.Add(1)
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "mutate: " + res.Err.Error()})
+			return
+		}
+		s.ctr.MutationsApplied.Add(int64(res.Applied))
+		s.ctr.MutationNoOps.Add(int64(res.NoOps))
+		s.ctr.MutationBatches.Add(1)
+		writeJSON(w, http.StatusOK, MutateResponse{
+			Version:   res.Version,
+			Applied:   res.Applied,
+			NoOps:     res.NoOps,
+			LatencyMS: durMS(s.cfg.Clock().Sub(started)),
+		})
+	case <-ctx.Done():
+		// The batch stays staged and will still commit; only this caller
+		// stops waiting (the result channel is buffered, nothing leaks).
+		s.ctr.MutationsFailed.Add(1)
+		writeJSON(w, http.StatusGatewayTimeout,
+			errorResponse{Error: "deadline exceeded waiting for commit (batch may still apply)"})
+	}
+}
+
+// opsOf converts and bound-checks wire ops into engine ops. Exported via
+// the wire format only; deeper validation (vertex ranges against the live
+// graph) happens on the engine, where the authoritative view lives.
+func opsOf(wire []MutateOp) ([]delta.Op, error) {
+	if len(wire) == 0 {
+		return nil, fmt.Errorf("empty ops")
+	}
+	ops := make([]delta.Op, len(wire))
+	for i, mo := range wire {
+		kind, err := delta.KindFromString(mo.Op)
+		if err != nil {
+			return nil, fmt.Errorf("op %d: unknown kind %q (want add_edge|remove_edge|set_weight|add_vertex)", i, mo.Op)
+		}
+		if mo.From < 0 || mo.From > math.MaxInt32 || mo.To < 0 || mo.To > math.MaxInt32 {
+			return nil, fmt.Errorf("op %d: vertex id out of range", i)
+		}
+		if mo.Weight < 0 || math.IsNaN(mo.Weight) || mo.Weight > math.MaxFloat32 {
+			return nil, fmt.Errorf("op %d: invalid weight %v", i, mo.Weight)
+		}
+		ops[i] = delta.Op{
+			Kind:   kind,
+			From:   graph.VertexID(mo.From),
+			To:     graph.VertexID(mo.To),
+			Weight: float32(mo.Weight),
+		}
+	}
+	return ops, nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := healthzResponse{
+		Status:           "ok",
+		GraphVersion:     s.cfg.Backend.GraphVersion(),
+		RepartitionEpoch: s.cfg.Backend.RepartitionEpoch(),
+	}
+	code := http.StatusOK
+	if h := s.cfg.Backend.Health(); h.Degraded {
+		resp.Status = "degraded"
+		resp.DeadWorkers = h.DeadWorkers
+		code = http.StatusServiceUnavailable
+	}
+	if s.draining.Load() {
+		resp.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, resp)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -389,9 +571,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Serve = s.ctr.Snapshot(s.cfg.Clock())
 	resp.Admission = s.admit.Stats()
 	resp.Cache = s.cache.Stats()
+	view := s.cfg.Backend.GraphView()
+	health := s.cfg.Backend.Health()
 	resp.Engine.RepartitionEpoch = s.cfg.Backend.RepartitionEpoch()
-	resp.Engine.GraphVersion = s.cfg.GraphVersion
-	resp.Engine.Vertices = s.cfg.Graph.NumVertices()
+	resp.Engine.GraphID = s.cfg.GraphID
+	resp.Engine.GraphVersion = s.cfg.Backend.GraphVersion()
+	resp.Engine.Vertices = view.NumVertices()
+	resp.Engine.Edges = view.NumEdges()
+	resp.Engine.Degraded = health.Degraded
+	resp.Engine.DeadWorkers = health.DeadWorkers
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -403,10 +591,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 func (s *Server) execute(ctx context.Context, spec query.Spec, req QueryRequest, tenant string) (QueryResponse, int, *errorResponse) {
 	started := s.cfg.Clock()
 	key := KeyOf(spec)
-	// Advance the cache epoch before the lookup so a repartition or graph
-	// change since the last request flushes stale results.
-	epoch := Epoch{Graph: s.cfg.GraphVersion, Repartition: s.cfg.Backend.RepartitionEpoch()}
-	if s.cache.SetEpoch(epoch) {
+	// Advance the cache epoch before the lookup so a repartition or a
+	// committed mutation batch since the last request flushes stale
+	// results — the flush lands exactly at the version bump, because the
+	// version only ever changes at a commit barrier.
+	if s.cache.SetEpoch(s.epoch()) {
 		s.ctr.Invalidated.Add(1)
 	}
 
@@ -584,7 +773,9 @@ func (s *Server) specOf(req QueryRequest) (query.Spec, error) {
 	default:
 		return spec, fmt.Errorf("unknown query kind %q (want sssp|bfs|poi|pagerank)", req.Kind)
 	}
-	if err := spec.Validate(s.cfg.Graph); err != nil {
+	// Validate against the live view: streaming updates may have grown the
+	// graph past the base it was loaded with.
+	if err := spec.Validate(s.cfg.Backend.GraphView()); err != nil {
 		return spec, err
 	}
 	return spec, nil

@@ -15,6 +15,7 @@ import (
 
 	"qgraph/internal/controller"
 	"qgraph/internal/core"
+	"qgraph/internal/delta"
 	"qgraph/internal/gen"
 	"qgraph/internal/graph"
 	"qgraph/internal/protocol"
@@ -27,6 +28,11 @@ import (
 type stubBackend struct {
 	mu        sync.Mutex
 	epoch     atomic.Int64
+	version   atomic.Uint64
+	view      graph.View
+	mutations [][]delta.Op
+	mutErr    error
+	health    controller.Health
 	scheduled int
 	cancelled map[query.ID]bool
 	// block, when non-nil, holds every query until closed (admission
@@ -40,6 +46,7 @@ type stubBackend struct {
 
 func newStubBackend() *stubBackend {
 	return &stubBackend{
+		view:      testGraph(),
 		cancelled: make(map[query.ID]bool),
 		cancels:   make(map[query.ID]chan struct{}),
 	}
@@ -87,6 +94,34 @@ func (b *stubBackend) Cancel(q query.ID) {
 
 func (b *stubBackend) RepartitionEpoch() int64 { return b.epoch.Load() }
 
+func (b *stubBackend) GraphVersion() uint64 { return b.version.Load() }
+
+func (b *stubBackend) GraphView() graph.View {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.view
+}
+
+// Mutate records the batch and commits it instantly (version bump).
+func (b *stubBackend) Mutate(ops []delta.Op) (<-chan controller.MutationResult, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.mutErr != nil {
+		return nil, b.mutErr
+	}
+	b.mutations = append(b.mutations, ops)
+	v := b.version.Add(1)
+	ch := make(chan controller.MutationResult, 1)
+	ch <- controller.MutationResult{Version: v, Applied: len(ops)}
+	return ch, nil
+}
+
+func (b *stubBackend) Health() controller.Health {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.health
+}
+
 func (b *stubBackend) scheduledCount() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -94,8 +129,7 @@ func (b *stubBackend) scheduledCount() int {
 }
 
 // testGraph is a tiny line graph, enough for spec validation.
-func testGraph(t *testing.T) *graph.Graph {
-	t.Helper()
+func testGraph() *graph.Graph {
 	b := graph.NewBuilder(16)
 	for i := 0; i < 15; i++ {
 		b.AddBiEdge(graph.VertexID(i), graph.VertexID(i+1), 1)
@@ -105,7 +139,7 @@ func testGraph(t *testing.T) *graph.Graph {
 
 func newTestServer(t *testing.T, b Backend, mut func(*Config)) (*Server, *httptest.Server) {
 	t.Helper()
-	cfg := Config{Backend: b, Graph: testGraph(t), GraphVersion: 1}
+	cfg := Config{Backend: b, GraphID: 1}
 	if mut != nil {
 		mut(&cfg)
 	}
@@ -457,7 +491,7 @@ func TestServeEndToEnd(t *testing.T) {
 	}()
 
 	srv, err := New(Config{
-		Backend: eng.Controller(), Graph: net.G, GraphVersion: 7,
+		Backend: eng.Controller(), GraphID: 7,
 		Admit: AdmitConfig{
 			MaxInFlight: 8, MaxQueue: 8,
 			Weights: map[string]float64{"gold": 4},

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"qgraph/internal/delta"
 	"qgraph/internal/graph"
 	"qgraph/internal/partition"
 	"qgraph/internal/protocol"
@@ -32,6 +33,7 @@ func (e *encoder) u32(v uint32)  { e.buf = binary.LittleEndian.AppendUint32(e.bu
 func (e *encoder) i32(v int32)   { e.u32(uint32(v)) }
 func (e *encoder) u64(v uint64)  { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
 func (e *encoder) i64(v int64)   { e.u64(uint64(v)) }
+func (e *encoder) f32(v float32) { e.u32(math.Float32bits(v)) }
 func (e *encoder) f64(v float64) { e.u64(math.Float64bits(v)) }
 
 type decoder struct {
@@ -81,6 +83,7 @@ func (d *decoder) u64() uint64 {
 }
 
 func (d *decoder) i64() int64   { return int64(d.u64()) }
+func (d *decoder) f32() float32 { return math.Float32frombits(d.u32()) }
 func (d *decoder) f64() float64 { return math.Float64frombits(d.u64()) }
 
 // sliceLen reads a length prefix and bounds-checks it against the remaining
@@ -215,6 +218,27 @@ func Encode(m protocol.Message) ([]byte, error) {
 				e.i64(int64(fq))
 			}
 		}
+	case *protocol.DeltaBatch:
+		e.u64(v.Version)
+		e.u32(uint32(len(v.Ops)))
+		for _, op := range v.Ops {
+			e.u8(uint8(op.Kind))
+			e.i32(int32(op.From))
+			e.i32(int32(op.To))
+			e.f32(op.Weight)
+		}
+		e.u32(uint32(len(v.NewOwners)))
+		for _, o := range v.NewOwners {
+			e.u8(uint8(o))
+		}
+	case *protocol.DeltaAck:
+		e.u64(v.Version)
+		e.u8(uint8(v.W))
+	case *protocol.Ping:
+		e.i64(v.Seq)
+	case *protocol.Pong:
+		e.i64(v.Seq)
+		e.u8(uint8(v.W))
 	default:
 		return nil, fmt.Errorf("transport: cannot encode %T", m)
 	}
@@ -388,6 +412,36 @@ func Decode(t protocol.MsgType, payload []byte) (protocol.Message, error) {
 			}
 		}
 		m = v
+	case protocol.TDeltaBatch:
+		v := &protocol.DeltaBatch{Version: d.u64()}
+		if n := d.sliceLen(13); n > 0 {
+			v.Ops = make([]delta.Op, n)
+			for i := range v.Ops {
+				v.Ops[i].Kind = delta.OpKind(d.u8())
+				v.Ops[i].From = graph.VertexID(d.i32())
+				v.Ops[i].To = graph.VertexID(d.i32())
+				v.Ops[i].Weight = d.f32()
+			}
+		}
+		if n := d.sliceLen(1); n > 0 {
+			v.NewOwners = make([]partition.WorkerID, n)
+			for i := range v.NewOwners {
+				v.NewOwners[i] = partition.WorkerID(d.u8())
+			}
+		}
+		m = v
+	case protocol.TDeltaAck:
+		v := &protocol.DeltaAck{}
+		v.Version = d.u64()
+		v.W = partition.WorkerID(d.u8())
+		m = v
+	case protocol.TPing:
+		m = &protocol.Ping{Seq: d.i64()}
+	case protocol.TPong:
+		v := &protocol.Pong{}
+		v.Seq = d.i64()
+		v.W = partition.WorkerID(d.u8())
+		m = v
 	default:
 		return nil, fmt.Errorf("transport: unknown message type %d", t)
 	}
@@ -425,6 +479,8 @@ func WireSize(m protocol.Message) int {
 		return hdr + 9 + 8*len(v.SentTotals)
 	case *protocol.ExecuteQuery:
 		return hdr + 33
+	case *protocol.DeltaBatch:
+		return hdr + 16 + 13*len(v.Ops) + len(v.NewOwners)
 	default:
 		return hdr + 16
 	}

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"qgraph/internal/delta"
 	"qgraph/internal/graph"
 	"qgraph/internal/partition"
 	"qgraph/internal/protocol"
@@ -49,6 +50,15 @@ func normalize(m protocol.Message) protocol.Message {
 			c.ExpectRecv = []uint64{}
 		}
 		return &c
+	case *protocol.DeltaBatch:
+		c := *v
+		if c.Ops == nil {
+			c.Ops = []delta.Op{}
+		}
+		if c.NewOwners == nil {
+			c.NewOwners = []partition.WorkerID{}
+		}
+		return &c
 	}
 	return m
 }
@@ -90,6 +100,20 @@ func sampleMessages() []protocol.Message {
 			Q: 42, Step: 3, From: 1,
 			Entries: []protocol.VertexMsg{{To: 5, Val: 1.5}, {To: 9, Val: math.Inf(1)}},
 		},
+		&protocol.DeltaBatch{
+			Version: 3,
+			Ops: []delta.Op{
+				{Kind: delta.OpAddEdge, From: 1, To: 2, Weight: 1.5},
+				{Kind: delta.OpRemoveEdge, From: 2, To: 1},
+				{Kind: delta.OpSetWeight, From: 0, To: 1, Weight: 0.25},
+				{Kind: delta.OpAddVertex},
+			},
+			NewOwners: []partition.WorkerID{2},
+		},
+		&protocol.DeltaBatch{Version: 1},
+		&protocol.DeltaAck{Version: 3, W: 2},
+		&protocol.Ping{Seq: 99},
+		&protocol.Pong{Seq: 99, W: 1},
 		&protocol.ScopeData{
 			Epoch: 12, Q: 5, From: 1,
 			Vertices: []protocol.MovedVertex{

@@ -62,7 +62,7 @@ func (w *Worker) computeStep(qs *queryState, step int32) stepResult {
 		minFrontier: query.NoResult,
 		sent:        make([]int32, w.k),
 	}
-	g, spec, prog := w.g, qs.spec, qs.prog
+	g, spec, prog := w.view, qs.spec, qs.prog
 	emit := func(to graph.VertexID, val float64) {
 		dst := w.ownerOf(qs, to)
 		if dst == w.id {

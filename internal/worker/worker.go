@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"time"
 
+	"qgraph/internal/delta"
 	"qgraph/internal/graph"
 	"qgraph/internal/partition"
 	"qgraph/internal/protocol"
@@ -140,7 +141,11 @@ type finishedScope struct {
 type Worker struct {
 	cfg  Config
 	conn transport.Conn
-	g    *graph.Graph
+	// view is the worker's current graph: the shared immutable base plus
+	// the overlay of every committed mutation batch (internal/delta). It
+	// only changes inside a global barrier (onDeltaBatch), between
+	// supersteps, so query execution always sees one consistent version.
+	view *delta.View
 	k    int
 	id   partition.WorkerID
 
@@ -202,7 +207,7 @@ func New(cfg Config, conn transport.Conn) (*Worker, error) {
 	w := &Worker{
 		cfg:             cfg,
 		conn:            conn,
-		g:               cfg.Graph,
+		view:            delta.NewView(cfg.Graph),
 		k:               cfg.K,
 		id:              cfg.ID,
 		owner:           cfg.Owner.Clone(),
@@ -288,6 +293,10 @@ func (w *Worker) handle(env transport.Envelope) (stop bool, err error) {
 		for i, v := range m.Vertices {
 			w.owner[v] = m.Owners[i]
 		}
+	case *protocol.DeltaBatch:
+		err = w.onDeltaBatch(m)
+	case *protocol.Ping:
+		err = w.conn.Send(protocol.ControllerNode, &protocol.Pong{Seq: m.Seq, W: w.id})
 	case *protocol.GlobalStart:
 		w.stopping = false
 	case *protocol.Shutdown:
@@ -318,7 +327,7 @@ func (w *Worker) onExecute(m *protocol.ExecuteQuery) error {
 		recvBatches: make(map[int32]int32),
 		bestGoal:    query.NoResult,
 	}
-	for _, act := range prog.Init(w.g, m.Spec) {
+	for _, act := range prog.Init(w.view, m.Spec) {
 		if w.ownerOf(qs, act.V) == w.id {
 			w.combineIn(qs, 0, act.V, act.Msg)
 		}
@@ -415,6 +424,36 @@ func (w *Worker) deliverBatch(qs *queryState, m *protocol.VertexBatch) {
 		w.combineIn(qs, m.Step+1, e.To, e.Val)
 	}
 }
+
+// onDeltaBatch applies one committed mutation batch. It only arrives
+// inside a global barrier with the vertex-message network drained, so the
+// graph version changes strictly between supersteps: every query resumes
+// against the fully-applied batch, never a partial one. New vertices
+// extend the ownership table with the controller-assigned owners.
+func (w *Worker) onDeltaBatch(m *protocol.DeltaBatch) error {
+	if !w.stopping {
+		return fmt.Errorf("delta batch %d outside global barrier", m.Version)
+	}
+	nv, _, err := w.view.Apply(m.Ops)
+	if err != nil {
+		return fmt.Errorf("delta batch %d: %w", m.Version, err)
+	}
+	if nv.Version() != m.Version {
+		return fmt.Errorf("delta batch version %d applied as local version %d (replica divergence)",
+			m.Version, nv.Version())
+	}
+	w.view = nv
+	w.owner = append(w.owner, m.NewOwners...)
+	if len(w.owner) != nv.NumVertices() {
+		return fmt.Errorf("delta batch %d: ownership covers %d of %d vertices",
+			m.Version, len(w.owner), nv.NumVertices())
+	}
+	return w.conn.Send(protocol.ControllerNode, &protocol.DeltaAck{Version: m.Version, W: w.id})
+}
+
+// View exposes the worker's current graph view (tests assert version and
+// topology convergence).
+func (w *Worker) View() *delta.View { return w.view }
 
 // onGlobalStop acknowledges the STOP barrier with cumulative send counters.
 // The controller quiesces all queries before stopping, so the ready queue

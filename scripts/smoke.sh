@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Smoke test for the streaming-update serving stack: start a 2-worker
+# qgraphd deployment with -serve, stream graph mutations (qgraph-gen
+# -mutations replay) at the HTTP API while qgraph-bench generates query
+# load, and assert zero failed queries, applied mutations, and an advanced
+# graph version.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+cleanup() {
+  # shellcheck disable=SC2046  # word-splitting is the point: one PID per arg
+  kill $(jobs -p) >/dev/null 2>&1 || true
+  wait >/dev/null 2>&1 || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+go build -o "$workdir" ./cmd/...
+
+"$workdir/qgraph-gen" -kind road -preset bw -scale 256 \
+  -out "$workdir/g.qgr" -mutations 5000
+
+ADDRS="127.0.0.1:7701,127.0.0.1:7702,127.0.0.1:7703"
+SERVE="127.0.0.1:7800"
+
+"$workdir/qgraphd" -role worker -id 0 -graph "$workdir/g.qgr" -addrs "$ADDRS" &
+"$workdir/qgraphd" -role worker -id 1 -graph "$workdir/g.qgr" -addrs "$ADDRS" &
+sleep 1
+"$workdir/qgraphd" -role controller -graph "$workdir/g.qgr" -addrs "$ADDRS" \
+  -serve "$SERVE" -commit-every 100ms &
+ctrl=$!
+
+for _ in $(seq 1 50); do
+  curl -fsS "http://$SERVE/healthz" >/dev/null 2>&1 && break
+  sleep 0.2
+done
+curl -fsS "http://$SERVE/healthz"; echo
+
+out=$("$workdir/qgraph-bench" -load "http://$SERVE" -rate 200 -load-duration 5s \
+  -load-pool 64 -mutate-rate 100 -mutate-batch 25 -mutations "$workdir/g.qgr.mut")
+echo "$out"
+
+health=$(curl -fsS "http://$SERVE/healthz")
+echo "$health"
+
+kill -INT "$ctrl" >/dev/null 2>&1 || true
+wait "$ctrl" || true
+
+fail=0
+
+qline=$(grep -m1 '^sent=' <<<"$out")
+okq=$(sed -n 's/.* ok=\([0-9]*\).*/\1/p' <<<"$qline")
+failedq=$(sed -n 's/.* failed=\([0-9]*\).*/\1/p' <<<"$qline")
+[ "${okq:-0}" -gt 0 ] || { echo "SMOKE FAIL: no successful queries"; fail=1; }
+[ "${failedq:-1}" -eq 0 ] || { echo "SMOKE FAIL: $failedq failed queries"; fail=1; }
+
+mline=$(grep -m1 '^mutations: sent=' <<<"$out")
+applied=$(sed -n 's/.*applied=\([0-9]*\).*/\1/p' <<<"$mline")
+failedm=$(sed -n 's/.*failed=\([0-9]*\).*/\1/p' <<<"$mline")
+[ "${applied:-0}" -gt 0 ] || { echo "SMOKE FAIL: no mutations applied"; fail=1; }
+[ "${failedm:-1}" -eq 0 ] || { echo "SMOKE FAIL: $failedm failed mutation ops"; fail=1; }
+
+version=$(sed -n 's/.*"graph_version":\([0-9]*\).*/\1/p' <<<"$health")
+[ "${version:-0}" -gt 0 ] || { echo "SMOKE FAIL: graph version did not advance"; fail=1; }
+grep -q '"status":"ok"' <<<"$health" || { echo "SMOKE FAIL: unhealthy"; fail=1; }
+
+if [ "$fail" -ne 0 ]; then
+  exit 1
+fi
+echo "SMOKE OK: $okq queries, $applied mutation ops applied, graph version $version"
