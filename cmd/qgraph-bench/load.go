@@ -41,6 +41,14 @@ type loadOptions struct {
 	MutateRate    float64
 	MutateBatch   int
 	MutationsFile string
+
+	// Fault schedule: KillAfter into the run, SIGKILL the worker process
+	// KillPID (KillWorker is its id, for the report). The report then
+	// shows detection+recovery time from the server's /stats and the
+	// goodput dip: pre-kill vs post-recovery throughput.
+	KillPID    int
+	KillAfter  time.Duration
+	KillWorker int
 }
 
 // parseMix parses "kind=weight,..." into a cumulative distribution.
@@ -120,8 +128,10 @@ func runLoad(o loadOptions) error {
 		sent, ok, rejected, expired, failed atomic.Int64
 		clientTimeout                       atomic.Int64
 		cacheHits                           atomic.Int64
+		workerLost                          atomic.Int64
 		mu                                  sync.Mutex
 		records                             []metrics.QueryRecord
+		okTimes                             []time.Time
 		wg                                  sync.WaitGroup
 	)
 	interval := time.Duration(float64(time.Second) / o.Rate)
@@ -145,6 +155,23 @@ func runLoad(o loadOptions) error {
 		}()
 	} else {
 		close(mutDone)
+	}
+
+	// Fault schedule: kill the target worker process mid-load.
+	var killAt atomic.Int64 // unix nanos, 0 = not fired
+	if o.KillPID > 0 && o.KillAfter > 0 {
+		go func() {
+			time.Sleep(o.KillAfter)
+			proc, err := os.FindProcess(o.KillPID)
+			if err == nil {
+				err = proc.Kill()
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "qgraph-bench: kill pid %d: %v\n", o.KillPID, err)
+				return
+			}
+			killAt.Store(time.Now().UnixNano())
+		}()
 	}
 
 	start := time.Now()
@@ -174,19 +201,27 @@ func runLoad(o loadOptions) error {
 			}
 			defer resp.Body.Close()
 			var qr struct {
-				CacheHit bool `json:"cache_hit"`
+				CacheHit bool   `json:"cache_hit"`
+				Error    string `json:"error"`
 			}
 			_ = json.NewDecoder(resp.Body).Decode(&qr)
+			if strings.Contains(qr.Error, "worker_lost") {
+				// The acceptance bar for recovery: clients must never see a
+				// worker failure as worker_lost.
+				workerLost.Add(1)
+			}
 			switch resp.StatusCode {
 			case http.StatusOK:
 				ok.Add(1)
 				if qr.CacheHit {
 					cacheHits.Add(1)
 				}
+				done := time.Now()
 				mu.Lock()
 				records = append(records, metrics.QueryRecord{
-					Kind: sp.Kind, ScheduledAt: t0, Latency: time.Since(t0),
+					Kind: sp.Kind, ScheduledAt: t0, Latency: done.Sub(t0),
 				})
+				okTimes = append(okTimes, done)
 				mu.Unlock()
 			case http.StatusTooManyRequests:
 				rejected.Add(1)
@@ -206,8 +241,9 @@ func runLoad(o loadOptions) error {
 	sum := metrics.SummarizeRecords(records)
 	fmt.Printf("# open-loop load: %s for %s at %.0f req/s (%d tenants, pool %d)\n",
 		base, o.Duration, o.Rate, o.Tenants, o.Pool)
-	fmt.Printf("sent=%d ok=%d rejected_429=%d expired_504=%d client_timeout=%d failed=%d\n",
-		sent.Load(), ok.Load(), rejected.Load(), expired.Load(), clientTimeout.Load(), failed.Load())
+	fmt.Printf("sent=%d ok=%d rejected_429=%d expired_504=%d client_timeout=%d failed=%d worker_lost=%d\n",
+		sent.Load(), ok.Load(), rejected.Load(), expired.Load(), clientTimeout.Load(), failed.Load(),
+		workerLost.Load())
 	// Report the achieved arrival rate over the generation window (not
 	// the post-generation drain): time.Ticker drops ticks when the
 	// generator lags, so the offered load can fall short of -rate.
@@ -220,10 +256,78 @@ func runLoad(o loadOptions) error {
 	if mut != nil {
 		mut.report(genWindow)
 	}
+	if at := killAt.Load(); at > 0 {
+		reportFault(client, base, o, time.Unix(0, at), start, okTimes)
+	}
 	if stats, err := fetchRaw(client, base+"/stats"); err == nil {
 		fmt.Printf("# server /stats\n%s\n", stats)
 	}
 	return nil
+}
+
+// reportFault prints the worker-kill fault schedule's outcome: the
+// server-measured recovery time and the goodput dip — completed-request
+// throughput in the pre-kill window vs the tail window after recovery.
+func reportFault(client *http.Client, base string, o loadOptions, killed, start time.Time, okTimes []time.Time) {
+	fmt.Printf("# fault schedule: killed worker %d (pid %d) %.1fs into the run\n",
+		o.KillWorker, o.KillPID, killed.Sub(start).Seconds())
+
+	var st struct {
+		Recovery struct {
+			Recoveries       int64   `json:"recoveries"`
+			Handoffs         int64   `json:"handoffs"`
+			Rejoins          int64   `json:"rejoins"`
+			QueriesRestarted int64   `json:"queries_restarted"`
+			LastRecoveryMS   float64 `json:"last_recovery_ms"`
+		} `json:"recovery"`
+	}
+	if raw, err := fetchRaw(client, base+"/stats"); err == nil {
+		_ = json.Unmarshal([]byte(raw), &st)
+	}
+	fmt.Printf("recovery: episodes=%d handoffs=%d rejoins=%d queries_restarted=%d recovery_time_ms=%.1f\n",
+		st.Recovery.Recoveries, st.Recovery.Handoffs, st.Recovery.Rejoins,
+		st.Recovery.QueriesRestarted, st.Recovery.LastRecoveryMS)
+
+	end := start.Add(o.Duration)
+	// Pre-kill window: skip the first second of warmup.
+	preFrom := start.Add(time.Second)
+	if !preFrom.Before(killed) {
+		preFrom = start
+	}
+	// Post-recovery window. LastRecoveryMS measures the episode from
+	// death *declaration*; the detection window (the server's heartbeat
+	// timeout, unknown here) precedes it. Additionally skip the first
+	// third of the post-kill period, which absorbs detection for any
+	// timeout under a third of the remaining run — otherwise outage time
+	// would be averaged into post_recovery qps and understate the ratio.
+	recovered := killed.Add(time.Duration(st.Recovery.LastRecoveryMS * float64(time.Millisecond)))
+	if tail := killed.Add(end.Sub(killed) / 3); tail.After(recovered) {
+		recovered = tail
+	}
+	if st.Recovery.Recoveries == 0 || !recovered.Before(end) {
+		recovered = end.Add(-end.Sub(killed) / 5)
+	}
+	pre := windowRate(okTimes, preFrom, killed)
+	post := windowRate(okTimes, recovered, end)
+	fmt.Printf("goodput: pre_kill=%.1f qps post_recovery=%.1f qps", pre, post)
+	if pre > 0 {
+		fmt.Printf(" ratio=%.2f", post/pre)
+	}
+	fmt.Println()
+}
+
+// windowRate counts completions inside [from, to) per second.
+func windowRate(times []time.Time, from, to time.Time) float64 {
+	if !to.After(from) {
+		return 0
+	}
+	n := 0
+	for _, t := range times {
+		if !t.Before(from) && t.Before(to) {
+			n++
+		}
+	}
+	return float64(n) / to.Sub(from).Seconds()
 }
 
 // ---------------------------------------------------------------------------

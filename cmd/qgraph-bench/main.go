@@ -19,6 +19,14 @@
 //
 //	qgraph-bench -load http://localhost:8080 -rate 500 -mutate-rate 200 \
 //	  -mutations bw.qgr.mut -load-duration 30s
+//
+// A fault schedule can SIGKILL a worker process mid-run to measure the
+// engine's failure recovery: the report shows the server-measured
+// recovery time and the goodput dip (pre-kill vs post-recovery qps), and
+// counts worker_lost responses — which recovery must keep at zero:
+//
+//	qgraph-bench -load http://localhost:8080 -rate 300 -load-duration 15s \
+//	  -kill-pid $WORKER_PID -kill-worker 1 -kill-after 5s
 package main
 
 import (
@@ -51,6 +59,10 @@ func main() {
 		mutateRate  = flag.Float64("mutate-rate", 0, "mixed read/write mode: stream graph mutations at this many ops/s during -load")
 		mutateBatch = flag.Int("mutate-batch", 32, "ops per POST /mutate request (-mutate-rate)")
 		mutateFile  = flag.String("mutations", "", "replay this update stream (qgraph-gen -mutations) instead of synthetic ops")
+
+		killPID    = flag.Int("kill-pid", 0, "fault schedule: SIGKILL this worker process -kill-after into the -load run")
+		killAfter  = flag.Duration("kill-after", 0, "when to fire the -kill-pid fault")
+		killWorker = flag.Int("kill-worker", 0, "worker id of -kill-pid, for the fault report")
 	)
 	flag.Parse()
 
@@ -63,6 +75,7 @@ func main() {
 			URL: *load, Rate: *rate, Duration: *loadDur, Mix: *loadMix,
 			Pool: *loadPool, Tenants: *loadTenants, Timeout: *loadTimeout, Seed: s,
 			MutateRate: *mutateRate, MutateBatch: *mutateBatch, MutationsFile: *mutateFile,
+			KillPID: *killPID, KillAfter: *killAfter, KillWorker: *killWorker,
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, "qgraph-bench:", err)
 			os.Exit(1)

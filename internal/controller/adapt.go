@@ -25,8 +25,20 @@ import (
 func (c *Controller) onTick() {
 	now := c.cfg.Clock()
 	c.heartbeat(now)
+	if c.phase == phaseRecover && c.recState == recWaitHello && !c.rec.Waiting(now) {
+		// The respawn hello window expired; hand the partition to the
+		// survivors.
+		c.proceedRecovery()
+	}
 	c.maybeCommit(now)
 	if !c.cfg.Adapt || c.phase != phaseRun || c.qcutRunning {
+		return
+	}
+	if len(c.deadWorkers) > 0 {
+		// Q-cut's balance model assumes the full worker set; with fenced
+		// workers it would plan moves onto empty dead slots. Adaptivity
+		// resumes when every worker rejoined (live-set-aware Q-cut is a
+		// ROADMAP item).
 		return
 	}
 	imbalanced := c.lwImbalance() > c.cfg.Delta
@@ -169,7 +181,10 @@ func (c *Controller) snapshot(now time.Time) qcut.Input {
 func (c *Controller) onQcutDone(res qcut.Result) {
 	c.qcutRunning = false
 	c.lastRepart = c.cfg.Clock()
-	if len(res.Moves) == 0 || c.phase != phaseRun {
+	if len(res.Moves) == 0 || c.phase != phaseRun || len(c.deadWorkers) > 0 {
+		// A plan computed from a pre-failure snapshot may move scopes onto
+		// a worker that died meanwhile; drop it (the next healthy tick
+		// replans).
 		return
 	}
 	c.beginGlobalBarrier(res.Moves)

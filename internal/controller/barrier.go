@@ -18,12 +18,12 @@ import (
 // or to a single worker with the solo flag that enables its local query
 // barrier loop.
 
-// onSchedule starts a query or defers it while a global barrier is active.
+// onSchedule starts a query, or defers it while a global barrier or a
+// recovery episode is active (recovery restarts deferred queries once the
+// live set settles — callers see latency, not worker_lost).
 func (c *Controller) onSchedule(req scheduleReq) {
-	if len(c.deadWorkers) > 0 {
-		// Degraded: fail fast even mid-barrier — a barrier missing a dead
-		// worker's acks never resumes, so a deferred query would hang
-		// forever instead of being rejected.
+	if c.terminal {
+		// Every worker is dead; nothing can ever execute this query.
 		req.ch <- Result{Q: req.spec.ID, Value: query.NoResult, Reason: protocol.FinishWorkerLost}
 		return
 	}
@@ -36,9 +36,7 @@ func (c *Controller) onSchedule(req scheduleReq) {
 
 func (c *Controller) startQuery(req scheduleReq) {
 	spec := req.spec
-	if len(c.deadWorkers) > 0 {
-		// Degraded: a dead worker would wedge the query (every query
-		// broadcasts and any barrier needs the full worker set). Fail fast.
+	if c.terminal {
 		req.ch <- Result{Q: spec.ID, Value: query.NoResult, Reason: protocol.FinishWorkerLost}
 		return
 	}
@@ -120,10 +118,12 @@ func (c *Controller) ownerOf(ctl *qctl, v graph.VertexID) partition.WorkerID {
 func (c *Controller) release(ctl *qctl, step int32, involved map[partition.WorkerID]bool, expect map[partition.WorkerID]int32, drained bool) {
 	if c.cfg.Mode == SyncGlobal {
 		// Traditional BSP baseline (Fig. 6d): every query synchronizes
-		// across all workers every iteration.
+		// across all live workers every iteration.
 		all := make(map[partition.WorkerID]bool, c.cfg.K)
 		for w := 0; w < c.cfg.K; w++ {
-			all[partition.WorkerID(w)] = true
+			if !c.deadWorkers[partition.WorkerID(w)] {
+				all[partition.WorkerID(w)] = true
+			}
 		}
 		involved = all
 	}

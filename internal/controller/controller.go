@@ -23,6 +23,7 @@ import (
 	"qgraph/internal/protocol"
 	"qgraph/internal/qcut"
 	"qgraph/internal/query"
+	recovery "qgraph/internal/recover"
 	"qgraph/internal/transport"
 )
 
@@ -103,9 +104,21 @@ type Config struct {
 	// disables heartbeats (zero selects the default).
 	HeartbeatEvery time.Duration
 	// HeartbeatTimeout is how long a worker may stay silent before it is
-	// declared dead: its in-flight queries fail with FinishWorkerLost and
-	// the controller reports degraded health.
+	// declared dead and recovery begins: its partitions are handed to
+	// survivors (or back to a respawned worker), and its in-flight queries
+	// are re-executed from superstep 0.
 	HeartbeatTimeout time.Duration
+	// Respawn, when set, is invoked from the event loop each time a worker
+	// is declared dead, to launch a replacement on the same node id. It
+	// must not block (start the replacement asynchronously); the
+	// replacement announces itself with WorkerHello. When nil, recovery
+	// always hands the dead worker's partition to survivors.
+	Respawn func(partition.WorkerID)
+	// RespawnWait is how long recovery defers the partition handoff to
+	// give a respawned worker the chance to adopt its old partition in
+	// place (default 500ms). A hello arriving after the deadline still
+	// rejoins, just with an empty partition.
+	RespawnWait time.Duration
 
 	// Recorder receives metrics; nil disables recording.
 	Recorder *metrics.Recorder
@@ -159,6 +172,9 @@ func (c *Config) fill() error {
 	if c.HeartbeatTimeout <= 0 {
 		c.HeartbeatTimeout = 5 * time.Second
 	}
+	if c.RespawnWait <= 0 {
+		c.RespawnWait = 500 * time.Millisecond
+	}
 	if c.Clock == nil {
 		c.Clock = time.Now
 	}
@@ -211,6 +227,7 @@ const (
 	phaseDeltaCommit
 	phaseMoving
 	phaseScopeDrain
+	phaseRecover
 )
 
 // scheduleReq is the internal request carrying a user's scheduleQuery call
@@ -253,9 +270,14 @@ type pendingMut struct {
 }
 
 // Health is the controller's liveness self-assessment, surfaced through
-// the serving layer's /healthz.
+// the serving layer's /healthz. A worker death no longer degrades the
+// engine permanently: Recovering is set while a recovery episode runs,
+// and once it completes the engine is healthy again — DeadWorkers then
+// lists workers whose partitions were permanently handed to survivors.
+// Degraded is terminal: every worker is dead and nothing can recover.
 type Health struct {
 	Degraded    bool  `json:"degraded"`
+	Recovering  bool  `json:"recovering,omitempty"`
 	DeadWorkers []int `json:"dead_workers,omitempty"`
 }
 
@@ -303,13 +325,31 @@ type Controller struct {
 	barrierHadMoves bool
 
 	// Worker liveness. missedPings[w] counts heartbeat probes since w's
-	// last answer; past the limit the worker is declared dead, its queries
-	// fail with FinishWorkerLost, and health reports degraded.
+	// last answer; past the limit the worker is declared dead and a
+	// recovery episode starts (internal/recover). deadWorkers holds the
+	// fenced set: messages from these workers are dropped until a
+	// WorkerHello readmits them via PartitionGrant.
 	lastPingAt  time.Time
 	pingSeq     int64
 	missedPings []int
 	deadWorkers map[partition.WorkerID]bool
 	health      atomic.Pointer[Health]
+
+	// Worker failure recovery (internal/recover). deltaLog retains every
+	// committed batch so a respawned worker can rebuild its view by
+	// replay. terminal marks the unrecoverable state (no live workers).
+	rec        recovery.Tracker
+	recCtr     recovery.Counters
+	recState   recoverState
+	recovering bool
+	terminal   bool
+	// restartQueries tells resume() to re-execute every active query from
+	// superstep 0 (their pre-recovery state died with the worker).
+	restartQueries bool
+	// epDied collects the workers that died during the current episode,
+	// for the handoff/rejoin accounting when it completes.
+	epDied   map[partition.WorkerID]bool
+	deltaLog delta.Log
 
 	qcutRunning bool
 	qcutCh      chan qcut.Result
@@ -364,6 +404,7 @@ func New(cfg Config, conn transport.Conn) (*Controller, error) {
 		view:        delta.NewView(cfg.Graph),
 		missedPings: make([]int, cfg.K),
 		deadWorkers: make(map[partition.WorkerID]bool),
+		epDied:      make(map[partition.WorkerID]bool),
 		qcutCh:      make(chan qcut.Result, 1),
 		scheduleCh:  make(chan scheduleReq, 64),
 		snapshotCh:  make(chan snapshotReq),
@@ -454,6 +495,10 @@ func (c *Controller) GraphView() graph.View { return c.curView.Load() }
 // Health reports worker liveness. Safe to call concurrently with Run.
 func (c *Controller) Health() Health { return *c.health.Load() }
 
+// RecoveryStats reports the worker-failure recovery counters. Safe to
+// call concurrently with Run; the serving layer surfaces it in /stats.
+func (c *Controller) RecoveryStats() recovery.Stats { return c.recCtr.Snapshot() }
+
 // QcutSnapshot returns the controller's current high-level view as a Q-cut
 // input (Fig. 6g and debugging).
 func (c *Controller) QcutSnapshot() (qcut.Input, error) {
@@ -513,7 +558,7 @@ func (c *Controller) Run() error {
 	for {
 		select {
 		case <-c.stopCh:
-			c.broadcast(&protocol.Shutdown{})
+			c.broadcastAll(&protocol.Shutdown{})
 			c.failActive()
 			return c.runErr
 		case req := <-c.scheduleCh:
@@ -536,7 +581,7 @@ func (c *Controller) Run() error {
 			}
 			if err := c.handle(env); err != nil {
 				c.runErr = err
-				c.broadcast(&protocol.Shutdown{})
+				c.broadcastAll(&protocol.Shutdown{})
 				c.failActive()
 				return err
 			}
@@ -582,6 +627,34 @@ func (c *Controller) failMutations(pendingErr, commitErr error) {
 }
 
 func (c *Controller) handle(env transport.Envelope) error {
+	// Fence dead workers: a worker declared dead stays dead until a
+	// WorkerHello readmits it, however falsely the declaration turned out —
+	// its partition is being (or has been) reassigned, so any message it
+	// still emits refers to state that no longer exists.
+	if env.From != protocol.ControllerNode && c.deadWorkers[protocol.WorkerOf(env.From)] {
+		if m, ok := env.Msg.(*protocol.WorkerHello); ok {
+			c.onWorkerHello(m)
+		}
+		return nil
+	}
+	if c.phase == phaseRecover {
+		// Mid-recovery only the recovery protocol and liveness speak; every
+		// other message is a pre-recovery straggler from a live worker —
+		// per-link FIFO guarantees they all arrive before that worker's
+		// PartitionAck, so dropping them here is exhaustive.
+		switch m := env.Msg.(type) {
+		case *protocol.PartitionAck:
+			return c.onPartitionAck(m)
+		case *protocol.WorkerHello:
+			c.onWorkerHello(m)
+			return nil
+		case *protocol.Pong:
+			c.onPong(m)
+			return nil
+		default:
+			return nil
+		}
+	}
 	switch m := env.Msg.(type) {
 	case *protocol.BarrierSynch:
 		return c.onSynch(m)
@@ -596,13 +669,35 @@ func (c *Controller) handle(env transport.Envelope) error {
 	case *protocol.Pong:
 		c.onPong(m)
 		return nil
+	case *protocol.WorkerHello:
+		c.onWorkerHello(m)
+		return nil
+	case *protocol.PartitionAck:
+		// A straggler from a completed or aborted recovery round.
+		return nil
 	default:
 		return fmt.Errorf("controller: unexpected message %T", env.Msg)
 	}
 }
 
+// broadcast sends m to every live worker (dead workers are fenced; their
+// successor is addressed only once readmitted).
 func (c *Controller) broadcast(m protocol.Message) {
+	for w := 0; w < c.cfg.K; w++ {
+		if c.deadWorkers[partition.WorkerID(w)] {
+			continue
+		}
+		c.conn.Send(protocol.WorkerNode(partition.WorkerID(w)), m)
+	}
+}
+
+// broadcastAll sends m to every worker slot, dead or alive — shutdown
+// must also reach a replacement that is still joining.
+func (c *Controller) broadcastAll(m protocol.Message) {
 	for w := 0; w < c.cfg.K; w++ {
 		c.conn.Send(protocol.WorkerNode(partition.WorkerID(w)), m)
 	}
 }
+
+// liveCount is the number of workers barriers and commits must hear from.
+func (c *Controller) liveCount() int { return c.cfg.K - len(c.deadWorkers) }

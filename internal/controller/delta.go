@@ -18,10 +18,12 @@ import (
 // graph version and the serving layer can invalidate its result cache
 // exactly at the version bump.
 
-// onMutate validates and stages one client batch.
+// onMutate validates and stages one client batch. During a recovery
+// episode the batch stays staged (the commit barrier needs phaseRun) and
+// commits once the live set settles — callers see latency, not failure.
 func (c *Controller) onMutate(req mutateReq) {
-	if len(c.deadWorkers) > 0 {
-		req.ch <- MutationResult{Err: fmt.Errorf("controller: degraded (%d dead workers)", len(c.deadWorkers))}
+	if c.terminal {
+		req.ch <- MutationResult{Err: fmt.Errorf("controller: degraded (no live workers)")}
 		return
 	}
 	// Range-validate against the staged future: committed view plus every
@@ -50,7 +52,7 @@ func (c *Controller) onMutate(req mutateReq) {
 // maybeCommit starts a commit barrier once the staged batch is old or big
 // enough and no other barrier is running.
 func (c *Controller) maybeCommit(now time.Time) {
-	if c.phase != phaseRun || c.commitBatch != nil || len(c.pendingOps) == 0 {
+	if c.phase != phaseRun || c.terminal || c.commitBatch != nil || len(c.pendingOps) == 0 {
 		return
 	}
 	if len(c.pendingOps) < c.cfg.MaxBatchOps && now.Sub(c.firstOpAt) < c.cfg.CommitEvery {
@@ -69,9 +71,12 @@ func (c *Controller) startCommit() {
 		if op.Kind != delta.OpAddVertex {
 			continue
 		}
-		best := 0
-		for w := 1; w < c.cfg.K; w++ {
-			if counts[w] < counts[best] {
+		best := -1
+		for w := 0; w < c.cfg.K; w++ {
+			if c.deadWorkers[partition.WorkerID(w)] {
+				continue
+			}
+			if best < 0 || counts[w] < counts[best] {
 				best = w
 			}
 		}
@@ -96,20 +101,17 @@ func (c *Controller) sendCommit() {
 	c.broadcast(c.commitBatch)
 }
 
-// onDeltaAck collects worker acknowledgements; once all workers applied
-// the batch, the controller applies it to its own view, publishes the new
-// version, and continues the barrier (moves, then resume).
+// onDeltaAck collects worker acknowledgements; once every live worker
+// applied the batch, the controller applies it to its own view, publishes
+// the new version, and continues the barrier (moves, then resume).
 func (c *Controller) onDeltaAck(m *protocol.DeltaAck) error {
 	if c.phase != phaseDeltaCommit || c.commitBatch == nil || m.Version != c.commitBatch.Version {
-		if len(c.deadWorkers) > 0 {
-			// A worker death abandoned the commit; stragglers from live
-			// workers are expected, not protocol violations.
-			return nil
-		}
-		return fmt.Errorf("controller: unexpected DeltaAck (phase %d version %d)", c.phase, m.Version)
+		// Not a protocol violation: recovery aborts and retries commits, so
+		// an ack from before the abort can surface in any later phase.
+		return nil
 	}
 	c.deltaAcks++
-	if c.deltaAcks < c.cfg.K {
+	if c.deltaAcks < c.liveCount() {
 		return nil
 	}
 	if err := c.applyCommit(); err != nil {
@@ -132,6 +134,10 @@ func (c *Controller) applyCommit() error {
 	c.view = nv
 	c.curView.Store(nv)
 	c.graphVersion.Store(batch.Version)
+	if err := c.deltaLog.Append(batch.Version, batch.Ops); err != nil {
+		// Impossible: versions commit contiguously from this one loop.
+		return fmt.Errorf("controller: %w", err)
+	}
 	c.owner = append(c.owner, batch.NewOwners...)
 	for _, o := range batch.NewOwners {
 		c.vertCount[o]++

@@ -57,18 +57,24 @@ func (c *Controller) onStopAck(m *protocol.StopAck) error {
 		return fmt.Errorf("controller: unexpected StopAck (phase %d epoch %d/%d)", c.phase, m.Epoch, c.epoch)
 	}
 	c.stopAcks[m.W] = m.SentTotals
-	if len(c.stopAcks) < c.cfg.K {
+	if len(c.stopAcks) < c.liveCount() {
 		return nil
 	}
-	// All workers stopped: every batch any worker will ever have sent (up
-	// to this barrier) is accounted in the acks. Ask each worker to
-	// confirm receipt of its column.
+	// All live workers stopped: every batch any of them will ever have
+	// sent (up to this barrier) is accounted in the acks. Ask each to
+	// confirm receipt of its column; fenced workers sent nothing in the
+	// current recovery generation, so their column expectation is zero.
 	c.phase = phaseDraining
 	c.drainAcks = 0
 	for w := 0; w < c.cfg.K; w++ {
+		if c.deadWorkers[partition.WorkerID(w)] {
+			continue
+		}
 		expect := make([]uint64, c.cfg.K)
 		for src := 0; src < c.cfg.K; src++ {
-			expect[src] = c.stopAcks[partition.WorkerID(src)][w]
+			if acks, ok := c.stopAcks[partition.WorkerID(src)]; ok {
+				expect[src] = acks[w]
+			}
 		}
 		c.conn.Send(protocol.WorkerNode(partition.WorkerID(w)), &protocol.DrainCheck{
 			Epoch: c.epoch, ExpectRecv: expect,
@@ -84,7 +90,7 @@ func (c *Controller) onDrainAck(m *protocol.DrainAck) error {
 	switch c.phase {
 	case phaseDraining:
 		c.drainAcks++
-		if c.drainAcks < c.cfg.K {
+		if c.drainAcks < c.liveCount() {
 			return nil
 		}
 		// The network is quiet: apply a pending mutation commit first (the
@@ -97,7 +103,7 @@ func (c *Controller) onDrainAck(m *protocol.DrainAck) error {
 		return nil
 	case phaseScopeDrain:
 		c.drainAcks++
-		if c.drainAcks < c.cfg.K {
+		if c.drainAcks < c.liveCount() {
 			return nil
 		}
 		c.resume()
@@ -169,6 +175,9 @@ func (c *Controller) onMoveAck(m *protocol.MoveAck) error {
 		})
 	}
 	for w := 0; w < c.cfg.K; w++ {
+		if c.deadWorkers[partition.WorkerID(w)] {
+			continue
+		}
 		c.conn.Send(protocol.WorkerNode(partition.WorkerID(w)), &protocol.DrainCheck{
 			Epoch: c.epoch, Scope: true,
 			ExpectRecv: append([]uint64(nil), c.scopeExpect[w]...),
@@ -178,20 +187,43 @@ func (c *Controller) onMoveAck(m *protocol.MoveAck) error {
 }
 
 // resume ends the global barrier: START, re-release every active query to
-// all workers (scope moves may have relocated pending activations
-// anywhere), and flush deferred schedules.
+// all live workers (scope moves may have relocated pending activations
+// anywhere), and flush deferred schedules. After a recovery episode it
+// additionally re-executes every active query from superstep 0: the dead
+// worker took its share of their vertex state with it, so the whole query
+// restarts against the recovered partitioning (the caller just waits
+// longer).
 func (c *Controller) resume() {
 	c.phase = phaseRun
 	if c.barrierHadMoves {
 		// Only barriers that executed scope moves count as repartitions;
-		// mutation-commit barriers bump the graph version instead.
+		// mutation-commit barriers bump the graph version instead. Recovery
+		// also lands here: its ownership rewrite must flush the serving
+		// layer's result cache exactly once.
 		c.repartitions++
 		c.repartEpoch.Store(int64(c.repartitions))
 	}
 	c.broadcast(&protocol.GlobalStart{Epoch: c.epoch})
+	restart := c.restartQueries
+	c.restartQueries = false
+	if restart {
+		for _, ctl := range c.queries {
+			if ctl.cancelled {
+				continue // finished below instead of re-executed
+			}
+			c.resetQueryForRestart(ctl)
+			c.broadcast(&protocol.ExecuteQuery{Spec: ctl.spec})
+		}
+	}
+	if c.recovering {
+		c.recovering = false
+		c.publishHealth()
+	}
 	all := make(map[partition.WorkerID]bool, c.cfg.K)
 	for w := 0; w < c.cfg.K; w++ {
-		all[partition.WorkerID(w)] = true
+		if !c.deadWorkers[partition.WorkerID(w)] {
+			all[partition.WorkerID(w)] = true
+		}
 	}
 	for _, ctl := range c.queries {
 		if ctl.outstanding {

@@ -1,32 +1,25 @@
 package controller
 
 import (
-	"fmt"
 	"sort"
 	"time"
 
 	"qgraph/internal/partition"
 	"qgraph/internal/protocol"
-	"qgraph/internal/query"
 )
 
-// Worker liveness detection (ROADMAP open item, scoped to detection). The
-// controller only ever learned about workers through protocol responses,
-// so a crashed worker wedged its in-flight queries silently. Heartbeats
-// close that gap: the controller pings every worker on a fixed cadence;
-// workers drain their inbox between supersteps, so only a dead or wedged
-// worker misses consecutive pings. A worker past the miss limit is
-// declared dead: every active and deferred query fails immediately with
-// FinishWorkerLost (any query can involve any worker after scope moves,
-// and barriers cannot complete without the full set), staged mutations
-// fail, subsequent schedules are rejected, and Health reports degraded so
-// the serving layer's /healthz turns red instead of serving a wedged
-// engine behind a green check.
+// Worker liveness detection. The controller pings every worker on a fixed
+// cadence; workers drain their inbox between supersteps, so only a dead
+// or wedged worker misses consecutive pings. A worker past the miss limit
+// is declared dead, fenced, and handed to recovery (recover.go): its
+// partitions are reassigned, affected queries re-execute from superstep
+// 0, and health passes through recovering back to healthy — callers see
+// latency, not failures. Only the loss of every worker is terminal.
 
 // heartbeat runs on the controller tick: send the next probe round and
 // account the previous one.
 func (c *Controller) heartbeat(now time.Time) {
-	if c.cfg.HeartbeatEvery < 0 {
+	if c.cfg.HeartbeatEvery < 0 || c.terminal {
 		return
 	}
 	if c.lastPingAt.IsZero() {
@@ -60,48 +53,14 @@ func (c *Controller) heartbeat(now time.Time) {
 
 // onPong records a worker's liveness answer.
 func (c *Controller) onPong(m *protocol.Pong) {
-	if int(m.W) < len(c.missedPings) {
+	if int(m.W) < len(c.missedPings) && !c.deadWorkers[m.W] {
 		c.missedPings[m.W] = 0
 	}
 }
 
-// onWorkerDead fails everything the dead worker blocks and publishes the
-// degraded health state.
-func (c *Controller) onWorkerDead(w partition.WorkerID) {
-	if c.deadWorkers[w] {
-		return
-	}
-	c.deadWorkers[w] = true
-	c.publishHealth()
-
-	now := c.cfg.Clock()
-	for q, ctl := range c.queries {
-		ctl.ch <- Result{
-			Q: q, Value: ctl.bestGoal, Reason: protocol.FinishWorkerLost,
-			Supersteps: ctl.stepsDone, LocalIters: ctl.localSteps,
-			Latency: now.Sub(ctl.started),
-		}
-		delete(c.queries, q)
-		c.broadcast(&protocol.QueryFinish{Q: q, Reason: protocol.FinishWorkerLost})
-	}
-	for _, req := range c.deferred {
-		req.ch <- Result{Q: req.spec.ID, Value: query.NoResult, Reason: protocol.FinishWorkerLost}
-	}
-	c.deferred = nil
-	// A degraded controller is terminal (detection only — no recovery): no
-	// barrier missing the dead worker's acks can ever complete, so staged
-	// mutations are failed outright, and an in-flight commit — already
-	// broadcast, possibly applied on surviving replicas — is reported with
-	// its uncertainty instead of a flat failure.
-	c.failMutations(
-		fmt.Errorf("controller: degraded (worker %d lost)", w),
-		fmt.Errorf("controller: degraded (worker %d lost) during commit; batch state unknown on surviving replicas", w),
-	)
-}
-
-// publishHealth snapshots the dead-worker set for concurrent readers.
+// publishHealth snapshots the liveness state for concurrent readers.
 func (c *Controller) publishHealth() {
-	h := &Health{Degraded: len(c.deadWorkers) > 0}
+	h := &Health{Degraded: c.terminal, Recovering: c.recovering}
 	for w := range c.deadWorkers {
 		h.DeadWorkers = append(h.DeadWorkers, int(w))
 	}

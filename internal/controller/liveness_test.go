@@ -13,11 +13,13 @@ import (
 	"qgraph/internal/worker"
 )
 
-// TestWorkerDeathDetection runs a real worker 0 beside a silent worker 1:
-// the controller must detect the dead peer via missed heartbeats, fail the
-// wedged query with FinishWorkerLost instead of hanging forever, report
-// degraded health, and reject subsequent queries and mutations.
-func TestWorkerDeathDetection(t *testing.T) {
+// TestWorkerDeathRecovery runs a real worker 0 beside a silent worker 1:
+// the controller must detect the dead peer via missed heartbeats, hand its
+// partition to the survivor, and complete the wedged query — the caller
+// sees a converged result, never worker_lost. Afterwards the engine is
+// healthy again (the lost worker stays listed) and both queries and
+// mutations keep working on the shrunken live set.
+func TestWorkerDeathRecovery(t *testing.T) {
 	g := lineGraph(8)
 	net := transport.NewChanNetwork(3, transport.Latency{})
 	defer net.Close()
@@ -28,6 +30,8 @@ func TestWorkerDeathDetection(t *testing.T) {
 	ctrl, err := New(Config{
 		K: 2, Graph: g, Owner: owner,
 		CheckEvery:       2 * time.Millisecond,
+		CommitEvery:      time.Millisecond,
+		MaxBatchOps:      1,
 		HeartbeatEvery:   10 * time.Millisecond,
 		HeartbeatTimeout: 40 * time.Millisecond,
 	}, net.Conn(protocol.ControllerNode))
@@ -46,59 +50,66 @@ func TestWorkerDeathDetection(t *testing.T) {
 	go w0.Run()
 
 	// A BFS flood from vertex 0 crosses into worker 1's partition and
-	// wedges there: without liveness detection this would hang forever.
+	// wedges there: recovery must re-execute it on the survivor.
 	ch, err := ctrl.Schedule(query.Spec{ID: 1, Kind: query.KindBFS, Source: 0, Target: graph.NilVertex})
 	if err != nil {
 		t.Fatal(err)
 	}
 	select {
 	case res := <-ch:
-		if res.Reason != protocol.FinishWorkerLost {
-			t.Fatalf("result reason %v, want worker_lost", res.Reason)
+		if res.Reason != protocol.FinishConverged {
+			t.Fatalf("result reason %v, want converged after recovery", res.Reason)
 		}
 	case <-time.After(10 * time.Second):
-		t.Fatal("dead worker not detected")
+		t.Fatal("query not recovered")
 	}
 
 	h := ctrl.Health()
-	if !h.Degraded || len(h.DeadWorkers) != 1 || h.DeadWorkers[0] != 1 {
-		t.Fatalf("health = %+v, want degraded with dead worker 1", h)
+	if h.Degraded || h.Recovering {
+		t.Fatalf("health = %+v, want recovered (not degraded)", h)
+	}
+	if len(h.DeadWorkers) != 1 || h.DeadWorkers[0] != 1 {
+		t.Fatalf("health = %+v, want lost worker 1 listed", h)
+	}
+	if st := ctrl.RecoveryStats(); st.Recoveries < 1 || st.Handoffs < 1 {
+		t.Fatalf("recovery stats %+v, want at least one handoff episode", st)
 	}
 
-	// New queries fail fast instead of wedging.
+	// New queries run on the survivor.
 	ch2, err := ctrl.Schedule(query.Spec{ID: 2, Kind: query.KindBFS, Source: 0, Target: graph.NilVertex})
 	if err != nil {
 		t.Fatal(err)
 	}
 	select {
 	case res := <-ch2:
-		if res.Reason != protocol.FinishWorkerLost {
-			t.Fatalf("post-death schedule reason %v, want worker_lost", res.Reason)
+		if res.Reason != protocol.FinishConverged {
+			t.Fatalf("post-recovery schedule reason %v, want converged", res.Reason)
 		}
 	case <-time.After(5 * time.Second):
-		t.Fatal("post-death schedule not answered")
+		t.Fatal("post-recovery schedule not answered")
 	}
 
-	// Mutations fail fast too: their commit barrier needs every worker.
+	// Mutations commit against the shrunken live set.
 	mch, err := ctrl.Mutate([]delta.Op{{Kind: delta.OpAddVertex}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	select {
 	case res := <-mch:
-		if res.Err == nil {
-			t.Fatal("mutation on degraded controller succeeded")
+		if res.Err != nil {
+			t.Fatalf("post-recovery mutation failed: %v", res.Err)
 		}
 	case <-time.After(5 * time.Second):
-		t.Fatal("mutation on degraded controller not answered")
+		t.Fatal("post-recovery mutation not answered")
 	}
 }
 
-// TestDeathDuringBarrierFailsSchedulesFast: a worker dying while a commit
-// barrier is in flight wedges the barrier forever (its acks never come);
-// queries scheduled afterwards must be rejected immediately with
-// worker_lost, not deferred into the barrier that never resumes.
-func TestDeathDuringBarrierFailsSchedulesFast(t *testing.T) {
+// TestDeathDuringCommitRetries: a worker dying while a commit barrier is
+// in flight used to leave the staged batch neither committed nor rejected.
+// Recovery must make the outcome deterministic: the batch is rolled back
+// on any replica that applied it and re-committed on the survivors, and
+// the caller gets a successful MutationResult.
+func TestDeathDuringCommitRetries(t *testing.T) {
 	g := lineGraph(8)
 	net := transport.NewChanNetwork(3, transport.Latency{})
 	defer net.Close()
@@ -125,7 +136,8 @@ func TestDeathDuringBarrierFailsSchedulesFast(t *testing.T) {
 		t.Fatal(err)
 	}
 	go w0.Run()
-	// Worker 1 never runs: the commit barrier wedges awaiting its acks.
+	// Worker 1 never runs: the commit barrier wedges awaiting its acks
+	// until liveness detection triggers the recovery retry.
 
 	mch, err := ctrl.Mutate([]delta.Op{{Kind: delta.OpAddEdge, From: 0, To: 7, Weight: 1}})
 	if err != nil {
@@ -133,14 +145,58 @@ func TestDeathDuringBarrierFailsSchedulesFast(t *testing.T) {
 	}
 	select {
 	case res := <-mch:
-		if res.Err == nil {
-			t.Fatalf("commit without worker 1 succeeded: %+v", res)
+		if res.Err != nil {
+			t.Fatalf("commit not retried after recovery: %v", res.Err)
+		}
+		if res.Version != 1 || res.Applied != 1 {
+			t.Fatalf("retried commit = %+v, want version 1 applied 1", res)
 		}
 	case <-time.After(10 * time.Second):
-		t.Fatal("wedged commit never failed")
+		t.Fatal("wedged commit never resolved")
+	}
+	if v := ctrl.GraphVersion(); v != 1 {
+		t.Fatalf("graph version %d after retried commit, want 1", v)
 	}
 
-	// The barrier is still wedged, but schedules must fail fast.
+	// Queries see the committed mutation.
+	ch, err := ctrl.Schedule(query.Spec{ID: 1, Kind: query.KindSSSP, Source: 0, Target: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case res := <-ch:
+		if res.Reason != protocol.FinishConverged && res.Reason != protocol.FinishEarly {
+			t.Fatalf("post-commit query finished %v", res.Reason)
+		}
+		if res.Value != 1 {
+			t.Fatalf("post-commit distance %g, want 1 (shortcut edge)", res.Value)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("post-commit query hung")
+	}
+}
+
+// TestAllWorkersDeadIsTerminal: losing every worker is the one
+// unrecoverable state — queries and mutations fail fast with worker_lost
+// and health reports degraded.
+func TestAllWorkersDeadIsTerminal(t *testing.T) {
+	g := lineGraph(8)
+	net := transport.NewChanNetwork(2, transport.Latency{})
+	defer net.Close()
+	owner := make(partition.Assignment, g.NumVertices())
+	ctrl, err := New(Config{
+		K: 1, Graph: g, Owner: owner,
+		CheckEvery:       2 * time.Millisecond,
+		HeartbeatEvery:   10 * time.Millisecond,
+		HeartbeatTimeout: 40 * time.Millisecond,
+	}, net.Conn(protocol.ControllerNode))
+	if err != nil {
+		t.Fatal(err)
+	}
+	go ctrl.Run()
+	defer ctrl.Stop()
+	// The only worker never runs.
+
 	ch, err := ctrl.Schedule(query.Spec{ID: 1, Kind: query.KindBFS, Source: 0, Target: graph.NilVertex})
 	if err != nil {
 		t.Fatal(err)
@@ -148,10 +204,26 @@ func TestDeathDuringBarrierFailsSchedulesFast(t *testing.T) {
 	select {
 	case res := <-ch:
 		if res.Reason != protocol.FinishWorkerLost {
-			t.Fatalf("schedule during wedged barrier: reason %v, want worker_lost", res.Reason)
+			t.Fatalf("result reason %v, want worker_lost", res.Reason)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("terminal death not detected")
+	}
+	h := ctrl.Health()
+	if !h.Degraded || len(h.DeadWorkers) != 1 {
+		t.Fatalf("health = %+v, want terminal degraded", h)
+	}
+	mch, err := ctrl.Mutate([]delta.Op{{Kind: delta.OpAddVertex}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case res := <-mch:
+		if res.Err == nil {
+			t.Fatal("mutation on terminal controller succeeded")
 		}
 	case <-time.After(5 * time.Second):
-		t.Fatal("schedule during wedged barrier hung")
+		t.Fatal("mutation on terminal controller not answered")
 	}
 }
 
@@ -194,7 +266,7 @@ func TestHealthyEngineStaysHealthy(t *testing.T) {
 		t.Fatalf("query reason %v, want converged", res.Reason)
 	}
 	time.Sleep(100 * time.Millisecond)
-	if h := ctrl.Health(); h.Degraded {
+	if h := ctrl.Health(); h.Degraded || h.Recovering || len(h.DeadWorkers) > 0 {
 		t.Fatalf("healthy workers declared dead: %+v", h)
 	}
 }

@@ -1,0 +1,282 @@
+package controller
+
+import (
+	"fmt"
+
+	"qgraph/internal/partition"
+	"qgraph/internal/protocol"
+	"qgraph/internal/query"
+	recovery "qgraph/internal/recover"
+)
+
+// This file is the controller side of worker failure recovery: the state
+// machine that turns "a worker stopped answering heartbeats" into "every
+// in-flight query completes anyway". It is woven into the global barrier
+// machinery — recovery behaves like a forced STOP/START barrier whose
+// membership shrinks (handoff) or is restored by a respawned worker
+// (rejoin):
+//
+//	death → [await respawn hello] → plan ownership → RecoverStart /
+//	PartitionGrant → collect PartitionAcks → retry aborted delta commit →
+//	restart queries from superstep 0 → GlobalStart
+//
+// Recovery invariants:
+//
+//   - The dead worker is fenced immediately: every message from it is
+//     dropped, so a falsely-declared-dead worker cannot corrupt the
+//     reassigned partition.
+//   - Flow-control counters reset symmetrically on every node, and the
+//     worker data plane is generation-tagged, so in-flight traffic from
+//     before the failure can neither deliver nor mis-count (the
+//     "barrier drain" without the dead worker's cooperation).
+//   - A delta batch caught mid-commit is rolled back everywhere it was
+//     applied and re-committed after recovery: the commit outcome is
+//     deterministic and its callers just see more latency.
+//   - The repartition epoch bumps exactly once per episode (in resume),
+//     flushing the serving layer's result cache.
+
+// recoverState is the sub-state within phaseRecover.
+type recoverState int
+
+const (
+	// recWaitHello defers the handoff while a respawn may still adopt the
+	// dead worker's partition in place.
+	recWaitHello recoverState = iota
+	// recWaitAcks means the ownership map is out and the round completes
+	// when every live worker acknowledged the generation.
+	recWaitAcks
+)
+
+// onWorkerDead starts (or extends) a recovery episode. Called by the
+// heartbeat monitor exactly once per declared death.
+func (c *Controller) onWorkerDead(w partition.WorkerID) {
+	if c.deadWorkers[w] || c.terminal {
+		return
+	}
+	c.deadWorkers[w] = true
+	if c.cfg.Respawn == nil {
+		// Fence a falsely-declared-dead worker that is actually alive: its
+		// partition is being reassigned under it. With in-process respawn
+		// the transport endpoint is reused by the replacement, so the
+		// fence would kill the replacement instead — there the inbound
+		// message fence (handle) is the only one needed.
+		c.conn.Send(protocol.WorkerNode(w), &protocol.Shutdown{})
+	}
+	if c.liveCount() == 0 {
+		c.enterTerminal()
+		return
+	}
+	c.startRecoveryRound([]partition.WorkerID{w}, nil)
+}
+
+// startRecoveryRound aborts whatever barrier was in flight and opens a
+// recovery round for the current dead set, optionally admitting rejoining
+// workers whose hello already arrived.
+func (c *Controller) startRecoveryRound(newlyDead, rejoining []partition.WorkerID) {
+	c.abortBarrierForRecovery()
+	c.phase = phaseRecover
+	c.recState = recWaitHello
+	c.recovering = true
+	now := c.cfg.Clock()
+	c.rec.BeginRound(now)
+	for _, w := range newlyDead {
+		c.epDied[w] = true
+		if c.cfg.Respawn != nil {
+			c.rec.AwaitHello(w, now.Add(c.cfg.RespawnWait))
+			c.cfg.Respawn(w)
+		}
+	}
+	for _, w := range rejoining {
+		c.epDied[w] = true
+		c.rec.MarkRejoining(w)
+	}
+	c.publishHealth()
+	if !c.rec.Waiting(now) {
+		c.proceedRecovery()
+	}
+}
+
+// abortBarrierForRecovery clears the in-flight barrier bookkeeping. The
+// sealed-but-unacknowledged delta commit (commitBatch/commitMuts) survives
+// for the deterministic retry; staged mutations stay staged.
+func (c *Controller) abortBarrierForRecovery() {
+	c.stopAcks = nil
+	c.drainAcks = 0
+	c.deltaAcks = 0
+	c.pendingMoves = nil
+	c.movesLeft = 0
+	c.ownDeltaV, c.ownDeltaW = nil, nil
+	for i := range c.scopeExpect {
+		for j := range c.scopeExpect[i] {
+			c.scopeExpect[i][j] = 0
+		}
+	}
+}
+
+// onWorkerHello admits a (re)spawned worker. Inside a round's hello window
+// it joins that round; any later it opens a fresh round of its own (the
+// partition was already handed off — it rejoins empty and inherits load
+// through future commits and repartitioning).
+func (c *Controller) onWorkerHello(m *protocol.WorkerHello) {
+	w := m.W
+	if c.terminal || int(w) >= c.cfg.K || !c.deadWorkers[w] {
+		return
+	}
+	if c.phase == phaseRecover && c.recState == recWaitHello {
+		if !c.rec.OnHello(w) {
+			c.rec.MarkRejoining(w)
+		}
+		if !c.rec.Waiting(c.cfg.Clock()) {
+			c.proceedRecovery()
+		}
+		return
+	}
+	c.startRecoveryRound(nil, []partition.WorkerID{w})
+}
+
+// proceedRecovery plans the new ownership and broadcasts it: handoff for
+// dead workers without a replacement, a replayed grant for rejoiners.
+func (c *Controller) proceedRecovery() {
+	c.recState = recWaitAcks
+	gen := c.rec.Gen()
+	lost := func(w partition.WorkerID) bool {
+		return c.deadWorkers[w] && !c.rec.Rejoining(w)
+	}
+	recovery.PlanHandoff(c.owner, c.vertCount, lost)
+	if c.commitBatch != nil {
+		// The aborted commit's new vertices may have been assigned to a
+		// worker that is now lost; re-balance them onto the live set.
+		recovery.RemapOwners(c.commitBatch.NewOwners, c.vertCount, lost)
+	}
+	// One immutable snapshot of the authoritative map, shared by every
+	// message of this round (receivers copy; the controller keeps
+	// mutating c.owner afterwards).
+	ownerSnap := append([]partition.WorkerID(nil), c.owner...)
+	version := c.graphVersion.Load()
+
+	var ackers []partition.WorkerID
+	for w := partition.WorkerID(0); int(w) < c.cfg.K; w++ {
+		if c.rec.Rejoining(w) {
+			delete(c.deadWorkers, w)
+			c.missedPings[w] = 0
+			c.conn.Send(protocol.WorkerNode(w), &protocol.PartitionGrant{
+				Gen: gen, Version: version, Owner: ownerSnap,
+				Batches: c.deltaLog.Since(0),
+			})
+			ackers = append(ackers, w)
+			continue
+		}
+		if c.deadWorkers[w] {
+			continue
+		}
+		c.conn.Send(protocol.WorkerNode(w), &protocol.RecoverStart{
+			Gen: gen, Version: version, Owner: ownerSnap,
+		})
+		ackers = append(ackers, w)
+	}
+	c.rec.ExpectAcks(ackers)
+	c.publishHealth()
+}
+
+// onPartitionAck collects recovery acknowledgements; the round completes
+// once every live worker settled in the current generation.
+func (c *Controller) onPartitionAck(m *protocol.PartitionAck) error {
+	fresh, done := c.rec.OnAck(m.W, m.Gen)
+	if !fresh {
+		return nil // stale round or unexpected sender
+	}
+	if m.Version != c.graphVersion.Load() {
+		return fmt.Errorf("controller: worker %d recovered at graph version %d, want %d (replica divergence)",
+			m.W, m.Version, c.graphVersion.Load())
+	}
+	if done {
+		c.completeRecovery()
+	}
+	return nil
+}
+
+// completeRecovery closes the episode: account it, then ride the tail of
+// the normal global barrier — retry the aborted delta commit while the
+// network is provably quiet, and resume() restarts every active query
+// from superstep 0 and bumps the repartition epoch exactly once.
+func (c *Controller) completeRecovery() {
+	now := c.cfg.Clock()
+	dur := c.rec.Finish(now)
+	handoffs, rejoins := 0, 0
+	for w := range c.epDied {
+		if c.deadWorkers[w] {
+			handoffs++
+		} else {
+			rejoins++
+		}
+	}
+	c.recCtr.Episode(dur, handoffs, rejoins, len(c.queries))
+	c.epDied = make(map[partition.WorkerID]bool)
+
+	c.restartQueries = true
+	// Recovery always changed the effective partitioning (handoff) or at
+	// minimum invalidated per-partition query state; one epoch bump in
+	// resume() flushes the serving layer's result cache exactly once.
+	c.barrierHadMoves = true
+	if c.commitBatch != nil {
+		c.sendCommit()
+		return
+	}
+	c.issueMoves()
+}
+
+// resetQueryForRestart rewinds a query's controller-side state to
+// superstep 0. Cumulative statistics (supersteps executed, local
+// iterations, latency since schedule) keep accumulating across the
+// restart — the caller pays real time and the engine did real work.
+func (c *Controller) resetQueryForRestart(ctl *qctl) {
+	ctl.step = -1
+	ctl.outstanding = false
+	ctl.paused = false
+	ctl.involved = make(map[partition.WorkerID]bool)
+	ctl.reports = make(map[partition.WorkerID]*protocol.BarrierSynch)
+	// Scope statistics restart with the execution: both Touched
+	// (scopeSizes) and Workers (everActive) describe the run that
+	// produced the result, not the one the failure discarded.
+	for i := range ctl.scopeSizes {
+		ctl.scopeSizes[i] = 0
+		ctl.everActive[i] = false
+	}
+	// A goal found before the failure proved a path in the pre-recovery
+	// graph; the retried delta commit may have changed it. Rediscover.
+	ctl.bestGoal = query.NoResult
+	if _, ok := ctl.spec.HomeWorker(); ok && c.cfg.ReplicateQueries {
+		// Re-pin replicated queries: the old home may be gone.
+		ctl.spec.SetHome(int(c.owner[ctl.spec.Source]))
+	}
+}
+
+// enterTerminal is the unrecoverable end state: every worker is dead.
+// Everything in flight fails with FinishWorkerLost and health reports
+// degraded permanently.
+func (c *Controller) enterTerminal() {
+	c.terminal = true
+	c.recovering = false
+	if c.rec.Active() {
+		c.rec.Finish(c.cfg.Clock())
+	}
+	c.phase = phaseRun
+	now := c.cfg.Clock()
+	for q, ctl := range c.queries {
+		ctl.ch <- Result{
+			Q: q, Value: ctl.bestGoal, Reason: protocol.FinishWorkerLost,
+			Supersteps: ctl.stepsDone, LocalIters: ctl.localSteps,
+			Latency: now.Sub(ctl.started),
+		}
+		delete(c.queries, q)
+	}
+	for _, req := range c.deferred {
+		req.ch <- Result{Q: req.spec.ID, Value: query.NoResult, Reason: protocol.FinishWorkerLost}
+	}
+	c.deferred = nil
+	c.failMutations(
+		fmt.Errorf("controller: degraded (no live workers)"),
+		fmt.Errorf("controller: degraded (no live workers) during commit; batch state unknown"),
+	)
+	c.publishHealth()
+}

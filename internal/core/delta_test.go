@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math/rand/v2"
 	"sync"
 	"testing"
 	"time"
@@ -235,6 +236,96 @@ func TestOverlayConsistencyUnderConcurrentCommits(t *testing.T) {
 		}
 	}
 	t.Logf("%d concurrent queries across %d commits, all results consistent", len(results), versions)
+}
+
+// TestDeltaLogReplayProperty is the recovery substrate's consistency
+// property, checked over randomized histories: for every intermediate
+// version v of a committed op stream, the CSR base plus a replay of the
+// log's first v batches materializes the exact same graph as the live
+// overlay view did at version v. This is what entitles a respawned worker
+// to rebuild its replica from the shared base and the controller's log —
+// no topology is shipped, yet all replicas converge.
+func TestDeltaLogReplayProperty(t *testing.T) {
+	const (
+		versions    = 24
+		opsPerBatch = 16
+	)
+	base := pathGraph(12)
+	rng := rand.New(rand.NewPCG(42, 7))
+	var log delta.Log
+	live := delta.NewView(base)
+	// liveAt[v] is the live view at version v (views are immutable, so
+	// holding every intermediate is free).
+	liveAt := []*delta.View{live}
+	// edges tracks existing edges so remove/set_weight ops sometimes hit.
+	type edge struct{ from, to graph.VertexID }
+	var edges []edge
+	for u := 0; u < 12; u++ {
+		for _, e := range base.Out(graph.VertexID(u)) {
+			edges = append(edges, edge{graph.VertexID(u), e.To})
+		}
+	}
+
+	for v := 1; v <= versions; v++ {
+		n := live.NumVertices()
+		ops := make([]delta.Op, 0, opsPerBatch)
+		for i := 0; i < opsPerBatch; i++ {
+			switch r := rng.Float64(); {
+			case r < 0.45:
+				op := delta.Op{
+					Kind: delta.OpAddEdge,
+					From: graph.VertexID(rng.IntN(n)), To: graph.VertexID(rng.IntN(n)),
+					Weight: float32(rng.IntN(100)) + 0.5,
+				}
+				edges = append(edges, edge{op.From, op.To})
+				ops = append(ops, op)
+			case r < 0.65 && len(edges) > 0:
+				e := edges[rng.IntN(len(edges))]
+				ops = append(ops, delta.Op{Kind: delta.OpRemoveEdge, From: e.from, To: e.to})
+			case r < 0.85 && len(edges) > 0:
+				e := edges[rng.IntN(len(edges))]
+				ops = append(ops, delta.Op{
+					Kind: delta.OpSetWeight, From: e.from, To: e.to,
+					Weight: float32(rng.IntN(100)) + 0.25,
+				})
+			default:
+				ops = append(ops, delta.Op{Kind: delta.OpAddVertex})
+				n++
+			}
+		}
+		nv, _, err := live.Apply(ops)
+		if err != nil {
+			t.Fatalf("version %d: %v", v, err)
+		}
+		live = nv
+		liveAt = append(liveAt, live)
+		if err := log.Append(uint64(v), ops); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for v := 0; v <= versions; v++ {
+		replayed, err := log.Replay(base, uint64(v))
+		if err != nil {
+			t.Fatalf("replay to %d: %v", v, err)
+		}
+		want, got := liveAt[v].Materialize(), replayed.Materialize()
+		if want.NumVertices() != got.NumVertices() || want.NumEdges() != got.NumEdges() {
+			t.Fatalf("version %d: shape %d/%d vertices %d/%d edges",
+				v, want.NumVertices(), got.NumVertices(), want.NumEdges(), got.NumEdges())
+		}
+		for u := 0; u < want.NumVertices(); u++ {
+			a, b := want.Out(graph.VertexID(u)), got.Out(graph.VertexID(u))
+			if len(a) != len(b) {
+				t.Fatalf("version %d vertex %d: degree %d vs %d", v, u, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("version %d vertex %d edge %d: %+v vs %+v", v, u, i, a[i], b[i])
+				}
+			}
+		}
+	}
 }
 
 // TestMutateValidation: out-of-range and malformed ops are rejected before

@@ -23,12 +23,14 @@ import (
 
 	"qgraph/internal/controller"
 	"qgraph/internal/delta"
+	"qgraph/internal/faultpoint"
 	"qgraph/internal/graph"
 	"qgraph/internal/metrics"
 	"qgraph/internal/partition"
 	"qgraph/internal/protocol"
 	"qgraph/internal/qcut"
 	"qgraph/internal/query"
+	recovery "qgraph/internal/recover"
 	"qgraph/internal/transport"
 	"qgraph/internal/worker"
 )
@@ -73,6 +75,16 @@ type Config struct {
 	MaxBatchOps      int
 	HeartbeatEvery   time.Duration
 	HeartbeatTimeout time.Duration
+	// RespawnWorkers relaunches a dead worker in-process when the
+	// controller declares it lost: the replacement rejoins via
+	// WorkerHello/PartitionGrant, rebuilding its graph view from the
+	// committed-op replay, and (when it says hello within RespawnWait)
+	// adopts its old partition in place. Without it, recovery hands dead
+	// partitions to the survivors.
+	RespawnWorkers bool
+	// RespawnWait bounds how long recovery defers the handoff for a
+	// respawned worker's hello (see controller.Config.RespawnWait).
+	RespawnWait time.Duration
 
 	// Worker knobs (zero = paper defaults; see worker.Config).
 	BatchMaxMsgs  int
@@ -90,8 +102,18 @@ type Engine struct {
 	net      transport.Network
 	ownNet   bool
 	ctrl     *controller.Controller
-	workers  []*worker.Worker
 	recorder *metrics.Recorder
+
+	// assign is the initial partitioning; respawned workers are built
+	// against it and adopt the live ownership map from their grant.
+	assign partition.Assignment
+
+	workerMu sync.Mutex
+	workers  []*worker.Worker
+	// workerLive[w] guards against two instances reading one transport
+	// endpoint: a respawn only proceeds once the previous instance's Run
+	// returned.
+	workerLive []bool
 
 	workerWG sync.WaitGroup
 	ctrlWG   sync.WaitGroup
@@ -153,6 +175,12 @@ func Start(cfg Config) (*Engine, error) {
 		return nil, fmt.Errorf("core: network has %d nodes, want %d", net.Nodes(), cfg.Workers+1)
 	}
 
+	e := &Engine{cfg: cfg, net: net, ownNet: ownNet, recorder: rec,
+		assign: assign, workerLive: make([]bool, cfg.Workers)}
+	var respawn func(partition.WorkerID)
+	if cfg.RespawnWorkers {
+		respawn = e.respawnWorker
+	}
 	ctrl, err := controller.New(controller.Config{
 		K:                cfg.Workers,
 		Graph:            cfg.Graph,
@@ -175,6 +203,8 @@ func Start(cfg Config) (*Engine, error) {
 		MaxBatchOps:      cfg.MaxBatchOps,
 		HeartbeatEvery:   cfg.HeartbeatEvery,
 		HeartbeatTimeout: cfg.HeartbeatTimeout,
+		Respawn:          respawn,
+		RespawnWait:      cfg.RespawnWait,
 		Recorder:         rec,
 	}, net.Conn(protocol.ControllerNode))
 	if err != nil {
@@ -183,20 +213,10 @@ func Start(cfg Config) (*Engine, error) {
 		}
 		return nil, err
 	}
-
-	e := &Engine{cfg: cfg, net: net, ownNet: ownNet, ctrl: ctrl, recorder: rec}
+	e.ctrl = ctrl
 	for w := 0; w < cfg.Workers; w++ {
-		wk, err := worker.New(worker.Config{
-			ID:            partition.WorkerID(w),
-			K:             cfg.Workers,
-			Graph:         cfg.Graph,
-			Owner:         assign,
-			BatchMaxMsgs:  cfg.BatchMaxMsgs,
-			BatchMaxBytes: cfg.BatchMaxBytes,
-			StatsEvery:    cfg.StatsEvery,
-			ScopeTTL:      cfg.Mu,
-			ComputeCost:   cfg.ComputeCost,
-		}, net.Conn(protocol.WorkerNode(partition.WorkerID(w))))
+		wk, err := worker.New(e.workerConfig(partition.WorkerID(w), false),
+			net.Conn(protocol.WorkerNode(partition.WorkerID(w))))
 		if err != nil {
 			if ownNet {
 				net.Close()
@@ -206,15 +226,9 @@ func Start(cfg Config) (*Engine, error) {
 		e.workers = append(e.workers, wk)
 	}
 
-	for _, wk := range e.workers {
-		wk := wk
-		e.workerWG.Add(1)
-		go func() {
-			defer e.workerWG.Done()
-			if err := wk.Run(); err != nil {
-				e.addErr(err)
-			}
-		}()
+	for w, wk := range e.workers {
+		e.workerLive[w] = true
+		e.runWorker(partition.WorkerID(w), wk)
 	}
 	e.ctrlWG.Add(1)
 	go func() {
@@ -224,6 +238,60 @@ func Start(cfg Config) (*Engine, error) {
 		}
 	}()
 	return e, nil
+}
+
+func (e *Engine) workerConfig(w partition.WorkerID, rejoin bool) worker.Config {
+	return worker.Config{
+		ID:            w,
+		K:             e.cfg.Workers,
+		Graph:         e.cfg.Graph,
+		Owner:         e.assign,
+		BatchMaxMsgs:  e.cfg.BatchMaxMsgs,
+		BatchMaxBytes: e.cfg.BatchMaxBytes,
+		StatsEvery:    e.cfg.StatsEvery,
+		ScopeTTL:      e.cfg.Mu,
+		ComputeCost:   e.cfg.ComputeCost,
+		Rejoin:        rejoin,
+	}
+}
+
+// runWorker drives one worker instance's lifecycle. An injected kill
+// (faultpoint.ErrKilled) is a simulated crash, not an engine error — the
+// controller's liveness detection and recovery own what happens next.
+func (e *Engine) runWorker(w partition.WorkerID, wk *worker.Worker) {
+	e.workerWG.Add(1)
+	go func() {
+		defer e.workerWG.Done()
+		err := wk.Run()
+		e.workerMu.Lock()
+		e.workerLive[w] = false
+		e.workerMu.Unlock()
+		if err != nil && err != faultpoint.ErrKilled {
+			e.addErr(err)
+		}
+	}()
+}
+
+// respawnWorker relaunches worker w on its transport endpoint. Called by
+// the controller when it declares w dead; the replacement starts in
+// joining mode and adopts state through the recovery protocol. If the
+// previous instance is somehow still running (a falsely-declared death),
+// nothing is launched — two readers on one endpoint would split the
+// message stream.
+func (e *Engine) respawnWorker(w partition.WorkerID) {
+	e.workerMu.Lock()
+	defer e.workerMu.Unlock()
+	if e.workerLive[w] {
+		return
+	}
+	wk, err := worker.New(e.workerConfig(w, true), e.net.Conn(protocol.WorkerNode(w)))
+	if err != nil {
+		e.addErr(fmt.Errorf("core: respawn worker %d: %w", w, err))
+		return
+	}
+	e.workers[w] = wk
+	e.workerLive[w] = true
+	e.runWorker(w, wk)
 }
 
 func (e *Engine) addErr(err error) {
@@ -305,6 +373,10 @@ func (e *Engine) GraphView() graph.View { return e.ctrl.GraphView() }
 // Health reports worker liveness (see controller.Health).
 func (e *Engine) Health() controller.Health { return e.ctrl.Health() }
 
+// RecoveryStats reports the worker-failure recovery counters (see
+// controller.RecoveryStats).
+func (e *Engine) RecoveryStats() recovery.Stats { return e.ctrl.RecoveryStats() }
+
 // Controller exposes the controller, which implements the serving layer's
 // backend contract (Schedule, Cancel, RepartitionEpoch).
 func (e *Engine) Controller() *controller.Controller { return e.ctrl }
@@ -323,9 +395,15 @@ func (e *Engine) QcutSnapshot() (qcut.Input, error) { return e.ctrl.QcutSnapshot
 // after Close for a stable value.
 func (e *Engine) Repartitions() int { return e.ctrl.Repartitions() }
 
-// Workers exposes the worker instances (tests assert internal invariants
-// such as the forwarded-message counter).
-func (e *Engine) Workers() []*worker.Worker { return e.workers }
+// Workers exposes the current worker instances (tests assert internal
+// invariants such as the forwarded-message counter); slot w holds the
+// latest incarnation of worker w, which changes when a respawn replaces a
+// crashed instance.
+func (e *Engine) Workers() []*worker.Worker {
+	e.workerMu.Lock()
+	defer e.workerMu.Unlock()
+	return append([]*worker.Worker(nil), e.workers...)
+}
 
 // Close stops the controller and workers and releases the network. It
 // returns the first component error encountered during the run.

@@ -1,0 +1,83 @@
+package delta
+
+import (
+	"fmt"
+
+	"qgraph/internal/graph"
+)
+
+// Log is the replayable stream of committed mutation batches: the ops of
+// every committed version in order. It is the recovery substrate — a
+// respawned worker rebuilds its graph view from the shared CSR base plus a
+// replay of this log, instead of shipping graph data — and the reference
+// for the consistency property that base + replay equals the live overlay
+// at every version.
+//
+// The log holds every batch since version 0; truncation requires shipping
+// a base snapshot instead of replaying from the original graph file and is
+// future work (see ROADMAP).
+//
+// A Log is confined to its owner's goroutine (the controller event loop);
+// accessors copy, so snapshots handed to other goroutines stay stable.
+type Log struct {
+	batches []LogBatch
+}
+
+// LogBatch is one committed version's operations.
+type LogBatch struct {
+	Version uint64
+	Ops     []Op
+}
+
+// Append records the ops committed as version v. Versions must be
+// appended contiguously starting at 1.
+func (l *Log) Append(v uint64, ops []Op) error {
+	if want := uint64(len(l.batches)) + 1; v != want {
+		return fmt.Errorf("delta: log append version %d, want %d", v, want)
+	}
+	l.batches = append(l.batches, LogBatch{Version: v, Ops: append([]Op(nil), ops...)})
+	return nil
+}
+
+// Head returns the latest committed version in the log (0 when empty).
+func (l *Log) Head() uint64 { return uint64(len(l.batches)) }
+
+// Since returns copies of every batch with Version > v, in order.
+func (l *Log) Since(v uint64) []LogBatch {
+	if v >= uint64(len(l.batches)) {
+		return nil
+	}
+	out := make([]LogBatch, 0, uint64(len(l.batches))-v)
+	for _, b := range l.batches[v:] {
+		out = append(out, LogBatch{Version: b.Version, Ops: append([]Op(nil), b.Ops...)})
+	}
+	return out
+}
+
+// Replay rebuilds the view at version upto by applying the log's batches
+// over the base graph. Every replica that applies the same log to the same
+// base converges on the same logical graph, which is what lets a respawned
+// worker adopt a partition without any graph data crossing the wire.
+func (l *Log) Replay(base *graph.Graph, upto uint64) (*View, error) {
+	if upto > l.Head() {
+		return nil, fmt.Errorf("delta: replay to version %d beyond log head %d", upto, l.Head())
+	}
+	return ReplayBatches(base, l.batches[:upto])
+}
+
+// ReplayBatches applies a contiguous batch sequence over base, verifying
+// the version chain.
+func ReplayBatches(base *graph.Graph, batches []LogBatch) (*View, error) {
+	v := NewView(base)
+	for _, b := range batches {
+		nv, _, err := v.Apply(b.Ops)
+		if err != nil {
+			return nil, fmt.Errorf("delta: replay batch %d: %w", b.Version, err)
+		}
+		if nv.Version() != b.Version {
+			return nil, fmt.Errorf("delta: replay produced version %d, batch says %d", nv.Version(), b.Version)
+		}
+		v = nv
+	}
+	return v, nil
+}

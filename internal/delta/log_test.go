@@ -1,0 +1,126 @@
+package delta
+
+import (
+	"testing"
+
+	"qgraph/internal/graph"
+)
+
+func logBase(t *testing.T) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 1)
+	b.AddEdge(2, 3, 1)
+	return b.MustBuild()
+}
+
+func TestLogAppendContiguous(t *testing.T) {
+	var l Log
+	if err := l.Append(2, nil); err == nil {
+		t.Fatal("non-contiguous first append accepted")
+	}
+	if err := l.Append(1, []Op{{Kind: OpAddVertex}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(1, nil); err == nil {
+		t.Fatal("duplicate version accepted")
+	}
+	if err := l.Append(3, nil); err == nil {
+		t.Fatal("gap accepted")
+	}
+	if err := l.Append(2, []Op{{Kind: OpAddEdge, From: 0, To: 2, Weight: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	if l.Head() != 2 {
+		t.Fatalf("head %d, want 2", l.Head())
+	}
+}
+
+func TestLogSinceCopies(t *testing.T) {
+	var l Log
+	ops := []Op{{Kind: OpAddEdge, From: 0, To: 3, Weight: 2}}
+	if err := l.Append(1, ops); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(2, []Op{{Kind: OpAddVertex}}); err != nil {
+		t.Fatal(err)
+	}
+	since := l.Since(1)
+	if len(since) != 1 || since[0].Version != 2 {
+		t.Fatalf("Since(1) = %+v, want one batch at version 2", since)
+	}
+	all := l.Since(0)
+	if len(all) != 2 {
+		t.Fatalf("Since(0) returned %d batches, want 2", len(all))
+	}
+	// Mutating the returned ops must not corrupt the log.
+	all[0].Ops[0].Weight = 99
+	again := l.Since(0)
+	if again[0].Ops[0].Weight != 2 {
+		t.Fatal("Since returned aliased ops")
+	}
+	if l.Since(2) != nil || l.Since(7) != nil {
+		t.Fatal("Since past head should be nil")
+	}
+}
+
+// TestLogReplayMatchesLiveView is the core recovery property at unit
+// level: replaying the log over the base reproduces the live view's exact
+// topology at every intermediate version.
+func TestLogReplayMatchesLiveView(t *testing.T) {
+	base := logBase(t)
+	var l Log
+	live := NewView(base)
+	batches := [][]Op{
+		{{Kind: OpAddEdge, From: 0, To: 3, Weight: 7}},
+		{{Kind: OpAddVertex}, {Kind: OpAddEdge, From: 3, To: 4, Weight: 2}},
+		{{Kind: OpSetWeight, From: 0, To: 1, Weight: 9}, {Kind: OpRemoveEdge, From: 1, To: 2}},
+	}
+	for i, ops := range batches {
+		nv, _, err := live.Apply(ops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		live = nv
+		if err := l.Append(uint64(i+1), ops); err != nil {
+			t.Fatal(err)
+		}
+		for upto := uint64(0); upto <= l.Head(); upto++ {
+			rv, err := l.Replay(base, upto)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rv.Version() != upto {
+				t.Fatalf("replay to %d has version %d", upto, rv.Version())
+			}
+		}
+		rv, err := l.Replay(base, l.Head())
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameTopology(t, live, rv)
+	}
+	if _, err := l.Replay(base, l.Head()+1); err == nil {
+		t.Fatal("replay beyond head accepted")
+	}
+}
+
+func assertSameTopology(t *testing.T, a, b *View) {
+	t.Helper()
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		t.Fatalf("shape mismatch: %d/%d vertices, %d/%d edges",
+			a.NumVertices(), b.NumVertices(), a.NumEdges(), b.NumEdges())
+	}
+	for u := 0; u < a.NumVertices(); u++ {
+		ea, eb := a.Out(graph.VertexID(u)), b.Out(graph.VertexID(u))
+		if len(ea) != len(eb) {
+			t.Fatalf("vertex %d degree %d vs %d", u, len(ea), len(eb))
+		}
+		for i := range ea {
+			if ea[i] != eb[i] {
+				t.Fatalf("vertex %d edge %d: %+v vs %+v", u, i, ea[i], eb[i])
+			}
+		}
+	}
+}

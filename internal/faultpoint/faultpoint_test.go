@@ -1,0 +1,96 @@
+package faultpoint
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestUnarmedHitIsFalse(t *testing.T) {
+	if Hit("worker/superstep", 0) {
+		t.Fatal("unarmed point fired")
+	}
+}
+
+func TestArmDisarm(t *testing.T) {
+	defer Reset()
+	calls := 0
+	disarm := Arm("p", func(args ...int) bool {
+		calls++
+		return args[0] == 7
+	})
+	if Hit("p", 3) {
+		t.Fatal("hook fired for non-matching args")
+	}
+	if !Hit("p", 7) {
+		t.Fatal("hook did not fire for matching args")
+	}
+	disarm()
+	disarm() // idempotent
+	if Hit("p", 7) {
+		t.Fatal("disarmed hook fired")
+	}
+	if calls != 2 {
+		t.Fatalf("hook ran %d times, want 2", calls)
+	}
+}
+
+func TestMultipleHooksFireInOrder(t *testing.T) {
+	defer Reset()
+	var order []int
+	Arm("p", func(...int) bool { order = append(order, 1); return false })
+	Arm("p", func(...int) bool { order = append(order, 2); return true })
+	Arm("p", func(...int) bool { order = append(order, 3); return true })
+	if !Hit("p") {
+		t.Fatal("no hook fired")
+	}
+	// The third hook must not run: the second already fired.
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("hook order %v, want [1 2]", order)
+	}
+}
+
+func TestKillOnce(t *testing.T) {
+	defer Reset()
+	fired, disarm := KillOnce("p", 2)
+	defer disarm()
+	if Hit("p", 1) {
+		t.Fatal("fired for wrong worker")
+	}
+	if !Hit("p", 2) {
+		t.Fatal("did not fire for worker 2")
+	}
+	select {
+	case <-fired:
+	default:
+		t.Fatal("fired channel not closed")
+	}
+	if Hit("p", 2) {
+		t.Fatal("fired twice")
+	}
+}
+
+func TestConcurrentHitAndArm(t *testing.T) {
+	defer Reset()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				Hit("p", j)
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				disarm := Arm("p", func(...int) bool { return false })
+				disarm()
+			}
+		}()
+	}
+	wg.Wait()
+	if armed.Load() != 0 {
+		t.Fatalf("armed count %d after all disarms", armed.Load())
+	}
+}

@@ -58,6 +58,14 @@ const (
 	// worker → controller
 	TDeltaAck
 	TPong
+	// Worker failure recovery (appended to keep earlier wire values
+	// stable).
+	// controller → worker
+	TRecoverStart
+	TPartitionGrant
+	// worker → controller
+	TWorkerHello
+	TPartitionAck
 )
 
 // Message is any protocol message.
@@ -285,11 +293,15 @@ type VertexMsg struct {
 
 // VertexBatch carries vertex messages of query Q emitted during superstep
 // Step from worker From, to be consumed in superstep Step+1. The sender
-// splits batches at the configured batch limits (Sec. 4.1(iv)).
+// splits batches at the configured batch limits (Sec. 4.1(iv)). Gen is the
+// sender's recovery generation: receivers drop batches from an older
+// generation without counting them, so the flow-control counters both
+// sides reset during recovery stay exact (see RecoverStart).
 type VertexBatch struct {
 	Q       query.ID
 	Step    int32
 	From    partition.WorkerID
+	Gen     int32
 	Entries []VertexMsg
 }
 
@@ -322,11 +334,13 @@ type MovedVertex struct {
 
 // ScopeData carries the state of vertices moved by a MoveScope directive.
 // Sent worker→worker during a global barrier, when the network is
-// otherwise quiet.
+// otherwise quiet. Gen fences recovery generations exactly as on
+// VertexBatch.
 type ScopeData struct {
 	Epoch    int32
 	Q        query.ID
 	From     partition.WorkerID
+	Gen      int32
 	Vertices []MovedVertex
 }
 
@@ -381,3 +395,67 @@ type Pong struct {
 
 // Type implements Message.
 func (*Pong) Type() MsgType { return TPong }
+
+// ---------------------------------------------------------------------------
+// Worker failure recovery (internal/recover)
+//
+// When liveness declares a worker dead, the controller fences it and runs a
+// recovery round: survivors receive RecoverStart (reset in-flight query
+// state, zero flow-control counters, adopt the authoritative ownership
+// map, roll back an uncommitted delta batch), a respawned worker announces
+// itself with WorkerHello and receives PartitionGrant (the same reset plus
+// a committed-op replay that rebuilds its graph view from the shared CSR
+// base). Both answer PartitionAck; once every live worker acknowledged the
+// generation, the controller retries an aborted delta commit and restarts
+// the in-flight queries from superstep 0.
+
+// RecoverStart resets a surviving worker into recovery generation Gen:
+// drop all live query state (affected queries are re-executed), zero the
+// vertex-batch and scope flow counters, adopt Owner as the full
+// authoritative ownership map, and — if an uncommitted delta batch was
+// applied — roll the graph view back to committed Version. The worker
+// answers with PartitionAck.
+type RecoverStart struct {
+	Gen     int32
+	Version uint64 // committed graph version to settle on
+	Owner   []partition.WorkerID
+}
+
+// Type implements Message.
+func (*RecoverStart) Type() MsgType { return TRecoverStart }
+
+// PartitionGrant admits a (re)spawned worker into the live set at
+// generation Gen: it rebuilds its graph view by replaying Batches over the
+// shared base graph up to committed Version, adopts Owner, and answers
+// with PartitionAck. Until the grant arrives, a rejoining worker ignores
+// every other message — stale traffic addressed to its dead predecessor.
+type PartitionGrant struct {
+	Gen     int32
+	Version uint64
+	Owner   []partition.WorkerID
+	Batches []delta.LogBatch
+}
+
+// Type implements Message.
+func (*PartitionGrant) Type() MsgType { return TPartitionGrant }
+
+// WorkerHello announces a (re)spawned worker to the controller; the
+// controller answers with PartitionGrant when it admits the worker back.
+type WorkerHello struct {
+	W partition.WorkerID
+}
+
+// Type implements Message.
+func (*WorkerHello) Type() MsgType { return TWorkerHello }
+
+// PartitionAck acknowledges RecoverStart or PartitionGrant: worker W is
+// settled in recovery generation Gen at graph Version. The controller
+// treats a version mismatch as replica divergence (fatal).
+type PartitionAck struct {
+	Gen     int32
+	W       partition.WorkerID
+	Version uint64
+}
+
+// Type implements Message.
+func (*PartitionAck) Type() MsgType { return TPartitionAck }

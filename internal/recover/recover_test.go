@@ -1,0 +1,174 @@
+package recovery
+
+import (
+	"testing"
+	"time"
+
+	"qgraph/internal/partition"
+)
+
+func lostSet(ws ...partition.WorkerID) func(partition.WorkerID) bool {
+	m := map[partition.WorkerID]bool{}
+	for _, w := range ws {
+		m[w] = true
+	}
+	return func(w partition.WorkerID) bool { return m[w] }
+}
+
+func TestPlanHandoffBalancesOntoSurvivors(t *testing.T) {
+	// 12 vertices over 3 workers round-robin; worker 1 dies.
+	owner := make(partition.Assignment, 12)
+	counts := make([]int64, 3)
+	for v := range owner {
+		owner[v] = partition.WorkerID(v % 3)
+		counts[v%3]++
+	}
+	moved := PlanHandoff(owner, counts, lostSet(1))
+	if moved != 4 {
+		t.Fatalf("moved %d vertices, want 4", moved)
+	}
+	if counts[1] != 0 {
+		t.Fatalf("dead worker still owns %d vertices", counts[1])
+	}
+	if counts[0]+counts[2] != 12 || counts[0] != 6 || counts[2] != 6 {
+		t.Fatalf("unbalanced handoff: %v", counts)
+	}
+	for v, w := range owner {
+		if w == 1 {
+			t.Fatalf("vertex %d still owned by dead worker", v)
+		}
+	}
+}
+
+func TestPlanHandoffDeterministic(t *testing.T) {
+	mk := func() (partition.Assignment, []int64) {
+		owner := make(partition.Assignment, 20)
+		counts := make([]int64, 4)
+		for v := range owner {
+			owner[v] = partition.WorkerID(v % 4)
+			counts[v%4]++
+		}
+		return owner, counts
+	}
+	a1, c1 := mk()
+	a2, c2 := mk()
+	PlanHandoff(a1, c1, lostSet(0, 2))
+	PlanHandoff(a2, c2, lostSet(0, 2))
+	for v := range a1 {
+		if a1[v] != a2[v] {
+			t.Fatalf("non-deterministic plan at vertex %d: %d vs %d", v, a1[v], a2[v])
+		}
+	}
+}
+
+func TestPlanHandoffNoSurvivors(t *testing.T) {
+	owner := partition.Assignment{0, 0}
+	counts := []int64{2}
+	if moved := PlanHandoff(owner, counts, lostSet(0)); moved != 0 {
+		t.Fatalf("moved %d with no survivors", moved)
+	}
+}
+
+func TestRemapOwners(t *testing.T) {
+	owners := []partition.WorkerID{1, 0, 1}
+	counts := []int64{5, 3, 4}
+	RemapOwners(owners, counts, lostSet(1))
+	for _, w := range owners {
+		if w == 1 {
+			t.Fatal("lost owner survived remap")
+		}
+	}
+	// The remapped vertices are counted only when their batch commits.
+	if counts[0] != 5 || counts[1] != 3 || counts[2] != 4 {
+		t.Fatalf("counts mutated by remap: %v", counts)
+	}
+	// Both remapped vertices land on worker 2: it stays the least loaded
+	// on the scratch counts (4→5 vs worker 0's 5→6) throughout the call.
+	if owners[0] != 2 || owners[1] != 0 || owners[2] != 2 {
+		t.Fatalf("remapped owners %v, want [2 0 2]", owners)
+	}
+}
+
+func TestTrackerEpisode(t *testing.T) {
+	var tr Tracker
+	t0 := time.Unix(100, 0)
+	if tr.Active() {
+		t.Fatal("fresh tracker active")
+	}
+	gen := tr.BeginRound(t0)
+	if gen != 1 || !tr.Active() {
+		t.Fatalf("gen %d active %v after first round", gen, tr.Active())
+	}
+	tr.ExpectAcks([]partition.WorkerID{0, 2})
+	if fresh, _ := tr.OnAck(0, gen-1); fresh {
+		t.Fatal("stale-generation ack accepted")
+	}
+	if fresh, done := tr.OnAck(0, gen); !fresh || done {
+		t.Fatal("first ack mishandled")
+	}
+	if fresh, _ := tr.OnAck(0, gen); fresh {
+		t.Fatal("duplicate ack accepted")
+	}
+	if fresh, _ := tr.OnAck(1, gen); fresh {
+		t.Fatal("unexpected worker's ack accepted")
+	}
+	// Second death mid-round: new round, old acks discarded.
+	gen2 := tr.BeginRound(t0.Add(time.Second))
+	if gen2 != 2 {
+		t.Fatalf("gen %d after second round, want 2", gen2)
+	}
+	if tr.StartedAt() != t0 {
+		t.Fatal("episode start moved on second round")
+	}
+	tr.ExpectAcks([]partition.WorkerID{0})
+	if _, done := tr.OnAck(0, gen2); !done {
+		t.Fatal("round did not complete")
+	}
+	if d := tr.Finish(t0.Add(3 * time.Second)); d != 3*time.Second {
+		t.Fatalf("episode duration %v, want 3s", d)
+	}
+	if tr.Active() {
+		t.Fatal("tracker active after finish")
+	}
+}
+
+func TestTrackerHelloFlow(t *testing.T) {
+	var tr Tracker
+	t0 := time.Unix(0, 0)
+	tr.BeginRound(t0)
+	tr.AwaitHello(1, t0.Add(time.Second))
+	if !tr.Waiting(t0.Add(500 * time.Millisecond)) {
+		t.Fatal("not waiting inside deadline")
+	}
+	if tr.OnHello(2) {
+		t.Fatal("hello from unawaited worker accepted")
+	}
+	if !tr.OnHello(1) {
+		t.Fatal("hello from awaited worker rejected")
+	}
+	if !tr.Rejoining(1) {
+		t.Fatal("hello did not mark worker rejoining")
+	}
+	if tr.Waiting(t0.Add(500 * time.Millisecond)) {
+		t.Fatal("still waiting after all hellos arrived")
+	}
+
+	tr.BeginRound(t0.Add(2 * time.Second))
+	tr.AwaitHello(2, t0.Add(3*time.Second))
+	if tr.Waiting(t0.Add(5 * time.Second)) {
+		t.Fatal("waiting past the deadline")
+	}
+}
+
+func TestCounters(t *testing.T) {
+	var c Counters
+	c.Episode(250*time.Millisecond, 1, 0, 3)
+	c.Episode(100*time.Millisecond, 0, 1, 2)
+	s := c.Snapshot()
+	if s.Recoveries != 2 || s.Handoffs != 1 || s.Rejoins != 1 || s.QueriesRestarted != 5 {
+		t.Fatalf("stats %+v", s)
+	}
+	if s.LastRecoveryMS != 100 {
+		t.Fatalf("last recovery %v ms, want 100", s.LastRecoveryMS)
+	}
+}

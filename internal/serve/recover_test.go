@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"qgraph/internal/core"
+	"qgraph/internal/faultpoint"
+	"qgraph/internal/graph"
+	"qgraph/internal/partition"
+)
+
+// recoverEngine starts a 3-worker engine tuned for fast failure detection.
+func recoverEngine(t *testing.T) (*core.Engine, *graph.Graph) {
+	t.Helper()
+	b := graph.NewBuilder(32)
+	for v := 0; v+1 < 32; v++ {
+		b.AddBiEdge(graph.VertexID(v), graph.VertexID(v+1), 1)
+	}
+	g := b.MustBuild()
+	eng, err := core.Start(core.Config{
+		Workers: 3, Graph: g, Partitioner: partition.Hash{},
+		CheckEvery:       time.Millisecond,
+		CommitEvery:      5 * time.Millisecond,
+		HeartbeatEvery:   5 * time.Millisecond,
+		HeartbeatTimeout: 30 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, g
+}
+
+// TestHealthzRecoversFromWorkerDeath is the regression test for the
+// one-way degraded /healthz: a worker death must take the endpoint from
+// "ok" through recovery back to "ok" (with the lost worker listed), while
+// every query served through the window returns 200 — no worker_lost ever
+// reaches a client. /stats must expose the recovery counters.
+func TestHealthzRecoversFromWorkerDeath(t *testing.T) {
+	defer faultpoint.Reset()
+	eng, _ := recoverEngine(t)
+	defer eng.Close()
+	srv, err := New(Config{Backend: eng.Controller(), GraphID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	healthz := func() (int, healthzResponse) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var h healthzResponse
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, h
+	}
+
+	if code, h := healthz(); code != http.StatusOK || h.Status != "ok" {
+		t.Fatalf("pre-failure healthz = %d %+v", code, h)
+	}
+
+	fired, disarm := faultpoint.KillOnce(faultpoint.WorkerSuperstep, 1)
+	defer disarm()
+
+	// Drive queries through the kill and the recovery window; every one
+	// must come back 200 with the right distance (NoCache so each one
+	// exercises the engine, not the result cache).
+	var wg sync.WaitGroup
+	post := func(src, dst int64) {
+		defer wg.Done()
+		body, _ := json.Marshal(QueryRequest{Kind: "sssp", Source: src, Target: &dst, NoCache: true})
+		resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Errorf("query: %v", err)
+			return
+		}
+		defer resp.Body.Close()
+		var qr QueryResponse
+		var raw bytes.Buffer
+		if resp.StatusCode != http.StatusOK {
+			raw.ReadFrom(resp.Body)
+			t.Errorf("query %d->%d: HTTP %d %s", src, dst, resp.StatusCode, raw.String())
+			return
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+			t.Errorf("decode: %v", err)
+			return
+		}
+		if qr.Value == nil || *qr.Value != float64(dst-src) {
+			t.Errorf("query %d->%d = %v, want %d", src, dst, qr.Value, dst-src)
+		}
+	}
+	for wave := 0; wave < 3; wave++ {
+		for i := int64(0); i < 4; i++ {
+			wg.Add(1)
+			go post(i, 31-i)
+		}
+		time.Sleep(15 * time.Millisecond)
+	}
+	wg.Wait()
+	select {
+	case <-fired:
+	default:
+		t.Fatal("fault point never fired")
+	}
+
+	// The endpoint must come back to "ok" — recovery is not one-way
+	// degradation — with the lost worker still visible.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		code, h := healthz()
+		if code == http.StatusOK && h.Status == "ok" && h.Recoveries >= 1 {
+			if len(h.DeadWorkers) != 1 || h.DeadWorkers[0] != 1 {
+				t.Fatalf("healthz after recovery = %+v, want dead worker 1 listed", h)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("healthz never recovered: %d %+v", code, h)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Recovery counters in /stats.
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Recovery.Recoveries < 1 || st.Recovery.Handoffs < 1 {
+		t.Fatalf("stats recovery = %+v, want a recorded handoff episode", st.Recovery)
+	}
+	if st.Recovery.LastRecoveryMS <= 0 {
+		t.Fatalf("stats recovery duration %v, want > 0", st.Recovery.LastRecoveryMS)
+	}
+	if st.Engine.Degraded {
+		t.Fatalf("stats engine still degraded: %+v", st.Engine)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"qgraph/internal/graph"
 	"qgraph/internal/metrics"
 	"qgraph/internal/query"
+	recovery "qgraph/internal/recover"
 )
 
 // Backend is what the serving layer needs from the engine.
@@ -42,6 +43,8 @@ type Backend interface {
 	Mutate(ops []delta.Op) (<-chan controller.MutationResult, error)
 	// Health reports worker liveness for /healthz.
 	Health() controller.Health
+	// RecoveryStats reports worker-failure recovery counters for /stats.
+	RecoveryStats() recovery.Stats
 }
 
 // Config parameterises a Server. Zero values select sane defaults.
@@ -255,8 +258,13 @@ type StatsResponse struct {
 		Vertices         int    `json:"vertices"`
 		Edges            int    `json:"edges"`
 		Degraded         bool   `json:"degraded,omitempty"`
+		Recovering       bool   `json:"recovering,omitempty"`
 		DeadWorkers      []int  `json:"dead_workers,omitempty"`
 	} `json:"engine"`
+	// Recovery reports the worker-failure recovery counters: completed
+	// episodes, handoffs vs rejoins, queries re-executed, and the latest
+	// episode's wall time.
+	Recovery recovery.Stats `json:"recovery"`
 }
 
 // MutateOp is one operation of a POST /mutate batch.
@@ -430,11 +438,19 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 // healthzResponse is the GET /healthz body. Operators watch GraphVersion
 // and RepartitionEpoch here to observe mutation and adaptation progress
 // without pulling full /stats.
+//
+// Status transitions on worker failure: "ok" → "recovering" (an episode
+// is reassigning partitions and re-executing queries; still 200, because
+// requests keep completing — just slower) → "ok" again. "degraded" (503)
+// is terminal: every worker is dead. DeadWorkers lists currently-fenced
+// workers; after a handoff recovery it keeps naming the permanently lost
+// ones while status is back to "ok".
 type healthzResponse struct {
-	Status           string `json:"status"` // ok | draining | degraded
+	Status           string `json:"status"` // ok | recovering | draining | degraded
 	GraphVersion     uint64 `json:"graph_version"`
 	RepartitionEpoch int64  `json:"repartition_epoch"`
 	DeadWorkers      []int  `json:"dead_workers,omitempty"`
+	Recoveries       int64  `json:"recoveries,omitempty"`
 }
 
 // handleMutate ingests one batch of streaming graph updates. The batch is
@@ -552,12 +568,20 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Status:           "ok",
 		GraphVersion:     s.cfg.Backend.GraphVersion(),
 		RepartitionEpoch: s.cfg.Backend.RepartitionEpoch(),
+		Recoveries:       s.cfg.Backend.RecoveryStats().Recoveries,
 	}
 	code := http.StatusOK
-	if h := s.cfg.Backend.Health(); h.Degraded {
+	h := s.cfg.Backend.Health()
+	resp.DeadWorkers = h.DeadWorkers
+	switch {
+	case h.Degraded:
+		// Terminal: no live workers. Nothing will complete.
 		resp.Status = "degraded"
-		resp.DeadWorkers = h.DeadWorkers
 		code = http.StatusServiceUnavailable
+	case h.Recovering:
+		// Requests still complete (deferred, then re-executed) — stay
+		// green so load balancers keep routing; latency is the cost.
+		resp.Status = "recovering"
 	}
 	if s.draining.Load() {
 		resp.Status = "draining"
@@ -579,7 +603,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Engine.Vertices = view.NumVertices()
 	resp.Engine.Edges = view.NumEdges()
 	resp.Engine.Degraded = health.Degraded
+	resp.Engine.Recovering = health.Recovering
 	resp.Engine.DeadWorkers = health.DeadWorkers
+	resp.Recovery = s.cfg.Backend.RecoveryStats()
 	writeJSON(w, http.StatusOK, resp)
 }
 

@@ -20,6 +20,7 @@ import (
 	"qgraph/internal/graph"
 	"qgraph/internal/protocol"
 	"qgraph/internal/query"
+	recovery "qgraph/internal/recover"
 )
 
 // ---------------------------------------------------------------------------
@@ -33,6 +34,7 @@ type stubBackend struct {
 	mutations [][]delta.Op
 	mutErr    error
 	health    controller.Health
+	recovery  recovery.Stats
 	scheduled int
 	cancelled map[query.ID]bool
 	// block, when non-nil, holds every query until closed (admission
@@ -120,6 +122,12 @@ func (b *stubBackend) Health() controller.Health {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.health
+}
+
+func (b *stubBackend) RecoveryStats() recovery.Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.recovery
 }
 
 func (b *stubBackend) scheduledCount() int {

@@ -85,7 +85,9 @@ func NewChanNetwork(n int, lat Latency) *ChanNetwork {
 		}
 		cn.conns[i] = c
 		// Pump: unbounded buffer → bounded inbox channel, so senders never
-		// block on slow receivers.
+		// block on slow receivers. The send selects on network close so a
+		// crashed node that stopped reading its inbox (worker failure
+		// testing) cannot wedge Close behind a full channel.
 		cn.wg.Add(1)
 		go func() {
 			defer cn.wg.Done()
@@ -95,7 +97,11 @@ func NewChanNetwork(n int, lat Latency) *ChanNetwork {
 				if !ok {
 					return
 				}
-				c.inbox <- it.env
+				select {
+				case c.inbox <- it.env:
+				case <-cn.closed:
+					return
+				}
 			}
 		}()
 	}

@@ -190,6 +190,7 @@ func Encode(m protocol.Message) ([]byte, error) {
 		e.i64(int64(v.Q))
 		e.i32(v.Step)
 		e.u8(uint8(v.From))
+		e.i32(v.Gen)
 		e.u32(uint32(len(v.Entries)))
 		for _, en := range v.Entries {
 			e.i32(int32(en.To))
@@ -199,6 +200,7 @@ func Encode(m protocol.Message) ([]byte, error) {
 		e.i32(v.Epoch)
 		e.i64(int64(v.Q))
 		e.u8(uint8(v.From))
+		e.i32(v.Gen)
 		e.u32(uint32(len(v.Vertices)))
 		for _, mv := range v.Vertices {
 			e.i32(int32(mv.V))
@@ -239,6 +241,37 @@ func Encode(m protocol.Message) ([]byte, error) {
 	case *protocol.Pong:
 		e.i64(v.Seq)
 		e.u8(uint8(v.W))
+	case *protocol.RecoverStart:
+		e.i32(v.Gen)
+		e.u64(v.Version)
+		e.u32(uint32(len(v.Owner)))
+		for _, o := range v.Owner {
+			e.u8(uint8(o))
+		}
+	case *protocol.PartitionGrant:
+		e.i32(v.Gen)
+		e.u64(v.Version)
+		e.u32(uint32(len(v.Owner)))
+		for _, o := range v.Owner {
+			e.u8(uint8(o))
+		}
+		e.u32(uint32(len(v.Batches)))
+		for _, b := range v.Batches {
+			e.u64(b.Version)
+			e.u32(uint32(len(b.Ops)))
+			for _, op := range b.Ops {
+				e.u8(uint8(op.Kind))
+				e.i32(int32(op.From))
+				e.i32(int32(op.To))
+				e.f32(op.Weight)
+			}
+		}
+	case *protocol.WorkerHello:
+		e.u8(uint8(v.W))
+	case *protocol.PartitionAck:
+		e.i32(v.Gen)
+		e.u8(uint8(v.W))
+		e.u64(v.Version)
 	default:
 		return nil, fmt.Errorf("transport: cannot encode %T", m)
 	}
@@ -370,6 +403,7 @@ func Decode(t protocol.MsgType, payload []byte) (protocol.Message, error) {
 		v.Q = query.ID(d.i64())
 		v.Step = d.i32()
 		v.From = partition.WorkerID(d.u8())
+		v.Gen = d.i32()
 		if n := d.sliceLen(12); n > 0 {
 			v.Entries = make([]protocol.VertexMsg, n)
 			for i := range v.Entries {
@@ -383,6 +417,7 @@ func Decode(t protocol.MsgType, payload []byte) (protocol.Message, error) {
 		v.Epoch = d.i32()
 		v.Q = query.ID(d.i64())
 		v.From = partition.WorkerID(d.u8())
+		v.Gen = d.i32()
 		n := d.sliceLen(12)
 		v.Vertices = make([]protocol.MovedVertex, n)
 		for i := range v.Vertices {
@@ -442,6 +477,51 @@ func Decode(t protocol.MsgType, payload []byte) (protocol.Message, error) {
 		v.Seq = d.i64()
 		v.W = partition.WorkerID(d.u8())
 		m = v
+	case protocol.TRecoverStart:
+		v := &protocol.RecoverStart{}
+		v.Gen = d.i32()
+		v.Version = d.u64()
+		if n := d.sliceLen(1); n > 0 {
+			v.Owner = make([]partition.WorkerID, n)
+			for i := range v.Owner {
+				v.Owner[i] = partition.WorkerID(d.u8())
+			}
+		}
+		m = v
+	case protocol.TPartitionGrant:
+		v := &protocol.PartitionGrant{}
+		v.Gen = d.i32()
+		v.Version = d.u64()
+		if n := d.sliceLen(1); n > 0 {
+			v.Owner = make([]partition.WorkerID, n)
+			for i := range v.Owner {
+				v.Owner[i] = partition.WorkerID(d.u8())
+			}
+		}
+		if nb := d.sliceLen(12); nb > 0 {
+			v.Batches = make([]delta.LogBatch, nb)
+			for i := range v.Batches {
+				v.Batches[i].Version = d.u64()
+				if n := d.sliceLen(13); n > 0 {
+					v.Batches[i].Ops = make([]delta.Op, n)
+					for j := range v.Batches[i].Ops {
+						v.Batches[i].Ops[j].Kind = delta.OpKind(d.u8())
+						v.Batches[i].Ops[j].From = graph.VertexID(d.i32())
+						v.Batches[i].Ops[j].To = graph.VertexID(d.i32())
+						v.Batches[i].Ops[j].Weight = d.f32()
+					}
+				}
+			}
+		}
+		m = v
+	case protocol.TWorkerHello:
+		m = &protocol.WorkerHello{W: partition.WorkerID(d.u8())}
+	case protocol.TPartitionAck:
+		v := &protocol.PartitionAck{}
+		v.Gen = d.i32()
+		v.W = partition.WorkerID(d.u8())
+		v.Version = d.u64()
+		m = v
 	default:
 		return nil, fmt.Errorf("transport: unknown message type %d", t)
 	}
@@ -460,11 +540,19 @@ func WireSize(m protocol.Message) int {
 	const hdr = 5
 	switch v := m.(type) {
 	case *protocol.VertexBatch:
-		return hdr + 17 + 12*len(v.Entries)
+		return hdr + 21 + 12*len(v.Entries)
 	case *protocol.ScopeData:
-		n := hdr + 17
+		n := hdr + 21
 		for _, mv := range v.Vertices {
 			n += 16 + 16*len(mv.Values) + 20*len(mv.Pending) + 8*len(mv.Finished)
+		}
+		return n
+	case *protocol.RecoverStart:
+		return hdr + 16 + len(v.Owner)
+	case *protocol.PartitionGrant:
+		n := hdr + 20 + len(v.Owner)
+		for _, b := range v.Batches {
+			n += 12 + 13*len(b.Ops)
 		}
 		return n
 	case *protocol.BarrierSynch:

@@ -59,6 +59,26 @@ func normalize(m protocol.Message) protocol.Message {
 			c.NewOwners = []partition.WorkerID{}
 		}
 		return &c
+	case *protocol.RecoverStart:
+		c := *v
+		if c.Owner == nil {
+			c.Owner = []partition.WorkerID{}
+		}
+		return &c
+	case *protocol.PartitionGrant:
+		c := *v
+		if c.Owner == nil {
+			c.Owner = []partition.WorkerID{}
+		}
+		if c.Batches == nil {
+			c.Batches = []delta.LogBatch{}
+		}
+		for i := range c.Batches {
+			if c.Batches[i].Ops == nil {
+				c.Batches[i].Ops = []delta.Op{}
+			}
+		}
+		return &c
 	}
 	return m
 }
@@ -97,7 +117,7 @@ func sampleMessages() []protocol.Message {
 		&protocol.MoveAck{Epoch: 12, Q: 5, From: 1, To: 3, Vertices: []graph.VertexID{10, 20}},
 		&protocol.MoveAck{Epoch: 12, Q: 6, From: 0, To: 2},
 		&protocol.VertexBatch{
-			Q: 42, Step: 3, From: 1,
+			Q: 42, Step: 3, From: 1, Gen: 5,
 			Entries: []protocol.VertexMsg{{To: 5, Val: 1.5}, {To: 9, Val: math.Inf(1)}},
 		},
 		&protocol.DeltaBatch{
@@ -115,7 +135,7 @@ func sampleMessages() []protocol.Message {
 		&protocol.Ping{Seq: 99},
 		&protocol.Pong{Seq: 99, W: 1},
 		&protocol.ScopeData{
-			Epoch: 12, Q: 5, From: 1,
+			Epoch: 12, Q: 5, From: 1, Gen: 2,
 			Vertices: []protocol.MovedVertex{
 				{
 					V:        77,
@@ -126,6 +146,18 @@ func sampleMessages() []protocol.Message {
 				{V: 78},
 			},
 		},
+		&protocol.RecoverStart{Gen: 3, Version: 7, Owner: []partition.WorkerID{0, 2, 2, 0}},
+		&protocol.RecoverStart{Gen: 1},
+		&protocol.PartitionGrant{
+			Gen: 4, Version: 2, Owner: []partition.WorkerID{1, 1, 0},
+			Batches: []delta.LogBatch{
+				{Version: 1, Ops: []delta.Op{{Kind: delta.OpAddEdge, From: 0, To: 2, Weight: 2.5}}},
+				{Version: 2, Ops: []delta.Op{{Kind: delta.OpAddVertex}, {Kind: delta.OpRemoveEdge, From: 1, To: 0}}},
+			},
+		},
+		&protocol.PartitionGrant{Gen: 2, Version: 0},
+		&protocol.WorkerHello{W: 3},
+		&protocol.PartitionAck{Gen: 4, W: 3, Version: 2},
 	}
 }
 

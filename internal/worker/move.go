@@ -127,7 +127,7 @@ func (w *Worker) onMoveScope(m *protocol.MoveScope) error {
 
 	if len(moved) > 0 {
 		if err := w.conn.Send(protocol.WorkerNode(m.To), &protocol.ScopeData{
-			Epoch: m.Epoch, Q: m.Q, From: w.id, Vertices: moved,
+			Epoch: m.Epoch, Q: m.Q, From: w.id, Gen: w.gen, Vertices: moved,
 		}); err != nil {
 			return err
 		}
@@ -141,6 +141,12 @@ func (w *Worker) onMoveScope(m *protocol.MoveScope) error {
 // onScopeData absorbs moved vertices: adopt ownership, merge live query
 // values and pending messages, and remember finished-scope memberships.
 func (w *Worker) onScopeData(m *protocol.ScopeData) error {
+	if m.Gen != w.gen {
+		// Scope data from an aborted pre-recovery barrier: the recovery
+		// reset discarded the move's bookkeeping on every node, so the
+		// transfer must neither merge nor count.
+		return nil
+	}
 	if !w.stopping {
 		return fmt.Errorf("scope data for query %d outside global barrier", m.Q)
 	}

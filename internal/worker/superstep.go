@@ -3,6 +3,7 @@ package worker
 import (
 	"time"
 
+	"qgraph/internal/faultpoint"
 	"qgraph/internal/graph"
 	"qgraph/internal/partition"
 	"qgraph/internal/protocol"
@@ -33,9 +34,15 @@ type stepResult struct {
 // the query is re-queued for another local superstep instead of reporting
 // a barrier message (the local query barrier of Sec. 3.3) — but only one
 // superstep runs per call, so concurrent queries interleave fairly.
-func (w *Worker) stepOnce(q query.ID, qs *queryState) {
+func (w *Worker) stepOnce(q query.ID, qs *queryState) error {
 	step := qs.step
 	res := w.computeStep(qs, step)
+	// Fault seam: a worker dying mid-superstep has computed (and possibly
+	// sent vertex batches) but never reports — its barrier wedges until
+	// liveness detection and recovery re-execute the query.
+	if faultpoint.Hit(faultpoint.WorkerSuperstep, int(w.id), int(q), int(step)) {
+		return faultpoint.ErrKilled
+	}
 	canLoop := qs.release.Solo &&
 		!w.stopping &&
 		res.sentTotal == 0 &&
@@ -44,10 +51,11 @@ func (w *Worker) stepOnce(q query.ID, qs *queryState) {
 		(qs.spec.MaxIters == 0 || int(step+1) < qs.spec.MaxIters)
 	if canLoop {
 		w.ready = append(w.ready, q)
-		return
+		return nil
 	}
 	qs.release = nil
 	w.sendSynch(q, qs, qs.soloFrom, step, res)
+	return nil
 }
 
 // computeStep executes one superstep of qs: consume the combined inbox,
@@ -152,7 +160,7 @@ func (w *Worker) sendBatch(q query.ID, step int32, dst partition.WorkerID, entri
 	for len(entries) > 0 {
 		n := min(len(entries), maxEntries)
 		w.conn.Send(protocol.WorkerNode(dst), &protocol.VertexBatch{
-			Q: q, Step: step, From: w.id, Entries: entries[:n:n],
+			Q: q, Step: step, From: w.id, Gen: w.gen, Entries: entries[:n:n],
 		})
 		entries = entries[n:]
 		batches++

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"qgraph/internal/delta"
+	"qgraph/internal/faultpoint"
 	"qgraph/internal/graph"
 	"qgraph/internal/partition"
 	"qgraph/internal/protocol"
@@ -50,6 +51,11 @@ type Config struct {
 	// it — the straggler effect the paper's balance constraint guards
 	// against. Zero disables the simulation.
 	ComputeCost time.Duration
+	// Rejoin starts the worker in joining mode: it announces itself with
+	// WorkerHello and ignores everything until the controller's
+	// PartitionGrant rebuilds its state (worker failure recovery — this is
+	// how a respawned worker replaces a dead one on the same node id).
+	Rejoin bool
 	// Clock abstracts time for tests; nil means time.Now.
 	Clock func() time.Time
 }
@@ -167,6 +173,19 @@ type Worker struct {
 	scopeSentTotals []uint64
 	scopeRecvTotals []uint64
 
+	// Recovery state. gen is the recovery generation this worker lives in;
+	// vertex batches and scope data from other generations are dropped
+	// without counting, so the flow counters every node resets during
+	// recovery stay exact. joining marks a respawned worker that has said
+	// hello and must ignore all traffic addressed to its dead predecessor
+	// until the controller's PartitionGrant. prevView is the view before
+	// the latest delta apply — at most one batch can be uncommitted when a
+	// recovery starts, so a depth-1 undo suffices to roll back to the
+	// committed version.
+	gen      int32
+	joining  bool
+	prevView *delta.View
+
 	// Global barrier state.
 	stopping     bool
 	stopEpoch    int32
@@ -220,6 +239,7 @@ func New(cfg Config, conn transport.Conn) (*Worker, error) {
 		scopeSentTotals: make([]uint64, cfg.K),
 		scopeRecvTotals: make([]uint64, cfg.K),
 		outBuf:          make([]map[graph.VertexID]float64, cfg.K),
+		joining:         cfg.Rejoin,
 	}
 	return w, nil
 }
@@ -227,8 +247,14 @@ func New(cfg Config, conn transport.Conn) (*Worker, error) {
 // Run processes the inbox until Shutdown arrives or the inbox closes.
 // Incoming messages take priority; between messages the worker executes
 // one queued superstep per turn. It returns the first fatal error (nil on
-// clean shutdown).
+// clean shutdown, faultpoint.ErrKilled on an injected crash — after which
+// the worker stops reading its inbox entirely, like a dead process would).
 func (w *Worker) Run() error {
+	if w.cfg.Rejoin {
+		if err := w.conn.Send(protocol.ControllerNode, &protocol.WorkerHello{W: w.id}); err != nil {
+			return fmt.Errorf("worker %d: hello: %w", w.id, err)
+		}
+	}
 	inbox := w.conn.Inbox()
 	for {
 		var env transport.Envelope
@@ -239,7 +265,9 @@ func (w *Worker) Run() error {
 			select {
 			case env, ok = <-inbox:
 			default:
-				w.runReady()
+				if err := w.runReady(); err != nil {
+					return w.fatal(err)
+				}
 				continue
 			}
 		}
@@ -248,7 +276,7 @@ func (w *Worker) Run() error {
 		}
 		stop, err := w.handle(env)
 		if err != nil {
-			return fmt.Errorf("worker %d: %w", w.id, err)
+			return w.fatal(err)
 		}
 		if stop {
 			return nil
@@ -256,8 +284,17 @@ func (w *Worker) Run() error {
 	}
 }
 
+// fatal wraps genuine errors with the worker id; an injected kill passes
+// through unwrapped so harnesses can recognize it.
+func (w *Worker) fatal(err error) error {
+	if err == faultpoint.ErrKilled {
+		return err
+	}
+	return fmt.Errorf("worker %d: %w", w.id, err)
+}
+
 // runReady executes one superstep of the oldest runnable query.
-func (w *Worker) runReady() {
+func (w *Worker) runReady() error {
 	q := w.ready[0]
 	w.ready = w.ready[1:]
 	if len(w.ready) == 0 {
@@ -265,12 +302,27 @@ func (w *Worker) runReady() {
 	}
 	qs, ok := w.queries[q]
 	if !ok || qs.release == nil {
-		return // query finished or was superseded meanwhile
+		return nil // query finished or was superseded meanwhile
 	}
-	w.stepOnce(q, qs)
+	return w.stepOnce(q, qs)
 }
 
 func (w *Worker) handle(env transport.Envelope) (stop bool, err error) {
+	if w.joining {
+		// A rejoining worker sees the stale traffic addressed to its dead
+		// predecessor until the controller admits it back; only the grant
+		// (and liveness probes, and a shutdown) are meaningful.
+		switch m := env.Msg.(type) {
+		case *protocol.PartitionGrant:
+			return false, w.onPartitionGrant(m)
+		case *protocol.Ping:
+			return false, w.conn.Send(protocol.ControllerNode, &protocol.Pong{Seq: m.Seq, W: w.id})
+		case *protocol.Shutdown:
+			return true, nil
+		default:
+			return false, nil
+		}
+	}
 	switch m := env.Msg.(type) {
 	case *protocol.ExecuteQuery:
 		err = w.onExecute(m)
@@ -297,6 +349,8 @@ func (w *Worker) handle(env transport.Envelope) (stop bool, err error) {
 		err = w.onDeltaBatch(m)
 	case *protocol.Ping:
 		err = w.conn.Send(protocol.ControllerNode, &protocol.Pong{Seq: m.Seq, W: w.id})
+	case *protocol.RecoverStart:
+		err = w.onRecoverStart(m)
 	case *protocol.GlobalStart:
 		w.stopping = false
 	case *protocol.Shutdown:
@@ -305,6 +359,85 @@ func (w *Worker) handle(env transport.Envelope) (stop bool, err error) {
 		err = fmt.Errorf("unexpected message %T", env.Msg)
 	}
 	return false, err
+}
+
+// onRecoverStart resets this surviving worker into recovery generation
+// m.Gen. All live query state is dropped (the controller re-executes the
+// affected queries from superstep 0), the flow counters are zeroed on
+// every node symmetrically, the ownership map is replaced wholesale with
+// the controller's authoritative copy, and a delta batch that was applied
+// but never committed is rolled back to the committed version. Remembered
+// finished scopes survive: their vertex sets are still valid under the new
+// ownership and keep Q-cut's hotspot history useful.
+func (w *Worker) onRecoverStart(m *protocol.RecoverStart) error {
+	if faultpoint.Hit(faultpoint.WorkerRecover, int(w.id)) {
+		return faultpoint.ErrKilled
+	}
+	if w.view.Version() > m.Version {
+		// The uncommitted batch this worker applied was aborted by the
+		// failure; undo it. Depth 1 is enough: at most one batch is ever
+		// in flight, and recovery intervenes before the next.
+		if w.prevView == nil || w.prevView.Version() != m.Version {
+			return fmt.Errorf("cannot roll back from version %d to %d", w.view.Version(), m.Version)
+		}
+		w.view = w.prevView
+		w.prevView = nil
+	}
+	if w.view.Version() != m.Version {
+		return fmt.Errorf("recover at version %d, controller at %d (replica divergence)",
+			w.view.Version(), m.Version)
+	}
+	if len(m.Owner) != w.view.NumVertices() {
+		return fmt.Errorf("recover ownership covers %d of %d vertices", len(m.Owner), w.view.NumVertices())
+	}
+	w.resetForRecovery(m.Gen, m.Owner)
+	return w.conn.Send(protocol.ControllerNode, &protocol.PartitionAck{
+		Gen: m.Gen, W: w.id, Version: w.view.Version(),
+	})
+}
+
+// onPartitionGrant admits this rejoining worker into the live set: rebuild
+// the graph view by replaying the committed op log over the shared base,
+// adopt the ownership map, and leave joining mode.
+func (w *Worker) onPartitionGrant(m *protocol.PartitionGrant) error {
+	view, err := delta.ReplayBatches(w.cfg.Graph, m.Batches)
+	if err != nil {
+		return fmt.Errorf("grant replay: %w", err)
+	}
+	if view.Version() != m.Version {
+		return fmt.Errorf("grant replay reached version %d, want %d", view.Version(), m.Version)
+	}
+	if len(m.Owner) != view.NumVertices() {
+		return fmt.Errorf("grant ownership covers %d of %d vertices", len(m.Owner), view.NumVertices())
+	}
+	w.view = view
+	w.prevView = nil
+	w.joining = false
+	w.resetForRecovery(m.Gen, m.Owner)
+	return w.conn.Send(protocol.ControllerNode, &protocol.PartitionAck{
+		Gen: m.Gen, W: w.id, Version: view.Version(),
+	})
+}
+
+// resetForRecovery clears every piece of in-flight state that references
+// the pre-recovery generation: live queries, early buffers, the ready
+// queue, pending drains, move bookkeeping, and all flow counters.
+func (w *Worker) resetForRecovery(gen int32, owner []partition.WorkerID) {
+	w.gen = gen
+	w.owner = append(w.owner[:0], owner...)
+	w.queries = make(map[query.ID]*queryState)
+	w.early = make(map[query.ID][]*protocol.VertexBatch)
+	w.ready = nil
+	w.pendingDrain = nil
+	w.arrived = nil
+	w.outBuf = make([]map[graph.VertexID]float64, w.k)
+	for i := range w.sentTotals {
+		w.sentTotals[i], w.recvTotals[i] = 0, 0
+		w.scopeSentTotals[i], w.scopeRecvTotals[i] = 0, 0
+	}
+	// Recovery acts as a global barrier: the controller releases the
+	// restarted queries with GlobalStart after every live worker acked.
+	w.stopping = true
 }
 
 // onExecute registers a query. ExecuteQuery is broadcast to every worker so
@@ -389,6 +522,12 @@ func (w *Worker) tryAdvance(q query.ID, qs *queryState) {
 
 // onVertexBatch buffers remote messages and re-checks any deferred release.
 func (w *Worker) onVertexBatch(m *protocol.VertexBatch) error {
+	if m.Gen != w.gen {
+		// A batch from before a recovery reset: its query state was
+		// discarded everywhere and the flow counters restarted, so it must
+		// neither deliver nor count.
+		return nil
+	}
 	// Count the arrival unconditionally: the drain protocol accounts every
 	// batch, whatever happens to its contents.
 	w.recvTotals[m.From]++
@@ -434,6 +573,16 @@ func (w *Worker) onDeltaBatch(m *protocol.DeltaBatch) error {
 	if !w.stopping {
 		return fmt.Errorf("delta batch %d outside global barrier", m.Version)
 	}
+	if faultpoint.Hit(faultpoint.WorkerDeltaApply, int(w.id)) {
+		return faultpoint.ErrKilled
+	}
+	if m.Version == w.view.Version() {
+		// Already applied: the commit was aborted by a worker failure after
+		// this replica applied it, and the recovery rolled the batch back
+		// everywhere it could — a replica that raced the rollback re-acks
+		// the retry idempotently instead of double-applying.
+		return w.conn.Send(protocol.ControllerNode, &protocol.DeltaAck{Version: m.Version, W: w.id})
+	}
 	nv, _, err := w.view.Apply(m.Ops)
 	if err != nil {
 		return fmt.Errorf("delta batch %d: %w", m.Version, err)
@@ -442,11 +591,18 @@ func (w *Worker) onDeltaBatch(m *protocol.DeltaBatch) error {
 		return fmt.Errorf("delta batch version %d applied as local version %d (replica divergence)",
 			m.Version, nv.Version())
 	}
+	// Keep the pre-apply view for recovery rollback: if a worker dies
+	// before every replica acks, the batch is aborted and re-committed
+	// deterministically after recovery.
+	w.prevView = w.view
 	w.view = nv
 	w.owner = append(w.owner, m.NewOwners...)
 	if len(w.owner) != nv.NumVertices() {
 		return fmt.Errorf("delta batch %d: ownership covers %d of %d vertices",
 			m.Version, len(w.owner), nv.NumVertices())
+	}
+	if faultpoint.Hit(faultpoint.WorkerDeltaAck, int(w.id)) {
+		return faultpoint.ErrKilled
 	}
 	return w.conn.Send(protocol.ControllerNode, &protocol.DeltaAck{Version: m.Version, W: w.id})
 }
@@ -464,7 +620,12 @@ func (w *Worker) onGlobalStop(m *protocol.GlobalStop) error {
 	w.stopEpoch = m.Epoch
 	w.arrived = make(map[graph.VertexID]bool)
 	for len(w.ready) > 0 {
-		w.runReady()
+		if err := w.runReady(); err != nil {
+			return err
+		}
+	}
+	if faultpoint.Hit(faultpoint.WorkerBarrierStop, int(w.id)) {
+		return faultpoint.ErrKilled
 	}
 	totals := make([]uint64, w.k)
 	copy(totals, w.sentTotals)

@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
-# Smoke test for the streaming-update serving stack: start a 2-worker
-# qgraphd deployment with -serve, stream graph mutations (qgraph-gen
-# -mutations replay) at the HTTP API while qgraph-bench generates query
-# load, and assert zero failed queries, applied mutations, and an advanced
-# graph version.
+# Smoke test for the streaming-update serving stack and worker failure
+# recovery. Scenario 1: start a 2-worker qgraphd deployment with -serve,
+# stream graph mutations (qgraph-gen -mutations replay) at the HTTP API
+# while qgraph-bench generates query load, and assert zero failed queries,
+# applied mutations, and an advanced graph version. Scenario 2: a fresh
+# deployment where qgraph-bench SIGKILLs a worker mid-load — recovery must
+# hand its partition to the survivor with zero worker_lost responses, a
+# bounded recovery time, and /healthz back to ok.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -69,3 +72,59 @@ if [ "$fail" -ne 0 ]; then
   exit 1
 fi
 echo "SMOKE OK: $okq queries, $applied mutation ops applied, graph version $version"
+
+# ---------------------------------------------------------------------------
+# Scenario 2: kill a worker mid-load; assert recovery instead of failure.
+
+ADDRS2="127.0.0.1:7711,127.0.0.1:7712,127.0.0.1:7713"
+SERVE2="127.0.0.1:7801"
+
+"$workdir/qgraphd" -role worker -id 0 -graph "$workdir/g.qgr" -addrs "$ADDRS2" &
+victim=$!
+"$workdir/qgraphd" -role worker -id 1 -graph "$workdir/g.qgr" -addrs "$ADDRS2" &
+sleep 1
+"$workdir/qgraphd" -role controller -graph "$workdir/g.qgr" -addrs "$ADDRS2" \
+  -serve "$SERVE2" -commit-every 100ms \
+  -heartbeat-every 200ms -heartbeat-timeout 1s &
+ctrl2=$!
+
+for _ in $(seq 1 50); do
+  curl -fsS "http://$SERVE2/healthz" >/dev/null 2>&1 && break
+  sleep 0.2
+done
+
+out2=$("$workdir/qgraph-bench" -load "http://$SERVE2" -rate 150 -load-duration 12s \
+  -load-pool 64 -load-timeout 15s -kill-pid "$victim" -kill-worker 0 -kill-after 4s)
+echo "$out2"
+
+health2=$(curl -fsS "http://$SERVE2/healthz")
+echo "$health2"
+
+kill -INT "$ctrl2" >/dev/null 2>&1 || true
+wait "$ctrl2" || true
+
+fail=0
+
+qline2=$(grep -m1 '^sent=' <<<"$out2")
+okq2=$(sed -n 's/.* ok=\([0-9]*\).*/\1/p' <<<"$qline2")
+failedq2=$(sed -n 's/.* failed=\([0-9]*\).*/\1/p' <<<"$qline2")
+lost2=$(sed -n 's/.*worker_lost=\([0-9]*\).*/\1/p' <<<"$qline2")
+[ "${okq2:-0}" -gt 0 ] || { echo "SMOKE FAIL: no successful queries through the kill"; fail=1; }
+[ "${failedq2:-1}" -eq 0 ] || { echo "SMOKE FAIL: $failedq2 failed queries during recovery"; fail=1; }
+[ "${lost2:-1}" -eq 0 ] || { echo "SMOKE FAIL: $lost2 worker_lost responses reached clients"; fail=1; }
+
+rline=$(grep -m1 '^recovery:' <<<"$out2") || rline=""
+episodes=$(sed -n 's/.*episodes=\([0-9]*\).*/\1/p' <<<"$rline")
+recms=$(sed -n 's/.*recovery_time_ms=\([0-9.]*\).*/\1/p' <<<"$rline")
+[ "${episodes:-0}" -ge 1 ] || { echo "SMOKE FAIL: no recovery episode recorded"; fail=1; }
+# Detection (1s heartbeat timeout) plus handoff must stay well under 10s.
+recint=${recms%.*}
+[ -n "$recint" ] && [ "$recint" -lt 10000 ] || { echo "SMOKE FAIL: recovery took ${recms:-?}ms"; fail=1; }
+
+grep -q '"status":"ok"' <<<"$health2" || { echo "SMOKE FAIL: not healthy after recovery"; fail=1; }
+grep -q '"dead_workers":\[0\]' <<<"$health2" || { echo "SMOKE FAIL: lost worker not reported"; fail=1; }
+
+if [ "$fail" -ne 0 ]; then
+  exit 1
+fi
+echo "SMOKE OK: recovery in ${recms}ms, $okq2 queries served through a worker kill, zero worker_lost"
