@@ -255,6 +255,7 @@ func runLoad(o loadOptions) error {
 	}
 	if mut != nil {
 		mut.report(genWindow)
+		reportLogBound(client, base, mut.applied)
 	}
 	if at := killAt.Load(); at > 0 {
 		reportFault(client, base, o, time.Unix(0, at), start, okTimes)
@@ -263,6 +264,33 @@ func runLoad(o loadOptions) error {
 		fmt.Printf("# server /stats\n%s\n", stats)
 	}
 	return nil
+}
+
+// reportLogBound prints the bounded-memory assertion of a mixed run: the
+// committed-op log the server retains after the run versus the ops the run
+// applied. With checkpointing armed the log must stay bounded by the
+// snapshot policy, not grow with the applied total; without snapshots the
+// line documents the unbounded growth instead of hiding it.
+func reportLogBound(client *http.Client, base string, applied int64) {
+	var st struct {
+		Snapshot struct {
+			Snapshots           int64  `json:"snapshot_count"`
+			LastSnapshotVersion uint64 `json:"last_snapshot_version"`
+			TruncatedOps        int64  `json:"truncated_ops_total"`
+			DeltaLogLen         int    `json:"delta_log_len"`
+			DeltaLogOps         int    `json:"delta_log_ops"`
+			DeltaLogBytes       int64  `json:"delta_log_bytes"`
+		} `json:"snapshot"`
+	}
+	raw, err := fetchRaw(client, base+"/stats")
+	if err != nil || json.Unmarshal([]byte(raw), &st) != nil {
+		return
+	}
+	s := st.Snapshot
+	fmt.Printf("snapshots: count=%d last_version=%d truncated_ops=%d log_len=%d log_ops=%d log_bytes=%d\n",
+		s.Snapshots, s.LastSnapshotVersion, s.TruncatedOps, s.DeltaLogLen, s.DeltaLogOps, s.DeltaLogBytes)
+	bounded := s.TruncatedOps > 0 && int64(s.DeltaLogOps) < applied
+	fmt.Printf("delta-log: bounded=%v retained_ops=%d applied_ops=%d\n", bounded, s.DeltaLogOps, applied)
 }
 
 // reportFault prints the worker-kill fault schedule's outcome: the

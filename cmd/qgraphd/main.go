@@ -32,6 +32,18 @@
 // and prints one result line per query. -random N instead runs N random
 // SSSP queries and exits.
 //
+// With -snapshot-dir the deployment checkpoints: the controller
+// periodically (per the -snapshot-every-ops / -snapshot-every-bytes /
+// -snapshot-interval policy, or on POST /admin/snapshot) folds the
+// committed graph into a durable snapshot and truncates its mutation log;
+// a worker restarted with -rejoin replays only the ops since the newest
+// checkpoint, and a full deployment restart resumes from the checkpointed
+// state. Every node must point at the same directory:
+//
+//	qgraphd -role controller ... -serve :8080 \
+//	  -snapshot-dir /var/qgraph/snaps -snapshot-every-ops 100000
+//	qgraphd -role worker -id 0 ... -snapshot-dir /var/qgraph/snaps
+//
 // SIGINT/SIGTERM shut the controller down gracefully: the HTTP listener
 // closes, in-flight queries drain, and the workers are stopped through the
 // protocol instead of dying mid-superstep.
@@ -60,6 +72,7 @@ import (
 	"qgraph/internal/protocol"
 	"qgraph/internal/query"
 	"qgraph/internal/serve"
+	"qgraph/internal/snapshot"
 	"qgraph/internal/transport"
 	"qgraph/internal/worker"
 )
@@ -84,11 +97,23 @@ func main() {
 		maxBatchOps = flag.Int("max-batch-ops", 4096, "commit the staged mutation batch early at this many ops (controller)")
 		hbEvery     = flag.Duration("heartbeat-every", time.Second, "worker liveness probe interval; negative disables (controller)")
 		hbTimeout   = flag.Duration("heartbeat-timeout", 5*time.Second, "silence after which a worker is declared dead (controller)")
+
+		snapDir      = flag.String("snapshot-dir", "", "checkpoint directory: persist snapshots durably and restart from the newest one (all nodes must see the same directory)")
+		snapKeep     = flag.Int("snapshot-keep", 2, "checkpoints retained in memory and on disk")
+		snapOps      = flag.Int("snapshot-every-ops", 0, "cut a checkpoint every N committed mutation ops (controller; 0 disables)")
+		snapBytes    = flag.Int64("snapshot-every-bytes", 0, "cut a checkpoint once the op log holds this many bytes (controller; 0 disables)")
+		snapInterval = flag.Duration("snapshot-interval", 0, "cut a checkpoint at most this often under mutation load (controller; 0 disables)")
+		rejoin       = flag.Bool("rejoin", false, "announce as a respawned worker: adopt state via the recovery protocol instead of assuming a fresh deployment (role=worker)")
 	)
 	flag.Parse()
 
 	if *serveAddr != "" && *random > 0 {
 		fatal(fmt.Errorf("-serve and -random are mutually exclusive"))
+	}
+	if (*snapOps > 0 || *snapBytes > 0 || *snapInterval > 0) && *snapDir == "" {
+		// Policy-driven truncation without a shared durable store would
+		// leave rejoining workers unable to resolve the replay base.
+		fatal(fmt.Errorf("snapshot policy flags require -snapshot-dir"))
 	}
 	addrs := strings.Split(*addrsFlag, ",")
 	if *addrsFlag == "" || len(addrs) < 2 {
@@ -102,8 +127,31 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// Restart-from-checkpoint: with -snapshot-dir, every node loads the
+	// newest durable snapshot as its base graph, so a full deployment
+	// restart resumes at the checkpointed version instead of replaying a
+	// mutation history that no longer exists. All nodes must see the same
+	// directory — they load the same file and agree on the base version
+	// byte for byte, exactly as they agree on the original graph file.
+	baseG, baseV := g, uint64(0)
+	var snapStore *snapshot.Store
+	if *snapDir != "" {
+		if err := os.MkdirAll(*snapDir, 0o755); err != nil {
+			fatal(err)
+		}
+		snapStore = snapshot.NewStore(*snapDir, *snapKeep)
+		snap, err := snapshot.LoadLatest(*snapDir)
+		if err != nil {
+			fatal(err)
+		}
+		if snap != nil {
+			baseG, baseV = snap.Graph, snap.Version
+			fmt.Printf("qgraphd: restored checkpoint version %d (%d vertices, %d edges) from %s\n",
+				snap.Version, baseG.NumVertices(), baseG.NumEdges(), *snapDir)
+		}
+	}
 	// Deterministic initial partitioning, identical on every node.
-	assign, err := partition.Hash{}.Partition(g, k)
+	assign, err := partition.Hash{}.Partition(baseG, k)
 	if err != nil {
 		fatal(err)
 	}
@@ -119,7 +167,9 @@ func main() {
 		}
 		defer node.Close()
 		w, err := worker.New(worker.Config{
-			ID: partition.WorkerID(*id), K: k, Graph: g, Owner: assign,
+			ID: partition.WorkerID(*id), K: k, Graph: baseG, Owner: assign,
+			BaseVersion: baseV, Snapshots: snapStore, Rejoin: *rejoin,
+			Logf: func(format string, args ...any) { fmt.Printf(format+"\n", args...) },
 		}, node)
 		if err != nil {
 			fatal(err)
@@ -137,9 +187,13 @@ func main() {
 		defer node.Close()
 		rec := metrics.NewRecorder(time.Now())
 		ctrl, err := controller.New(controller.Config{
-			K: k, Graph: g, Owner: assign, Adapt: *adapt, Recorder: rec,
+			K: k, Graph: baseG, Owner: assign, Adapt: *adapt, Recorder: rec,
 			CommitEvery: *commitEvery, MaxBatchOps: *maxBatchOps,
 			HeartbeatEvery: *hbEvery, HeartbeatTimeout: *hbTimeout,
+			Snapshots: snapStore, BaseVersion: baseV,
+			SnapshotPolicy: snapshot.Policy{
+				EveryOps: *snapOps, EveryBytes: *snapBytes, Interval: *snapInterval,
+			},
 		}, node)
 		if err != nil {
 			fatal(err)
@@ -157,7 +211,7 @@ func main() {
 		case *serveAddr != "":
 			srv, err := serve.New(serve.Config{
 				Backend: ctrl,
-				GraphID: graphID(*graphPath, g),
+				GraphID: graphID(*graphPath, baseG),
 				Admit: serve.AdmitConfig{
 					MaxInFlight: *maxInfl,
 					MaxQueue:    *maxQueue,
@@ -202,7 +256,7 @@ func main() {
 			fmt.Printf("served: %d completed, %d rejected, %d expired, hit ratio %.2f, %.1f qps\n",
 				snap.Completed, snap.Rejected, snap.Expired, snap.HitRatio, snap.QPS)
 		case *random > 0:
-			runRandom(ctx, ctrl, g, *random, *seed)
+			runRandom(ctx, ctrl, baseG, *random, *seed)
 			stopSignals()
 		default:
 			serveStdin(ctx, ctrl)

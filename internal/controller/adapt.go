@@ -3,6 +3,7 @@ package controller
 import (
 	"time"
 
+	"qgraph/internal/partition"
 	"qgraph/internal/qcut"
 	"qgraph/internal/query"
 )
@@ -34,13 +35,11 @@ func (c *Controller) onTick() {
 	if !c.cfg.Adapt || c.phase != phaseRun || c.qcutRunning {
 		return
 	}
-	if len(c.deadWorkers) > 0 {
-		// Q-cut's balance model assumes the full worker set; with fenced
-		// workers it would plan moves onto empty dead slots. Adaptivity
-		// resumes when every worker rejoined (live-set-aware Q-cut is a
-		// ROADMAP item).
-		return
-	}
+	// Q-cut is live-set-aware: a shrunken cluster keeps adapting over the
+	// survivors (dead workers are masked out of the snapshot), and a
+	// rejoined-empty worker shows up as the least-loaded target — the
+	// imbalance trigger below then actively re-loads it instead of waiting
+	// for organic moves.
 	imbalanced := c.lwImbalance() > c.cfg.Delta
 	if c.curCooldown == 0 {
 		c.curCooldown = c.cfg.Cooldown
@@ -84,16 +83,28 @@ func (c *Controller) lwImbalance() float64 {
 	scope := make([]float64, c.cfg.K)
 	var totalV, totalScope float64
 	for w := 0; w < c.cfg.K; w++ {
+		if c.deadWorkers[partition.WorkerID(w)] {
+			continue
+		}
 		totalV += float64(c.vertCount[w])
 	}
+	// Scope mass the window still attributes to dead workers describes
+	// state the failure destroyed; counting it would deflate the
+	// normalization scale and under-report the live spread.
 	for _, we := range c.window {
 		for w, sz := range we.sizes {
+			if c.deadWorkers[partition.WorkerID(w)] {
+				continue
+			}
 			scope[w] += float64(sz)
 			totalScope += float64(sz)
 		}
 	}
 	for _, ctl := range c.queries {
 		for w, sz := range ctl.scopeSizes {
+			if c.deadWorkers[partition.WorkerID(w)] {
+				continue
+			}
 			scope[w] += float64(sz)
 			totalScope += float64(sz)
 		}
@@ -102,15 +113,23 @@ func (c *Controller) lwImbalance() float64 {
 	if totalScope > totalV && totalScope > 0 {
 		scale = totalV / totalScope
 	}
+	// Dead workers carry no load by definition; including them would pin
+	// the spread at 1 and make the trigger fire forever over an imbalance
+	// no scope move can repair.
 	var minL, maxL float64
+	first := true
 	for w := 0; w < c.cfg.K; w++ {
+		if c.deadWorkers[partition.WorkerID(w)] {
+			continue
+		}
 		l := (float64(c.vertCount[w]) + scale*scope[w]) / 2
-		if w == 0 || l < minL {
+		if first || l < minL {
 			minL = l
 		}
-		if w == 0 || l > maxL {
+		if first || l > maxL {
 			maxL = l
 		}
+		first = false
 	}
 	if maxL <= 0 {
 		return 0
@@ -135,15 +154,31 @@ func (c *Controller) avgLocality() float64 {
 // size rows for windowed (finished) and active queries, aggregated
 // intersections, and the authoritative per-worker vertex counts.
 func (c *Controller) snapshot(now time.Time) qcut.Input {
+	// Live-set mask: recovery destroyed whatever scope state the window
+	// still attributes to dead workers, so their rows are zeroed and they
+	// are invisible to Q-cut's balance constraint and move targets.
+	alive := make([]bool, c.cfg.K)
+	for w := 0; w < c.cfg.K; w++ {
+		alive[w] = !c.deadWorkers[partition.WorkerID(w)]
+	}
+	maskRow := func(sizes []int64) []int64 {
+		out := append([]int64(nil), sizes...)
+		for w := range out {
+			if !alive[w] {
+				out[w] = 0
+			}
+		}
+		return out
+	}
 	rows := make([]qcut.ScopeRow, 0, len(c.window)+len(c.queries))
 	seen := make(map[query.ID]bool, len(c.window)+len(c.queries))
 	for _, we := range c.window {
-		rows = append(rows, qcut.ScopeRow{Q: we.q, Sizes: append([]int64(nil), we.sizes...)})
+		rows = append(rows, qcut.ScopeRow{Q: we.q, Sizes: maskRow(we.sizes)})
 		seen[we.q] = true
 	}
 	for q, ctl := range c.queries {
 		if !seen[q] {
-			rows = append(rows, qcut.ScopeRow{Q: q, Sizes: append([]int64(nil), ctl.scopeSizes...)})
+			rows = append(rows, qcut.ScopeRow{Q: q, Sizes: maskRow(ctl.scopeSizes)})
 			seen[q] = true
 		}
 	}
@@ -168,6 +203,7 @@ func (c *Controller) snapshot(now time.Time) qcut.Input {
 		Scopes:         rows,
 		Intersections:  inter,
 		VertexCounts:   append([]int64(nil), c.vertCount...),
+		Alive:          alive,
 		Delta:          c.cfg.Delta,
 		Deadline:       deadline,
 		Seed:           c.cfg.Seed + uint64(c.epoch),
@@ -181,11 +217,23 @@ func (c *Controller) snapshot(now time.Time) qcut.Input {
 func (c *Controller) onQcutDone(res qcut.Result) {
 	c.qcutRunning = false
 	c.lastRepart = c.cfg.Clock()
-	if len(res.Moves) == 0 || c.phase != phaseRun || len(c.deadWorkers) > 0 {
-		// A plan computed from a pre-failure snapshot may move scopes onto
-		// a worker that died meanwhile; drop it (the next healthy tick
-		// replans).
+	if c.phase != phaseRun {
 		return
 	}
-	c.beginGlobalBarrier(res.Moves)
+	// A plan computed from a pre-failure snapshot may still reference a
+	// worker that died meanwhile: a move from it can never be acknowledged
+	// (the worker is fenced) and a move onto it would strand the scope.
+	// Drop those directives and execute the rest — the next tick replans
+	// over the current live set.
+	moves := res.Moves[:0]
+	for _, mv := range res.Moves {
+		if c.deadWorkers[mv.From] || c.deadWorkers[mv.To] {
+			continue
+		}
+		moves = append(moves, mv)
+	}
+	if len(moves) == 0 {
+		return
+	}
+	c.beginGlobalBarrier(moves)
 }

@@ -1,0 +1,86 @@
+package controller
+
+import (
+	"time"
+
+	"qgraph/internal/faultpoint"
+	"qgraph/internal/snapshot"
+)
+
+// This file is the controller side of checkpointing (internal/snapshot):
+// folding the committed graph view into a versioned, immutable snapshot
+// and truncating the committed-op log to the tail the checkpoint does not
+// cover.
+//
+// Consistency comes for free from the commit protocol: the committed view
+// only ever changes inside the global STOP/START barrier, so any committed
+// version is superstep-consistent — no query ever observed a state between
+// two versions. Cuts therefore need no extra barrier of their own; they
+// run on the event loop against c.view, either right after a commit
+// applied (policy-driven, in applyCommit's footsteps while the barrier
+// still holds) or on demand (ForceSnapshot).
+//
+// Truncation safety: the log is only dropped up to the *durable* floor the
+// store reports — with a disk-backed store, a failed persist keeps the
+// floor at the previous on-disk checkpoint, so a process restart can never
+// be promised a replay base that does not exist. The in-memory snapshot
+// still serves rejoining workers of the current process.
+
+// maybeCheckpoint cuts a checkpoint when the policy says the log grew (or
+// aged) enough. Called after every applied commit, while the global
+// barrier still holds.
+func (c *Controller) maybeCheckpoint(now time.Time) {
+	if !c.cfg.SnapshotPolicy.Enabled() {
+		return
+	}
+	if !c.cfg.SnapshotPolicy.Due(c.snapOps, c.snapBytes, now.Sub(c.lastSnapAt)) {
+		return
+	}
+	c.cutCheckpoint(now)
+}
+
+// cutCheckpoint folds the committed view into a snapshot at the current
+// graph version and truncates the log to the durable floor. A version that
+// is already checkpointed is a no-op (Cut=false).
+func (c *Controller) cutCheckpoint(now time.Time) snapshot.Result {
+	v := c.graphVersion.Load()
+	res := snapshot.Result{
+		Version:  v,
+		Vertices: c.view.NumVertices(),
+		Edges:    c.view.NumEdges(),
+	}
+	if v == c.lastSnapVersion {
+		return res
+	}
+	g := c.view.Materialize()
+	if faultpoint.Hit(faultpoint.SnapshotCut) {
+		// Simulated crash mid-cut: the materialized graph never reached the
+		// store, so the log keeps every batch — recovery replays the longer
+		// tail over the previous checkpoint, correctness unharmed.
+		return res
+	}
+	floor, perr := c.cfg.Snapshots.Add(&snapshot.Snapshot{Version: v, Graph: g})
+	if c.cfg.privateSnapshots {
+		// A store nobody else shares (no Config.Snapshots was wired in):
+		// rejoining workers could never resolve a checkpoint from it, so
+		// the log must keep reaching back to the base every replica has.
+		floor = c.deltaLog.Base()
+	}
+	dropped := c.deltaLog.TruncateTo(floor)
+	c.cfg.Snapshots.AccountTruncated(dropped)
+	c.updateLogMirrors()
+	c.snapOps, c.snapBytes = 0, 0
+	c.lastSnapAt = now
+	c.lastSnapVersion = v
+	res.Cut = true
+	res.Persisted = perr == nil && c.cfg.Snapshots.Dir() != ""
+	res.TruncatedOps = int64(dropped)
+	return res
+}
+
+// updateLogMirrors publishes the log's size for concurrent /stats readers.
+func (c *Controller) updateLogMirrors() {
+	c.logLen.Store(int64(c.deltaLog.Len()))
+	c.logOps.Store(int64(c.deltaLog.Ops()))
+	c.logBytes.Store(c.deltaLog.Bytes())
+}

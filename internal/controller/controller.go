@@ -24,6 +24,7 @@ import (
 	"qgraph/internal/qcut"
 	"qgraph/internal/query"
 	recovery "qgraph/internal/recover"
+	"qgraph/internal/snapshot"
 	"qgraph/internal/transport"
 )
 
@@ -120,6 +121,27 @@ type Config struct {
 	// rejoins, just with an empty partition.
 	RespawnWait time.Duration
 
+	// Snapshots receives checkpoints (internal/snapshot): cuts of the
+	// committed graph that let the committed-op log be truncated and a
+	// rejoining worker replay (checkpoint, tail) instead of (version 0,
+	// full history). Nil creates a private in-memory store — note that
+	// rejoining workers then need the same store to resolve checkpoints,
+	// so multi-node deployments must share a disk-backed store.
+	Snapshots *snapshot.Store
+	// SnapshotPolicy arms automatic checkpointing; the zero policy leaves
+	// only the manual trigger (ForceSnapshot / POST /admin/snapshot).
+	SnapshotPolicy snapshot.Policy
+	// BaseVersion is the committed version Graph already contains: a
+	// deployment restarted from a checkpoint passes the checkpoint's graph
+	// and version, and the log, graph version, and replay bases all start
+	// there instead of 0.
+	BaseVersion uint64
+	// privateSnapshots marks a store fill() created because Snapshots was
+	// nil: no worker can resolve its checkpoints, so cuts must never
+	// truncate the log (a grant's BaseVersion past a private snapshot
+	// would strand every future rejoiner).
+	privateSnapshots bool
+
 	// Recorder receives metrics; nil disables recording.
 	Recorder *metrics.Recorder
 	// Clock abstracts time for tests; nil means time.Now.
@@ -174,6 +196,10 @@ func (c *Config) fill() error {
 	}
 	if c.RespawnWait <= 0 {
 		c.RespawnWait = 500 * time.Millisecond
+	}
+	if c.Snapshots == nil {
+		c.Snapshots = snapshot.NewStore("", 0)
+		c.privateSnapshots = true
 	}
 	if c.Clock == nil {
 		c.Clock = time.Now
@@ -351,6 +377,20 @@ type Controller struct {
 	epDied   map[partition.WorkerID]bool
 	deltaLog delta.Log
 
+	// Checkpointing (internal/snapshot). The committed view is folded into
+	// a versioned snapshot — by policy at commit time, or on demand — and
+	// the log truncated to the ops newer than the durable checkpoint, so
+	// recovery and restart replay O(recent) instead of O(history).
+	// snapOps/snapBytes accumulate committed log growth since the last
+	// cut; the atomic log mirrors serve concurrent /stats readers.
+	snapOps         int
+	snapBytes       int64
+	lastSnapAt      time.Time
+	lastSnapVersion uint64
+	logLen          atomic.Int64
+	logOps          atomic.Int64
+	logBytes        atomic.Int64
+
 	qcutRunning bool
 	qcutCh      chan qcut.Result
 	lastRepart  time.Time
@@ -367,12 +407,19 @@ type Controller struct {
 	curCooldown  time.Duration
 	trigLocality float64
 
-	scheduleCh chan scheduleReq
-	snapshotCh chan snapshotReq
-	mutateCh   chan mutateReq
-	stopCh     chan struct{}
-	doneCh     chan struct{}
-	runErr     error
+	scheduleCh   chan scheduleReq
+	snapshotCh   chan snapshotReq
+	checkpointCh chan checkpointReq
+	mutateCh     chan mutateReq
+	stopCh       chan struct{}
+	doneCh       chan struct{}
+	runErr       error
+}
+
+// checkpointReq asks the event loop to cut a checkpoint now (the manual
+// trigger behind POST /admin/snapshot).
+type checkpointReq struct {
+	ch chan snapshot.Result
 }
 
 type interKey struct {
@@ -394,23 +441,24 @@ func New(cfg Config, conn transport.Conn) (*Controller, error) {
 		return nil, err
 	}
 	c := &Controller{
-		cfg:         cfg,
-		conn:        conn,
-		owner:       cfg.Owner.Clone(),
-		vertCount:   make([]int64, cfg.K),
-		queries:     make(map[query.ID]*qctl),
-		byQ:         make(map[query.ID]*windowEntry),
-		inter:       make(map[interKey]int64),
-		view:        delta.NewView(cfg.Graph),
-		missedPings: make([]int, cfg.K),
-		deadWorkers: make(map[partition.WorkerID]bool),
-		epDied:      make(map[partition.WorkerID]bool),
-		qcutCh:      make(chan qcut.Result, 1),
-		scheduleCh:  make(chan scheduleReq, 64),
-		snapshotCh:  make(chan snapshotReq),
-		mutateCh:    make(chan mutateReq, 64),
-		stopCh:      make(chan struct{}),
-		doneCh:      make(chan struct{}),
+		cfg:          cfg,
+		conn:         conn,
+		owner:        cfg.Owner.Clone(),
+		vertCount:    make([]int64, cfg.K),
+		queries:      make(map[query.ID]*qctl),
+		byQ:          make(map[query.ID]*windowEntry),
+		inter:        make(map[interKey]int64),
+		view:         delta.NewViewAt(cfg.Graph, cfg.BaseVersion),
+		missedPings:  make([]int, cfg.K),
+		deadWorkers:  make(map[partition.WorkerID]bool),
+		epDied:       make(map[partition.WorkerID]bool),
+		qcutCh:       make(chan qcut.Result, 1),
+		scheduleCh:   make(chan scheduleReq, 64),
+		snapshotCh:   make(chan snapshotReq),
+		checkpointCh: make(chan checkpointReq),
+		mutateCh:     make(chan mutateReq, 64),
+		stopCh:       make(chan struct{}),
+		doneCh:       make(chan struct{}),
 		scopeExpect: func() [][]uint64 {
 			se := make([][]uint64, cfg.K)
 			for i := range se {
@@ -422,6 +470,12 @@ func New(cfg Config, conn transport.Conn) (*Controller, error) {
 	for _, w := range cfg.Owner {
 		c.vertCount[w]++
 	}
+	c.graphVersion.Store(cfg.BaseVersion)
+	if err := c.deltaLog.Rebase(cfg.BaseVersion); err != nil {
+		return nil, fmt.Errorf("controller: %w", err)
+	}
+	c.lastSnapVersion = cfg.BaseVersion
+	c.lastSnapAt = cfg.Clock()
 	c.curView.Store(c.view)
 	c.health.Store(&Health{})
 	return c, nil
@@ -499,6 +553,32 @@ func (c *Controller) Health() Health { return *c.health.Load() }
 // call concurrently with Run; the serving layer surfaces it in /stats.
 func (c *Controller) RecoveryStats() recovery.Stats { return c.recCtr.Snapshot() }
 
+// ForceSnapshot cuts a checkpoint of the committed graph now (the manual
+// trigger behind POST /admin/snapshot) and truncates the committed-op log
+// to the ops newer than the durable checkpoint. Safe from any goroutine
+// while Run is active. A Result with Cut=false means the current version
+// was already checkpointed (or the cut was aborted by fault injection).
+func (c *Controller) ForceSnapshot() (snapshot.Result, error) {
+	req := checkpointReq{ch: make(chan snapshot.Result, 1)}
+	select {
+	case c.checkpointCh <- req:
+		return <-req.ch, nil
+	case <-c.doneCh:
+		return snapshot.Result{}, fmt.Errorf("controller: stopped")
+	}
+}
+
+// SnapshotStats reports the checkpointing counters and the live size of
+// the committed-op log. Safe to call concurrently with Run; the serving
+// layer surfaces it in /stats.
+func (c *Controller) SnapshotStats() snapshot.Stats {
+	st := c.cfg.Snapshots.Stats()
+	st.DeltaLogLen = int(c.logLen.Load())
+	st.DeltaLogOps = int(c.logOps.Load())
+	st.DeltaLogBytes = c.logBytes.Load()
+	return st
+}
+
 // QcutSnapshot returns the controller's current high-level view as a Q-cut
 // input (Fig. 6g and debugging).
 func (c *Controller) QcutSnapshot() (qcut.Input, error) {
@@ -569,6 +649,8 @@ func (c *Controller) Run() error {
 			}
 		case req := <-c.snapshotCh:
 			req.ch <- c.snapshot(c.cfg.Clock())
+		case req := <-c.checkpointCh:
+			req.ch <- c.cutCheckpoint(c.cfg.Clock())
 		case req := <-c.mutateCh:
 			c.onMutate(req)
 		case res := <-c.qcutCh:

@@ -4,10 +4,12 @@ import (
 	"testing"
 	"time"
 
+	"qgraph/internal/delta"
 	"qgraph/internal/graph"
 	"qgraph/internal/partition"
 	"qgraph/internal/protocol"
 	"qgraph/internal/query"
+	"qgraph/internal/snapshot"
 	"qgraph/internal/transport"
 )
 
@@ -291,5 +293,54 @@ func TestDuplicateSynchIsError(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("controller did not fail on duplicate synch")
+	}
+}
+
+// TestCheckpointPrivateStoreNeverTruncates: a controller whose snapshot
+// store was not wired in (Config.Snapshots nil -> a private store nobody
+// else can resolve checkpoints from) must cut without truncating the op
+// log — a grant based past a private snapshot would strand every future
+// rejoiner. A shared store truncates as usual.
+func TestCheckpointPrivateStoreNeverTruncates(t *testing.T) {
+	commitOne := func(c *Controller) {
+		ops := []delta.Op{{Kind: delta.OpAddVertex}}
+		nv, _, err := c.view.Apply(ops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.view = nv
+		c.graphVersion.Store(nv.Version())
+		if err := c.deltaLog.Append(nv.Version(), ops); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := lineGraph(8)
+	owner := make(partition.Assignment, g.NumVertices())
+
+	private, err := New(Config{K: 1, Graph: g, Owner: owner, HeartbeatEvery: -1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	commitOne(private)
+	res := private.cutCheckpoint(time.Now())
+	if !res.Cut || res.TruncatedOps != 0 {
+		t.Fatalf("private-store cut = %+v, want Cut with zero truncation", res)
+	}
+	if private.deltaLog.Base() != 0 || private.deltaLog.Ops() != 1 {
+		t.Fatalf("private store truncated the log (base %d, ops %d)",
+			private.deltaLog.Base(), private.deltaLog.Ops())
+	}
+
+	shared, err := New(Config{
+		K: 1, Graph: g, Owner: owner, HeartbeatEvery: -1,
+		Snapshots: snapshot.NewStore("", 0),
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	commitOne(shared)
+	res = shared.cutCheckpoint(time.Now())
+	if !res.Cut || res.TruncatedOps != 1 || shared.deltaLog.Base() != 1 {
+		t.Fatalf("shared-store cut = %+v (base %d), want one op truncated", res, shared.deltaLog.Base())
 	}
 }

@@ -134,10 +134,18 @@ func (c *Controller) applyCommit() error {
 	c.view = nv
 	c.curView.Store(nv)
 	c.graphVersion.Store(batch.Version)
+	preBytes := c.deltaLog.Bytes()
 	if err := c.deltaLog.Append(batch.Version, batch.Ops); err != nil {
 		// Impossible: versions commit contiguously from this one loop.
 		return fmt.Errorf("controller: %w", err)
 	}
+	c.snapOps += len(batch.Ops)
+	c.snapBytes += c.deltaLog.Bytes() - preBytes
+	c.updateLogMirrors()
+	// Cut a checkpoint while the barrier still holds if the log grew past
+	// the policy; the commit's callers pay the materialization, recovery
+	// and restart gain the shorter replay.
+	c.maybeCheckpoint(c.cfg.Clock())
 	c.owner = append(c.owner, batch.NewOwners...)
 	for _, o := range batch.NewOwners {
 		c.vertCount[o]++

@@ -159,9 +159,14 @@ func (c *Controller) proceedRecovery() {
 		if c.rec.Rejoining(w) {
 			delete(c.deadWorkers, w)
 			c.missedPings[w] = 0
+			// Replay starts at the newest checkpoint, not version 0: the log
+			// was truncated there, and the rejoiner resolves the checkpoint
+			// from its snapshot store — O(ops since checkpoint) crosses the
+			// wire, however long the deployment has been mutating.
 			c.conn.Send(protocol.WorkerNode(w), &protocol.PartitionGrant{
 				Gen: gen, Version: version, Owner: ownerSnap,
-				Batches: c.deltaLog.Since(0),
+				BaseVersion: c.deltaLog.Base(),
+				Batches:     c.deltaLog.Since(c.deltaLog.Base()),
 			})
 			ackers = append(ackers, w)
 			continue

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"qgraph/internal/controller"
+	"qgraph/internal/faultpoint"
 	"qgraph/internal/gen"
 	"qgraph/internal/graph"
 	"qgraph/internal/partition"
@@ -182,5 +183,68 @@ func TestAdaptiveImprovesLocality(t *testing.T) {
 	t.Logf("tail locality: static hash %.3f, adaptive %.3f", static, adaptive)
 	if adaptive < static {
 		t.Fatalf("adaptive locality %.3f did not improve on static %.3f", adaptive, static)
+	}
+}
+
+// TestAdaptationContinuesAfterHandoff: Q-cut is live-set-aware — after a
+// worker dies and its partition is handed to the survivors, the engine
+// keeps repartitioning over the shrunken worker set (it used to freeze
+// until every worker rejoined), and every result stays correct.
+func TestAdaptationContinuesAfterHandoff(t *testing.T) {
+	defer faultpoint.Reset()
+	net := testRoad(t)
+	specs, want := hotspotSpecs(t, net, 160)
+	eng := startEngine(t, net.G, func(c *Config) {
+		c.Adapt = true
+		c.Phi = 0.99 // trigger almost always
+		c.CheckEvery = 5 * time.Millisecond
+		c.Cooldown = 10 * time.Millisecond
+		c.QcutBudget = 30 * time.Millisecond
+		c.MinWindowQueries = 4
+		c.Mu = time.Minute
+		c.HeartbeatEvery = 5 * time.Millisecond
+		c.HeartbeatTimeout = 30 * time.Millisecond
+	})
+
+	fired, disarm := faultpoint.KillOnce(faultpoint.WorkerSuperstep, 1)
+	defer disarm()
+
+	results, err := eng.RunBatch(specs, 16)
+	if err != nil {
+		t.Fatalf("RunBatch: %v", err)
+	}
+	checkResults(t, results, specs, want)
+	select {
+	case <-fired:
+	default:
+		t.Fatal("fault point never fired")
+	}
+
+	// Wait out the episode, then measure repartitioning with a dead worker
+	// in the set: the second wave must still trigger Q-cut rounds.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		h := eng.Health()
+		if !h.Recovering && len(h.DeadWorkers) == 1 {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if h := eng.Health(); len(h.DeadWorkers) != 1 {
+		t.Fatalf("health after kill = %+v, want one lost worker", h)
+	}
+	before := int(eng.RepartitionEpoch())
+
+	specs2, want2 := hotspotSpecs(t, net, 160)
+	for i := range specs2 {
+		specs2[i].ID += 1000
+	}
+	results2, err := eng.RunBatch(specs2, 16)
+	if err != nil {
+		t.Fatalf("RunBatch 2: %v", err)
+	}
+	checkResults(t, results2, specs2, want2)
+	if after := int(eng.RepartitionEpoch()); after <= before {
+		t.Fatalf("no repartitioning with a dead worker (epoch %d -> %d)", before, after)
 	}
 }

@@ -31,6 +31,7 @@ import (
 	"qgraph/internal/qcut"
 	"qgraph/internal/query"
 	recovery "qgraph/internal/recover"
+	"qgraph/internal/snapshot"
 	"qgraph/internal/transport"
 	"qgraph/internal/worker"
 )
@@ -86,6 +87,20 @@ type Config struct {
 	// respawned worker's hello (see controller.Config.RespawnWait).
 	RespawnWait time.Duration
 
+	// Checkpointing (internal/snapshot). SnapshotDir persists checkpoints
+	// durably ("" keeps them in memory only); the policy knobs arm
+	// automatic cuts (zero = manual cuts only, via ForceSnapshot). The
+	// engine shares one snapshot store between the controller and every
+	// (re)spawned worker, so grants can always resolve their replay base.
+	SnapshotDir      string
+	SnapshotKeep     int
+	SnapshotEveryOps int
+	SnapshotBytes    int64
+	SnapshotInterval time.Duration
+	// BaseVersion is the committed version Graph already contains (a
+	// restart from a persisted checkpoint); see controller.Config.
+	BaseVersion uint64
+
 	// Worker knobs (zero = paper defaults; see worker.Config).
 	BatchMaxMsgs  int
 	BatchMaxBytes int
@@ -103,6 +118,7 @@ type Engine struct {
 	ownNet   bool
 	ctrl     *controller.Controller
 	recorder *metrics.Recorder
+	snaps    *snapshot.Store
 
 	// assign is the initial partitioning; respawned workers are built
 	// against it and adopt the live ownership map from their grant.
@@ -176,7 +192,8 @@ func Start(cfg Config) (*Engine, error) {
 	}
 
 	e := &Engine{cfg: cfg, net: net, ownNet: ownNet, recorder: rec,
-		assign: assign, workerLive: make([]bool, cfg.Workers)}
+		assign: assign, workerLive: make([]bool, cfg.Workers),
+		snaps: snapshot.NewStore(cfg.SnapshotDir, cfg.SnapshotKeep)}
 	var respawn func(partition.WorkerID)
 	if cfg.RespawnWorkers {
 		respawn = e.respawnWorker
@@ -205,7 +222,14 @@ func Start(cfg Config) (*Engine, error) {
 		HeartbeatTimeout: cfg.HeartbeatTimeout,
 		Respawn:          respawn,
 		RespawnWait:      cfg.RespawnWait,
-		Recorder:         rec,
+		Snapshots:        e.snaps,
+		SnapshotPolicy: snapshot.Policy{
+			EveryOps:   cfg.SnapshotEveryOps,
+			EveryBytes: cfg.SnapshotBytes,
+			Interval:   cfg.SnapshotInterval,
+		},
+		BaseVersion: cfg.BaseVersion,
+		Recorder:    rec,
 	}, net.Conn(protocol.ControllerNode))
 	if err != nil {
 		if ownNet {
@@ -252,6 +276,8 @@ func (e *Engine) workerConfig(w partition.WorkerID, rejoin bool) worker.Config {
 		ScopeTTL:      e.cfg.Mu,
 		ComputeCost:   e.cfg.ComputeCost,
 		Rejoin:        rejoin,
+		BaseVersion:   e.cfg.BaseVersion,
+		Snapshots:     e.snaps,
 	}
 }
 
@@ -376,6 +402,17 @@ func (e *Engine) Health() controller.Health { return e.ctrl.Health() }
 // RecoveryStats reports the worker-failure recovery counters (see
 // controller.RecoveryStats).
 func (e *Engine) RecoveryStats() recovery.Stats { return e.ctrl.RecoveryStats() }
+
+// ForceSnapshot cuts a checkpoint of the committed graph now and truncates
+// the committed-op log (see controller.ForceSnapshot).
+func (e *Engine) ForceSnapshot() (snapshot.Result, error) { return e.ctrl.ForceSnapshot() }
+
+// SnapshotStats reports checkpointing counters and the live op-log size
+// (see controller.SnapshotStats).
+func (e *Engine) SnapshotStats() snapshot.Stats { return e.ctrl.SnapshotStats() }
+
+// Snapshots exposes the engine's shared checkpoint store.
+func (e *Engine) Snapshots() *snapshot.Store { return e.snaps }
 
 // Controller exposes the controller, which implements the serving layer's
 // backend contract (Schedule, Cancel, RepartitionEpoch).

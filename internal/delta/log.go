@@ -6,21 +6,34 @@ import (
 	"qgraph/internal/graph"
 )
 
+// Approximate retained bytes per logged batch and op, matching the wire
+// codec (transport.WireSize of a DeltaBatch): the log's byte accounting
+// feeds the checkpoint policy, which reasons about replay traffic.
+const (
+	batchHdrBytes = 12
+	opBytes       = 13
+)
+
 // Log is the replayable stream of committed mutation batches: the ops of
 // every committed version in order. It is the recovery substrate — a
-// respawned worker rebuilds its graph view from the shared CSR base plus a
+// respawned worker rebuilds its graph view from a shared base plus a
 // replay of this log, instead of shipping graph data — and the reference
 // for the consistency property that base + replay equals the live overlay
 // at every version.
 //
-// The log holds every batch since version 0; truncation requires shipping
-// a base snapshot instead of replaying from the original graph file and is
-// future work (see ROADMAP).
+// The log no longer necessarily reaches back to version 0: checkpointing
+// (internal/snapshot) folds a committed prefix into an immutable snapshot
+// and truncates the covered batches, so Base() is the version of the
+// newest checkpoint the retained tail replays over. A log rebased at B
+// holds versions B+1..Head().
 //
 // A Log is confined to its owner's goroutine (the controller event loop);
 // accessors copy, so snapshots handed to other goroutines stay stable.
 type Log struct {
+	base    uint64 // versions <= base are truncated (covered by a snapshot)
 	batches []LogBatch
+	ops     int
+	bytes   int64
 }
 
 // LogBatch is one committed version's operations.
@@ -29,46 +42,107 @@ type LogBatch struct {
 	Ops     []Op
 }
 
-// Append records the ops committed as version v. Versions must be
-// appended contiguously starting at 1.
-func (l *Log) Append(v uint64, ops []Op) error {
-	if want := uint64(len(l.batches)) + 1; v != want {
-		return fmt.Errorf("delta: log append version %d, want %d", v, want)
+// Base returns the version the retained tail replays over: the newest
+// truncation point (0 for a log that still reaches the original graph).
+func (l *Log) Base() uint64 { return l.base }
+
+// Len returns the number of retained batches.
+func (l *Log) Len() int { return len(l.batches) }
+
+// Ops returns the number of retained operations.
+func (l *Log) Ops() int { return l.ops }
+
+// Bytes returns the approximate wire size of the retained tail.
+func (l *Log) Bytes() int64 { return l.bytes }
+
+// Rebase sets the base version of an empty log (a controller starting from
+// a checkpoint rather than version 0). Rebasing a non-empty log would
+// orphan its batches and is an error.
+func (l *Log) Rebase(v uint64) error {
+	if len(l.batches) != 0 {
+		return fmt.Errorf("delta: rebase of non-empty log (%d batches)", len(l.batches))
 	}
-	l.batches = append(l.batches, LogBatch{Version: v, Ops: append([]Op(nil), ops...)})
+	l.base = v
 	return nil
 }
 
-// Head returns the latest committed version in the log (0 when empty).
-func (l *Log) Head() uint64 { return uint64(len(l.batches)) }
+// Append records the ops committed as version v. Versions must be
+// appended contiguously from the base.
+func (l *Log) Append(v uint64, ops []Op) error {
+	if want := l.Head() + 1; v != want {
+		return fmt.Errorf("delta: log append version %d, want %d", v, want)
+	}
+	l.batches = append(l.batches, LogBatch{Version: v, Ops: append([]Op(nil), ops...)})
+	l.ops += len(ops)
+	l.bytes += batchHdrBytes + opBytes*int64(len(ops))
+	return nil
+}
 
-// Since returns copies of every batch with Version > v, in order.
+// Head returns the latest committed version in the log (Base() when empty).
+func (l *Log) Head() uint64 { return l.base + uint64(len(l.batches)) }
+
+// Since returns copies of every retained batch with Version > v, in order.
+// v below the base returns the whole retained tail — the truncated prefix
+// is gone; callers needing it must start from the covering snapshot.
 func (l *Log) Since(v uint64) []LogBatch {
-	if v >= uint64(len(l.batches)) {
+	if v < l.base {
+		v = l.base
+	}
+	if v >= l.Head() {
 		return nil
 	}
-	out := make([]LogBatch, 0, uint64(len(l.batches))-v)
-	for _, b := range l.batches[v:] {
+	out := make([]LogBatch, 0, l.Head()-v)
+	for _, b := range l.batches[v-l.base:] {
 		out = append(out, LogBatch{Version: b.Version, Ops: append([]Op(nil), b.Ops...)})
 	}
 	return out
 }
 
-// Replay rebuilds the view at version upto by applying the log's batches
-// over the base graph. Every replica that applies the same log to the same
-// base converges on the same logical graph, which is what lets a respawned
-// worker adopt a partition without any graph data crossing the wire.
+// TruncateTo drops every batch with Version <= v (clamped to the retained
+// range) and returns the number of operations released. Callers must hold
+// a snapshot covering v before truncating — the dropped prefix is
+// unrecoverable from the log alone.
+func (l *Log) TruncateTo(v uint64) int {
+	if v > l.Head() {
+		v = l.Head()
+	}
+	if v <= l.base {
+		return 0
+	}
+	n := int(v - l.base)
+	dropped := 0
+	for _, b := range l.batches[:n] {
+		dropped += len(b.Ops)
+	}
+	// Copy the tail into a fresh slice so the dropped prefix is actually
+	// released (the whole point of truncation is bounded memory).
+	l.batches = append([]LogBatch(nil), l.batches[n:]...)
+	l.base = v
+	l.ops -= dropped
+	l.bytes -= int64(n)*batchHdrBytes + opBytes*int64(dropped)
+	return dropped
+}
+
+// Replay rebuilds the view at version upto by applying the retained
+// batches over base — the graph at version Base() (the covering snapshot's
+// graph, or the original graph for an untruncated log). Every replica that
+// applies the same tail to the same base converges on the same logical
+// graph, which is what lets a respawned worker adopt a partition without
+// any graph data crossing the wire.
 func (l *Log) Replay(base *graph.Graph, upto uint64) (*View, error) {
 	if upto > l.Head() {
 		return nil, fmt.Errorf("delta: replay to version %d beyond log head %d", upto, l.Head())
 	}
-	return ReplayBatches(base, l.batches[:upto])
+	if upto < l.base {
+		return nil, fmt.Errorf("delta: replay to version %d below log base %d (truncated)", upto, l.base)
+	}
+	return ReplayBatchesFrom(base, l.base, l.batches[:upto-l.base])
 }
 
-// ReplayBatches applies a contiguous batch sequence over base, verifying
-// the version chain.
-func ReplayBatches(base *graph.Graph, batches []LogBatch) (*View, error) {
-	v := NewView(base)
+// ReplayBatchesFrom applies a contiguous batch sequence over base — the
+// graph at version from — verifying the version chain.
+func ReplayBatchesFrom(base *graph.Graph, from uint64, batches []LogBatch) (*View, error) {
+	v := NewViewAt(base, from)
 	for _, b := range batches {
 		nv, _, err := v.Apply(b.Ops)
 		if err != nil {
@@ -80,4 +154,10 @@ func ReplayBatches(base *graph.Graph, batches []LogBatch) (*View, error) {
 		v = nv
 	}
 	return v, nil
+}
+
+// ReplayBatches applies a contiguous batch sequence over the version-0
+// base graph, verifying the version chain.
+func ReplayBatches(base *graph.Graph, batches []LogBatch) (*View, error) {
+	return ReplayBatchesFrom(base, 0, batches)
 }

@@ -106,6 +106,121 @@ func TestLogReplayMatchesLiveView(t *testing.T) {
 	}
 }
 
+// TestLogTruncate checks the checkpointing contract: truncation drops
+// exactly the covered prefix, rebases the log, keeps Append contiguous,
+// and replay over the checkpoint's materialized graph reproduces the live
+// view.
+func TestLogTruncate(t *testing.T) {
+	base := logBase(t)
+	var l Log
+	live := NewView(base)
+	var snapAt2 *graph.Graph
+	for v := uint64(1); v <= 4; v++ {
+		ops := []Op{
+			{Kind: OpAddVertex},
+			{Kind: OpAddEdge, From: 0, To: graph.VertexID(v - 1), Weight: float32(v)},
+		}
+		nv, _, err := live.Apply(ops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		live = nv
+		if err := l.Append(v, ops); err != nil {
+			t.Fatal(err)
+		}
+		if v == 2 {
+			snapAt2 = live.Materialize() // the checkpoint a truncation needs
+		}
+	}
+	if l.Ops() != 8 || l.Len() != 4 {
+		t.Fatalf("pre-truncate ops=%d len=%d", l.Ops(), l.Len())
+	}
+	preBytes := l.Bytes()
+
+	if dropped := l.TruncateTo(0); dropped != 0 {
+		t.Fatalf("TruncateTo(0) dropped %d", dropped)
+	}
+	if dropped := l.TruncateTo(2); dropped != 4 {
+		t.Fatalf("TruncateTo(2) dropped %d ops, want 4", dropped)
+	}
+	if l.Base() != 2 || l.Len() != 2 || l.Ops() != 4 || l.Head() != 4 {
+		t.Fatalf("post-truncate base=%d len=%d ops=%d head=%d", l.Base(), l.Len(), l.Ops(), l.Head())
+	}
+	if l.Bytes() >= preBytes || l.Bytes() <= 0 {
+		t.Fatalf("bytes %d not reduced from %d", l.Bytes(), preBytes)
+	}
+	// Truncating again below the base is a no-op; double truncation must
+	// not double-count.
+	if dropped := l.TruncateTo(2); dropped != 0 {
+		t.Fatalf("repeat TruncateTo(2) dropped %d", dropped)
+	}
+
+	// Since below the base degrades to the whole retained tail.
+	if got := l.Since(0); len(got) != 2 || got[0].Version != 3 {
+		t.Fatalf("Since(0) after truncation = %+v", got)
+	}
+	// Replay below the base is impossible and must say so.
+	if _, err := l.Replay(snapAt2, 1); err == nil {
+		t.Fatal("replay below the base accepted")
+	}
+	// Replay over the checkpoint graph reproduces the live view.
+	rv, err := l.Replay(snapAt2, l.Head())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameTopology(t, live, rv)
+
+	// Appends stay contiguous from the head, not the old numbering.
+	if err := l.Append(4, nil); err == nil {
+		t.Fatal("stale version accepted after truncation")
+	}
+	if err := l.Append(5, []Op{{Kind: OpAddVertex}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLogRebase covers a controller restarted from a checkpoint: the log
+// starts at the checkpoint version and only accepts the next one.
+func TestLogRebase(t *testing.T) {
+	var l Log
+	if err := l.Rebase(7); err != nil {
+		t.Fatal(err)
+	}
+	if l.Base() != 7 || l.Head() != 7 {
+		t.Fatalf("base=%d head=%d, want 7/7", l.Base(), l.Head())
+	}
+	if err := l.Append(1, nil); err == nil {
+		t.Fatal("pre-base version accepted")
+	}
+	if err := l.Append(8, []Op{{Kind: OpAddVertex}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Rebase(9); err == nil {
+		t.Fatal("rebase of non-empty log accepted")
+	}
+}
+
+// TestReplayBatchesFrom checks the worker-side grant path: a tail replayed
+// over a graph at the checkpoint version lands on the right version chain.
+func TestReplayBatchesFrom(t *testing.T) {
+	base := logBase(t)
+	v, err := ReplayBatchesFrom(base, 3, []LogBatch{
+		{Version: 4, Ops: []Op{{Kind: OpAddVertex}}},
+		{Version: 5, Ops: []Op{{Kind: OpAddEdge, From: 0, To: 4, Weight: 1}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Version() != 5 || v.NumVertices() != 5 {
+		t.Fatalf("version %d vertices %d", v.Version(), v.NumVertices())
+	}
+	// A tail that does not chain from the base version is replica
+	// divergence, not a silent renumbering.
+	if _, err := ReplayBatchesFrom(base, 3, []LogBatch{{Version: 7}}); err == nil {
+		t.Fatal("non-contiguous tail accepted")
+	}
+}
+
 func assertSameTopology(t *testing.T, a, b *View) {
 	t.Helper()
 	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {

@@ -46,6 +46,13 @@ func NewView(base *graph.Graph) *View {
 	return &View{base: base, patched: map[graph.VertexID][]graph.Edge{}}
 }
 
+// NewViewAt wraps a base graph as committed version v: the replay base for
+// a checkpointed deployment, where the graph on disk already contains the
+// first v batches folded in (internal/snapshot).
+func NewViewAt(base *graph.Graph, v uint64) *View {
+	return &View{base: base, patched: map[graph.VertexID][]graph.Edge{}, version: v}
+}
+
 // Version returns the number of committed batches.
 func (v *View) Version() uint64 { return v.version }
 

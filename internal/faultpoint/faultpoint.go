@@ -36,6 +36,18 @@ const (
 	WorkerRecover = "worker/recover"
 )
 
+// Controller-side checkpointing points (internal/snapshot). These carry no
+// context arguments.
+const (
+	// SnapshotCut fires after the checkpoint's graph is materialized,
+	// before it reaches the store — the cut is lost, the log untouched.
+	SnapshotCut = "snapshot/cut"
+	// SnapshotPersist fires inside the durable write, between the temp
+	// file's bytes and the rename — the snapshot exists in memory but not
+	// on disk, so the truncation floor must not advance.
+	SnapshotPersist = "snapshot/persist"
+)
+
 // ErrKilled is the sentinel a component returns when an armed point told
 // it to die. Harnesses treat it as an injected crash, not a failure.
 var ErrKilled = errors.New("faultpoint: killed")

@@ -426,14 +426,19 @@ func (*RecoverStart) Type() MsgType { return TRecoverStart }
 
 // PartitionGrant admits a (re)spawned worker into the live set at
 // generation Gen: it rebuilds its graph view by replaying Batches over the
-// shared base graph up to committed Version, adopts Owner, and answers
-// with PartitionAck. Until the grant arrives, a rejoining worker ignores
-// every other message — stale traffic addressed to its dead predecessor.
+// graph at BaseVersion up to committed Version, adopts Owner, and answers
+// with PartitionAck. BaseVersion 0 replays over the shared base graph;
+// a non-zero BaseVersion names a checkpoint (internal/snapshot) the worker
+// must resolve locally — the controller truncates its committed-op log at
+// every checkpoint, so only the tail since the newest one ever crosses the
+// wire. Until the grant arrives, a rejoining worker ignores every other
+// message — stale traffic addressed to its dead predecessor.
 type PartitionGrant struct {
-	Gen     int32
-	Version uint64
-	Owner   []partition.WorkerID
-	Batches []delta.LogBatch
+	Gen         int32
+	Version     uint64
+	BaseVersion uint64
+	Owner       []partition.WorkerID
+	Batches     []delta.LogBatch
 }
 
 // Type implements Message.

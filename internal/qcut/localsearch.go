@@ -13,12 +13,15 @@ func (s *state) localSearch(deadline func() bool) {
 		var bestDelta int64
 		for c := range s.clusters {
 			for a := 0; a < s.k; a++ {
+				if !s.alive[a] {
+					continue
+				}
 				x := s.clusterMass(c, a)
 				if x == 0 {
 					continue
 				}
 				for b := 0; b < s.k; b++ {
-					if b == a || !s.moveOK(a, b, x) {
+					if b == a || !s.alive[b] || !s.moveOK(a, b, x) {
 						continue
 					}
 					d := s.moveDelta(c, a, b)
@@ -96,12 +99,18 @@ func (s *state) perturb(rng *rand.Rand) {
 	}
 	c := split[rng.IntN(len(split))]
 
-	// II. Move all of c's mass to its largest worker, ignoring balance.
-	target, targetMass := 0, int64(-1)
+	// II. Move all of c's mass to its largest live worker, ignoring balance.
+	target, targetMass := -1, int64(-1)
 	for w := 0; w < s.k; w++ {
+		if !s.alive[w] {
+			continue
+		}
 		if m := s.clusterMass(c, w); m > targetMass {
 			target, targetMass = w, m
 		}
+	}
+	if target < 0 {
+		return
 	}
 	for w := 0; w < s.k; w++ {
 		if w != target && s.clusterMass(c, w) > 0 {

@@ -44,6 +44,12 @@ type Input struct {
 	Scopes        []ScopeRow
 	Intersections []Intersection
 	VertexCounts  []int64 // |V(w)| per worker
+	// Alive marks the workers that can receive scopes; nil means all K.
+	// Dead workers (fenced by recovery, partitions handed off) carry no
+	// load, receive no moves, and are excluded from the balance constraint
+	// — a shrunken cluster keeps adapting over its live set, and a
+	// rejoined-empty worker is the least-loaded target for re-loading.
+	Alive []bool
 	// Delta is the maximum allowed relative workload difference δ
 	// (paper: 0.25).
 	Delta float64

@@ -295,3 +295,59 @@ func TestNoPerturbationAblation(t *testing.T) {
 		t.Logf("note: perturbation never improved over plain local search in these trials")
 	}
 }
+
+// TestLiveSetAwareness: with a dead worker masked out, Q-cut keeps
+// producing plans over the survivors — no move ever originates at or
+// targets the dead worker, scope mass attributed to it is written off,
+// and a rejoined-empty worker attracts mass (the active re-load path).
+func TestLiveSetAwareness(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 32))
+	for trial := 0; trial < 40; trial++ {
+		k := 3 + rng.IntN(6)
+		in := randomInput(rng, k, 1+rng.IntN(60))
+		dead := rng.IntN(k)
+		in.Alive = make([]bool, k)
+		for w := range in.Alive {
+			in.Alive[w] = w != dead
+		}
+		// A handed-off worker carries no vertices; its stale scope rows
+		// (the controller zeroes them, but Q-cut must not rely on that)
+		// stay as randomInput made them.
+		in.VertexCounts[dead] = 0
+		res := Run(in)
+		for _, mv := range res.Moves {
+			if int(mv.From) == dead || int(mv.To) == dead {
+				t.Fatalf("trial %d: move %+v references dead worker %d", trial, mv, dead)
+			}
+		}
+	}
+}
+
+// TestLiveSetReloadsEmptyWorker: a rejoined worker with zero scope mass is
+// the least-loaded live target, so a grossly imbalanced snapshot moves
+// scope onto it.
+func TestLiveSetReloadsEmptyWorker(t *testing.T) {
+	in := Input{
+		K:            3,
+		Delta:        0.25,
+		Seed:         7,
+		VertexCounts: []int64{10, 10, 10},
+		Alive:        []bool{true, true, true},
+	}
+	// All scope mass piled on worker 0; worker 2 rejoined empty.
+	for q := 0; q < 12; q++ {
+		in.Scopes = append(in.Scopes, ScopeRow{
+			Q: query.ID(q + 1), Sizes: []int64{40, 0, 0},
+		})
+	}
+	res := Run(in)
+	onto2 := 0
+	for _, mv := range res.Moves {
+		if mv.To == 2 {
+			onto2++
+		}
+	}
+	if onto2 == 0 {
+		t.Fatalf("no scope moved onto the empty worker: moves %+v", res.Moves)
+	}
+}

@@ -16,6 +16,9 @@ import (
 type state struct {
 	k     int
 	delta float64
+	// alive[w] marks workers that may hold or receive scopes; dead workers
+	// are invisible to the balance constraint and never a move target.
+	alive []bool
 
 	ids   []query.ID
 	size  [][]int64 // size[q][w0]: immutable original scope sizes
@@ -55,6 +58,10 @@ func newState(in Input) *state {
 	if s.delta <= 0 {
 		s.delta = 0.25
 	}
+	s.alive = make([]bool, in.K)
+	for w := range s.alive {
+		s.alive[w] = in.Alive == nil || in.Alive[w]
+	}
 	copy(s.vert, in.VertexCounts)
 	for q, row := range in.Scopes {
 		s.ids[q] = row.Q
@@ -63,6 +70,12 @@ func newState(in Input) *state {
 		s.loc[q] = make([]uint8, in.K)
 		s.cur[q] = make([]int64, in.K)
 		for w := 0; w < in.K; w++ {
+			if !s.alive[w] {
+				// Scope mass attributed to a dead worker describes state the
+				// failure destroyed; keeping it would emit move directives a
+				// fenced worker can never acknowledge.
+				s.size[q][w] = 0
+			}
 			s.loc[q][w] = uint8(w)
 			s.cur[q][w] = s.size[q][w]
 			s.total[q] += s.size[q][w]
@@ -71,6 +84,9 @@ func newState(in Input) *state {
 	}
 	var totalV, totalScope int64
 	for w := 0; w < in.K; w++ {
+		if !s.alive[w] {
+			s.vert[w] = 0 // handed off (or about to be); carries no load
+		}
 		totalV += s.vert[w]
 		totalScope += s.scopeSum[w]
 	}
@@ -84,7 +100,7 @@ func newState(in Input) *state {
 
 func (s *state) clone() *state {
 	c := &state{
-		k: s.k, delta: s.delta, scopeScale: s.scopeScale,
+		k: s.k, delta: s.delta, scopeScale: s.scopeScale, alive: s.alive,
 		ids: s.ids, size: s.size, total: s.total, // immutable, shared
 		clusterOf: s.clusterOf, clusters: s.clusters, // immutable, shared
 		loc:      make([][]uint8, len(s.loc)),
@@ -126,6 +142,13 @@ func (s *state) load(w int) float64 {
 	return (float64(s.vert[w]) + s.scopeScale*float64(s.scopeSum[w])) / 2
 }
 
+// loadShift is the load change caused by moving scope mass x between
+// workers: the scope term is scaled and halved in load, so the shift is
+// not the raw mass. Balance decisions must compare like with like.
+func (s *state) loadShift(x int64) float64 {
+	return s.scopeScale * float64(x) / 2
+}
+
 // clusterMass returns the total mass of cluster c currently at worker w.
 func (s *state) clusterMass(c, w int) int64 {
 	var m int64
@@ -141,11 +164,14 @@ func (s *state) clusterMass(c, w int) int64 {
 // every worker pair — or at least strictly reduces the load spread, so the
 // search can recover from an unbalanced initial assignment.
 func (s *state) moveOK(a, b int, x int64) bool {
-	la := s.load(a) - float64(x)
-	lb := s.load(b) + float64(x)
+	la := s.load(a) - s.loadShift(x)
+	lb := s.load(b) + s.loadShift(x)
 	var newMin, newMax float64
 	first := true
 	for w := 0; w < s.k; w++ {
+		if !s.alive[w] {
+			continue
+		}
 		l := s.load(w)
 		switch w {
 		case a:
@@ -174,17 +200,21 @@ func (s *state) moveOK(a, b int, x int64) bool {
 	return (newMax-newMin)/newMax < (oldMax-oldMin)/oldMax
 }
 
-// loadRange returns the minimum and maximum worker load.
+// loadRange returns the minimum and maximum live-worker load.
 func (s *state) loadRange() (minL, maxL float64) {
-	minL, maxL = s.load(0), s.load(0)
-	for w := 1; w < s.k; w++ {
+	first := true
+	for w := 0; w < s.k; w++ {
+		if !s.alive[w] {
+			continue
+		}
 		l := s.load(w)
-		if l < minL {
+		if first || l < minL {
 			minL = l
 		}
-		if l > maxL {
+		if first || l > maxL {
 			maxL = l
 		}
+		first = false
 	}
 	return minL, maxL
 }
@@ -249,14 +279,20 @@ func (s *state) moves() []Move {
 // a bounded number of attempts.
 func (s *state) rebalance(rng *rand.Rand) {
 	for attempt := 0; attempt < 8*len(s.clusters)+32 && !s.balanced(); attempt++ {
-		maxW, minW := 0, 0
-		for w := 1; w < s.k; w++ {
-			if s.load(w) > s.load(maxW) {
+		maxW, minW := -1, -1
+		for w := 0; w < s.k; w++ {
+			if !s.alive[w] {
+				continue
+			}
+			if maxW < 0 || s.load(w) > s.load(maxW) {
 				maxW = w
 			}
-			if s.load(w) < s.load(minW) {
+			if minW < 0 || s.load(w) < s.load(minW) {
 				minW = w
 			}
+		}
+		if maxW < 0 || maxW == minW {
+			return
 		}
 		// Candidate clusters with mass on the overloaded worker.
 		var cands []int
@@ -269,8 +305,10 @@ func (s *state) rebalance(rng *rand.Rand) {
 			return
 		}
 		c := cands[rng.IntN(len(cands))]
-		// Skip pathological moves that would overshoot far past balance.
-		if x := s.clusterMass(c, maxW); float64(x) > 2*(s.load(maxW)-s.load(minW)) && len(cands) > 1 {
+		// Skip pathological moves that would overshoot far past balance —
+		// comparing the move's actual load shift, not its raw scope mass,
+		// against the spread (the scope term is scaled in load).
+		if x := s.clusterMass(c, maxW); s.loadShift(x) > 2*(s.load(maxW)-s.load(minW)) && len(cands) > 1 {
 			continue
 		}
 		s.applyMove(c, maxW, minW)

@@ -20,6 +20,7 @@ import (
 	"qgraph/internal/metrics"
 	"qgraph/internal/query"
 	recovery "qgraph/internal/recover"
+	"qgraph/internal/snapshot"
 )
 
 // Backend is what the serving layer needs from the engine.
@@ -45,6 +46,12 @@ type Backend interface {
 	Health() controller.Health
 	// RecoveryStats reports worker-failure recovery counters for /stats.
 	RecoveryStats() recovery.Stats
+	// ForceSnapshot cuts a checkpoint of the committed graph and truncates
+	// the committed-op log (POST /admin/snapshot).
+	ForceSnapshot() (snapshot.Result, error)
+	// SnapshotStats reports checkpointing counters and the live op-log
+	// size for /stats.
+	SnapshotStats() snapshot.Stats
 }
 
 // Config parameterises a Server. Zero values select sane defaults.
@@ -151,16 +158,18 @@ func (s *Server) Counters() *metrics.ServeCounters { return s.ctr }
 
 // Handler returns the HTTP API:
 //
-//	POST /query        run a query (or enqueue it with "async": true)
-//	GET  /result/{id}  fetch an async query's result
-//	POST /mutate       apply a batch of streaming graph updates
-//	GET  /healthz      liveness (503 while draining or degraded)
-//	GET  /stats        serving, admission, cache, and engine counters
+//	POST /query           run a query (or enqueue it with "async": true)
+//	GET  /result/{id}     fetch an async query's result
+//	POST /mutate          apply a batch of streaming graph updates
+//	POST /admin/snapshot  cut a checkpoint and truncate the op log
+//	GET  /healthz         liveness (503 while draining or degraded)
+//	GET  /stats           serving, admission, cache, and engine counters
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.handleQuery)
 	mux.HandleFunc("GET /result/{id}", s.handleResult)
 	mux.HandleFunc("POST /mutate", s.handleMutate)
+	mux.HandleFunc("POST /admin/snapshot", s.handleSnapshot)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	return mux
@@ -265,6 +274,10 @@ type StatsResponse struct {
 	// episodes, handoffs vs rejoins, queries re-executed, and the latest
 	// episode's wall time.
 	Recovery recovery.Stats `json:"recovery"`
+	// Snapshot reports checkpointing: snapshots cut, the last checkpoint
+	// version, ops truncated, and the retained committed-op log size —
+	// bounded by the snapshot policy however long mutations stream.
+	Snapshot snapshot.Stats `json:"snapshot"`
 }
 
 // MutateOp is one operation of a POST /mutate batch.
@@ -606,7 +619,27 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Engine.Recovering = health.Recovering
 	resp.Engine.DeadWorkers = health.DeadWorkers
 	resp.Recovery = s.cfg.Backend.RecoveryStats()
+	resp.Snapshot = s.cfg.Backend.SnapshotStats()
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSnapshot triggers a checkpoint on demand (operators force one
+// before maintenance, tests force one before a kill). The response is the
+// engine's snapshot.Result: the covered version, whether a new snapshot
+// was actually cut, whether it is durable on disk, and how many log ops
+// the cut released.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if !s.begin() {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server draining"})
+		return
+	}
+	defer s.wg.Done()
+	res, err := s.cfg.Backend.ForceSnapshot()
+	if err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "snapshot: " + err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
 }
 
 // ---------------------------------------------------------------------------

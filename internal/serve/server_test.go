@@ -21,6 +21,7 @@ import (
 	"qgraph/internal/protocol"
 	"qgraph/internal/query"
 	recovery "qgraph/internal/recover"
+	"qgraph/internal/snapshot"
 )
 
 // ---------------------------------------------------------------------------
@@ -35,6 +36,8 @@ type stubBackend struct {
 	mutErr    error
 	health    controller.Health
 	recovery  recovery.Stats
+	snapStats snapshot.Stats
+	snapErr   error
 	scheduled int
 	cancelled map[query.ID]bool
 	// block, when non-nil, holds every query until closed (admission
@@ -128,6 +131,33 @@ func (b *stubBackend) RecoveryStats() recovery.Stats {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.recovery
+}
+
+// ForceSnapshot pretends to checkpoint the current version, cutting once
+// per version like the real engine.
+func (b *stubBackend) ForceSnapshot() (snapshot.Result, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.snapErr != nil {
+		return snapshot.Result{}, b.snapErr
+	}
+	v := b.version.Load()
+	res := snapshot.Result{Version: v, Vertices: b.view.NumVertices(), Edges: b.view.NumEdges()}
+	if v != b.snapStats.LastSnapshotVersion || b.snapStats.Snapshots == 0 {
+		res.Cut = true
+		res.TruncatedOps = int64(b.snapStats.DeltaLogOps)
+		b.snapStats.Snapshots++
+		b.snapStats.LastSnapshotVersion = v
+		b.snapStats.TruncatedOps += res.TruncatedOps
+		b.snapStats.DeltaLogLen, b.snapStats.DeltaLogOps, b.snapStats.DeltaLogBytes = 0, 0, 0
+	}
+	return res, nil
+}
+
+func (b *stubBackend) SnapshotStats() snapshot.Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.snapStats
 }
 
 func (b *stubBackend) scheduledCount() int {

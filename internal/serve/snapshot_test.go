@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	"qgraph/internal/core"
+	"qgraph/internal/graph"
+	"qgraph/internal/partition"
+	"qgraph/internal/snapshot"
+)
+
+func postSnapshot(t *testing.T, url string) (int, snapshot.Result) {
+	t.Helper()
+	resp, err := http.Post(url+"/admin/snapshot", "application/json", nil)
+	if err != nil {
+		t.Fatalf("POST /admin/snapshot: %v", err)
+	}
+	defer resp.Body.Close()
+	var res snapshot.Result
+	_ = json.NewDecoder(resp.Body).Decode(&res)
+	return resp.StatusCode, res
+}
+
+// TestSnapshotEndpoint exercises the admin trigger against the stub:
+// success maps the engine result through, an engine error is a 503, and a
+// draining server rejects the request.
+func TestSnapshotEndpoint(t *testing.T) {
+	b := newStubBackend()
+	b.version.Store(3)
+	b.mu.Lock()
+	b.snapStats.DeltaLogOps = 17
+	b.mu.Unlock()
+	s, ts := newTestServer(t, b, nil)
+
+	code, res := postSnapshot(t, ts.URL)
+	if code != http.StatusOK || !res.Cut || res.Version != 3 || res.TruncatedOps != 17 {
+		t.Fatalf("snapshot = %d %+v", code, res)
+	}
+	// Same version again: still 200, but a no-op.
+	code, res = postSnapshot(t, ts.URL)
+	if code != http.StatusOK || res.Cut {
+		t.Fatalf("repeat snapshot = %d %+v", code, res)
+	}
+
+	b.mu.Lock()
+	b.snapErr = fmt.Errorf("stopped")
+	b.mu.Unlock()
+	if code, _ := postSnapshot(t, ts.URL); code != http.StatusServiceUnavailable {
+		t.Fatalf("failing snapshot = %d, want 503", code)
+	}
+
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if code, _ := postSnapshot(t, ts.URL); code != http.StatusServiceUnavailable {
+		t.Fatalf("draining snapshot = %d, want 503", code)
+	}
+}
+
+// TestStatsExposesSnapshotBlock: /stats carries the checkpointing block
+// verbatim from the backend.
+func TestStatsExposesSnapshotBlock(t *testing.T) {
+	b := newStubBackend()
+	b.mu.Lock()
+	b.snapStats = snapshot.Stats{
+		Snapshots: 2, LastSnapshotVersion: 9, TruncatedOps: 123,
+		DeltaLogLen: 3, DeltaLogOps: 40, DeltaLogBytes: 556,
+	}
+	b.mu.Unlock()
+	_, ts := newTestServer(t, b, nil)
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Snapshot != b.snapStats {
+		t.Fatalf("stats snapshot block = %+v, want %+v", st.Snapshot, b.snapStats)
+	}
+}
+
+// TestSnapshotEndToEnd drives the real engine through the HTTP surface:
+// mutations grow the log, POST /admin/snapshot truncates it, and /stats
+// reflects the bounded tail.
+func TestSnapshotEndToEnd(t *testing.T) {
+	b := graph.NewBuilder(8)
+	for v := 0; v+1 < 8; v++ {
+		b.AddBiEdge(graph.VertexID(v), graph.VertexID(v+1), 1)
+	}
+	eng, err := core.Start(core.Config{
+		Workers: 2, Graph: b.MustBuild(), Partitioner: partition.Hash{},
+		CommitEvery: time.Millisecond, MaxBatchOps: 1, CheckEvery: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	_, ts := newTestServer(t, eng.Controller(), nil)
+
+	for i := 0; i < 3; i++ {
+		code, _ := postMutate(t, ts.URL, MutateRequest{Ops: []MutateOp{
+			{Op: "add_edge", From: 0, To: 7, Weight: 50},
+		}})
+		if code != http.StatusOK {
+			t.Fatalf("mutate %d = %d", i, code)
+		}
+	}
+
+	code, res := postSnapshot(t, ts.URL)
+	if code != http.StatusOK || !res.Cut || res.Version != 3 || res.TruncatedOps != 3 {
+		t.Fatalf("snapshot = %d %+v", code, res)
+	}
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Snapshot.Snapshots != 1 || st.Snapshot.LastSnapshotVersion != 3 ||
+		st.Snapshot.TruncatedOps != 3 || st.Snapshot.DeltaLogOps != 0 {
+		t.Fatalf("stats after snapshot: %+v", st.Snapshot)
+	}
+}

@@ -1,0 +1,242 @@
+package snapshot
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"qgraph/internal/faultpoint"
+	"qgraph/internal/graph"
+)
+
+func testGraph(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(n)
+	for v := 0; v+1 < n; v++ {
+		b.AddBiEdge(graph.VertexID(v), graph.VertexID(v+1), float32(v+1))
+	}
+	return b.MustBuild()
+}
+
+func TestPolicyDue(t *testing.T) {
+	var zero Policy
+	if zero.Enabled() || zero.Due(1<<20, 1<<30, time.Hour) {
+		t.Fatal("zero policy must never trigger")
+	}
+	p := Policy{EveryOps: 100, EveryBytes: 1000, Interval: time.Minute}
+	if !p.Enabled() {
+		t.Fatal("armed policy reports disabled")
+	}
+	cases := []struct {
+		ops     int
+		bytes   int64
+		elapsed time.Duration
+		want    bool
+	}{
+		{0, 1 << 30, time.Hour, false}, // nothing committed: never cut
+		{99, 999, time.Second, false},
+		{100, 0, 0, true},
+		{1, 1000, 0, true},
+		{1, 0, time.Minute, true},
+	}
+	for _, c := range cases {
+		if got := p.Due(c.ops, c.bytes, c.elapsed); got != c.want {
+			t.Errorf("Due(%d, %d, %v) = %v, want %v", c.ops, c.bytes, c.elapsed, got, c.want)
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	g := testGraph(t, 8)
+	path, err := WriteFile(dir, &Snapshot{Version: 42, Graph: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != FileName(42) {
+		t.Fatalf("wrote %s, want %s", path, FileName(42))
+	}
+	snap, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Version != 42 || snap.Graph.NumVertices() != 8 || snap.Graph.NumEdges() != g.NumEdges() {
+		t.Fatalf("loaded %+v", snap)
+	}
+	for v := 0; v < 8; v++ {
+		a, b := g.Out(graph.VertexID(v)), snap.Graph.Out(graph.VertexID(v))
+		if len(a) != len(b) {
+			t.Fatalf("vertex %d degree %d vs %d", v, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("vertex %d edge %d: %+v vs %+v", v, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestLoadRejectsCorruption: torn and bit-flipped files fail the checksum
+// instead of producing a half-loaded graph, and LoadLatest falls back to
+// the newest intact checkpoint.
+func TestLoadRejectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	g := testGraph(t, 8)
+	if _, err := WriteFile(dir, &Snapshot{Version: 1, Graph: g}); err != nil {
+		t.Fatal(err)
+	}
+	path2, err := WriteFile(dir, &Snapshot{Version: 2, Graph: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(path2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Torn write: the file stops mid-payload.
+	if err := os.WriteFile(path2, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path2); err == nil {
+		t.Fatal("torn file loaded")
+	}
+	snap, err := LoadLatest(dir)
+	if err != nil || snap == nil || snap.Version != 1 {
+		t.Fatalf("LoadLatest after torn v2 = %+v, %v; want v1", snap, err)
+	}
+
+	// Bit flip inside the payload.
+	raw[20] ^= 0x40
+	if err := os.WriteFile(path2, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path2); err == nil {
+		t.Fatal("corrupt file loaded")
+	}
+
+	// Empty directory: no snapshot, no error.
+	snap, err = LoadLatest(t.TempDir())
+	if err != nil || snap != nil {
+		t.Fatalf("LoadLatest(empty) = %+v, %v", snap, err)
+	}
+}
+
+func TestStoreMemory(t *testing.T) {
+	s := NewStore("", 2)
+	g := testGraph(t, 4)
+	for v := uint64(1); v <= 3; v++ {
+		floor, err := s.Add(&Snapshot{Version: v, Graph: g})
+		if err != nil || floor != v {
+			t.Fatalf("Add(%d) = %d, %v", v, floor, err)
+		}
+	}
+	if s.Latest().Version != 3 {
+		t.Fatalf("latest %d", s.Latest().Version)
+	}
+	if s.At(2) == nil || s.At(3) == nil {
+		t.Fatal("retained snapshots not found")
+	}
+	if s.At(1) != nil {
+		t.Fatal("evicted snapshot still found (keep=2)")
+	}
+	s.AccountTruncated(7)
+	st := s.Stats()
+	if st.Snapshots != 3 || st.LastSnapshotVersion != 3 || st.TruncatedOps != 7 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestStoreDiskFloorAndPrune: the truncation floor follows durability, the
+// At fallback reads evicted snapshots back from disk, and old files are
+// pruned.
+func TestStoreDiskFloorAndPrune(t *testing.T) {
+	dir := t.TempDir()
+	s := NewStore(dir, 2)
+	g := testGraph(t, 4)
+	for v := uint64(1); v <= 4; v++ {
+		floor, err := s.Add(&Snapshot{Version: v, Graph: g})
+		if err != nil || floor != v {
+			t.Fatalf("Add(%d) = %d, %v", v, floor, err)
+		}
+	}
+	paths, _ := filepath.Glob(filepath.Join(dir, "snap-*"+fileExt))
+	if len(paths) != 2 {
+		t.Fatalf("disk holds %d snapshots, want 2 (pruned)", len(paths))
+	}
+	// Version 3 was evicted from memory but survives on disk.
+	if snap := s.At(3); snap == nil || snap.Version != 3 {
+		t.Fatalf("At(3) from disk = %+v", snap)
+	}
+	if s.At(1) != nil {
+		t.Fatal("pruned snapshot still resolvable")
+	}
+}
+
+// TestStorePersistFailureHoldsFloor is the crash-during-persist property:
+// when the durable write dies, the floor stays at the previous on-disk
+// checkpoint (the log must not be truncated past what a restart can load),
+// while the in-memory snapshot still serves the current process.
+func TestStorePersistFailureHoldsFloor(t *testing.T) {
+	defer faultpoint.Reset()
+	dir := t.TempDir()
+	s := NewStore(dir, 2)
+	g := testGraph(t, 4)
+	if floor, err := s.Add(&Snapshot{Version: 1, Graph: g}); err != nil || floor != 1 {
+		t.Fatalf("Add(1) = %d, %v", floor, err)
+	}
+
+	disarm := faultpoint.Arm(faultpoint.SnapshotPersist, func(...int) bool { return true })
+	floor, err := s.Add(&Snapshot{Version: 2, Graph: g})
+	disarm()
+	if err == nil {
+		t.Fatal("persist fault did not surface")
+	}
+	if floor != 1 {
+		t.Fatalf("floor advanced to %d past the durable checkpoint", floor)
+	}
+	if s.Latest().Version != 2 {
+		t.Fatal("in-memory snapshot lost on persist failure")
+	}
+	st := s.Stats()
+	if st.PersistFailures != 1 || st.Persisted != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	// A restart sees only the durable checkpoint.
+	snap, err := LoadLatest(dir)
+	if err != nil || snap == nil || snap.Version != 1 {
+		t.Fatalf("LoadLatest = %+v, %v; want durable v1", snap, err)
+	}
+
+	// The simulated crash left its temp file, as a real crash would.
+	if tmps, _ := filepath.Glob(filepath.Join(dir, "*"+fileExt+tmpSuffix)); len(tmps) != 1 {
+		t.Fatalf("expected the crashed persist's temp file, found %v", tmps)
+	}
+
+	// The next successful cut re-advances the floor past the gap — and
+	// sweeps the orphaned temp file.
+	if floor, err := s.Add(&Snapshot{Version: 3, Graph: g}); err != nil || floor != 3 {
+		t.Fatalf("Add(3) = %d, %v", floor, err)
+	}
+	if tmps, _ := filepath.Glob(filepath.Join(dir, "*"+tmpSuffix)); len(tmps) != 0 {
+		t.Fatalf("orphaned temp files not swept: %v", tmps)
+	}
+}
+
+// TestWriteFileErrorCleansTemp: a persist that fails for a real reason
+// (not a crash) must not leave its temp file behind.
+func TestWriteFileErrorCleansTemp(t *testing.T) {
+	dir := t.TempDir()
+	g := testGraph(t, 4)
+	// Make the final rename fail by occupying the target with a directory.
+	if err := os.Mkdir(filepath.Join(dir, FileName(5)), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteFile(dir, &Snapshot{Version: 5, Graph: g}); err == nil {
+		t.Fatal("rename onto a directory succeeded")
+	}
+	if tmps, _ := filepath.Glob(filepath.Join(dir, "*"+tmpSuffix)); len(tmps) != 0 {
+		t.Fatalf("failed persist left temp files: %v", tmps)
+	}
+}

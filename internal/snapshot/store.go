@@ -1,0 +1,150 @@
+package snapshot
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Store holds the recent checkpoints. It is safe for concurrent use: the
+// controller's event loop cuts snapshots while rejoining workers (and the
+// serving layer's stats handler) read them from other goroutines.
+//
+// With a directory configured, every Add is also persisted durably; the
+// truncation floor then advances only on a successful persist, so the
+// committed-op log is never truncated past a checkpoint that a process
+// restart could not recover (the in-memory copy dies with the process).
+type Store struct {
+	dir  string
+	keep int
+
+	mu    sync.Mutex
+	snaps []*Snapshot // ascending version
+	// durable is the truncation floor: the newest version guaranteed to
+	// survive the snapshot owner. Memory-only stores advance it on every
+	// Add; dir-backed stores only after the file is durably in place.
+	durable uint64
+
+	cuts            atomic.Int64
+	lastVersion     atomic.Uint64
+	truncated       atomic.Int64
+	persisted       atomic.Int64
+	persistFailures atomic.Int64
+}
+
+// NewStore creates a store retaining the latest keep snapshots (default 2:
+// the newest plus one fallback for a persist that failed mid-cut). With a
+// non-empty dir, snapshots are additionally persisted there.
+func NewStore(dir string, keep int) *Store {
+	if keep <= 0 {
+		keep = 2
+	}
+	return &Store{dir: dir, keep: keep}
+}
+
+// Dir returns the persistence directory ("" when memory-only).
+func (s *Store) Dir() string { return s.dir }
+
+// Add registers a freshly-cut snapshot and returns the version the caller
+// may safely truncate its op log to. The in-memory add always succeeds;
+// with a directory configured, a persist failure is reported (and counted)
+// but the snapshot stays usable in memory — the returned floor then stays
+// at the previous durable version, so recovery-from-disk is never promised
+// beyond what is actually on disk.
+func (s *Store) Add(snap *Snapshot) (floor uint64, err error) {
+	if s.dir != "" {
+		if _, err = WriteFile(s.dir, snap); err != nil {
+			s.persistFailures.Add(1)
+		} else {
+			s.persisted.Add(1)
+		}
+	}
+	s.mu.Lock()
+	s.snaps = append(s.snaps, snap)
+	if n := len(s.snaps) - s.keep; n > 0 {
+		s.snaps = append([]*Snapshot(nil), s.snaps[n:]...)
+	}
+	if s.dir == "" || err == nil {
+		s.durable = snap.Version
+	}
+	floor = s.durable
+	s.mu.Unlock()
+	s.cuts.Add(1)
+	s.lastVersion.Store(snap.Version)
+	if s.dir != "" && err == nil {
+		s.pruneDisk()
+	}
+	return floor, err
+}
+
+// Latest returns the newest snapshot (nil when none was cut yet).
+func (s *Store) Latest() *Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.snaps) == 0 {
+		return nil
+	}
+	return s.snaps[len(s.snaps)-1]
+}
+
+// At returns the snapshot at exactly the given version: from memory if
+// retained, else — for dir-backed stores — loaded from disk. Nil when the
+// version is not checkpointed anywhere reachable.
+func (s *Store) At(version uint64) *Snapshot {
+	s.mu.Lock()
+	for i := len(s.snaps) - 1; i >= 0; i-- {
+		if s.snaps[i].Version == version {
+			snap := s.snaps[i]
+			s.mu.Unlock()
+			return snap
+		}
+	}
+	s.mu.Unlock()
+	if s.dir == "" {
+		return nil
+	}
+	snap, err := Load(filepath.Join(s.dir, FileName(version)))
+	if err != nil {
+		return nil
+	}
+	return snap
+}
+
+// AccountTruncated records log operations released by a truncation (the
+// controller owns the log; the store owns the cumulative counter).
+func (s *Store) AccountTruncated(ops int) { s.truncated.Add(int64(ops)) }
+
+// Stats returns the store's accounting. The delta-log fields are zero
+// here; the controller overlays the live log sizes.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Snapshots:           s.cuts.Load(),
+		LastSnapshotVersion: s.lastVersion.Load(),
+		TruncatedOps:        s.truncated.Load(),
+		Persisted:           s.persisted.Load(),
+		PersistFailures:     s.persistFailures.Load(),
+	}
+}
+
+// pruneDisk removes snapshot files beyond the keep horizon and any
+// orphaned temp files a crash left behind, best effort. Only the Add path
+// (one goroutine at a time per store owner) writes temps, and it runs
+// strictly before this sweep, so no in-flight write can be swept.
+func (s *Store) pruneDisk() {
+	if tmps, err := filepath.Glob(filepath.Join(s.dir, "snap-*"+fileExt+tmpSuffix)); err == nil {
+		for _, p := range tmps {
+			_ = os.Remove(p)
+		}
+	}
+	paths, err := filepath.Glob(filepath.Join(s.dir, "snap-*"+fileExt))
+	if err != nil || len(paths) <= s.keep {
+		return
+	}
+	// Names embed zero-padded versions, so lexical order is version order.
+	sort.Strings(paths)
+	for _, p := range paths[:len(paths)-s.keep] {
+		_ = os.Remove(p)
+	}
+}

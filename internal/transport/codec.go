@@ -251,6 +251,7 @@ func Encode(m protocol.Message) ([]byte, error) {
 	case *protocol.PartitionGrant:
 		e.i32(v.Gen)
 		e.u64(v.Version)
+		e.u64(v.BaseVersion)
 		e.u32(uint32(len(v.Owner)))
 		for _, o := range v.Owner {
 			e.u8(uint8(o))
@@ -492,6 +493,7 @@ func Decode(t protocol.MsgType, payload []byte) (protocol.Message, error) {
 		v := &protocol.PartitionGrant{}
 		v.Gen = d.i32()
 		v.Version = d.u64()
+		v.BaseVersion = d.u64()
 		if n := d.sliceLen(1); n > 0 {
 			v.Owner = make([]partition.WorkerID, n)
 			for i := range v.Owner {
@@ -550,7 +552,7 @@ func WireSize(m protocol.Message) int {
 	case *protocol.RecoverStart:
 		return hdr + 16 + len(v.Owner)
 	case *protocol.PartitionGrant:
-		n := hdr + 20 + len(v.Owner)
+		n := hdr + 28 + len(v.Owner)
 		for _, b := range v.Batches {
 			n += 12 + 13*len(b.Ops)
 		}

@@ -149,13 +149,20 @@ func sampleMessages() []protocol.Message {
 		&protocol.RecoverStart{Gen: 3, Version: 7, Owner: []partition.WorkerID{0, 2, 2, 0}},
 		&protocol.RecoverStart{Gen: 1},
 		&protocol.PartitionGrant{
-			Gen: 4, Version: 2, Owner: []partition.WorkerID{1, 1, 0},
+			Gen: 4, Version: 2, BaseVersion: 0, Owner: []partition.WorkerID{1, 1, 0},
 			Batches: []delta.LogBatch{
 				{Version: 1, Ops: []delta.Op{{Kind: delta.OpAddEdge, From: 0, To: 2, Weight: 2.5}}},
 				{Version: 2, Ops: []delta.Op{{Kind: delta.OpAddVertex}, {Kind: delta.OpRemoveEdge, From: 1, To: 0}}},
 			},
 		},
 		&protocol.PartitionGrant{Gen: 2, Version: 0},
+		&protocol.PartitionGrant{
+			Gen: 5, Version: 9, BaseVersion: 7, Owner: []partition.WorkerID{0, 1},
+			Batches: []delta.LogBatch{
+				{Version: 8, Ops: []delta.Op{{Kind: delta.OpSetWeight, From: 1, To: 0, Weight: 4}}},
+				{Version: 9, Ops: []delta.Op{{Kind: delta.OpAddVertex}}},
+			},
+		},
 		&protocol.WorkerHello{W: 3},
 		&protocol.PartitionAck{Gen: 4, W: 3, Version: 2},
 	}

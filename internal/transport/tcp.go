@@ -168,21 +168,47 @@ func (n *TCPNode) peer(to protocol.NodeID) (*tcpPeer, error) {
 
 // Send implements Conn. Frames are written synchronously to the socket
 // buffer and flushed immediately; the kernel provides the async pipe.
+//
+// A write failure drops the cached peer and redials once: a restarted
+// process on the same address (a worker brought back with -rejoin after a
+// crash) is reachable again on the very next frame, instead of every
+// future send failing against the dead connection. Frames buffered on the
+// broken connection are lost — exactly the semantics of a crashed peer —
+// and the recovery protocol's generation fencing makes that safe.
 func (n *TCPNode) Send(to protocol.NodeID, m protocol.Message) error {
 	frame, err := Encode(m)
 	if err != nil {
 		return err
 	}
-	p, err := n.peer(to)
-	if err != nil {
-		return err
+	for attempt := 0; ; attempt++ {
+		p, err := n.peer(to)
+		if err != nil {
+			return err
+		}
+		p.mu.Lock()
+		_, werr := p.bw.Write(frame)
+		if werr == nil {
+			werr = p.bw.Flush()
+		}
+		p.mu.Unlock()
+		if werr == nil {
+			return nil
+		}
+		n.dropPeer(to, p)
+		if attempt > 0 {
+			return werr
+		}
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if _, err := p.bw.Write(frame); err != nil {
-		return err
+}
+
+// dropPeer evicts a broken cached connection so the next Send redials.
+func (n *TCPNode) dropPeer(to protocol.NodeID, p *tcpPeer) {
+	n.mu.Lock()
+	if n.peers[to] == p {
+		delete(n.peers, to)
 	}
-	return p.bw.Flush()
+	n.mu.Unlock()
+	p.conn.Close()
 }
 
 // Inbox implements Conn.

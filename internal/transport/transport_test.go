@@ -2,6 +2,7 @@ package transport
 
 import (
 	"fmt"
+	"net"
 	"testing"
 	"time"
 
@@ -140,5 +141,68 @@ func TestTCPLargeBatch(t *testing.T) {
 	}
 	if got.Entries[49999] != entries[49999] {
 		t.Fatalf("entry mismatch: %+v", got.Entries[49999])
+	}
+}
+
+// TestTCPRedialAfterPeerRestart: a process that crashed and came back on
+// the same address is reachable again through the same TCPNode — Send
+// drops the dead cached connection and redials instead of failing forever.
+// This is what lets qgraphd workers restart with -rejoin.
+func TestTCPRedialAfterPeerRestart(t *testing.T) {
+	lnA, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lnB, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := []string{lnA.Addr().String(), lnB.Addr().String()}
+	a := newTCPNodeWithListener(0, addrs, lnA)
+	defer a.Close()
+	b := newTCPNodeWithListener(1, addrs, lnB)
+
+	if err := a.Send(1, &protocol.GlobalStop{Epoch: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if env := <-b.Inbox(); env.Msg.(*protocol.GlobalStop).Epoch != 1 {
+		t.Fatal("first delivery wrong")
+	}
+
+	// "Crash" B and restart it on the same address.
+	b.Close()
+	var lnB2 net.Listener
+	for i := 0; ; i++ {
+		lnB2, err = net.Listen("tcp", addrs[1])
+		if err == nil {
+			break
+		}
+		if i > 50 {
+			t.Fatalf("rebind %s: %v", addrs[1], err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	b2 := newTCPNodeWithListener(1, addrs, lnB2)
+	defer b2.Close()
+
+	// The first send may be swallowed by the dead kernel buffer; within a
+	// few attempts the broken peer is evicted and the redial reaches B2.
+	got := make(chan struct{})
+	go func() {
+		env := <-b2.Inbox()
+		if env.Msg.(*protocol.GlobalStop).Epoch >= 2 {
+			close(got)
+		}
+	}()
+	deadline := time.After(10 * time.Second)
+	for i := int32(2); ; i++ {
+		_ = a.Send(1, &protocol.GlobalStop{Epoch: i})
+		select {
+		case <-got:
+			return
+		case <-deadline:
+			t.Fatal("restarted peer never reachable")
+		case <-time.After(50 * time.Millisecond):
+		}
 	}
 }

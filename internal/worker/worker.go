@@ -13,6 +13,7 @@ package worker
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"qgraph/internal/delta"
@@ -21,6 +22,7 @@ import (
 	"qgraph/internal/partition"
 	"qgraph/internal/protocol"
 	"qgraph/internal/query"
+	"qgraph/internal/snapshot"
 	"qgraph/internal/transport"
 )
 
@@ -56,6 +58,20 @@ type Config struct {
 	// PartitionGrant rebuilds its state (worker failure recovery — this is
 	// how a respawned worker replaces a dead one on the same node id).
 	Rejoin bool
+	// BaseVersion is the committed version Graph already contains (a
+	// deployment restarted from a checkpoint, internal/snapshot). The
+	// worker's view starts there and must match the controller's base.
+	BaseVersion uint64
+	// Snapshots resolves checkpoints a PartitionGrant replays over: the
+	// controller truncates its op log at every checkpoint, so a grant's
+	// BaseVersion beyond the worker's own base must be looked up here
+	// (shared in-process store, or a disk-backed store over the same
+	// snapshot directory). Nil restricts grants to BaseVersion ==
+	// Config.BaseVersion.
+	Snapshots *snapshot.Store
+	// Logf receives operational log lines (rejoin replay provenance); nil
+	// discards them.
+	Logf func(format string, args ...any)
 	// Clock abstracts time for tests; nil means time.Now.
 	Clock func() time.Time
 }
@@ -185,6 +201,11 @@ type Worker struct {
 	gen      int32
 	joining  bool
 	prevView *delta.View
+	// replayedOps counts the operations the latest PartitionGrant replayed
+	// to rebuild this worker's view — with checkpointing, O(ops since the
+	// checkpoint), not O(history). Atomic: tests and harnesses read it
+	// while the worker runs.
+	replayedOps atomic.Int64
 
 	// Global barrier state.
 	stopping     bool
@@ -226,7 +247,7 @@ func New(cfg Config, conn transport.Conn) (*Worker, error) {
 	w := &Worker{
 		cfg:             cfg,
 		conn:            conn,
-		view:            delta.NewView(cfg.Graph),
+		view:            delta.NewViewAt(cfg.Graph, cfg.BaseVersion),
 		k:               cfg.K,
 		id:              cfg.ID,
 		owner:           cfg.Owner.Clone(),
@@ -397,10 +418,24 @@ func (w *Worker) onRecoverStart(m *protocol.RecoverStart) error {
 }
 
 // onPartitionGrant admits this rejoining worker into the live set: rebuild
-// the graph view by replaying the committed op log over the shared base,
-// adopt the ownership map, and leave joining mode.
+// the graph view by replaying the grant's op tail over the graph at its
+// BaseVersion — the shared base when it matches this worker's own, else a
+// checkpoint resolved from the local snapshot store — then adopt the
+// ownership map and leave joining mode. With checkpointing, the tail is
+// O(ops since the newest checkpoint), not the full mutation history.
 func (w *Worker) onPartitionGrant(m *protocol.PartitionGrant) error {
-	view, err := delta.ReplayBatches(w.cfg.Graph, m.Batches)
+	base := w.cfg.Graph
+	if m.BaseVersion != w.cfg.BaseVersion {
+		if w.cfg.Snapshots == nil {
+			return fmt.Errorf("grant replays from checkpoint %d but no snapshot store is configured", m.BaseVersion)
+		}
+		snap := w.cfg.Snapshots.At(m.BaseVersion)
+		if snap == nil {
+			return fmt.Errorf("grant replays from checkpoint %d, not available locally", m.BaseVersion)
+		}
+		base = snap.Graph
+	}
+	view, err := delta.ReplayBatchesFrom(base, m.BaseVersion, m.Batches)
 	if err != nil {
 		return fmt.Errorf("grant replay: %w", err)
 	}
@@ -410,6 +445,13 @@ func (w *Worker) onPartitionGrant(m *protocol.PartitionGrant) error {
 	if len(m.Owner) != view.NumVertices() {
 		return fmt.Errorf("grant ownership covers %d of %d vertices", len(m.Owner), view.NumVertices())
 	}
+	replayed := 0
+	for _, b := range m.Batches {
+		replayed += len(b.Ops)
+	}
+	w.replayedOps.Store(int64(replayed))
+	w.logf("worker %d: rejoined at graph version %d (replayed %d ops from checkpoint version %d)",
+		w.id, m.Version, replayed, m.BaseVersion)
 	w.view = view
 	w.prevView = nil
 	w.joining = false
@@ -418,6 +460,18 @@ func (w *Worker) onPartitionGrant(m *protocol.PartitionGrant) error {
 		Gen: m.Gen, W: w.id, Version: view.Version(),
 	})
 }
+
+// logf forwards to the configured operational logger, if any.
+func (w *Worker) logf(format string, args ...any) {
+	if w.cfg.Logf != nil {
+		w.cfg.Logf(format, args...)
+	}
+}
+
+// ReplayedOps returns the operations the latest PartitionGrant replayed to
+// rebuild this worker's view (0 before any rejoin). Safe concurrently with
+// Run; tests assert it stays below ops-since-checkpoint.
+func (w *Worker) ReplayedOps() int64 { return w.replayedOps.Load() }
 
 // resetForRecovery clears every piece of in-flight state that references
 // the pre-recovery generation: live queries, early buffers, the ready

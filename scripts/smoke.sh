@@ -6,7 +6,11 @@
 # applied mutations, and an advanced graph version. Scenario 2: a fresh
 # deployment where qgraph-bench SIGKILLs a worker mid-load — recovery must
 # hand its partition to the survivor with zero worker_lost responses, a
-# bounded recovery time, and /healthz back to ok.
+# bounded recovery time, and /healthz back to ok. Scenario 3: sustained
+# mutate load with -snapshot-dir — force a checkpoint, SIGKILL a worker and
+# restart it with -rejoin; the rejoin must replay from the checkpoint
+# version (not 0), the op log must stay bounded, and a full deployment
+# restart from the checkpoint must answer the same query identically.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -128,3 +132,118 @@ if [ "$fail" -ne 0 ]; then
   exit 1
 fi
 echo "SMOKE OK: recovery in ${recms}ms, $okq2 queries served through a worker kill, zero worker_lost"
+
+# ---------------------------------------------------------------------------
+# Scenario 3: checkpointing — snapshot, log truncation, rejoin-from-
+# checkpoint, and restart-from-disk.
+
+ADDRS3="127.0.0.1:7721,127.0.0.1:7722,127.0.0.1:7723"
+SERVE3="127.0.0.1:7802"
+SNAPDIR="$workdir/snaps"
+mkdir -p "$SNAPDIR"
+
+start_w3() { # id extra-flags... ; logs to $workdir/w3-<id>.log
+  local id=$1; shift
+  "$workdir/qgraphd" -role worker -id "$id" -graph "$workdir/g.qgr" \
+    -addrs "$ADDRS3" -snapshot-dir "$SNAPDIR" "$@" \
+    >>"$workdir/w3-$id.log" 2>&1 &
+}
+
+start_w3 0
+victim3=$!
+start_w3 1
+sleep 1
+"$workdir/qgraphd" -role controller -graph "$workdir/g.qgr" -addrs "$ADDRS3" \
+  -serve "$SERVE3" -commit-every 50ms -snapshot-dir "$SNAPDIR" \
+  -heartbeat-every 200ms -heartbeat-timeout 1s &
+ctrl3=$!
+
+for _ in $(seq 1 50); do
+  curl -fsS "http://$SERVE3/healthz" >/dev/null 2>&1 && break
+  sleep 0.2
+done
+
+# Background fault choreography against the bench window below: kill the
+# worker 4s in (like scenario 2), restart it with -rejoin 2s later.
+(
+  sleep 6.5
+  start_w3 0 -rejoin
+) &
+
+out3=$("$workdir/qgraph-bench" -load "http://$SERVE3" -rate 100 -load-duration 12s \
+  -load-pool 64 -load-timeout 15s -mutate-rate 400 -mutate-batch 50 \
+  -kill-pid "$victim3" -kill-worker 0 -kill-after 4s &
+bench3=$!
+# Force a checkpoint while mutations stream, before the kill fires.
+sleep 2.5
+curl -fsS -X POST "http://$SERVE3/admin/snapshot" >"$workdir/snapcut.json"
+wait "$bench3")
+echo "$out3"
+echo "forced checkpoint: $(cat "$workdir/snapcut.json")"
+
+fail=0
+
+cutver=$(sed -n 's/.*"version":\([0-9]*\).*/\1/p' "$workdir/snapcut.json")
+grep -q '"cut":true' "$workdir/snapcut.json" || { echo "SMOKE FAIL: forced snapshot did not cut"; fail=1; }
+grep -q '"persisted":true' "$workdir/snapcut.json" || { echo "SMOKE FAIL: snapshot not persisted"; fail=1; }
+[ "${cutver:-0}" -gt 0 ] || { echo "SMOKE FAIL: checkpoint at version 0"; fail=1; }
+
+# The op log must be bounded: ops were truncated and the retained tail is
+# smaller than what the run applied.
+grep -q 'bounded=true' <<<"$out3" || { echo "SMOKE FAIL: delta log not bounded by the checkpoint"; fail=1; }
+
+# The rejoined worker replayed from the checkpoint version, not 0.
+for _ in $(seq 1 50); do
+  grep -q 'from checkpoint version' "$workdir/w3-0.log" && break
+  sleep 0.2
+done
+rejline=$(grep -m1 'replayed .* from checkpoint version' "$workdir/w3-0.log") || rejline=""
+rejver=$(sed -n 's/.*from checkpoint version \([0-9]*\).*/\1/p' <<<"$rejline")
+echo "rejoin: ${rejline:-<missing>}"
+[ -n "$rejver" ] && [ "$rejver" -gt 0 ] || { echo "SMOKE FAIL: rejoin did not replay from a checkpoint (got version '${rejver:-none}')"; fail=1; }
+
+# Recovery through the kill stayed within the PR 3 bound.
+rline3=$(grep -m1 '^recovery:' <<<"$out3") || rline3=""
+episodes3=$(sed -n 's/.*episodes=\([0-9]*\).*/\1/p' <<<"$rline3")
+recms3=$(sed -n 's/.*recovery_time_ms=\([0-9.]*\).*/\1/p' <<<"$rline3")
+[ "${episodes3:-0}" -ge 1 ] || { echo "SMOKE FAIL: no recovery episode in scenario 3"; fail=1; }
+recint3=${recms3%.*}
+[ -n "$recint3" ] && [ "$recint3" -lt 10000 ] || { echo "SMOKE FAIL: recovery took ${recms3:-?}ms"; fail=1; }
+
+# Restart-from-disk: checkpoint the final state, remember a reference
+# answer, bounce the whole deployment, and ask again.
+curl -fsS -X POST "http://$SERVE3/admin/snapshot" >/dev/null
+ref1=$(curl -fsS "http://$SERVE3/query" -d '{"kind":"sssp","source":0,"target":999,"no_cache":true}')
+val1=$(sed -n 's/.*"value":\([0-9.e+-]*\|null\).*/\1/p' <<<"$ref1")
+ver1=$(curl -fsS "http://$SERVE3/healthz" | sed -n 's/.*"graph_version":\([0-9]*\).*/\1/p')
+
+kill -INT "$ctrl3" >/dev/null 2>&1 || true
+wait "$ctrl3" || true
+# Workers exit via the protocol Shutdown; give them a moment.
+sleep 1
+
+start_w3 0
+start_w3 1
+sleep 1
+"$workdir/qgraphd" -role controller -graph "$workdir/g.qgr" -addrs "$ADDRS3" \
+  -serve "$SERVE3" -commit-every 50ms -snapshot-dir "$SNAPDIR" &
+ctrl3b=$!
+for _ in $(seq 1 50); do
+  curl -fsS "http://$SERVE3/healthz" >/dev/null 2>&1 && break
+  sleep 0.2
+done
+
+ver2=$(curl -fsS "http://$SERVE3/healthz" | sed -n 's/.*"graph_version":\([0-9]*\).*/\1/p')
+ref2=$(curl -fsS "http://$SERVE3/query" -d '{"kind":"sssp","source":0,"target":999,"no_cache":true}')
+val2=$(sed -n 's/.*"value":\([0-9.e+-]*\|null\).*/\1/p' <<<"$ref2")
+
+[ -n "$val1" ] && [ "$val1" = "$val2" ] || { echo "SMOKE FAIL: restart changed the answer ('$val1' vs '$val2')"; fail=1; }
+[ "${ver2:-0}" -eq "${ver1:-1}" ] || { echo "SMOKE FAIL: restart lost the graph version ($ver1 vs $ver2)"; fail=1; }
+
+kill -INT "$ctrl3b" >/dev/null 2>&1 || true
+wait "$ctrl3b" || true
+
+if [ "$fail" -ne 0 ]; then
+  exit 1
+fi
+echo "SMOKE OK: checkpoint v$cutver, rejoin replayed from v$rejver, restart preserved version $ver2 and answer $val2"
