@@ -26,6 +26,7 @@ import (
 	recovery "qgraph/internal/recover"
 	"qgraph/internal/snapshot"
 	"qgraph/internal/transport"
+	"qgraph/internal/wal"
 )
 
 // SyncMode selects the barrier synchronization strategy.
@@ -136,6 +137,14 @@ type Config struct {
 	// and version, and the log, graph version, and replay bases all start
 	// there instead of 0.
 	BaseVersion uint64
+	// WAL, when set, is the durable write-ahead op log: every committed
+	// batch is appended and fsynced before the commit acknowledges to its
+	// caller, so a full process restart recovers to the exact pre-crash
+	// version (snapshot.LoadLatest + WAL tail) instead of losing the ops
+	// since the last checkpoint. The log must already be aligned with
+	// BaseVersion — the caller replays the tail into Graph first
+	// (wal.RecoverGraph) and rebases an empty log onto a checkpoint.
+	WAL *wal.WAL
 	// privateSnapshots marks a store fill() created because Snapshots was
 	// nil: no worker can resolve its checkpoints, so cuts must never
 	// truncate the log (a grant's BaseVersion past a private snapshot
@@ -383,6 +392,13 @@ type Controller struct {
 	// recovery and restart replay O(recent) instead of O(history).
 	// snapOps/snapBytes accumulate committed log growth since the last
 	// cut; the atomic log mirrors serve concurrent /stats readers.
+	//
+	// Cuts run OFF the commit barrier: the barrier path only pins the
+	// immutable committed view (O(1)) and a background cutter goroutine
+	// materializes and persists it, reporting back through cutCh so the
+	// event loop truncates the delta log and WAL — the O(V+E) fold never
+	// stalls a commit. At most one cut is in flight; triggers and manual
+	// requests arriving meanwhile queue one follow-up cut.
 	snapOps         int
 	snapBytes       int64
 	lastSnapAt      time.Time
@@ -390,6 +406,18 @@ type Controller struct {
 	logLen          atomic.Int64
 	logOps          atomic.Int64
 	logBytes        atomic.Int64
+	cutCh           chan cutDone
+	cutInFlight     bool
+	cutAgain        bool
+	cutWaiters      []chan snapshot.Result
+	nextCutWaiters  []chan snapshot.Result
+	// Abort rollback state: what the policy accounting looked like when
+	// the in-flight cut pinned its view.
+	cutPrevVersion uint64
+	cutPrevAt      time.Time
+	cutPinnedOps   int
+	cutPinnedBytes int64
+	lastCutNanos   atomic.Int64
 
 	qcutRunning bool
 	qcutCh      chan qcut.Result
@@ -453,6 +481,7 @@ func New(cfg Config, conn transport.Conn) (*Controller, error) {
 		deadWorkers:  make(map[partition.WorkerID]bool),
 		epDied:       make(map[partition.WorkerID]bool),
 		qcutCh:       make(chan qcut.Result, 1),
+		cutCh:        make(chan cutDone, 1),
 		scheduleCh:   make(chan scheduleReq, 64),
 		snapshotCh:   make(chan snapshotReq),
 		checkpointCh: make(chan checkpointReq),
@@ -473,6 +502,13 @@ func New(cfg Config, conn transport.Conn) (*Controller, error) {
 	c.graphVersion.Store(cfg.BaseVersion)
 	if err := c.deltaLog.Rebase(cfg.BaseVersion); err != nil {
 		return nil, fmt.Errorf("controller: %w", err)
+	}
+	if cfg.WAL != nil && cfg.WAL.Head() != cfg.BaseVersion {
+		// A WAL ahead of the base means its tail was never replayed into
+		// Graph; behind means the caller skipped Rebase. Either way the
+		// version chains would diverge on the first commit.
+		return nil, fmt.Errorf("controller: wal head %d != base version %d (replay the tail and rebase before starting)",
+			cfg.WAL.Head(), cfg.BaseVersion)
 	}
 	c.lastSnapVersion = cfg.BaseVersion
 	c.lastSnapAt = cfg.Clock()
@@ -555,14 +591,22 @@ func (c *Controller) RecoveryStats() recovery.Stats { return c.recCtr.Snapshot()
 
 // ForceSnapshot cuts a checkpoint of the committed graph now (the manual
 // trigger behind POST /admin/snapshot) and truncates the committed-op log
-// to the ops newer than the durable checkpoint. Safe from any goroutine
-// while Run is active. A Result with Cut=false means the current version
-// was already checkpointed (or the cut was aborted by fault injection).
+// to the ops newer than the durable checkpoint. The fold runs on the
+// background cutter; this call blocks until it (and the truncation)
+// completed, but the event loop — and every commit barrier — keeps
+// running meanwhile. Safe from any goroutine while Run is active. A
+// Result with Cut=false means the current version was already
+// checkpointed (or the cut was aborted by fault injection).
 func (c *Controller) ForceSnapshot() (snapshot.Result, error) {
 	req := checkpointReq{ch: make(chan snapshot.Result, 1)}
 	select {
 	case c.checkpointCh <- req:
-		return <-req.ch, nil
+	case <-c.doneCh:
+		return snapshot.Result{}, fmt.Errorf("controller: stopped")
+	}
+	select {
+	case res := <-req.ch:
+		return res, nil
 	case <-c.doneCh:
 		return snapshot.Result{}, fmt.Errorf("controller: stopped")
 	}
@@ -576,7 +620,18 @@ func (c *Controller) SnapshotStats() snapshot.Stats {
 	st.DeltaLogLen = int(c.logLen.Load())
 	st.DeltaLogOps = int(c.logOps.Load())
 	st.DeltaLogBytes = c.logBytes.Load()
+	st.LastCutMS = float64(c.lastCutNanos.Load()) / float64(time.Millisecond)
 	return st
+}
+
+// WALStats reports the durable write-ahead log's accounting (a zero-value
+// Stats with Enabled=false when no WAL is configured). Safe to call
+// concurrently with Run; the serving layer surfaces it in /stats.
+func (c *Controller) WALStats() wal.Stats {
+	if c.cfg.WAL == nil {
+		return wal.Stats{}
+	}
+	return c.cfg.WAL.Stats()
 }
 
 // QcutSnapshot returns the controller's current high-level view as a Q-cut
@@ -650,7 +705,9 @@ func (c *Controller) Run() error {
 		case req := <-c.snapshotCh:
 			req.ch <- c.snapshot(c.cfg.Clock())
 		case req := <-c.checkpointCh:
-			req.ch <- c.cutCheckpoint(c.cfg.Clock())
+			c.requestCheckpoint(req.ch)
+		case done := <-c.cutCh:
+			c.onCutDone(done)
 		case req := <-c.mutateCh:
 			c.onMutate(req)
 		case res := <-c.qcutCh:

@@ -321,8 +321,17 @@ func TestCheckpointPrivateStoreNeverTruncates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Drive the async cut machinery by hand (no Run loop in this test):
+	// request, land the cutter's report, read the reply.
+	cut := func(c *Controller) snapshot.Result {
+		ch := make(chan snapshot.Result, 1)
+		c.requestCheckpoint(ch)
+		c.onCutDone(<-c.cutCh)
+		return <-ch
+	}
+
 	commitOne(private)
-	res := private.cutCheckpoint(time.Now())
+	res := cut(private)
 	if !res.Cut || res.TruncatedOps != 0 {
 		t.Fatalf("private-store cut = %+v, want Cut with zero truncation", res)
 	}
@@ -339,7 +348,7 @@ func TestCheckpointPrivateStoreNeverTruncates(t *testing.T) {
 		t.Fatal(err)
 	}
 	commitOne(shared)
-	res = shared.cutCheckpoint(time.Now())
+	res = cut(shared)
 	if !res.Cut || res.TruncatedOps != 1 || shared.deltaLog.Base() != 1 {
 		t.Fatalf("shared-store cut = %+v (base %d), want one op truncated", res, shared.deltaLog.Base())
 	}

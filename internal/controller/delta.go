@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"qgraph/internal/delta"
+	"qgraph/internal/faultpoint"
 	"qgraph/internal/partition"
 	"qgraph/internal/protocol"
 )
@@ -139,12 +140,27 @@ func (c *Controller) applyCommit() error {
 		// Impossible: versions commit contiguously from this one loop.
 		return fmt.Errorf("controller: %w", err)
 	}
+	// Durability point: the batch reaches the write-ahead log — fsynced —
+	// before any caller is told it committed. A WAL that cannot take the
+	// append is fatal: acknowledging an op the disk never saw would break
+	// the restart contract, so the engine stops loudly instead (the
+	// callers then see an explicit "batch state unknown" error).
+	if c.cfg.WAL != nil {
+		if err := c.cfg.WAL.Append(batch.Version, batch.Ops); err != nil {
+			return fmt.Errorf("controller: %w", err)
+		}
+		if faultpoint.Hit(faultpoint.WALAppend) {
+			// Simulated crash between the fsync and the ack: the batch is
+			// durable but nobody was told — restart must recover it.
+			return faultpoint.ErrKilled
+		}
+	}
 	c.snapOps += len(batch.Ops)
 	c.snapBytes += c.deltaLog.Bytes() - preBytes
 	c.updateLogMirrors()
-	// Cut a checkpoint while the barrier still holds if the log grew past
-	// the policy; the commit's callers pay the materialization, recovery
-	// and restart gain the shorter replay.
+	// Arm a checkpoint if the log grew past the policy. The barrier only
+	// pins the immutable view here; the O(V+E) fold runs on the background
+	// cutter, so commit latency no longer scales with graph size.
 	c.maybeCheckpoint(c.cfg.Clock())
 	c.owner = append(c.owner, batch.NewOwners...)
 	for _, o := range batch.NewOwners {

@@ -153,6 +153,14 @@ func (c *Controller) proceedRecovery() {
 	// mutating c.owner afterwards).
 	ownerSnap := append([]partition.WorkerID(nil), c.owner...)
 	version := c.graphVersion.Load()
+	// The grant replays the retained tail over the log's own base, which by
+	// construction cannot gap. If it somehow does, ship an empty tail: the
+	// rejoiner then fails its version check loudly instead of silently
+	// diverging on a disconnected replay.
+	tail, tailErr := c.deltaLog.Since(c.deltaLog.Base())
+	if tailErr != nil {
+		tail = nil
+	}
 
 	var ackers []partition.WorkerID
 	for w := partition.WorkerID(0); int(w) < c.cfg.K; w++ {
@@ -166,7 +174,7 @@ func (c *Controller) proceedRecovery() {
 			c.conn.Send(protocol.WorkerNode(w), &protocol.PartitionGrant{
 				Gen: gen, Version: version, Owner: ownerSnap,
 				BaseVersion: c.deltaLog.Base(),
-				Batches:     c.deltaLog.Since(c.deltaLog.Base()),
+				Batches:     tail,
 			})
 			ackers = append(ackers, w)
 			continue

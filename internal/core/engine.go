@@ -33,6 +33,7 @@ import (
 	recovery "qgraph/internal/recover"
 	"qgraph/internal/snapshot"
 	"qgraph/internal/transport"
+	"qgraph/internal/wal"
 	"qgraph/internal/worker"
 )
 
@@ -100,6 +101,15 @@ type Config struct {
 	// BaseVersion is the committed version Graph already contains (a
 	// restart from a persisted checkpoint); see controller.Config.
 	BaseVersion uint64
+	// WALDir enables the durable write-ahead op log (internal/wal): every
+	// committed batch is fsynced there before its caller is acknowledged,
+	// and Start first replays the directory's tail beyond BaseVersion
+	// into Graph — so an engine restarted over the same directories
+	// (snapshot + WAL) resumes at the exact pre-crash committed version.
+	WALDir string
+	// WALGraphID names the graph identity the WAL belongs to (0 selects
+	// 1); a directory written for another id refuses to open.
+	WALGraphID uint64
 
 	// Worker knobs (zero = paper defaults; see worker.Config).
 	BatchMaxMsgs  int
@@ -111,6 +121,13 @@ type Config struct {
 	Recorder *metrics.Recorder
 }
 
+// closeWAL closes a possibly-nil WAL (Start error paths).
+func closeWAL(w *wal.WAL) {
+	if w != nil {
+		w.Close()
+	}
+}
+
 // Engine is a running Q-Graph instance.
 type Engine struct {
 	cfg      Config
@@ -119,6 +136,7 @@ type Engine struct {
 	ctrl     *controller.Controller
 	recorder *metrics.Recorder
 	snaps    *snapshot.Store
+	wal      *wal.WAL
 
 	// assign is the initial partitioning; respawned workers are built
 	// against it and adopt the live ownership map from their grant.
@@ -158,6 +176,27 @@ func Start(cfg Config) (*Engine, error) {
 	if cfg.Graph == nil {
 		return nil, fmt.Errorf("core: nil graph")
 	}
+	// WAL recovery comes first: the replayed graph is what everything
+	// below (partitioning, controller, workers) must be built against.
+	var walLog *wal.WAL
+	if cfg.WALDir != "" {
+		gid := cfg.WALGraphID
+		if gid == 0 {
+			gid = 1
+		}
+		g, v, err := wal.RecoverGraph(cfg.WALDir, gid, cfg.Graph, cfg.BaseVersion)
+		if err != nil {
+			return nil, fmt.Errorf("core: wal recovery: %w", err)
+		}
+		cfg.Graph, cfg.BaseVersion = g, v
+		if walLog, err = wal.Open(cfg.WALDir, gid); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		if err := walLog.Rebase(cfg.BaseVersion); err != nil {
+			walLog.Close()
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
 	assign := cfg.Assignment
 	if assign == nil {
 		p := cfg.Partitioner
@@ -167,10 +206,12 @@ func Start(cfg Config) (*Engine, error) {
 		var err error
 		assign, err = p.Partition(cfg.Graph, cfg.Workers)
 		if err != nil {
+			closeWAL(walLog)
 			return nil, fmt.Errorf("core: initial partitioning: %w", err)
 		}
 	}
 	if err := assign.Validate(cfg.Workers); err != nil {
+		closeWAL(walLog)
 		return nil, err
 	}
 
@@ -188,12 +229,14 @@ func Start(cfg Config) (*Engine, error) {
 		if ownNet {
 			net.Close()
 		}
+		closeWAL(walLog)
 		return nil, fmt.Errorf("core: network has %d nodes, want %d", net.Nodes(), cfg.Workers+1)
 	}
 
 	e := &Engine{cfg: cfg, net: net, ownNet: ownNet, recorder: rec,
 		assign: assign, workerLive: make([]bool, cfg.Workers),
-		snaps: snapshot.NewStore(cfg.SnapshotDir, cfg.SnapshotKeep)}
+		snaps: snapshot.NewStore(cfg.SnapshotDir, cfg.SnapshotKeep),
+		wal:   walLog}
 	var respawn func(partition.WorkerID)
 	if cfg.RespawnWorkers {
 		respawn = e.respawnWorker
@@ -229,12 +272,14 @@ func Start(cfg Config) (*Engine, error) {
 			Interval:   cfg.SnapshotInterval,
 		},
 		BaseVersion: cfg.BaseVersion,
+		WAL:         walLog,
 		Recorder:    rec,
 	}, net.Conn(protocol.ControllerNode))
 	if err != nil {
 		if ownNet {
 			net.Close()
 		}
+		closeWAL(walLog)
 		return nil, err
 	}
 	e.ctrl = ctrl
@@ -245,6 +290,7 @@ func Start(cfg Config) (*Engine, error) {
 			if ownNet {
 				net.Close()
 			}
+			closeWAL(walLog)
 			return nil, err
 		}
 		e.workers = append(e.workers, wk)
@@ -411,6 +457,14 @@ func (e *Engine) ForceSnapshot() (snapshot.Result, error) { return e.ctrl.ForceS
 // (see controller.SnapshotStats).
 func (e *Engine) SnapshotStats() snapshot.Stats { return e.ctrl.SnapshotStats() }
 
+// WALStats reports the durable write-ahead log's accounting (Enabled is
+// false when the engine runs without a WAL; see controller.WALStats).
+func (e *Engine) WALStats() wal.Stats { return e.ctrl.WALStats() }
+
+// GraphBase returns the graph and committed version the engine started
+// from after snapshot/WAL recovery (what Config.Graph/BaseVersion became).
+func (e *Engine) GraphBase() (*graph.Graph, uint64) { return e.cfg.Graph, e.cfg.BaseVersion }
+
 // Snapshots exposes the engine's shared checkpoint store.
 func (e *Engine) Snapshots() *snapshot.Store { return e.snaps }
 
@@ -455,6 +509,7 @@ func (e *Engine) Close() error {
 		if e.ownNet {
 			e.net.Close()
 		}
+		closeWAL(e.wal)
 	})
 	e.errMu.Lock()
 	defer e.errMu.Unlock()

@@ -1,18 +1,17 @@
 package delta
 
 import (
+	"errors"
 	"fmt"
 
 	"qgraph/internal/graph"
 )
 
-// Approximate retained bytes per logged batch and op, matching the wire
-// codec (transport.WireSize of a DeltaBatch): the log's byte accounting
-// feeds the checkpoint policy, which reasons about replay traffic.
-const (
-	batchHdrBytes = 12
-	opBytes       = 13
-)
+// ErrGap marks a Since request for versions that were truncated away: the
+// retained tail no longer connects to the caller's version, so replaying
+// it would silently skip the ops in (v, Base()]. Callers must recover from
+// the covering snapshot instead.
+var ErrGap = errors.New("delta: requested versions truncated from log")
 
 // Log is the replayable stream of committed mutation batches: the ops of
 // every committed version in order. It is the recovery substrate — a
@@ -74,7 +73,7 @@ func (l *Log) Append(v uint64, ops []Op) error {
 	}
 	l.batches = append(l.batches, LogBatch{Version: v, Ops: append([]Op(nil), ops...)})
 	l.ops += len(ops)
-	l.bytes += batchHdrBytes + opBytes*int64(len(ops))
+	l.bytes += BatchWireBytes(len(ops))
 	return nil
 }
 
@@ -82,20 +81,22 @@ func (l *Log) Append(v uint64, ops []Op) error {
 func (l *Log) Head() uint64 { return l.base + uint64(len(l.batches)) }
 
 // Since returns copies of every retained batch with Version > v, in order.
-// v below the base returns the whole retained tail — the truncated prefix
-// is gone; callers needing it must start from the covering snapshot.
-func (l *Log) Since(v uint64) []LogBatch {
+// v below the base is an ErrGap: the ops in (v, Base()] were truncated, so
+// the retained tail does not connect to the caller's version — handing it
+// out anyway would make the caller silently skip those ops. Callers whose
+// view predates the base must rebuild from the covering snapshot.
+func (l *Log) Since(v uint64) ([]LogBatch, error) {
 	if v < l.base {
-		v = l.base
+		return nil, fmt.Errorf("%w: have (%d, %d], want > %d", ErrGap, l.base, l.Head(), v)
 	}
 	if v >= l.Head() {
-		return nil
+		return nil, nil
 	}
 	out := make([]LogBatch, 0, l.Head()-v)
 	for _, b := range l.batches[v-l.base:] {
 		out = append(out, LogBatch{Version: b.Version, Ops: append([]Op(nil), b.Ops...)})
 	}
-	return out
+	return out, nil
 }
 
 // TruncateTo drops every batch with Version <= v (clamped to the retained
@@ -119,7 +120,7 @@ func (l *Log) TruncateTo(v uint64) int {
 	l.batches = append([]LogBatch(nil), l.batches[n:]...)
 	l.base = v
 	l.ops -= dropped
-	l.bytes -= int64(n)*batchHdrBytes + opBytes*int64(dropped)
+	l.bytes -= int64(n)*BatchWireOverhead + OpWireBytes*int64(dropped)
 	return dropped
 }
 

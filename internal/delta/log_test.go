@@ -1,6 +1,7 @@
 package delta
 
 import (
+	"errors"
 	"testing"
 
 	"qgraph/internal/graph"
@@ -46,21 +47,24 @@ func TestLogSinceCopies(t *testing.T) {
 	if err := l.Append(2, []Op{{Kind: OpAddVertex}}); err != nil {
 		t.Fatal(err)
 	}
-	since := l.Since(1)
-	if len(since) != 1 || since[0].Version != 2 {
-		t.Fatalf("Since(1) = %+v, want one batch at version 2", since)
+	since, err := l.Since(1)
+	if err != nil || len(since) != 1 || since[0].Version != 2 {
+		t.Fatalf("Since(1) = %+v, %v, want one batch at version 2", since, err)
 	}
-	all := l.Since(0)
-	if len(all) != 2 {
-		t.Fatalf("Since(0) returned %d batches, want 2", len(all))
+	all, err := l.Since(0)
+	if err != nil || len(all) != 2 {
+		t.Fatalf("Since(0) returned %d batches (%v), want 2", len(all), err)
 	}
 	// Mutating the returned ops must not corrupt the log.
 	all[0].Ops[0].Weight = 99
-	again := l.Since(0)
+	again, _ := l.Since(0)
 	if again[0].Ops[0].Weight != 2 {
 		t.Fatal("Since returned aliased ops")
 	}
-	if l.Since(2) != nil || l.Since(7) != nil {
+	if got, err := l.Since(2); got != nil || err != nil {
+		t.Fatal("Since past head should be nil")
+	}
+	if got, err := l.Since(7); got != nil || err != nil {
 		t.Fatal("Since past head should be nil")
 	}
 }
@@ -155,9 +159,14 @@ func TestLogTruncate(t *testing.T) {
 		t.Fatalf("repeat TruncateTo(2) dropped %d", dropped)
 	}
 
-	// Since below the base degrades to the whole retained tail.
-	if got := l.Since(0); len(got) != 2 || got[0].Version != 3 {
-		t.Fatalf("Since(0) after truncation = %+v", got)
+	// Since below the base is an explicit gap error, never a silently
+	// disconnected tail: a caller at version 0 would miss the ops in (0, 2].
+	if got, err := l.Since(0); !errors.Is(err, ErrGap) {
+		t.Fatalf("Since(0) after truncation = %+v, %v; want ErrGap", got, err)
+	}
+	// Exactly at the base is fine — the tail connects.
+	if got, err := l.Since(2); err != nil || len(got) != 2 || got[0].Version != 3 {
+		t.Fatalf("Since(base) after truncation = %+v, %v", got, err)
 	}
 	// Replay below the base is impossible and must say so.
 	if _, err := l.Replay(snapAt2, 1); err == nil {

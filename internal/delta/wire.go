@@ -1,0 +1,22 @@
+package delta
+
+// Wire sizes of the committed-batch encoding, shared by everything that
+// accounts for batch bytes: the transport codec (DeltaBatch frames and the
+// batch list of a PartitionGrant), the log's byte accounting that feeds
+// the checkpoint policy, and the durable WAL record payload. A single
+// definition keeps policy byte accounting from drifting when the codec
+// changes.
+const (
+	// OpWireBytes is the encoded size of one Op: kind u8, from i32, to
+	// i32, weight f32.
+	OpWireBytes = 13
+	// BatchWireOverhead is the per-batch framing around the ops: version
+	// u64 plus the op-count u32.
+	BatchWireOverhead = 12
+)
+
+// BatchWireBytes returns the encoded size of one committed batch of nops
+// operations (framing plus ops, excluding any outer message envelope).
+func BatchWireBytes(nops int) int64 {
+	return BatchWireOverhead + OpWireBytes*int64(nops)
+}

@@ -46,6 +46,12 @@ const (
 	// file's bytes and the rename — the snapshot exists in memory but not
 	// on disk, so the truncation floor must not advance.
 	SnapshotPersist = "snapshot/persist"
+	// WALAppend fires after a committed batch was durably appended
+	// (fsynced) to the write-ahead log but before the commit barrier
+	// acknowledged it to the mutation's caller — the at-least-once edge:
+	// a restart must recover the batch even though nobody was told it
+	// committed.
+	WALAppend = "wal/append"
 )
 
 // ErrKilled is the sentinel a component returns when an armed point told

@@ -46,13 +46,16 @@ type Epoch struct {
 	Repartition int64  `json:"repartition"` // executed repartition barriers
 }
 
-// newerThan reports whether e supersedes old: both live counters are
+// newerThan reports whether e supersedes old. Both live counters are
 // monotone, so any strictly smaller counter marks a stale reader racing a
-// fresher request. A different base graph always supersedes.
+// fresher request. Graph ids carry no order, so a different id alone must
+// NOT supersede: two readers racing across a base-graph swap would
+// otherwise ping-pong SetEpoch and flush the cache on every request. The
+// monotone counters tie-break instead — a graph transition only lands
+// together with counter progress, which orders any race deterministically
+// (one direction wins, the other is stale) — and a same-counter id change
+// is one-way: the incumbent epoch keeps the cache.
 func (e Epoch) newerThan(old Epoch) bool {
-	if e.Graph != old.Graph {
-		return true
-	}
 	if e.Version != old.Version {
 		return e.Version > old.Version
 	}

@@ -159,9 +159,54 @@ func TestCacheEpochNeverRegresses(t *testing.T) {
 	if got := c.Stats().Epoch.Repartition; got != 3 {
 		t.Fatalf("epoch regressed to %d", got)
 	}
-	// A graph-version change flushes regardless of repartition ordering.
-	if !c.SetEpoch(Epoch{Graph: 9, Repartition: 0}) {
-		t.Fatal("graph change did not flush")
+	// A different graph id alone must not supersede either: ids carry no
+	// order, so only the monotone counters decide. With regressed counters
+	// this is a stale reader, not a new base graph.
+	if c.SetEpoch(Epoch{Graph: 9, Repartition: 0}) {
+		t.Fatal("unordered graph-id change with stale counters flushed the cache")
+	}
+	// With counter progress the transition lands (and flushes).
+	if !c.SetEpoch(Epoch{Graph: 9, Repartition: 4}) {
+		t.Fatal("graph change with counter progress did not flush")
+	}
+}
+
+// TestCacheEpochGraphSwapNoPingPong is the regression for two requests
+// racing across a base-graph swap: epochs that differ only in the
+// (unordered) graph id must not alternately supersede each other — that
+// would flush the cache on every request, forever.
+func TestCacheEpochGraphSwapNoPingPong(t *testing.T) {
+	c := NewCache(8, time.Minute, nil)
+	c.SetEpoch(Epoch{Graph: 1, Version: 5}) // no flush reported: cache still empty
+	if got := c.Stats().Epoch; got.Graph != 1 || got.Version != 5 {
+		t.Fatalf("first epoch did not land: %+v", got)
+	}
+	_, f, _ := c.Begin(testKey(1))
+	c.Complete(f, okOutcome(1), nil)
+
+	// A racing reader carrying the other graph id at the same counters:
+	// one-way — the incumbent keeps the cache, no flush ping-pong.
+	for i := 0; i < 4; i++ {
+		if c.SetEpoch(Epoch{Graph: 2, Version: 5}) {
+			t.Fatal("same-counter graph swap flushed the cache")
+		}
+		if c.SetEpoch(Epoch{Graph: 1, Version: 5}) {
+			t.Fatal("ping-pong back to the incumbent flushed the cache")
+		}
+	}
+	if _, _, st := c.Begin(testKey(1)); st != BeginHit {
+		t.Fatal("cached entry lost to a graph-id ping-pong")
+	}
+	if c.Stats().Flushes != 0 {
+		t.Fatalf("%d flushes during the ping-pong, want 0", c.Stats().Flushes)
+	}
+
+	// A genuine swap comes with version progress and supersedes once.
+	if !c.SetEpoch(Epoch{Graph: 2, Version: 6}) {
+		t.Fatal("graph swap with version progress did not flush")
+	}
+	if c.SetEpoch(Epoch{Graph: 1, Version: 5}) {
+		t.Fatal("stale pre-swap epoch regressed the cache")
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"qgraph/internal/query"
 	recovery "qgraph/internal/recover"
 	"qgraph/internal/snapshot"
+	"qgraph/internal/wal"
 )
 
 // Backend is what the serving layer needs from the engine.
@@ -52,6 +53,9 @@ type Backend interface {
 	// SnapshotStats reports checkpointing counters and the live op-log
 	// size for /stats.
 	SnapshotStats() snapshot.Stats
+	// WALStats reports the durable write-ahead log's accounting for
+	// /stats (Enabled=false when the deployment runs without a WAL).
+	WALStats() wal.Stats
 }
 
 // Config parameterises a Server. Zero values select sane defaults.
@@ -278,6 +282,11 @@ type StatsResponse struct {
 	// version, ops truncated, and the retained committed-op log size —
 	// bounded by the snapshot policy however long mutations stream.
 	Snapshot snapshot.Stats `json:"snapshot"`
+	// WAL reports the durable write-ahead log: the version chain on disk,
+	// appends and fsync latency, and truncation keeping pace with
+	// checkpoints. Enabled=false when the deployment runs without one
+	// (see README "Durability modes").
+	WAL wal.Stats `json:"wal"`
 }
 
 // MutateOp is one operation of a POST /mutate batch.
@@ -620,6 +629,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Engine.DeadWorkers = health.DeadWorkers
 	resp.Recovery = s.cfg.Backend.RecoveryStats()
 	resp.Snapshot = s.cfg.Backend.SnapshotStats()
+	resp.WAL = s.cfg.Backend.WALStats()
 	writeJSON(w, http.StatusOK, resp)
 }
 

@@ -22,6 +22,7 @@ import (
 	"qgraph/internal/query"
 	recovery "qgraph/internal/recover"
 	"qgraph/internal/snapshot"
+	"qgraph/internal/wal"
 )
 
 // ---------------------------------------------------------------------------
@@ -37,6 +38,7 @@ type stubBackend struct {
 	health    controller.Health
 	recovery  recovery.Stats
 	snapStats snapshot.Stats
+	walStats  wal.Stats
 	snapErr   error
 	scheduled int
 	cancelled map[query.ID]bool
@@ -158,6 +160,12 @@ func (b *stubBackend) SnapshotStats() snapshot.Stats {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.snapStats
+}
+
+func (b *stubBackend) WALStats() wal.Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.walStats
 }
 
 func (b *stubBackend) scheduledCount() int {

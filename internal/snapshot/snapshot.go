@@ -102,4 +102,8 @@ type Stats struct {
 	DeltaLogLen         int    `json:"delta_log_len"`
 	DeltaLogOps         int    `json:"delta_log_ops"`
 	DeltaLogBytes       int64  `json:"delta_log_bytes"`
+	// LastCutMS is the wall time of the newest completed cut (materialize
+	// + persist), all of it spent on the background cutter — evidence that
+	// the commit barrier no longer pays the O(V+E) fold.
+	LastCutMS float64 `json:"last_cut_ms,omitempty"`
 }

@@ -554,7 +554,7 @@ func WireSize(m protocol.Message) int {
 	case *protocol.PartitionGrant:
 		n := hdr + 28 + len(v.Owner)
 		for _, b := range v.Batches {
-			n += 12 + 13*len(b.Ops)
+			n += int(delta.BatchWireBytes(len(b.Ops)))
 		}
 		return n
 	case *protocol.BarrierSynch:
@@ -570,7 +570,9 @@ func WireSize(m protocol.Message) int {
 	case *protocol.ExecuteQuery:
 		return hdr + 33
 	case *protocol.DeltaBatch:
-		return hdr + 16 + 13*len(v.Ops) + len(v.NewOwners)
+		// Batch framing + ops (the shared batch encoding) plus the
+		// owner-list length prefix and owners.
+		return hdr + int(delta.BatchWireBytes(len(v.Ops))) + 4 + len(v.NewOwners)
 	default:
 		return hdr + 16
 	}

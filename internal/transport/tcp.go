@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"qgraph/internal/protocol"
 )
@@ -24,6 +25,7 @@ type TCPNode struct {
 
 	mu       sync.Mutex
 	peers    map[protocol.NodeID]*tcpPeer
+	dialed   map[net.Conn]bool // live outbound conns, for teardown
 	accepted []net.Conn
 
 	inbox  chan Envelope
@@ -33,10 +35,16 @@ type TCPNode struct {
 	once   sync.Once
 }
 
+// tcpPeer is the send-side state for one destination. Its mutex owns both
+// the connection lifecycle (dial, drop, redial) and the frame writes, so
+// concurrent Sends to one dead peer serialize: exactly one goroutine
+// redials while the others wait and then reuse the fresh connection —
+// never two racing dials leaking a socket. A dial to peer A never blocks
+// sends to peer B (the node-level mutex only guards the peer map).
 type tcpPeer struct {
+	mu   sync.Mutex
 	conn net.Conn
 	bw   *bufio.Writer
-	mu   sync.Mutex // serializes frame writes
 }
 
 // NewTCPNode starts node id listening on addrs[id]. addrs lists every
@@ -58,6 +66,7 @@ func newTCPNodeWithListener(id protocol.NodeID, addrs []string, ln net.Listener)
 		addrs:  addrs,
 		ln:     ln,
 		peers:  make(map[protocol.NodeID]*tcpPeer),
+		dialed: make(map[net.Conn]bool),
 		inbox:  make(chan Envelope, 256),
 		inQ:    newQueue(),
 		closed: make(chan struct{}),
@@ -144,7 +153,9 @@ func readFrame(r io.Reader) (protocol.Message, error) {
 	return Decode(protocol.MsgType(head[4]), payload)
 }
 
-func (n *TCPNode) peer(to protocol.NodeID) (*tcpPeer, error) {
+// slot returns the per-peer send slot, creating it on first use. The slot
+// persists across connection failures; only its connection churns.
+func (n *TCPNode) slot(to protocol.NodeID) (*tcpPeer, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if p, ok := n.peers[to]; ok {
@@ -153,62 +164,107 @@ func (n *TCPNode) peer(to protocol.NodeID) (*tcpPeer, error) {
 	if int(to) >= len(n.addrs) {
 		return nil, fmt.Errorf("transport: unknown node %d", to)
 	}
-	conn, err := net.Dial("tcp", n.addrs[to])
-	if err != nil {
-		return nil, fmt.Errorf("transport: dial node %d (%s): %w", to, n.addrs[to], err)
-	}
-	if _, err := conn.Write([]byte{byte(n.id)}); err != nil {
-		conn.Close()
-		return nil, err
-	}
-	p := &tcpPeer{conn: conn, bw: bufio.NewWriterSize(conn, 1<<16)}
+	p := &tcpPeer{}
 	n.peers[to] = p
 	return p, nil
 }
 
+// registerDialed tracks a live outbound connection for teardown; it
+// refuses (and closes the conn) when the node is already closing, so no
+// dial can race past Close.
+func (n *TCPNode) registerDialed(conn net.Conn) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	select {
+	case <-n.closed:
+		conn.Close()
+		return false
+	default:
+	}
+	n.dialed[conn] = true
+	return true
+}
+
+func (n *TCPNode) unregisterDialed(conn net.Conn) {
+	n.mu.Lock()
+	delete(n.dialed, conn)
+	n.mu.Unlock()
+}
+
+// Send retry schedule: a dead connection or a failed dial is retried a
+// bounded number of times with a short backoff, so one transient failure
+// during a peer's restart (listener briefly down between the crash and
+// the -rejoin relaunch) does not permanently fail the send. The schedule
+// is deliberately tight (≤ ~30ms of sleep, worst case): callers send
+// from event loops, and a genuinely dead peer must fail fast enough not
+// to stall barrier progress while liveness detection runs.
+const (
+	sendAttempts = 3
+	sendBackoff  = 10 * time.Millisecond
+)
+
 // Send implements Conn. Frames are written synchronously to the socket
 // buffer and flushed immediately; the kernel provides the async pipe.
 //
-// A write failure drops the cached peer and redials once: a restarted
-// process on the same address (a worker brought back with -rejoin after a
-// crash) is reachable again on the very next frame, instead of every
-// future send failing against the dead connection. Frames buffered on the
-// broken connection are lost — exactly the semantics of a crashed peer —
-// and the recovery protocol's generation fencing makes that safe.
+// A write failure drops the connection and redials, bounded by the retry
+// schedule: a restarted process on the same address (a worker brought
+// back with -rejoin after a crash) is reachable again on the very next
+// frame, instead of every future send failing against the dead
+// connection. Frames buffered on the broken connection are lost — exactly
+// the semantics of a crashed peer — and the recovery protocol's
+// generation fencing makes that safe. Per-peer state is lock-serialized,
+// so concurrent Sends to one dead peer produce one redial, not a race of
+// leaked sockets.
 func (n *TCPNode) Send(to protocol.NodeID, m protocol.Message) error {
 	frame, err := Encode(m)
 	if err != nil {
 		return err
 	}
-	for attempt := 0; ; attempt++ {
-		p, err := n.peer(to)
-		if err != nil {
-			return err
+	p, err := n.slot(to)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var lastErr error
+	for attempt := 0; attempt < sendAttempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-n.closed:
+				return lastErr
+			case <-time.After(time.Duration(attempt) * sendBackoff):
+			}
 		}
-		p.mu.Lock()
+		if p.conn == nil {
+			conn, err := net.Dial("tcp", n.addrs[to])
+			if err != nil {
+				lastErr = fmt.Errorf("transport: dial node %d (%s): %w", to, n.addrs[to], err)
+				continue
+			}
+			if !n.registerDialed(conn) {
+				return fmt.Errorf("transport: node closed")
+			}
+			if _, err := conn.Write([]byte{byte(n.id)}); err != nil {
+				n.unregisterDialed(conn)
+				conn.Close()
+				lastErr = err
+				continue
+			}
+			p.conn, p.bw = conn, bufio.NewWriterSize(conn, 1<<16)
+		}
 		_, werr := p.bw.Write(frame)
 		if werr == nil {
 			werr = p.bw.Flush()
 		}
-		p.mu.Unlock()
 		if werr == nil {
 			return nil
 		}
-		n.dropPeer(to, p)
-		if attempt > 0 {
-			return werr
-		}
+		n.unregisterDialed(p.conn)
+		p.conn.Close()
+		p.conn, p.bw = nil, nil
+		lastErr = werr
 	}
-}
-
-// dropPeer evicts a broken cached connection so the next Send redials.
-func (n *TCPNode) dropPeer(to protocol.NodeID, p *tcpPeer) {
-	n.mu.Lock()
-	if n.peers[to] == p {
-		delete(n.peers, to)
-	}
-	n.mu.Unlock()
-	p.conn.Close()
+	return lastErr
 }
 
 // Inbox implements Conn.
@@ -220,8 +276,11 @@ func (n *TCPNode) Close() error {
 		close(n.closed)
 		n.ln.Close()
 		n.mu.Lock()
-		for _, p := range n.peers {
-			p.conn.Close()
+		// Close live outbound conns via the registry rather than the peer
+		// slots: slot state is owned by in-flight Sends, which observe the
+		// closed channel and the dying sockets and bail out.
+		for c := range n.dialed {
+			c.Close()
 		}
 		for _, c := range n.accepted {
 			c.Close()

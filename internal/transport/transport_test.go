@@ -3,6 +3,8 @@ package transport
 import (
 	"fmt"
 	"net"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -204,5 +206,99 @@ func TestTCPRedialAfterPeerRestart(t *testing.T) {
 			t.Fatal("restarted peer never reachable")
 		case <-time.After(50 * time.Millisecond):
 		}
+	}
+}
+
+// TestTCPConcurrentSendsDuringPeerRestart: many goroutines race Send to a
+// peer that dies and comes back on the same address. The per-peer redial
+// serialization must produce exactly one live outbound connection (no
+// leaked sockets from racing redials), and the bounded retry must make
+// sends succeed again once the restarted listener is up — one transient
+// dial failure mid-restart must not permanently fail the path.
+func TestTCPConcurrentSendsDuringPeerRestart(t *testing.T) {
+	lnA, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lnB, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := []string{lnA.Addr().String(), lnB.Addr().String()}
+	a := newTCPNodeWithListener(0, addrs, lnA)
+	defer a.Close()
+	b := newTCPNodeWithListener(1, addrs, lnB)
+
+	if err := a.Send(1, &protocol.GlobalStop{Epoch: 1}); err != nil {
+		t.Fatal(err)
+	}
+	<-b.Inbox()
+	b.Close()
+
+	// Hammer the dead peer from many goroutines while it restarts.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var okAfterRestart atomic.Int64
+	restarted := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := int32(2); ; j++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				err := a.Send(1, &protocol.GlobalStop{Epoch: j})
+				select {
+				case <-restarted:
+					if err == nil {
+						okAfterRestart.Add(1)
+					}
+				default:
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}()
+	}
+	time.Sleep(100 * time.Millisecond) // sends fail and retry against the dead peer
+
+	var lnB2 net.Listener
+	for i := 0; ; i++ {
+		lnB2, err = net.Listen("tcp", addrs[1])
+		if err == nil {
+			break
+		}
+		if i > 50 {
+			t.Fatalf("rebind %s: %v", addrs[1], err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	b2 := newTCPNodeWithListener(1, addrs, lnB2)
+	defer b2.Close()
+	close(restarted)
+
+	// The restarted peer must start receiving, and sends must succeed.
+	deadline := time.After(10 * time.Second)
+	for {
+		select {
+		case <-b2.Inbox():
+		case <-deadline:
+			t.Fatal("restarted peer never received anything")
+		}
+		if okAfterRestart.Load() > 0 {
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// No leaked sockets: the racing redials collapsed to one live conn.
+	a.mu.Lock()
+	live := len(a.dialed)
+	a.mu.Unlock()
+	if live > 1 {
+		t.Fatalf("%d live outbound connections to one peer (leak)", live)
 	}
 }

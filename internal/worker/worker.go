@@ -423,19 +423,44 @@ func (w *Worker) onRecoverStart(m *protocol.RecoverStart) error {
 // checkpoint resolved from the local snapshot store — then adopt the
 // ownership map and leave joining mode. With checkpointing, the tail is
 // O(ops since the newest checkpoint), not the full mutation history.
+//
+// When the exact checkpoint the grant names is gone (pruned from the
+// store, or this worker restarted from a newer snapshot + WAL tail), the
+// replay falls back to the newest local base inside the grant's batch
+// range and skips the batches it already folds in. The version chain is
+// still verified batch by batch, so a base the tail cannot connect to
+// fails loudly — never a silently diverged replay.
 func (w *Worker) onPartitionGrant(m *protocol.PartitionGrant) error {
-	base := w.cfg.Graph
-	if m.BaseVersion != w.cfg.BaseVersion {
-		if w.cfg.Snapshots == nil {
-			return fmt.Errorf("grant replays from checkpoint %d but no snapshot store is configured", m.BaseVersion)
+	base, baseV := w.cfg.Graph, w.cfg.BaseVersion
+	if m.BaseVersion != baseV {
+		// A base is usable iff the grant's batches can bridge it to the
+		// granted version.
+		usable := func(v uint64) bool { return v > m.BaseVersion && v <= m.Version }
+		var snap *snapshot.Snapshot
+		if w.cfg.Snapshots != nil {
+			if snap = w.cfg.Snapshots.At(m.BaseVersion); snap == nil {
+				if latest := w.cfg.Snapshots.Latest(); latest != nil && usable(latest.Version) {
+					snap = latest
+				}
+			}
 		}
-		snap := w.cfg.Snapshots.At(m.BaseVersion)
-		if snap == nil {
+		switch {
+		case snap != nil:
+			base, baseV = snap.Graph, snap.Version
+		case usable(baseV):
+			// Our own base graph already contains a prefix of the grant's
+			// batches (a restart from a newer checkpoint); replay the rest.
+		case w.cfg.Snapshots == nil:
+			return fmt.Errorf("grant replays from checkpoint %d but no snapshot store is configured", m.BaseVersion)
+		default:
 			return fmt.Errorf("grant replays from checkpoint %d, not available locally", m.BaseVersion)
 		}
-		base = snap.Graph
 	}
-	view, err := delta.ReplayBatchesFrom(base, m.BaseVersion, m.Batches)
+	batches := m.Batches
+	for len(batches) > 0 && batches[0].Version <= baseV {
+		batches = batches[1:]
+	}
+	view, err := delta.ReplayBatchesFrom(base, baseV, batches)
 	if err != nil {
 		return fmt.Errorf("grant replay: %w", err)
 	}
@@ -446,12 +471,12 @@ func (w *Worker) onPartitionGrant(m *protocol.PartitionGrant) error {
 		return fmt.Errorf("grant ownership covers %d of %d vertices", len(m.Owner), view.NumVertices())
 	}
 	replayed := 0
-	for _, b := range m.Batches {
+	for _, b := range batches {
 		replayed += len(b.Ops)
 	}
 	w.replayedOps.Store(int64(replayed))
 	w.logf("worker %d: rejoined at graph version %d (replayed %d ops from checkpoint version %d)",
-		w.id, m.Version, replayed, m.BaseVersion)
+		w.id, m.Version, replayed, baseV)
 	w.view = view
 	w.prevView = nil
 	w.joining = false

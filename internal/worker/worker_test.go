@@ -4,10 +4,12 @@ import (
 	"testing"
 	"time"
 
+	"qgraph/internal/delta"
 	"qgraph/internal/graph"
 	"qgraph/internal/partition"
 	"qgraph/internal/protocol"
 	"qgraph/internal/query"
+	"qgraph/internal/snapshot"
 	"qgraph/internal/transport"
 )
 
@@ -280,5 +282,78 @@ func TestComputeDebtAccumulates(t *testing.T) {
 	// 5 supersteps × ≥1 vertex × 2ms ≥ 10ms.
 	if el := time.Since(start); el < 10*time.Millisecond {
 		t.Fatalf("compute cost not applied: %v", el)
+	}
+}
+
+// TestPartitionGrantFallbackToNewerSnapshot: when the exact checkpoint a
+// grant names is gone, the replay falls back to a newer local snapshot
+// inside the grant's batch range, skipping the batches it already covers —
+// and a base the tail cannot connect to fails loudly, never silently.
+func TestPartitionGrantFallbackToNewerSnapshot(t *testing.T) {
+	g := lineGraph()
+	ops := func(v int) []delta.Op {
+		return []delta.Op{{Kind: delta.OpAddEdge, From: 0, To: graph.VertexID(v % 5), Weight: float32(v)}}
+	}
+	// Committed history 1..4; the store only holds a checkpoint at 2.
+	live := delta.NewView(g)
+	snapStore := snapshot.NewStore("", 0)
+	var batches []delta.LogBatch
+	for v := 1; v <= 4; v++ {
+		nv, _, err := live.Apply(ops(v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		live = nv
+		batches = append(batches, delta.LogBatch{Version: uint64(v), Ops: ops(v)})
+		if v == 2 {
+			if _, err := snapStore.Add(&snapshot.Snapshot{Version: 2, Graph: live.Materialize()}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	owner := make(partition.Assignment, g.NumVertices())
+	net := transport.NewChanNetwork(2, transport.Latency{})
+	defer net.Close()
+	wk, err := New(Config{
+		ID: 0, K: 1, Graph: g, Owner: owner, Rejoin: true, Snapshots: snapStore,
+	}, net.Conn(protocol.WorkerNode(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The grant names checkpoint 1 (not in the store) and ships the tail
+	// from there; the worker must fall back to its snapshot at 2.
+	grant := &protocol.PartitionGrant{
+		Gen: 1, Version: 4, Owner: owner,
+		BaseVersion: 1, Batches: batches[1:], // versions 2..4
+	}
+	if err := wk.onPartitionGrant(grant); err != nil {
+		t.Fatalf("fallback grant failed: %v", err)
+	}
+	if v := wk.View().Version(); v != 4 {
+		t.Fatalf("rejoined at version %d, want 4", v)
+	}
+	// Only the batches past the fallback snapshot replayed (3 and 4).
+	if got := wk.ReplayedOps(); got != 2 {
+		t.Fatalf("replayed %d ops, want 2", got)
+	}
+	if wk.View().NumEdges() != live.NumEdges() {
+		t.Fatalf("fallback replay diverged: %d edges, want %d", wk.View().NumEdges(), live.NumEdges())
+	}
+
+	// A tail that cannot connect to any local base is an explicit error.
+	wk2, err := New(Config{
+		ID: 0, K: 1, Graph: g, Owner: owner, Rejoin: true, Snapshots: snapshot.NewStore("", 0),
+	}, net.Conn(protocol.WorkerNode(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gap := &protocol.PartitionGrant{
+		Gen: 1, Version: 4, Owner: owner,
+		BaseVersion: 1, Batches: batches[3:], // only version 4: gap (1, 3]
+	}
+	if err := wk2.onPartitionGrant(gap); err == nil {
+		t.Fatal("disconnected grant tail accepted (silent divergence)")
 	}
 }
