@@ -11,6 +11,9 @@
 # restart it with -rejoin; the rejoin must replay from the checkpoint
 # version (not 0), the op log must stay bounded, and a full deployment
 # restart from the checkpoint must answer the same query identically.
+# Scenario 4: durable WAL — kill -9 the whole deployment mid-mutation-load
+# and restart with -wal-dir; the recovered version must equal the last
+# acknowledged one and the answers must match a never-crashed control run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -247,3 +250,136 @@ if [ "$fail" -ne 0 ]; then
   exit 1
 fi
 echo "SMOKE OK: checkpoint v$cutver, rejoin replayed from v$rejver, restart preserved version $ver2 and answer $val2"
+
+# ---------------------------------------------------------------------------
+# Scenario 4: durable WAL — SIGKILL the whole deployment mid-mutation-load,
+# restart with -wal-dir, and prove zero lost ops: the recovered graph
+# version equals the last acknowledged one, and the final answer matches a
+# never-crashed control run that applied the identical op stream.
+
+BATCH4=50
+NBATCH4=40   # 2000 ops total from g.qgr.mut
+KILLAT4=25   # batches acked before the kill -9
+
+# mut_body <batch-index>: JSON body for op lines [i*BATCH4, i*BATCH4+BATCH4).
+mut_body() {
+  awk -v from="$(( $1 * BATCH4 ))" -v count="$BATCH4" '
+    /^#/ || NF == 0 { next }
+    { i++ }
+    i <= from || i > from + count { next }
+    {
+      if (n++) printf ","
+      else printf "{\"ops\":["
+      if ($1 == "add_vertex")       printf "{\"op\":\"add_vertex\"}"
+      else if ($1 == "remove_edge") printf "{\"op\":\"remove_edge\",\"from\":%s,\"to\":%s}", $2, $3
+      else                          printf "{\"op\":\"%s\",\"from\":%s,\"to\":%s,\"weight\":%s}", $1, $2, $3, $4
+    }
+    END { if (n) printf "]}" }
+  ' "$workdir/g.qgr.mut"
+}
+
+# apply_batches <serve> <from> <to>: post batches [from, to) one at a time
+# (each waits for its commit ack), echo the last acknowledged version.
+apply_batches() {
+  local serve=$1 from=$2 to=$3 ver="" body resp b
+  for b in $(seq "$from" $(( to - 1 ))); do
+    body=$(mut_body "$b")
+    resp=$(curl -fsS "http://$serve/mutate" -d "$body") || return 1
+    ver=$(sed -n 's/.*"version":\([0-9]*\).*/\1/p' <<<"$resp")
+  done
+  echo "$ver"
+}
+
+wait_healthy() { # serve
+  for _ in $(seq 1 50); do
+    curl -fsS "http://$1/healthz" >/dev/null 2>&1 && return 0
+    sleep 0.2
+  done
+  return 1
+}
+
+# Control run: the full stream, no crash.
+ADDRS4C="127.0.0.1:7741,127.0.0.1:7742,127.0.0.1:7743"
+SERVE4C="127.0.0.1:7803"
+"$workdir/qgraphd" -role worker -id 0 -graph "$workdir/g.qgr" -addrs "$ADDRS4C" &
+"$workdir/qgraphd" -role worker -id 1 -graph "$workdir/g.qgr" -addrs "$ADDRS4C" &
+sleep 1
+"$workdir/qgraphd" -role controller -graph "$workdir/g.qgr" -addrs "$ADDRS4C" \
+  -serve "$SERVE4C" -commit-every 50ms &
+ctrl4c=$!
+wait_healthy "$SERVE4C" || { echo "SMOKE FAIL: control deployment never healthy"; exit 1; }
+
+verc=$(apply_batches "$SERVE4C" 0 "$NBATCH4") || { echo "SMOKE FAIL: control mutations failed"; exit 1; }
+refc=$(curl -fsS "http://$SERVE4C/query" -d '{"kind":"sssp","source":0,"target":999,"no_cache":true}')
+valc=$(sed -n 's/.*"value":\([0-9.e+-]*\|null\).*/\1/p' <<<"$refc")
+kill -INT "$ctrl4c" >/dev/null 2>&1 || true
+wait "$ctrl4c" || true
+sleep 1
+
+# Crash run: same stream over -wal-dir + -snapshot-dir, kill -9 everything
+# after KILLAT4 acked batches (with a checkpoint forced mid-way, so the
+# restart exercises snapshot + WAL tail, not just a full replay).
+ADDRS4="127.0.0.1:7751,127.0.0.1:7752,127.0.0.1:7753"
+SERVE4="127.0.0.1:7804"
+SNAP4="$workdir/snaps4"
+WAL4="$workdir/wal4"
+mkdir -p "$SNAP4" "$WAL4"
+
+start_d4() { # id-or-controller
+  if [ "$1" = controller ]; then
+    "$workdir/qgraphd" -role controller -graph "$workdir/g.qgr" -addrs "$ADDRS4" \
+      -serve "$SERVE4" -commit-every 50ms -snapshot-dir "$SNAP4" -wal-dir "$WAL4" \
+      >>"$workdir/d4-ctrl.log" 2>&1 &
+  else
+    "$workdir/qgraphd" -role worker -id "$1" -graph "$workdir/g.qgr" -addrs "$ADDRS4" \
+      -snapshot-dir "$SNAP4" -wal-dir "$WAL4" >>"$workdir/d4-w$1.log" 2>&1 &
+  fi
+}
+
+start_d4 0; w4a=$!
+start_d4 1; w4b=$!
+sleep 1
+start_d4 controller; ctrl4=$!
+wait_healthy "$SERVE4" || { echo "SMOKE FAIL: wal deployment never healthy"; exit 1; }
+
+half=$(( KILLAT4 / 2 ))
+apply_batches "$SERVE4" 0 "$half" >/dev/null || { echo "SMOKE FAIL: wal mutations failed"; exit 1; }
+curl -fsS -X POST "http://$SERVE4/admin/snapshot" >/dev/null
+lastack=$(apply_batches "$SERVE4" "$half" "$KILLAT4") || { echo "SMOKE FAIL: wal mutations failed"; exit 1; }
+
+# SIGKILL the entire deployment mid-load: nothing gets to flush or drain.
+kill -9 "$ctrl4" "$w4a" "$w4b" >/dev/null 2>&1 || true
+wait "$ctrl4" "$w4a" "$w4b" >/dev/null 2>&1 || true
+sleep 1
+
+start_d4 0
+start_d4 1
+sleep 1
+start_d4 controller; ctrl4b=$!
+wait_healthy "$SERVE4" || { echo "SMOKE FAIL: wal deployment did not restart"; exit 1; }
+
+fail=0
+ver4=$(curl -fsS "http://$SERVE4/healthz" | sed -n 's/.*"graph_version":\([0-9]*\).*/\1/p')
+[ -n "$lastack" ] && [ "${ver4:-0}" -eq "$lastack" ] || {
+  echo "SMOKE FAIL: recovered version $ver4 != last acked version $lastack (lost or duplicated ops)"; fail=1; }
+grep -q 'wal replayed versions' "$workdir/d4-ctrl.log" || {
+  echo "SMOKE FAIL: restart did not replay the WAL tail"; fail=1; }
+curl -fsS "http://$SERVE4/stats" | grep -q '"wal":{"enabled":true' || {
+  echo "SMOKE FAIL: /stats wal block missing or disabled"; fail=1; }
+
+# Finish the stream and compare against the never-crashed control.
+ver4b=$(apply_batches "$SERVE4" "$KILLAT4" "$NBATCH4") || { echo "SMOKE FAIL: post-restart mutations failed"; fail=1; }
+ref4=$(curl -fsS "http://$SERVE4/query" -d '{"kind":"sssp","source":0,"target":999,"no_cache":true}')
+val4=$(sed -n 's/.*"value":\([0-9.e+-]*\|null\).*/\1/p' <<<"$ref4")
+[ -n "$verc" ] && [ "${ver4b:-0}" -eq "$verc" ] || {
+  echo "SMOKE FAIL: final version $ver4b != control $verc"; fail=1; }
+[ -n "$valc" ] && [ "$val4" = "$valc" ] || {
+  echo "SMOKE FAIL: crashed run answers $val4, control answers $valc"; fail=1; }
+
+kill -INT "$ctrl4b" >/dev/null 2>&1 || true
+wait "$ctrl4b" || true
+
+if [ "$fail" -ne 0 ]; then
+  exit 1
+fi
+echo "SMOKE OK: kill -9 at version $lastack, restart recovered exactly v$ver4; final v$ver4b answer $val4 == control"
