@@ -49,6 +49,16 @@ type loadOptions struct {
 	KillPID    int
 	KillAfter  time.Duration
 	KillWorker int
+
+	// TraceSample fetches the N slowest traces after the run and prints
+	// their phase attribution (requires a tracing-enabled server).
+	TraceSample int
+	// JSONOut merges this run into a JSON report file as scenario
+	// Scenario (see report.go). JSONBest keeps whichever repetition of
+	// the scenario had the lower mean latency.
+	JSONOut  string
+	Scenario string
+	JSONBest bool
 }
 
 // parseMix parses "kind=weight,..." into a cumulative distribution.
@@ -258,8 +268,50 @@ func runLoad(o loadOptions) error {
 		reportLogBound(client, base, mut.applied)
 		reportDurability(client, base)
 	}
+	var recovery *benchRecovery
 	if at := killAt.Load(); at > 0 {
-		reportFault(client, base, o, time.Unix(0, at), start, okTimes)
+		recovery = reportFault(client, base, o, time.Unix(0, at), start, okTimes)
+	}
+	var phases []benchPhase
+	if o.TraceSample > 0 {
+		phases = sampleTraces(client, base, o.TraceSample)
+	}
+	if o.JSONOut != "" {
+		sc := benchScenario{
+			RateRPS: o.Rate, DurationS: o.Duration.Seconds(),
+			Pool: o.Pool, Tenants: o.Tenants, Seed: o.Seed,
+			Sent: sent.Load(), OK: ok.Load(), Rejected: rejected.Load(),
+			Expired: expired.Load(), ClientTimeouts: clientTimeout.Load(),
+			Failed: failed.Load(), WorkerLost: workerLost.Load(),
+			GoodputQPS: float64(ok.Load()) / wall.Seconds(),
+			CacheHits:  cacheHits.Load(),
+			Latency: benchLatency{
+				MeanMS: msOf(sum.MeanLatency), P50MS: msOf(sum.P50),
+				P95MS: msOf(sum.P95), P99MS: msOf(sum.P99),
+			},
+			Recovery: recovery,
+			Phases:   phases,
+		}
+		if mut != nil {
+			csum := metrics.SummarizeRecords(mut.commits)
+			sc.Mutations = &benchMutations{
+				Sent: mut.sent, Applied: mut.applied, Failed: mut.failed,
+				Batches:         mut.batches,
+				ApplyThroughput: float64(mut.applied) / genWindow.Seconds(),
+				Commit: benchLatency{
+					MeanMS: msOf(csum.MeanLatency), P50MS: msOf(csum.P50),
+					P95MS: msOf(csum.P95), P99MS: msOf(csum.P99),
+				},
+			}
+		}
+		name := o.Scenario
+		if name == "" {
+			name = "load"
+		}
+		if err := writeBenchJSON(o.JSONOut, name, sc, o.JSONBest); err != nil {
+			return fmt.Errorf("writing %s: %w", o.JSONOut, err)
+		}
+		fmt.Printf("# scenario %q recorded in %s\n", name, o.JSONOut)
 	}
 	if stats, err := fetchRaw(client, base+"/stats"); err == nil {
 		fmt.Printf("# server /stats\n%s\n", stats)
@@ -336,7 +388,7 @@ func reportDurability(client *http.Client, base string) {
 // reportFault prints the worker-kill fault schedule's outcome: the
 // server-measured recovery time and the goodput dip — completed-request
 // throughput in the pre-kill window vs the tail window after recovery.
-func reportFault(client *http.Client, base string, o loadOptions, killed, start time.Time, okTimes []time.Time) {
+func reportFault(client *http.Client, base string, o loadOptions, killed, start time.Time, okTimes []time.Time) *benchRecovery {
 	fmt.Printf("# fault schedule: killed worker %d (pid %d) %.1fs into the run\n",
 		o.KillWorker, o.KillPID, killed.Sub(start).Seconds())
 
@@ -382,6 +434,12 @@ func reportFault(client *http.Client, base string, o loadOptions, killed, start 
 		fmt.Printf(" ratio=%.2f", post/pre)
 	}
 	fmt.Println()
+	return &benchRecovery{
+		Episodes: st.Recovery.Recoveries, Handoffs: st.Recovery.Handoffs,
+		QueriesRestarted: st.Recovery.QueriesRestarted,
+		RecoveryMS:       st.Recovery.LastRecoveryMS,
+		PreKillQPS:       pre, PostRecoveryQPS: post,
+	}
 }
 
 // windowRate counts completions inside [from, to) per second.

@@ -27,6 +27,12 @@
 //
 //	qgraph-bench -load http://localhost:8080 -rate 300 -load-duration 15s \
 //	  -kill-pid $WORKER_PID -kill-worker 1 -kill-after 5s
+//
+// -trace-sample N prints the phase attribution of the N slowest traces
+// after the run (where the milliseconds went: admission, supersteps,
+// barrier phases, WAL fsync). -json-out FILE -scenario NAME merges the
+// run into a machine-readable report; scripts/bench.sh composes the
+// committed BENCH_*.json perf trajectory from several such runs.
 package main
 
 import (
@@ -63,6 +69,11 @@ func main() {
 		killPID    = flag.Int("kill-pid", 0, "fault schedule: SIGKILL this worker process -kill-after into the -load run")
 		killAfter  = flag.Duration("kill-after", 0, "when to fire the -kill-pid fault")
 		killWorker = flag.Int("kill-worker", 0, "worker id of -kill-pid, for the fault report")
+
+		traceSample = flag.Int("trace-sample", 0, "after -load, fetch the N slowest traces and print their phase attribution")
+		jsonOut     = flag.String("json-out", "", "merge the -load run into this JSON report file (see BENCH_*.json)")
+		scenario    = flag.String("scenario", "", "scenario name for -json-out (e.g. read_only, mixed, recovery)")
+		jsonBest    = flag.Bool("json-best", false, "repeat-and-take-best: keep the existing -json-out scenario if its mean latency was lower")
 	)
 	flag.Parse()
 
@@ -76,6 +87,7 @@ func main() {
 			Pool: *loadPool, Tenants: *loadTenants, Timeout: *loadTimeout, Seed: s,
 			MutateRate: *mutateRate, MutateBatch: *mutateBatch, MutationsFile: *mutateFile,
 			KillPID: *killPID, KillAfter: *killAfter, KillWorker: *killWorker,
+			TraceSample: *traceSample, JSONOut: *jsonOut, Scenario: *scenario, JSONBest: *jsonBest,
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, "qgraph-bench:", err)
 			os.Exit(1)

@@ -15,7 +15,10 @@
 //
 // With -serve the controller exposes the HTTP/JSON query API of
 // internal/serve (POST /query, GET /result/{id}, POST /mutate,
-// GET /healthz, GET /stats) with admission control and a result cache:
+// GET /healthz, GET /stats) with admission control and a result cache,
+// plus the observability surface: GET /metrics (Prometheus text),
+// GET /trace/{query_id} and GET /traces?slowest=N (per-query span
+// trees with phase attribution):
 //
 //	qgraphd -role controller -graph bw.qgr -addrs "$ADDRS" -serve :8080
 //	curl -s localhost:8080/query -d '{"kind":"sssp","source":3,"target":99}'
@@ -55,6 +58,13 @@
 //	qgraphd -role worker -id 0 ... -snapshot-dir /var/qgraph/snaps \
 //	  -wal-dir /var/qgraph/wal
 //
+// Every node logs structured records (log/slog) to stderr; -log-level
+// and -log-json control verbosity and format, and worker logs carry the
+// trace_id of the query they execute so one grep follows a request
+// across processes. -pprof-addr exposes net/http/pprof on a separate
+// listener. -trace=false disables per-query tracing (the /metrics
+// endpoint stays).
+//
 // SIGINT/SIGTERM shut the controller down gracefully: the HTTP listener
 // closes, in-flight queries drain, and the workers are stopped through the
 // protocol instead of dying mid-superstep.
@@ -69,6 +79,7 @@ import (
 	"hash/fnv"
 	"math/rand/v2"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the -pprof-addr mux
 	"os"
 	"os/signal"
 	"strconv"
@@ -79,6 +90,7 @@ import (
 	"qgraph/internal/controller"
 	"qgraph/internal/graph"
 	"qgraph/internal/metrics"
+	"qgraph/internal/obs"
 	"qgraph/internal/partition"
 	"qgraph/internal/protocol"
 	"qgraph/internal/query"
@@ -117,8 +129,25 @@ func main() {
 		snapInterval = flag.Duration("snapshot-interval", 0, "cut a checkpoint at most this often under mutation load (controller; 0 disables)")
 		walDir       = flag.String("wal-dir", "", "durable write-ahead op log directory: every committed mutation batch is fsynced before its ack, and a full restart recovers to the exact pre-crash version (all nodes must see the same directory)")
 		rejoin       = flag.Bool("rejoin", false, "announce as a respawned worker: adopt state via the recovery protocol instead of assuming a fresh deployment (role=worker)")
+
+		logLevel  = flag.String("log-level", "info", "structured log verbosity: debug | info | warn | error")
+		logJSON   = flag.Bool("log-json", false, "emit structured logs as JSON instead of logfmt text")
+		pprofAddr = flag.String("pprof-addr", "", "expose net/http/pprof on this host:port (empty disables)")
+		traceOn   = flag.Bool("trace", true, "per-query tracing for /trace and /traces (-serve); /metrics is unaffected")
 	)
 	flag.Parse()
+
+	logger := obs.NewLogger(os.Stderr, *logLevel, *logJSON, *role)
+	if *pprofAddr != "" {
+		go func() {
+			// The blank net/http/pprof import registered its handlers on
+			// http.DefaultServeMux; a nil handler serves exactly that.
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				logger.Error("pprof listener failed", "addr", *pprofAddr, "error", err)
+			}
+		}()
+		logger.Info("pprof listening", "addr", *pprofAddr)
+	}
 
 	if *serveAddr != "" && *random > 0 {
 		fatal(fmt.Errorf("-serve and -random are mutually exclusive"))
@@ -210,7 +239,7 @@ func main() {
 		w, err := worker.New(worker.Config{
 			ID: partition.WorkerID(*id), K: k, Graph: baseG, Owner: assign,
 			BaseVersion: baseV, Snapshots: snapStore, Rejoin: *rejoin,
-			Logf: func(format string, args ...any) { fmt.Printf(format+"\n", args...) },
+			Logger: logger, // worker log sites self-tag with their id
 		}, node)
 		if err != nil {
 			fatal(err)
@@ -227,8 +256,14 @@ func main() {
 		}
 		defer node.Close()
 		rec := metrics.NewRecorder(time.Now())
+		// One Obs instance shared by the controller and the serving layer:
+		// the controller registers its barrier/worker/WAL instruments and
+		// extends request traces; serve adds the HTTP-side instruments and
+		// exposes everything at /metrics, /trace, /traces.
+		o := obs.New(logger)
 		ctrl, err := controller.New(controller.Config{
 			K: k, Graph: baseG, Owner: assign, Adapt: *adapt, Recorder: rec,
+			Obs:         o,
 			CommitEvery: *commitEvery, MaxBatchOps: *maxBatchOps,
 			HeartbeatEvery: *hbEvery, HeartbeatTimeout: *hbTimeout,
 			Snapshots: snapStore, BaseVersion: baseV, WAL: walLog,
@@ -260,6 +295,8 @@ func main() {
 				CacheSize:      *cacheSize,
 				CacheTTL:       *cacheTTL,
 				DefaultTimeout: *reqTimeout,
+				Obs:            o,
+				NoTrace:        !*traceOn,
 			})
 			if err != nil {
 				fatal(err)

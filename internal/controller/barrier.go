@@ -66,6 +66,7 @@ func (c *Controller) startQuery(req scheduleReq) {
 		bestGoal:   query.NoResult,
 	}
 	c.queries[spec.ID] = ctl
+	c.beginQueryTrace(ctl)
 	c.broadcast(&protocol.ExecuteQuery{Spec: spec})
 
 	// Initial involved set: owners of the initial activations.
@@ -132,6 +133,7 @@ func (c *Controller) release(ctl *qctl, step int32, involved map[partition.Worke
 	ctl.reports = make(map[partition.WorkerID]*protocol.BarrierSynch, len(involved))
 	ctl.outstanding = true
 	ctl.paused = false
+	c.beginStepSpan(ctl, step)
 	for w := range involved {
 		c.conn.Send(protocol.WorkerNode(w), &protocol.BarrierReady{
 			Q:       ctl.spec.ID,
@@ -175,6 +177,7 @@ func (c *Controller) onSynch(m *protocol.BarrierSynch) error {
 		return fmt.Errorf("controller: duplicate synch for query %d from worker %d", m.Q, m.W)
 	}
 	ctl.reports[m.W] = m
+	c.obs.onReport(m)
 	ctl.scopeSizes[m.W] = int64(m.ScopeSize)
 	if m.Processed > 0 || m.ScopeSize > 0 {
 		ctl.everActive[m.W] = true
@@ -229,6 +232,7 @@ func (c *Controller) collect(ctl *qctl) {
 	ctl.stepsDone += int(collectedStep - ctl.step)
 	ctl.step = collectedStep
 	ctl.outstanding = false
+	c.endStepSpan(ctl, collectedStep)
 	// Locality accounting (Fig. 6f): the solo-loop steps reported by the
 	// worker plus the just-collected step if at most one worker computed
 	// and nothing crossed workers.
@@ -289,6 +293,7 @@ func (c *Controller) finishQuery(ctl *qctl, reason protocol.FinishReason) {
 		Workers:    workers,
 		Latency:    now.Sub(ctl.started),
 	}
+	c.endQueryTrace(ctl, reason, res)
 	ctl.ch <- res
 
 	if rec := c.cfg.Recorder; rec != nil {

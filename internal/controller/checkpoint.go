@@ -131,6 +131,15 @@ func (c *Controller) onCutDone(d cutDone) {
 		c.lastSnapVersion = c.cutPrevVersion
 		c.lastSnapAt = c.cutPrevAt
 	} else {
+		if dur := time.Duration(c.lastCutNanos.Load()); dur > 0 {
+			end := time.Now()
+			if co := c.obs; co != nil {
+				co.snapCutSeconds.Observe(dur.Seconds())
+			}
+			c.lastCutUnixNS.Store(end.UnixNano())
+			c.spanActiveQueries("snapshot/cut", end.Add(-dur), end,
+				map[string]any{"version": res.Version, "vertices": res.Vertices, "edges": res.Edges})
+		}
 		floor := d.floor
 		if c.cfg.privateSnapshots {
 			// A store nobody else shares (no Config.Snapshots was wired in):

@@ -19,6 +19,7 @@ import (
 	"qgraph/internal/delta"
 	"qgraph/internal/graph"
 	"qgraph/internal/metrics"
+	"qgraph/internal/obs"
 	"qgraph/internal/partition"
 	"qgraph/internal/protocol"
 	"qgraph/internal/qcut"
@@ -153,6 +154,11 @@ type Config struct {
 
 	// Recorder receives metrics; nil disables recording.
 	Recorder *metrics.Recorder
+	// Obs is the observability substrate (internal/obs): per-query span
+	// trees continued from the serving layer (via query.Spec.TraceID),
+	// barrier-phase / commit / WAL / snapshot instruments, structured
+	// logging. Nil disables all of it at zero cost.
+	Obs *obs.Obs
 	// Clock abstracts time for tests; nil means time.Now.
 	Clock func() time.Time
 }
@@ -250,6 +256,14 @@ type qctl struct {
 	// global barrier was executing; it is honored at resume (cancels
 	// outside the barrier phases finish the query eagerly instead).
 	cancelled bool
+
+	// Tracing (internal/obs): trace is the span tree the serving layer
+	// bound to this query ID before scheduling (nil when untraced);
+	// engSpan covers the controller-side execution, stepSpan the
+	// superstep currently released.
+	trace    *obs.Trace
+	engSpan  *obs.Span
+	stepSpan *obs.Span
 }
 
 type phase int
@@ -329,7 +343,12 @@ type Controller struct {
 	byQ     map[query.ID]*windowEntry
 	inter   map[interKey]int64
 
-	phase        phase
+	phase phase
+	// phaseStart is when the current barrier phase was entered; enterPhase
+	// charges the elapsed time to the phase histogram and to every traced
+	// in-flight query on each transition.
+	phaseStart   time.Time
+	obs          *ctlObs
 	epoch        int32
 	stopAcks     map[partition.WorkerID][]uint64
 	drainAcks    int
@@ -418,6 +437,13 @@ type Controller struct {
 	cutPinnedOps   int
 	cutPinnedBytes int64
 	lastCutNanos   atomic.Int64
+	// lastCutUnixNS mirrors the completion wall time of the newest durable
+	// cut for concurrent readers (/healthz lag, /metrics); 0 before the
+	// first cut.
+	lastCutUnixNS atomic.Int64
+	// commitStartAt is when the in-flight delta commit sealed its batch
+	// (commit latency = seal to applied, covering the barrier it rode).
+	commitStartAt time.Time
 
 	qcutRunning bool
 	qcutCh      chan qcut.Result
@@ -512,8 +538,10 @@ func New(cfg Config, conn transport.Conn) (*Controller, error) {
 	}
 	c.lastSnapVersion = cfg.BaseVersion
 	c.lastSnapAt = cfg.Clock()
+	c.phaseStart = cfg.Clock()
 	c.curView.Store(c.view)
 	c.health.Store(&Health{})
+	c.obs = newCtlObs(c)
 	return c, nil
 }
 
@@ -621,6 +649,7 @@ func (c *Controller) SnapshotStats() snapshot.Stats {
 	st.DeltaLogOps = int(c.logOps.Load())
 	st.DeltaLogBytes = c.logBytes.Load()
 	st.LastCutMS = float64(c.lastCutNanos.Load()) / float64(time.Millisecond)
+	st.LastCutUnixNS = c.lastCutUnixNS.Load()
 	return st
 }
 

@@ -91,13 +91,14 @@ func (c *Controller) startCommit() {
 	}
 	c.commitMuts = c.pendingMuts
 	c.pendingOps, c.pendingMuts, c.pendingNewV, c.firstOpAt = nil, nil, 0, time.Time{}
+	c.commitStartAt = time.Now()
 	c.beginGlobalBarrier(nil)
 }
 
 // sendCommit broadcasts the sealed batch (phase draining → delta commit);
 // the network is quiet, so workers apply it between supersteps.
 func (c *Controller) sendCommit() {
-	c.phase = phaseDeltaCommit
+	c.enterPhase(phaseDeltaCommit)
 	c.deltaAcks = 0
 	c.broadcast(c.commitBatch)
 }
@@ -146,9 +147,17 @@ func (c *Controller) applyCommit() error {
 	// the restart contract, so the engine stops loudly instead (the
 	// callers then see an explicit "batch state unknown" error).
 	if c.cfg.WAL != nil {
+		fsyncStart := time.Now()
 		if err := c.cfg.WAL.Append(batch.Version, batch.Ops); err != nil {
 			return fmt.Errorf("controller: %w", err)
 		}
+		fsyncEnd := time.Now()
+		if co := c.obs; co != nil {
+			co.walFsyncSeconds.Observe(fsyncEnd.Sub(fsyncStart).Seconds())
+			co.walFsyncCount.Inc()
+		}
+		c.spanActiveQueries("wal/fsync", fsyncStart, fsyncEnd,
+			map[string]any{"version": batch.Version, "ops": len(batch.Ops)})
 		if faultpoint.Hit(faultpoint.WALAppend) {
 			// Simulated crash between the fsync and the ack: the batch is
 			// durable but nobody was told — restart must recover it.
@@ -180,5 +189,9 @@ func (c *Controller) applyCommit() error {
 		pm.ch <- MutationResult{Version: batch.Version, Applied: applied, NoOps: noops}
 	}
 	c.commitBatch, c.commitMuts = nil, nil
+	if co := c.obs; co != nil && !c.commitStartAt.IsZero() {
+		co.commitSeconds.Observe(time.Since(c.commitStartAt).Seconds())
+	}
+	c.commitStartAt = time.Time{}
 	return nil
 }

@@ -32,7 +32,7 @@ import (
 func (c *Controller) beginGlobalBarrier(moves []qcut.Move) {
 	c.pendingMoves = moves
 	c.barrierHadMoves = false
-	c.phase = phaseQuiesce
+	c.enterPhase(phaseQuiesce)
 	c.maybeStop()
 }
 
@@ -46,7 +46,7 @@ func (c *Controller) maybeStop() {
 			return
 		}
 	}
-	c.phase = phaseStopping
+	c.enterPhase(phaseStopping)
 	c.epoch++
 	c.stopAcks = make(map[partition.WorkerID][]uint64, c.cfg.K)
 	c.broadcast(&protocol.GlobalStop{Epoch: c.epoch})
@@ -64,7 +64,7 @@ func (c *Controller) onStopAck(m *protocol.StopAck) error {
 	// sent (up to this barrier) is accounted in the acks. Ask each to
 	// confirm receipt of its column; fenced workers sent nothing in the
 	// current recovery generation, so their column expectation is zero.
-	c.phase = phaseDraining
+	c.enterPhase(phaseDraining)
 	c.drainAcks = 0
 	for w := 0; w < c.cfg.K; w++ {
 		if c.deadWorkers[partition.WorkerID(w)] {
@@ -124,7 +124,7 @@ func (c *Controller) issueMoves() {
 		return
 	}
 	c.barrierHadMoves = true
-	c.phase = phaseMoving
+	c.enterPhase(phaseMoving)
 	for _, mv := range c.pendingMoves {
 		c.conn.Send(protocol.WorkerNode(mv.From), &protocol.MoveScope{
 			Epoch: c.epoch, Q: mv.Q, To: mv.To,
@@ -167,7 +167,7 @@ func (c *Controller) onMoveAck(m *protocol.MoveAck) error {
 	}
 	// All moves executed. Broadcast the ownership delta, then verify every
 	// ScopeData transfer arrived before restarting.
-	c.phase = phaseScopeDrain
+	c.enterPhase(phaseScopeDrain)
 	c.drainAcks = 0
 	if len(c.ownDeltaV) > 0 {
 		c.broadcast(&protocol.OwnershipUpdate{
@@ -194,7 +194,7 @@ func (c *Controller) onMoveAck(m *protocol.MoveAck) error {
 // restarts against the recovered partitioning (the caller just waits
 // longer).
 func (c *Controller) resume() {
-	c.phase = phaseRun
+	c.enterPhase(phaseRun)
 	if c.barrierHadMoves {
 		// Only barriers that executed scope moves count as repartitions;
 		// mutation-commit barriers bump the graph version instead. Recovery

@@ -2,6 +2,7 @@ package controller
 
 import (
 	"fmt"
+	"time"
 
 	"qgraph/internal/partition"
 	"qgraph/internal/protocol"
@@ -54,6 +55,10 @@ func (c *Controller) onWorkerDead(w partition.WorkerID) {
 		return
 	}
 	c.deadWorkers[w] = true
+	if o := c.cfg.Obs; o != nil {
+		o.Log().Warn("worker declared dead", "worker", int(w),
+			"graph_version", c.graphVersion.Load())
+	}
 	if c.cfg.Respawn == nil {
 		// Fence a falsely-declared-dead worker that is actually alive: its
 		// partition is being reassigned under it. With in-process respawn
@@ -74,7 +79,7 @@ func (c *Controller) onWorkerDead(w partition.WorkerID) {
 // workers whose hello already arrived.
 func (c *Controller) startRecoveryRound(newlyDead, rejoining []partition.WorkerID) {
 	c.abortBarrierForRecovery()
-	c.phase = phaseRecover
+	c.enterPhase(phaseRecover)
 	c.recState = recWaitHello
 	c.recovering = true
 	now := c.cfg.Clock()
@@ -224,6 +229,13 @@ func (c *Controller) completeRecovery() {
 		}
 	}
 	c.recCtr.Episode(dur, handoffs, rejoins, len(c.queries))
+	if o := c.cfg.Obs; o != nil {
+		o.Log().Info("recovery complete",
+			"duration_ms", float64(dur)/float64(time.Millisecond),
+			"handoffs", handoffs, "rejoins", rejoins,
+			"queries_restarted", len(c.queries),
+			"graph_version", c.graphVersion.Load())
+	}
 	c.epDied = make(map[partition.WorkerID]bool)
 
 	c.restartQueries = true
@@ -243,6 +255,7 @@ func (c *Controller) completeRecovery() {
 // iterations, latency since schedule) keep accumulating across the
 // restart — the caller pays real time and the engine did real work.
 func (c *Controller) resetQueryForRestart(ctl *qctl) {
+	c.abortStepSpan(ctl, "recovery-restart")
 	ctl.step = -1
 	ctl.outstanding = false
 	ctl.paused = false
@@ -273,9 +286,13 @@ func (c *Controller) enterTerminal() {
 	if c.rec.Active() {
 		c.rec.Finish(c.cfg.Clock())
 	}
-	c.phase = phaseRun
+	c.enterPhase(phaseRun)
 	now := c.cfg.Clock()
 	for q, ctl := range c.queries {
+		c.abortStepSpan(ctl, "terminal")
+		c.endQueryTrace(ctl, protocol.FinishWorkerLost, Result{
+			Supersteps: ctl.stepsDone, LocalIters: ctl.localSteps,
+		})
 		ctl.ch <- Result{
 			Q: q, Value: ctl.bestGoal, Reason: protocol.FinishWorkerLost,
 			Supersteps: ctl.stepsDone, LocalIters: ctl.localSteps,

@@ -26,6 +26,7 @@ import (
 	"qgraph/internal/faultpoint"
 	"qgraph/internal/graph"
 	"qgraph/internal/metrics"
+	"qgraph/internal/obs"
 	"qgraph/internal/partition"
 	"qgraph/internal/protocol"
 	"qgraph/internal/qcut"
@@ -119,6 +120,11 @@ type Config struct {
 
 	// Recorder receives metrics; nil creates a fresh one.
 	Recorder *metrics.Recorder
+	// Obs is the observability substrate (internal/obs), shared with the
+	// serving layer so span trees rooted there continue through the
+	// controller and into worker structured logs. Nil disables tracing
+	// and controller metrics; in-process workers then log to discard.
+	Obs *obs.Obs
 }
 
 // closeWAL closes a possibly-nil WAL (Start error paths).
@@ -274,6 +280,7 @@ func Start(cfg Config) (*Engine, error) {
 		BaseVersion: cfg.BaseVersion,
 		WAL:         walLog,
 		Recorder:    rec,
+		Obs:         cfg.Obs,
 	}, net.Conn(protocol.ControllerNode))
 	if err != nil {
 		if ownNet {
@@ -296,6 +303,26 @@ func Start(cfg Config) (*Engine, error) {
 		e.workers = append(e.workers, wk)
 	}
 
+	if o := cfg.Obs; o != nil && o.Metrics != nil {
+		// In-process deployments can read replay provenance straight off
+		// the worker instances (distributed workers report it in their
+		// structured logs instead — they have no scrape endpoint here).
+		for w := 0; w < cfg.Workers; w++ {
+			wi := w
+			o.Metrics.GaugeFunc("qgraph_worker_replayed_ops",
+				fmt.Sprintf(`worker="%d"`, wi),
+				"delta-log ops replayed by the worker's latest rejoin",
+				func() float64 {
+					e.workerMu.Lock()
+					defer e.workerMu.Unlock()
+					if wi < len(e.workers) && e.workers[wi] != nil {
+						return float64(e.workers[wi].ReplayedOps())
+					}
+					return 0
+				})
+		}
+	}
+
 	for w, wk := range e.workers {
 		e.workerLive[w] = true
 		e.runWorker(partition.WorkerID(w), wk)
@@ -311,7 +338,7 @@ func Start(cfg Config) (*Engine, error) {
 }
 
 func (e *Engine) workerConfig(w partition.WorkerID, rejoin bool) worker.Config {
-	return worker.Config{
+	c := worker.Config{
 		ID:            w,
 		K:             e.cfg.Workers,
 		Graph:         e.cfg.Graph,
@@ -325,6 +352,10 @@ func (e *Engine) workerConfig(w partition.WorkerID, rejoin bool) worker.Config {
 		BaseVersion:   e.cfg.BaseVersion,
 		Snapshots:     e.snaps,
 	}
+	if o := e.cfg.Obs; o != nil {
+		c.Logger = o.Log().With("role", "worker")
+	}
+	return c
 }
 
 // runWorker drives one worker instance's lifecycle. An injected kill

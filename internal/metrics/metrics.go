@@ -32,12 +32,61 @@ func (r QueryRecord) Locality() float64 {
 	return float64(r.LocalIters) / float64(r.Supersteps)
 }
 
-// Recorder accumulates query records and worker load samples.
+// Retention caps. A recorder lives as long as the engine: unbounded
+// append meant multi-day deployments grew by one QueryRecord per query
+// and one LoadSample per active worker report, forever. The rings keep
+// the newest window — large enough for every report this package renders
+// — and evict the oldest beyond it.
+const (
+	// DefaultMaxQueries bounds retained query records (~6 MiB).
+	DefaultMaxQueries = 1 << 16
+	// DefaultMaxLoads bounds retained load samples (~10 MiB); load
+	// samples arrive far more often than query records (one per worker
+	// per barrier report), so the window is wider.
+	DefaultMaxLoads = 1 << 18
+)
+
+// Recorder accumulates query records and worker load samples in bounded
+// rings; summaries and series cover the retained window.
 type Recorder struct {
 	mu      sync.Mutex
 	start   time.Time
-	queries []QueryRecord
-	loads   []LoadSample
+	queries ring[QueryRecord]
+	loads   ring[LoadSample]
+	// evicted counts records dropped past the caps, so consumers can see
+	// that a summary covers a window, not the whole run.
+	queriesEvicted int64
+	loadsEvicted   int64
+}
+
+// ring is a fixed-capacity FIFO: grows to max, then overwrites oldest.
+type ring[T any] struct {
+	buf  []T
+	next int  // overwrite position once full
+	full bool // buf reached max and wrapped at least once
+}
+
+// push appends v, evicting the oldest once max is reached; reports
+// whether an eviction happened.
+func (r *ring[T]) push(v T, max int) bool {
+	if !r.full && len(r.buf) < max {
+		r.buf = append(r.buf, v)
+		return false
+	}
+	r.buf[r.next] = v
+	r.next = (r.next + 1) % len(r.buf)
+	r.full = true
+	return true
+}
+
+// snapshot copies the retained values oldest-first.
+func (r *ring[T]) snapshot() []T {
+	out := make([]T, 0, len(r.buf))
+	if r.full {
+		out = append(out, r.buf[r.next:]...)
+		return append(out, r.buf[:r.next]...)
+	}
+	return append(out, r.buf...)
 }
 
 // LoadSample is one observation of a worker's load (active vertices
@@ -56,27 +105,39 @@ func NewRecorder(t0 time.Time) *Recorder {
 // Start returns the recorder's time origin.
 func (r *Recorder) Start() time.Time { return r.start }
 
-// RecordQuery appends a finished query.
+// RecordQuery appends a finished query, evicting the oldest retained
+// record past the retention cap.
 func (r *Recorder) RecordQuery(q QueryRecord) {
 	r.mu.Lock()
-	r.queries = append(r.queries, q)
+	if r.queries.push(q, DefaultMaxQueries) {
+		r.queriesEvicted++
+	}
 	r.mu.Unlock()
 }
 
-// RecordLoad appends a worker load observation.
+// RecordLoad appends a worker load observation, evicting the oldest
+// retained sample past the retention cap.
 func (r *Recorder) RecordLoad(s LoadSample) {
 	r.mu.Lock()
-	r.loads = append(r.loads, s)
+	if r.loads.push(s, DefaultMaxLoads) {
+		r.loadsEvicted++
+	}
 	r.mu.Unlock()
 }
 
-// Queries returns a copy of all query records.
+// Queries returns a copy of the retained query records, oldest first.
 func (r *Recorder) Queries() []QueryRecord {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make([]QueryRecord, len(r.queries))
-	copy(out, r.queries)
-	return out
+	return r.queries.snapshot()
+}
+
+// Evicted reports how many query records and load samples have been
+// dropped past the retention caps (0, 0 until the rings fill).
+func (r *Recorder) Evicted() (queries, loads int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.queriesEvicted, r.loadsEvicted
 }
 
 // Summary aggregates query records.
@@ -147,12 +208,13 @@ func (r *Recorder) LocalitySeries(bin time.Duration) []SeriesPoint {
 func (r *Recorder) querySeries(bin time.Duration, f func(QueryRecord) float64) []SeriesPoint {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if bin <= 0 || len(r.queries) == 0 {
+	if bin <= 0 || len(r.queries.buf) == 0 {
 		return nil
 	}
 	sums := map[int]*SeriesPoint{}
 	maxBin := 0
-	for _, q := range r.queries {
+	// Binning is order-independent; iterate the raw ring storage.
+	for _, q := range r.queries.buf {
 		done := q.ScheduledAt.Add(q.Latency)
 		b := int(done.Sub(r.start) / bin)
 		if b < 0 {
@@ -184,14 +246,14 @@ func (r *Recorder) querySeries(bin time.Duration, f func(QueryRecord) float64) [
 func (r *Recorder) ImbalanceSeries(bin time.Duration, k int) []SeriesPoint {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if bin <= 0 || len(r.loads) == 0 || k <= 0 {
+	if bin <= 0 || len(r.loads.buf) == 0 || k <= 0 {
 		return nil
 	}
 	type binLoad struct {
 		perWorker []float64
 	}
 	bins := map[int]*binLoad{}
-	for _, s := range r.loads {
+	for _, s := range r.loads.buf {
 		b := int(s.At.Sub(r.start) / bin)
 		if b < 0 {
 			b = 0

@@ -155,3 +155,39 @@ func TestConcurrentRecording(t *testing.T) {
 		t.Fatalf("recorded %d queries, want 2000", got)
 	}
 }
+
+// TestRecorderBoundedRetention: the rings evict oldest-first at the caps,
+// snapshots stay chronological, and summaries cover exactly the retained
+// window — a recorder on a long-lived engine must not grow forever.
+func TestRecorderBoundedRetention(t *testing.T) {
+	r := NewRecorder(time.Unix(0, 0))
+	const extra = 137
+	for i := 0; i < DefaultMaxQueries+extra; i++ {
+		r.RecordQuery(QueryRecord{ID: int64(i), Latency: time.Millisecond, Supersteps: 1})
+	}
+	qs := r.Queries()
+	if len(qs) != DefaultMaxQueries {
+		t.Fatalf("retained %d queries, want %d", len(qs), DefaultMaxQueries)
+	}
+	if qs[0].ID != extra {
+		t.Errorf("oldest retained ID = %d, want %d (oldest evicted first)", qs[0].ID, extra)
+	}
+	for i := 1; i < len(qs); i++ {
+		if qs[i].ID != qs[i-1].ID+1 {
+			t.Fatalf("snapshot not chronological at %d: %d after %d", i, qs[i].ID, qs[i-1].ID)
+		}
+	}
+	if s := r.Summarize(); s.Count != DefaultMaxQueries {
+		t.Errorf("Summarize covers %d, want the retained window %d", s.Count, DefaultMaxQueries)
+	}
+	for i := 0; i < DefaultMaxLoads+extra; i++ {
+		r.RecordLoad(LoadSample{At: time.Unix(0, int64(i)), Worker: 0, Active: 1})
+	}
+	qEv, lEv := r.Evicted()
+	if qEv != extra || lEv != extra {
+		t.Errorf("Evicted() = (%d, %d), want (%d, %d)", qEv, lEv, extra, extra)
+	}
+	if pts := r.ImbalanceSeries(time.Second, 1); len(pts) == 0 {
+		t.Errorf("ImbalanceSeries empty over retained loads")
+	}
+}

@@ -1,0 +1,368 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing integer instrument.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (negative n is ignored — counters only go up).
+func (c *Counter) Add(n int64) {
+	if c == nil || n < 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable float instrument.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// DefBuckets are the default latency buckets, in seconds.
+var DefBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket cumulative histogram.
+type Histogram struct {
+	bounds  []float64 // upper bounds, ascending; +Inf implied
+	counts  []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Quantile estimates quantile q (0..1) by linear interpolation within
+// the owning bucket — good enough for reporting, not for billing.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum int64
+	lower := 0.0
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if n == 0 {
+			if i < len(h.bounds) {
+				lower = h.bounds[i]
+			}
+			continue
+		}
+		upper := math.Inf(1)
+		if i < len(h.bounds) {
+			upper = h.bounds[i]
+		}
+		if float64(cum+n) >= rank {
+			if math.IsInf(upper, 1) {
+				return lower
+			}
+			frac := (rank - float64(cum)) / float64(n)
+			return lower + (upper-lower)*frac
+		}
+		cum += n
+		lower = upper
+	}
+	return lower
+}
+
+type seriesKind int
+
+const (
+	kindCounter seriesKind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+type series struct {
+	labels  string // rendered label set without braces, e.g. `phase="quiesce"`
+	kind    seriesKind
+	counter *Counter
+	gauge   *Gauge
+	fn      func() float64
+	hist    *Histogram
+}
+
+type family struct {
+	name   string
+	help   string
+	typ    string // counter | gauge | histogram
+	series []*series
+}
+
+// Registry is a hand-rolled Prometheus-text-format metric registry. All
+// register calls are idempotent on (name, labels): re-registering
+// returns the existing instrument, so layers can share instruments
+// without coordination.
+type Registry struct {
+	mu    sync.Mutex
+	fams  map[string]*family
+	order []string
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+func (r *Registry) fam(name, help, typ string) *family {
+	f := r.fams[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ}
+		r.fams[name] = f
+		r.order = append(r.order, name)
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q registered as %s and %s", name, f.typ, typ))
+	}
+	return f
+}
+
+func (f *family) find(labels string) *series {
+	for _, s := range f.series {
+		if s.labels == labels {
+			return s
+		}
+	}
+	return nil
+}
+
+// Counter registers (or returns the existing) counter name{labels}.
+// labels is a rendered Prometheus label set without braces ("" for
+// none), e.g. `worker="2"`.
+func (r *Registry) Counter(name, labels, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fam(name, help, "counter")
+	if s := f.find(labels); s != nil {
+		return s.counter
+	}
+	c := &Counter{}
+	f.series = append(f.series, &series{labels: labels, kind: kindCounter, counter: c})
+	return c
+}
+
+// Gauge registers (or returns the existing) gauge name{labels}.
+func (r *Registry) Gauge(name, labels, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fam(name, help, "gauge")
+	if s := f.find(labels); s != nil {
+		return s.gauge
+	}
+	g := &Gauge{}
+	f.series = append(f.series, &series{labels: labels, kind: kindGauge, gauge: g})
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at scrape
+// time — the mechanism that lets /metrics report the exact same state
+// /stats serializes, so the two cannot drift.
+func (r *Registry) GaugeFunc(name, labels, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fam(name, help, "gauge")
+	if s := f.find(labels); s != nil {
+		s.fn = fn
+		s.kind = kindGaugeFunc
+		return
+	}
+	f.series = append(f.series, &series{labels: labels, kind: kindGaugeFunc, fn: fn})
+}
+
+// CounterFunc registers a counter read from fn at scrape time (the
+// source must be monotonic; used to mirror existing atomic counters).
+func (r *Registry) CounterFunc(name, labels, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fam(name, help, "counter")
+	if s := f.find(labels); s != nil {
+		s.fn = fn
+		s.kind = kindGaugeFunc
+		return
+	}
+	f.series = append(f.series, &series{labels: labels, kind: kindGaugeFunc, fn: fn})
+}
+
+// Histogram registers (or returns the existing) histogram name{labels}
+// with the given upper bounds (nil selects DefBuckets).
+func (r *Registry) Histogram(name, labels, help string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fam(name, help, "histogram")
+	if s := f.find(labels); s != nil {
+		return s.hist
+	}
+	h := newHistogram(bounds)
+	f.series = append(f.series, &series{labels: labels, kind: kindHistogram, hist: h})
+	return h
+}
+
+func fmtFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func mergeLabels(base, extra string) string {
+	switch {
+	case base == "":
+		return extra
+	case extra == "":
+		return base
+	}
+	return base + "," + extra
+}
+
+func writeSample(w io.Writer, name, labels, value string) {
+	if labels == "" {
+		fmt.Fprintf(w, "%s %s\n", name, value)
+		return
+	}
+	fmt.Fprintf(w, "%s{%s} %s\n", name, labels, value)
+}
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format (version 0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	order := append([]string(nil), r.order...)
+	fams := make([]*family, 0, len(order))
+	for _, name := range order {
+		fams = append(fams, r.fams[name])
+	}
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " "))
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range f.series {
+			switch s.kind {
+			case kindCounter:
+				writeSample(w, f.name, s.labels, strconv.FormatInt(s.counter.Value(), 10))
+			case kindGauge:
+				writeSample(w, f.name, s.labels, fmtFloat(s.gauge.Value()))
+			case kindGaugeFunc:
+				writeSample(w, f.name, s.labels, fmtFloat(s.fn()))
+			case kindHistogram:
+				h := s.hist
+				var cum int64
+				for i, b := range h.bounds {
+					cum += h.counts[i].Load()
+					writeSample(w, f.name+"_bucket", mergeLabels(s.labels, `le="`+fmtFloat(b)+`"`), strconv.FormatInt(cum, 10))
+				}
+				cum += h.counts[len(h.bounds)].Load()
+				writeSample(w, f.name+"_bucket", mergeLabels(s.labels, `le="+Inf"`), strconv.FormatInt(cum, 10))
+				writeSample(w, f.name+"_sum", s.labels, fmtFloat(h.Sum()))
+				writeSample(w, f.name+"_count", s.labels, strconv.FormatInt(h.Count(), 10))
+			}
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// Obs bundles the three observability facilities a process threads
+// through its layers. A nil *Obs disables everything at the cost of a
+// nil check per call site.
+type Obs struct {
+	Tracer  *Tracer
+	Metrics *Registry
+	Logger  *slog.Logger
+}
+
+// New builds a fully-armed Obs with a default-capacity trace ring, an
+// empty registry, and the given logger (nil selects a discard logger).
+func New(logger *slog.Logger) *Obs {
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
+	return &Obs{Tracer: NewTracer(0), Metrics: NewRegistry(), Logger: logger}
+}
+
+// T returns the tracer (nil-safe).
+func (o *Obs) T() *Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.Tracer
+}
+
+// M returns the metric registry (nil-safe).
+func (o *Obs) M() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics
+}
+
+// Log returns the logger; never nil, so call sites log unconditionally.
+func (o *Obs) Log() *slog.Logger {
+	if o == nil || o.Logger == nil {
+		return slog.New(slog.DiscardHandler)
+	}
+	return o.Logger
+}
+
+// ParseLevel maps a -log-level flag value to a slog.Level (unknown
+// values select info).
+func ParseLevel(s string) slog.Level {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug
+	case "warn", "warning":
+		return slog.LevelWarn
+	case "error":
+		return slog.LevelError
+	default:
+		return slog.LevelInfo
+	}
+}
+
+// NewLogger builds a structured logger writing to w at the given level,
+// in logfmt-style text or JSON. role is attached to every record so
+// multi-role deployments (controller + workers on one box) stay
+// greppable.
+func NewLogger(w io.Writer, level string, json bool, role string) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: ParseLevel(level)}
+	var h slog.Handler
+	if json {
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
+	}
+	l := slog.New(h)
+	if role != "" {
+		l = l.With("role", role)
+	}
+	return l
+}

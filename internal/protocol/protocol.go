@@ -238,6 +238,7 @@ type BarrierSynch struct {
 
 	Processed   int32   // active vertices computed in Step (load signal)
 	NActiveNext int32   // local activations pending for Step+1
+	ComputeNS   int64   // wall time spent in compute for the covered steps
 	ScopeSize   int32   // |LS(Q, W)|: vertices Q touched on W so far
 	SentBatches []int32 // vertex batches sent during Step, by dest worker
 	BestGoal    float64 // best goal value seen on W (query.NoResult if none)

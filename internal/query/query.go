@@ -66,6 +66,11 @@ type Spec struct {
 	// Epsilon is the PageRank activation threshold: vertices whose rank
 	// changed by less than Epsilon do not propagate.
 	Epsilon float64
+	// TraceID carries the observability trace this query belongs to (0 =
+	// untraced). It rides executeQuery to every worker so worker-side
+	// structured logs correlate with the span tree the serving layer
+	// assembles (internal/obs).
+	TraceID uint64
 	// home pins the whole query to one worker (stored as worker+1 so the
 	// zero value means "no pinning"). See SetHome.
 	home int16

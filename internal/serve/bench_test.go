@@ -1,0 +1,59 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"qgraph/internal/obs"
+)
+
+// benchQuery drives POST /query through the full handler stack (decode,
+// cache, admission, respond) with an in-memory recorder — the server-side
+// cost of one request, no network. The traced/untraced pair bounds the
+// per-request price of tracing on the cache-hit fast path, which is what
+// the BENCH read_only vs read_only_notrace comparison measures end to end.
+func benchQuery(b *testing.B, cfg func(*Config)) {
+	s, err := New(func() Config {
+		c := Config{Backend: newStubBackend(), GraphID: 1}
+		if cfg != nil {
+			cfg(&c)
+		}
+		return c
+	}())
+	if err != nil {
+		b.Fatalf("serve.New: %v", err)
+	}
+	h := s.Handler()
+	body, _ := json.Marshal(QueryRequest{Kind: "sssp", Source: 3, Target: target(5)})
+
+	warm := httptest.NewRequest(http.MethodPost, "/query", bytes.NewReader(body))
+	warm.Header.Set("Content-Type", "application/json")
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, warm)
+	if w.Code != http.StatusOK {
+		b.Fatalf("warmup: %d %s", w.Code, w.Body.String())
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/query", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("request %d: %d %s", i, rec.Code, rec.Body.String())
+		}
+	}
+}
+
+func BenchmarkQueryCacheHitNoTrace(b *testing.B) {
+	benchQuery(b, func(c *Config) { c.NoTrace = true })
+}
+
+func BenchmarkQueryCacheHitTraced(b *testing.B) {
+	benchQuery(b, func(c *Config) { c.Obs = obs.New(nil) })
+}

@@ -12,11 +12,13 @@ import (
 	"qgraph/internal/core"
 	"qgraph/internal/faultpoint"
 	"qgraph/internal/graph"
+	"qgraph/internal/obs"
 	"qgraph/internal/partition"
 )
 
-// recoverEngine starts a 3-worker engine tuned for fast failure detection.
-func recoverEngine(t *testing.T) (*core.Engine, *graph.Graph) {
+// recoverEngine starts a 3-worker engine tuned for fast failure
+// detection, instrumented with o (nil disables observability).
+func recoverEngine(t *testing.T, o *obs.Obs) (*core.Engine, *graph.Graph) {
 	t.Helper()
 	b := graph.NewBuilder(32)
 	for v := 0; v+1 < 32; v++ {
@@ -29,6 +31,7 @@ func recoverEngine(t *testing.T) (*core.Engine, *graph.Graph) {
 		CommitEvery:      5 * time.Millisecond,
 		HeartbeatEvery:   5 * time.Millisecond,
 		HeartbeatTimeout: 30 * time.Millisecond,
+		Obs:              o,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -43,7 +46,7 @@ func recoverEngine(t *testing.T) (*core.Engine, *graph.Graph) {
 // reaches a client. /stats must expose the recovery counters.
 func TestHealthzRecoversFromWorkerDeath(t *testing.T) {
 	defer faultpoint.Reset()
-	eng, _ := recoverEngine(t)
+	eng, _ := recoverEngine(t, nil)
 	defer eng.Close()
 	srv, err := New(Config{Backend: eng.Controller(), GraphID: 1})
 	if err != nil {

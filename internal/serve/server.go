@@ -18,6 +18,7 @@ import (
 	"qgraph/internal/delta"
 	"qgraph/internal/graph"
 	"qgraph/internal/metrics"
+	"qgraph/internal/obs"
 	"qgraph/internal/query"
 	recovery "qgraph/internal/recover"
 	"qgraph/internal/snapshot"
@@ -84,6 +85,15 @@ type Config struct {
 
 	// Counters receives serving metrics; nil creates a fresh set.
 	Counters *metrics.ServeCounters
+	// Obs is the observability substrate: the tracer every /query request
+	// roots its span tree in, the metrics registry /metrics serves, and
+	// the structured logger. Nil creates a private one (endpoints always
+	// work); share one instance with the controller so engine spans land
+	// in the same trees.
+	Obs *obs.Obs
+	// NoTrace disables per-request tracing while keeping /metrics and the
+	// trace endpoints alive (used to measure tracing overhead).
+	NoTrace bool
 	// Clock abstracts time for tests; nil means time.Now.
 	Clock func() time.Time
 }
@@ -115,6 +125,9 @@ func (c *Config) fill() error {
 	if c.Counters == nil {
 		c.Counters = metrics.NewServeCounters(c.Clock())
 	}
+	if c.Obs == nil {
+		c.Obs = obs.New(nil)
+	}
 	return nil
 }
 
@@ -124,7 +137,12 @@ type Server struct {
 	admit  *Admission
 	cache  *Cache
 	ctr    *metrics.ServeCounters
+	obs    *obs.Obs
+	tracer *obs.Tracer // nil when NoTrace: every span op degrades to a no-op
 	nextID atomic.Int64
+
+	reqSeconds    *obs.Histogram
+	engineSeconds *obs.Histogram
 
 	mu        sync.Mutex
 	results   map[int64]*asyncResult
@@ -148,13 +166,19 @@ func New(cfg Config) (*Server, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, err
 	}
-	return &Server{
+	s := &Server{
 		cfg:     cfg,
 		admit:   NewAdmission(cfg.Admit, cfg.Clock),
 		cache:   NewCache(cfg.CacheSize, cfg.CacheTTL, cfg.Clock),
 		ctr:     cfg.Counters,
+		obs:     cfg.Obs,
 		results: make(map[int64]*asyncResult),
-	}, nil
+	}
+	if !cfg.NoTrace {
+		s.tracer = cfg.Obs.T()
+	}
+	s.registerMetrics()
+	return s, nil
 }
 
 // Counters exposes the serving counters (shared with /stats).
@@ -168,6 +192,9 @@ func (s *Server) Counters() *metrics.ServeCounters { return s.ctr }
 //	POST /admin/snapshot  cut a checkpoint and truncate the op log
 //	GET  /healthz         liveness (503 while draining or degraded)
 //	GET  /stats           serving, admission, cache, and engine counters
+//	GET  /metrics         the same counters in Prometheus text format
+//	GET  /trace/{query_id} span tree + phase attribution of one query
+//	GET  /traces          slowest completed traces (?slowest=N)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.handleQuery)
@@ -176,6 +203,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /admin/snapshot", s.handleSnapshot)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /trace/{query_id}", s.handleTrace)
+	mux.HandleFunc("GET /traces", s.handleTraces)
 	return mux
 }
 
@@ -473,6 +503,13 @@ type healthzResponse struct {
 	RepartitionEpoch int64  `json:"repartition_epoch"`
 	DeadWorkers      []int  `json:"dead_workers,omitempty"`
 	Recoveries       int64  `json:"recoveries,omitempty"`
+	// WALOpsSinceCheckpoint counts committed ops covered only by the WAL
+	// (no durable checkpoint yet) — the replay a restart right now would
+	// pay. Growth without bound means checkpointing has stalled.
+	WALOpsSinceCheckpoint int `json:"wal_ops_since_checkpoint"`
+	// SecondsSinceSnapshotCut is the age of the newest completed
+	// checkpoint cut; -1 until the first cut completes.
+	SecondsSinceSnapshotCut float64 `json:"seconds_since_snapshot_cut"`
 }
 
 // handleMutate ingests one batch of streaming graph updates. The batch is
@@ -586,11 +623,17 @@ func opsOf(wire []MutateOp) ([]delta.Op, error) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	snap := s.cfg.Backend.SnapshotStats()
 	resp := healthzResponse{
-		Status:           "ok",
-		GraphVersion:     s.cfg.Backend.GraphVersion(),
-		RepartitionEpoch: s.cfg.Backend.RepartitionEpoch(),
-		Recoveries:       s.cfg.Backend.RecoveryStats().Recoveries,
+		Status:                  "ok",
+		GraphVersion:            s.cfg.Backend.GraphVersion(),
+		RepartitionEpoch:        s.cfg.Backend.RepartitionEpoch(),
+		Recoveries:              s.cfg.Backend.RecoveryStats().Recoveries,
+		WALOpsSinceCheckpoint:   snap.DeltaLogOps,
+		SecondsSinceSnapshotCut: -1,
+	}
+	if snap.LastCutUnixNS > 0 {
+		resp.SecondsSinceSnapshotCut = time.Since(time.Unix(0, snap.LastCutUnixNS)).Seconds()
 	}
 	code := http.StatusOK
 	h := s.cfg.Backend.Health()
@@ -656,9 +699,26 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 // Execution path
 
 // execute runs one admitted-or-coalesced query to completion and maps the
-// outcome to an HTTP response. spec.ID is already assigned.
+// outcome to an HTTP response. spec.ID is already assigned. It owns the
+// request's trace: opened (and bound to the query id) before anything
+// else so the controller and workers can extend the tree, finished on
+// every return path so the ring's occupancy returns to baseline.
 func (s *Server) execute(ctx context.Context, spec query.Spec, req QueryRequest, tenant string) (QueryResponse, int, *errorResponse) {
 	started := s.cfg.Clock()
+	tr := s.beginTrace(&spec, tenant)
+	resp, code, errBody := s.executeTraced(ctx, tr, spec, req, tenant, started)
+	if errBody == nil {
+		tr.Root().SetAttr("status", code)
+	} else {
+		tr.Root().SetAttr("error", errBody.Error)
+	}
+	s.tracer.Finish(tr)
+	s.observeRequest(started,
+		time.Duration(resp.EngineMS*float64(time.Millisecond)), errBody == nil)
+	return resp, code, errBody
+}
+
+func (s *Server) executeTraced(ctx context.Context, tr *obs.Trace, spec query.Spec, req QueryRequest, tenant string, started time.Time) (QueryResponse, int, *errorResponse) {
 	key := KeyOf(spec)
 	// Advance the cache epoch before the lookup so a repartition or a
 	// committed mutation batch since the last request flushes stale
@@ -672,6 +732,7 @@ func (s *Server) execute(ctx context.Context, spec query.Spec, req QueryRequest,
 	if req.NoCache {
 		flight = s.cache.Lead()
 	} else {
+		cacheSpan := tr.StartSpan(nil, "cache")
 	lookup:
 		for {
 			out, f, state := s.cache.Begin(key)
@@ -681,6 +742,8 @@ func (s *Server) execute(ctx context.Context, spec query.Spec, req QueryRequest,
 				s.ctr.Completed.Add(1)
 				resp := s.respFrom(spec, out, started, 0)
 				resp.CacheHit = true
+				cacheSpan.SetAttr("outcome", "hit")
+				cacheSpan.End()
 				return resp, http.StatusOK, nil
 			case BeginJoin:
 				select {
@@ -690,6 +753,8 @@ func (s *Server) execute(ctx context.Context, spec query.Spec, req QueryRequest,
 						s.ctr.Completed.Add(1)
 						resp := s.respFrom(spec, out, started, 0)
 						resp.Coalesced = true
+						cacheSpan.SetAttr("outcome", "coalesced")
+						cacheSpan.End()
 						return resp, http.StatusOK, nil
 					}
 					// The leader failed (rejected, expired, engine error).
@@ -700,6 +765,8 @@ func (s *Server) execute(ctx context.Context, spec query.Spec, req QueryRequest,
 				case <-ctx.Done():
 					// Only this follower gives up; the leader keeps going.
 					s.ctr.Expired.Add(1)
+					cacheSpan.SetAttr("outcome", "join-timeout")
+					cacheSpan.End()
 					return QueryResponse{}, http.StatusGatewayTimeout,
 						&errorResponse{Error: "deadline exceeded waiting for coalesced query"}
 				}
@@ -708,12 +775,16 @@ func (s *Server) execute(ctx context.Context, spec query.Spec, req QueryRequest,
 				// must not skew the hit ratio's denominator.
 				s.ctr.CacheMisses.Add(1)
 				flight = f
+				cacheSpan.SetAttr("outcome", "miss")
+				cacheSpan.End()
 				break lookup
 			}
 		}
 	}
 
+	admitSpan := tr.StartSpan(nil, "admission")
 	release, wait, err := s.admit.Acquire(ctx, tenant)
+	admitSpan.End()
 	if err != nil {
 		s.cache.Complete(flight, Outcome{}, err)
 		if err == ErrQueueFull {

@@ -106,4 +106,8 @@ type Stats struct {
 	// + persist), all of it spent on the background cutter — evidence that
 	// the commit barrier no longer pays the O(V+E) fold.
 	LastCutMS float64 `json:"last_cut_ms,omitempty"`
+	// LastCutUnixNS is the wall-clock completion time of the newest cut
+	// (unix nanoseconds; 0 before the first). /healthz derives its
+	// seconds-since-last-checkpoint lag field from it.
+	LastCutUnixNS int64 `json:"last_cut_unix_ns,omitempty"`
 }

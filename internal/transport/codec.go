@@ -109,6 +109,7 @@ func Encode(m protocol.Message) ([]byte, error) {
 		e.i32(int32(v.Spec.Target))
 		e.i32(int32(v.Spec.MaxIters))
 		e.f64(v.Spec.Epsilon)
+		e.u64(v.Spec.TraceID)
 		e.u32(uint32(uint16(v.Spec.HomeWire())))
 	case *protocol.BarrierReady:
 		e.i64(int64(v.Q))
@@ -153,6 +154,7 @@ func Encode(m protocol.Message) ([]byte, error) {
 		e.i32(v.LocalIters)
 		e.i32(v.Processed)
 		e.i32(v.NActiveNext)
+		e.i64(v.ComputeNS)
 		e.i32(v.ScopeSize)
 		e.u32(uint32(len(v.SentBatches)))
 		for _, x := range v.SentBatches {
@@ -294,6 +296,7 @@ func Decode(t protocol.MsgType, payload []byte) (protocol.Message, error) {
 		v.Spec.Target = graph.VertexID(d.i32())
 		v.Spec.MaxIters = int(d.i32())
 		v.Spec.Epsilon = d.f64()
+		v.Spec.TraceID = d.u64()
 		v.Spec.SetHomeWire(int16(uint16(d.u32())))
 		m = v
 	case protocol.TBarrierReady:
@@ -350,6 +353,7 @@ func Decode(t protocol.MsgType, payload []byte) (protocol.Message, error) {
 		v.LocalIters = d.i32()
 		v.Processed = d.i32()
 		v.NActiveNext = d.i32()
+		v.ComputeNS = d.i64()
 		v.ScopeSize = d.i32()
 		if nb := d.sliceLen(4); nb > 0 {
 			v.SentBatches = make([]int32, nb)
@@ -558,7 +562,7 @@ func WireSize(m protocol.Message) int {
 		}
 		return n
 	case *protocol.BarrierSynch:
-		return hdr + 55 + 4*len(v.SentBatches) + 20*len(v.Intersections)
+		return hdr + 63 + 4*len(v.SentBatches) + 20*len(v.Intersections)
 	case *protocol.OwnershipUpdate:
 		return hdr + 8 + 5*len(v.Vertices)
 	case *protocol.MoveAck:
@@ -568,7 +572,7 @@ func WireSize(m protocol.Message) int {
 	case *protocol.StopAck:
 		return hdr + 9 + 8*len(v.SentTotals)
 	case *protocol.ExecuteQuery:
-		return hdr + 33
+		return hdr + 41
 	case *protocol.DeltaBatch:
 		// Batch framing + ops (the shared batch encoding) plus the
 		// owner-list length prefix and owners.

@@ -86,7 +86,7 @@ func normalize(m protocol.Message) protocol.Message {
 func sampleMessages() []protocol.Message {
 	spec := query.Spec{
 		ID: 42, Kind: query.KindSSSP, Source: 7, Target: graph.NilVertex,
-		MaxIters: 100, Epsilon: 1e-9,
+		MaxIters: 100, Epsilon: 1e-9, TraceID: 0xDEADBEEFCAFE,
 	}
 	pinned := spec
 	pinned.SetHome(3)
@@ -105,7 +105,7 @@ func sampleMessages() []protocol.Message {
 		&protocol.Shutdown{},
 		&protocol.BarrierSynch{
 			Q: 42, W: 2, Step: 17, FromStep: 12, LocalIters: 5,
-			Processed: 100, NActiveNext: 3, ScopeSize: 500,
+			Processed: 100, NActiveNext: 3, ComputeNS: 1234567, ScopeSize: 500,
 			SentBatches: []int32{0, 2, 0, 1},
 			BestGoal:    123.5, MinFrontier: query.NoResult,
 			Intersections: []protocol.IntersectionStat{{Q1: 1, Q2: 2, Shared: 7}},

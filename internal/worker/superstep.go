@@ -36,7 +36,9 @@ type stepResult struct {
 // superstep runs per call, so concurrent queries interleave fairly.
 func (w *Worker) stepOnce(q query.ID, qs *queryState) error {
 	step := qs.step
+	t0 := time.Now()
 	res := w.computeStep(qs, step)
+	qs.computeNS += time.Since(t0).Nanoseconds()
 	// Fault seam: a worker dying mid-superstep has computed (and possibly
 	// sent vertex batches) but never reports — its barrier wedges until
 	// liveness detection and recovery re-execute the query.
@@ -190,6 +192,8 @@ func (w *Worker) sendSynch(q query.ID, qs *queryState, fromStep, step int32, res
 			}
 		}
 	}
+	computeNS := qs.computeNS
+	qs.computeNS = 0
 	w.conn.Send(protocol.ControllerNode, &protocol.BarrierSynch{
 		Q: q, W: w.id,
 		Step:          step,
@@ -197,6 +201,7 @@ func (w *Worker) sendSynch(q query.ID, qs *queryState, fromStep, step int32, res
 		LocalIters:    step - fromStep,
 		Processed:     res.processed,
 		NActiveNext:   res.nActiveNext,
+		ComputeNS:     computeNS,
 		ScopeSize:     int32(len(qs.data)),
 		SentBatches:   res.sent,
 		BestGoal:      qs.bestGoal,

@@ -13,6 +13,7 @@ package worker
 
 import (
 	"fmt"
+	"log/slog"
 	"sync/atomic"
 	"time"
 
@@ -69,9 +70,9 @@ type Config struct {
 	// snapshot directory). Nil restricts grants to BaseVersion ==
 	// Config.BaseVersion.
 	Snapshots *snapshot.Store
-	// Logf receives operational log lines (rejoin replay provenance); nil
-	// discards them.
-	Logf func(format string, args ...any)
+	// Logger receives structured operational logs (query admission with
+	// trace IDs, rejoin replay provenance); nil discards them.
+	Logger *slog.Logger
 	// Clock abstracts time for tests; nil means time.Now.
 	Clock func() time.Time
 }
@@ -91,6 +92,9 @@ func (c *Config) fill() {
 	}
 	if c.Clock == nil {
 		c.Clock = time.Now
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
 	}
 }
 
@@ -129,6 +133,10 @@ type queryState struct {
 	bestGoal float64
 	// synchs counts barrier messages sent, for stats piggyback cadence.
 	synchs int
+	// computeNS accumulates wall time spent in computeStep since the last
+	// barrier report; it ships to the controller on BarrierSynch so the
+	// query's trace can attribute superstep time per worker.
+	computeNS int64
 }
 
 // sigShift is the scope-signature block size exponent: vertices v and v'
@@ -475,8 +483,9 @@ func (w *Worker) onPartitionGrant(m *protocol.PartitionGrant) error {
 		replayed += len(b.Ops)
 	}
 	w.replayedOps.Store(int64(replayed))
-	w.logf("worker %d: rejoined at graph version %d (replayed %d ops from checkpoint version %d)",
-		w.id, m.Version, replayed, baseV)
+	w.cfg.Logger.Info("rejoined",
+		"worker", int(w.id), "graph_version", m.Version,
+		"replayed_ops", replayed, "checkpoint_version", baseV, "gen", m.Gen)
 	w.view = view
 	w.prevView = nil
 	w.joining = false
@@ -484,13 +493,6 @@ func (w *Worker) onPartitionGrant(m *protocol.PartitionGrant) error {
 	return w.conn.Send(protocol.ControllerNode, &protocol.PartitionAck{
 		Gen: m.Gen, W: w.id, Version: view.Version(),
 	})
-}
-
-// logf forwards to the configured operational logger, if any.
-func (w *Worker) logf(format string, args ...any) {
-	if w.cfg.Logf != nil {
-		w.cfg.Logf(format, args...)
-	}
 }
 
 // ReplayedOps returns the operations the latest PartitionGrant replayed to
@@ -545,6 +547,14 @@ func (w *Worker) onExecute(m *protocol.ExecuteQuery) error {
 		}
 	}
 	w.queries[m.Spec.ID] = qs
+	if m.Spec.TraceID != 0 {
+		// Correlates this worker's share of the query with the span tree
+		// the serving layer assembles (internal/obs).
+		w.cfg.Logger.Info("query start",
+			"worker", int(w.id), "query", int64(m.Spec.ID),
+			"trace_id", m.Spec.TraceID, "kind", m.Spec.Kind.String(),
+			"graph_version", w.view.Version())
+	}
 	// Replay any batches that raced ahead of this broadcast on a
 	// worker-worker link.
 	if buffered := w.early[m.Spec.ID]; buffered != nil {

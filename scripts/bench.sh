@@ -1,0 +1,135 @@
+#!/usr/bin/env bash
+# Reproducible perf trajectory: drive the four BENCH scenarios against
+# local qgraphd deployments and accrete them into one JSON report
+# (default BENCH_6.json — the committed perf record for this tree).
+#
+#   read_only_notrace  query-only load, -trace=false   (tracing-cost baseline)
+#   read_only          identical load, tracing on      (+ phase attribution)
+#   mixed              queries + streamed mutations
+#   recovery           queries through a worker SIGKILL + handoff
+#
+# The report's derived tracing_overhead_pct compares the first two
+# scenarios' mean latencies; the acceptance bar is ≤5%. Tune with
+# BENCH_RATE / BENCH_DURATION; usage: scripts/bench.sh [out.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_6.json}"
+RATE="${BENCH_RATE:-300}"
+DUR="${BENCH_DURATION:-6s}"
+
+workdir=$(mktemp -d)
+cleanup() {
+  # shellcheck disable=SC2046  # word-splitting is the point: one PID per arg
+  kill $(jobs -p) >/dev/null 2>&1 || true
+  wait >/dev/null 2>&1 || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+go build -o "$workdir" ./cmd/...
+
+"$workdir/qgraph-gen" -kind road -preset bw -scale 256 \
+  -out "$workdir/g.qgr" -mutations 20000
+
+rm -f "$OUT"
+
+CTRL=""
+W0=""
+
+start_deploy() { # addrs serve-addr [extra controller flags...]
+  local addrs=$1 serveaddr=$2
+  shift 2
+  "$workdir/qgraphd" -role worker -id 0 -graph "$workdir/g.qgr" \
+    -addrs "$addrs" >>"$workdir/bench.log" 2>&1 &
+  W0=$!
+  "$workdir/qgraphd" -role worker -id 1 -graph "$workdir/g.qgr" \
+    -addrs "$addrs" >>"$workdir/bench.log" 2>&1 &
+  sleep 1
+  "$workdir/qgraphd" -role controller -graph "$workdir/g.qgr" -addrs "$addrs" \
+    -serve "$serveaddr" -commit-every 100ms "$@" >>"$workdir/bench.log" 2>&1 &
+  CTRL=$!
+  for _ in $(seq 1 50); do
+    curl -fsS "http://$serveaddr/healthz" >/dev/null 2>&1 && return 0
+    sleep 0.2
+  done
+  echo "bench: deployment on $serveaddr never became healthy" >&2
+  tail -20 "$workdir/bench.log" >&2
+  return 1
+}
+
+stop_deploy() {
+  kill -INT "$CTRL" >/dev/null 2>&1 || true
+  wait "$CTRL" >/dev/null 2>&1 || true
+  sleep 1
+}
+
+# The read-only pair is a controlled comparison of the per-request cost
+# of tracing, so it pins every confounder the other scenarios keep:
+#   * adaptive Q-cut is off (-adapt=false) — a repartition flushes the
+#     result cache, and whether the re-warm miss storm lands inside the
+#     measurement window is chaotic run-to-run noise far above 5%;
+#   * both runs first warm the cache with the identical (same-seed)
+#     workload, so neither pays the one-off pool-computation cost;
+#   * each arm is measured PAIR_REPS times and the best (lowest-mean)
+#     repetition is recorded (-json-best): at sub-millisecond means a 5%
+#     bar is ~15µs, below single-run scheduler/GC tail noise, and
+#     repeat-and-take-best strips exactly that noise from both arms.
+PAIR_DUR="${BENCH_COMPARE_DURATION:-10s}"
+PAIR_REPS="${BENCH_COMPARE_REPS:-3}"
+warmup() { # base-url
+  "$workdir/qgraph-bench" -load "$1" -rate "$RATE" \
+    -load-duration "$DUR" -load-pool 128 -load-timeout 30s >/dev/null
+}
+
+# --- read_only_notrace: the tracing-cost baseline ---------------------------
+start_deploy "127.0.0.1:7761,127.0.0.1:7762,127.0.0.1:7763" "127.0.0.1:7810" \
+  -adapt=false -trace=false
+warmup "http://127.0.0.1:7810"
+for _ in $(seq 1 "$PAIR_REPS"); do
+  "$workdir/qgraph-bench" -load "http://127.0.0.1:7810" -rate "$RATE" \
+    -load-duration "$PAIR_DUR" -load-pool 128 \
+    -scenario read_only_notrace -json-out "$OUT" -json-best
+done
+stop_deploy
+
+# --- read_only: identical load with tracing on ------------------------------
+start_deploy "127.0.0.1:7764,127.0.0.1:7765,127.0.0.1:7766" "127.0.0.1:7811" \
+  -adapt=false
+warmup "http://127.0.0.1:7811"
+for _ in $(seq 1 "$PAIR_REPS"); do
+  "$workdir/qgraph-bench" -load "http://127.0.0.1:7811" -rate "$RATE" \
+    -load-duration "$PAIR_DUR" -load-pool 128 \
+    -trace-sample 5 -scenario read_only -json-out "$OUT" -json-best
+done
+stop_deploy
+
+# --- mixed: queries + streamed mutations ------------------------------------
+start_deploy "127.0.0.1:7767,127.0.0.1:7768,127.0.0.1:7769" "127.0.0.1:7812"
+"$workdir/qgraph-bench" -load "http://127.0.0.1:7812" -rate "$RATE" \
+  -load-duration "$DUR" -load-pool 128 \
+  -mutate-rate 200 -mutate-batch 25 -mutations "$workdir/g.qgr.mut" \
+  -trace-sample 5 -scenario mixed -json-out "$OUT"
+stop_deploy
+
+# --- recovery: a worker SIGKILL mid-load ------------------------------------
+start_deploy "127.0.0.1:7771,127.0.0.1:7772,127.0.0.1:7773" "127.0.0.1:7813" \
+  -heartbeat-every 200ms -heartbeat-timeout 1s
+"$workdir/qgraph-bench" -load "http://127.0.0.1:7813" -rate 150 \
+  -load-duration 12s -load-pool 64 -load-timeout 15s \
+  -kill-pid "$W0" -kill-worker 0 -kill-after 4s \
+  -trace-sample 5 -scenario recovery -json-out "$OUT"
+stop_deploy
+
+# --- verdict ----------------------------------------------------------------
+overhead=$(sed -n 's/.*"tracing_overhead_pct": \(-\{0,1\}[0-9.]*\).*/\1/p' "$OUT")
+echo "BENCH OK: report written to $OUT (tracing overhead ${overhead:-?}%)"
+if [ -n "$overhead" ]; then
+  over=$(awk -v o="$overhead" 'BEGIN { print (o > 5) ? 1 : 0 }')
+  if [ "$over" -eq 1 ]; then
+    echo "BENCH WARN: tracing overhead ${overhead}% exceeds the 5% bar" >&2
+    # BENCH_SOFT_FAIL=1 (CI on shared runners) reports the breach without
+    # failing the job; the committed report is measured on quiet hardware.
+    [ "${BENCH_SOFT_FAIL:-0}" = "1" ] || exit 1
+  fi
+fi
