@@ -241,7 +241,11 @@ func (r *Registry) Gauge(name, labels, help string) *Gauge {
 
 // GaugeFunc registers a gauge whose value is read from fn at scrape
 // time — the mechanism that lets /metrics report the exact same state
-// /stats serializes, so the two cannot drift.
+// /stats serializes, so the two cannot drift. Re-registering an
+// existing (name, labels) series is a no-op: the first fn wins, so a
+// second Server sharing the registry cannot silently re-point a series
+// at its own state, and a published series is never mutated (scrapes
+// read series fields without the lock).
 func (r *Registry) GaugeFunc(name, labels, help string, fn func() float64) {
 	if r == nil {
 		return
@@ -249,9 +253,7 @@ func (r *Registry) GaugeFunc(name, labels, help string, fn func() float64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	f := r.fam(name, help, "gauge")
-	if s := f.find(labels); s != nil {
-		s.fn = fn
-		s.kind = kindGaugeFunc
+	if f.find(labels) != nil {
 		return
 	}
 	f.series = append(f.series, &series{labels: labels, kind: kindGaugeFunc, fn: fn})
@@ -259,6 +261,7 @@ func (r *Registry) GaugeFunc(name, labels, help string, fn func() float64) {
 
 // CounterFunc registers a counter read from fn at scrape time (the
 // source must be monotonic; used to mirror existing atomic counters).
+// Like GaugeFunc, re-registration is a no-op — first fn wins.
 func (r *Registry) CounterFunc(name, labels, help string, fn func() float64) {
 	if r == nil {
 		return
@@ -266,9 +269,7 @@ func (r *Registry) CounterFunc(name, labels, help string, fn func() float64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	f := r.fam(name, help, "counter")
-	if s := f.find(labels); s != nil {
-		s.fn = fn
-		s.kind = kindGaugeFunc
+	if f.find(labels) != nil {
 		return
 	}
 	f.series = append(f.series, &series{labels: labels, kind: kindGaugeFunc, fn: fn})
@@ -330,11 +331,23 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	if r == nil {
 		return
 	}
+	// Snapshot families AND their series slices under the lock: a
+	// registration racing a scrape appends to f.series, which would be a
+	// data race on the slice header if the scrape iterated it unlocked.
+	// The *series pointees themselves are immutable once published
+	// (instrument values are atomics; func re-registration is a no-op),
+	// so rendering outside the lock is safe — and fn() callbacks read
+	// engine state without holding the registry lock.
 	r.mu.Lock()
-	order := append([]string(nil), r.order...)
-	fams := make([]*family, 0, len(order))
-	for _, name := range order {
-		fams = append(fams, r.fams[name])
+	fams := make([]family, 0, len(r.order))
+	for _, name := range r.order {
+		f := r.fams[name]
+		fams = append(fams, family{
+			name:   f.name,
+			help:   f.help,
+			typ:    f.typ,
+			series: append([]*series(nil), f.series...),
+		})
 	}
 	r.mu.Unlock()
 

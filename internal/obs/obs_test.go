@@ -3,7 +3,9 @@ package obs
 import (
 	"bufio"
 	"bytes"
+	"encoding/json"
 	"fmt"
+	"io"
 	"log/slog"
 	"math"
 	"regexp"
@@ -107,6 +109,47 @@ func TestTracerDoubleFinishAndNilSafety(t *testing.T) {
 	o.Log().Info("discarded")
 	o.M().Counter("x", "", "").Inc()
 	o.T().Begin("x")
+}
+
+// TestTraceViewConcurrentWithSetAttr JSON-encodes views of a trace
+// while another goroutine keeps mutating span attrs — the GET /trace
+// shape: handlers marshal after the trace lock is released, so views
+// must copy attr maps, not alias them. Run under -race this catches
+// the concurrent map read/write that crashed the daemon.
+func TestTraceViewConcurrentWithSetAttr(t *testing.T) {
+	tr := NewTracer(4)
+	tc := tr.Begin("query")
+	tr.BindQuery(1, tc)
+	sp := tc.StartSpan(nil, "engine")
+	tr.Finish(tc) // finished traces still accept late attrs/spans
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			sp.SetAttr("step", i)
+			tc.Root().SetAttr("late", i)
+		}
+	}()
+	for i := 0; i < 500; i++ {
+		v, ok := tr.Get(1)
+		if !ok {
+			t.Error("trace lost mid-run")
+			break
+		}
+		if err := json.NewEncoder(io.Discard).Encode(v); err != nil {
+			t.Errorf("encode: %v", err)
+			break
+		}
+	}
+	close(stop)
+	<-done
 }
 
 func TestAttribute(t *testing.T) {
@@ -265,6 +308,56 @@ func TestRegistryConcurrency(t *testing.T) {
 	var buf bytes.Buffer
 	r.WritePrometheus(&buf)
 	validatePrometheus(t, buf.String())
+}
+
+// TestRegistryScrapeDuringRegistration races WritePrometheus against
+// ongoing registrations (a second Server or core.Start sharing the
+// registry after traffic begins): the scrape must snapshot series
+// slices under the lock, not iterate them while registration appends.
+func TestRegistryScrapeDuringRegistration(t *testing.T) {
+	r := NewRegistry()
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			r.Gauge("qgraph_scrape_race_gauge", fmt.Sprintf(`w="%d"`, i), "x").Set(float64(i))
+			r.GaugeFunc("qgraph_scrape_race_fn", fmt.Sprintf(`w="%d"`, i), "x", func() float64 { return 1 })
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		r.WritePrometheus(io.Discard)
+	}
+	close(stop)
+	<-done
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	validatePrometheus(t, buf.String())
+}
+
+// TestRegistryFuncFirstWins: re-registering a func-backed series must
+// not re-point it (a second Server sharing the registry would silently
+// hijack qgraph_admission_*/qgraph_cache_* gauges otherwise).
+func TestRegistryFuncFirstWins(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("qgraph_fw_gauge", "", "x", func() float64 { return 1 })
+	r.GaugeFunc("qgraph_fw_gauge", "", "x", func() float64 { return 2 })
+	r.CounterFunc("qgraph_fw_total", "", "x", func() float64 { return 10 })
+	r.CounterFunc("qgraph_fw_total", "", "x", func() float64 { return 20 })
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "qgraph_fw_gauge 1\n") {
+		t.Fatalf("gauge func re-registration won (want first):\n%s", out)
+	}
+	if !strings.Contains(out, "qgraph_fw_total 10\n") {
+		t.Fatalf("counter func re-registration won (want first):\n%s", out)
+	}
 }
 
 func TestHistogramQuantileEdges(t *testing.T) {

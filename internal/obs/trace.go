@@ -7,6 +7,7 @@
 package obs
 
 import (
+	"maps"
 	"sort"
 	"sync"
 	"time"
@@ -182,7 +183,10 @@ func viewSpan(s *Span, now time.Time) SpanView {
 		DurationNS: int64(d),
 		DurationMS: float64(d) / float64(time.Millisecond),
 		Open:       open,
-		Attrs:      s.attrs,
+		// Copied, not aliased: callers JSON-encode the view after t.mu is
+		// released, while SetAttr keeps mutating the live map (late spans
+		// and attrs are permitted on finished traces).
+		Attrs: maps.Clone(s.attrs),
 	}
 	for _, c := range s.children {
 		v.Children = append(v.Children, viewSpan(c, now))

@@ -19,6 +19,24 @@ import (
 // with all integers little-endian. The codec is hand-rolled (stdlib only)
 // and round-trip tested for every message type.
 
+// CodecVersion identifies the frame encoding generation. Message
+// payloads carry no per-frame version; instead peers exchange this
+// value in the TCP dial handshake (see TCPNode) and connections from a
+// peer speaking a different generation are rejected at accept time, so
+// a mixed-version cluster (e.g. mid rolling restart) fails loudly
+// instead of silently misdecoding frames.
+//
+// Bump this whenever any message's wire encoding changes shape.
+// History:
+//
+//	1 — initial encoding (implicit; pre-handshake binaries sent no
+//	    version byte and are rejected by the handshake length change)
+//	2 — ExecuteQuery gained Spec.TraceID, BarrierSynch gained ComputeNS
+//
+// The value is deliberately offset from small integers so a legacy
+// 1-byte [NodeID] handshake can never alias a valid version.
+const CodecVersion = 0xA0 + 2
+
 type encoder struct{ buf []byte }
 
 func (e *encoder) u8(v uint8) { e.buf = append(e.buf, v) }

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"sync"
 	"time"
@@ -17,7 +18,11 @@ import (
 // accepts inbound connections, so deployments need no start-up ordering
 // beyond "listeners up before traffic".
 //
-// The dial handshake is a single byte carrying the dialer's NodeID.
+// The dial handshake is two bytes: [CodecVersion][dialer's NodeID]. The
+// acceptor drops connections whose version byte differs from its own
+// CodecVersion, so peers built from binaries with incompatible frame
+// encodings are rejected at connect time (the dialer's Sends then fail
+// with connection errors) rather than misdecoding each other's frames.
 type TCPNode struct {
 	id    protocol.NodeID
 	addrs []string // addrs[n] is node n's listen address
@@ -120,11 +125,17 @@ func (n *TCPNode) acceptLoop() {
 // serveConn reads the handshake then pushes decoded frames into the inbox.
 func (n *TCPNode) serveConn(conn net.Conn) {
 	defer conn.Close()
-	var hs [1]byte
+	var hs [2]byte
 	if _, err := io.ReadFull(conn, hs[:]); err != nil {
 		return
 	}
-	from := protocol.NodeID(hs[0])
+	if hs[0] != CodecVersion {
+		slog.Warn("transport: rejecting peer with incompatible codec version",
+			"remote", conn.RemoteAddr().String(),
+			"peer_version", hs[0], "local_version", uint8(CodecVersion))
+		return
+	}
+	from := protocol.NodeID(hs[1])
 	br := bufio.NewReaderSize(conn, 1<<16)
 	for {
 		m, err := readFrame(br)
@@ -244,7 +255,7 @@ func (n *TCPNode) Send(to protocol.NodeID, m protocol.Message) error {
 			if !n.registerDialed(conn) {
 				return fmt.Errorf("transport: node closed")
 			}
-			if _, err := conn.Write([]byte{byte(n.id)}); err != nil {
+			if _, err := conn.Write([]byte{CodecVersion, byte(n.id)}); err != nil {
 				n.unregisterDialed(conn)
 				conn.Close()
 				lastErr = err

@@ -146,6 +146,68 @@ func TestTCPLargeBatch(t *testing.T) {
 	}
 }
 
+// TestTCPHandshakeVersionMismatch: a peer announcing a different codec
+// version in the dial handshake must be rejected at accept time — its
+// frames are never decoded or delivered — while a peer speaking the
+// current version on the same node keeps working. This is what turns a
+// mixed-version rolling restart into a loud connect-time failure
+// instead of silently misdecoded frames.
+func TestTCPHandshakeVersionMismatch(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := []string{ln.Addr().String(), "127.0.0.1:1"}
+	n := newTCPNodeWithListener(0, addrs, ln)
+	defer n.Close()
+
+	conn, err := net.Dial("tcp", addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte{CodecVersion + 1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	frame, err := Encode(&protocol.GlobalStop{Epoch: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = conn.Write(frame) // may outrun the close; rejection is observed below
+
+	// The acceptor must close the connection without delivering anything.
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("rejected connection still open (read succeeded)")
+	}
+	select {
+	case env := <-n.Inbox():
+		t.Fatalf("frame from mismatched peer delivered: %+v", env)
+	default:
+	}
+
+	// A well-versioned peer on the same node is unaffected.
+	ok, err := net.Dial("tcp", addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ok.Close()
+	if _, err := ok.Write([]byte{CodecVersion, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ok.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case env := <-n.Inbox():
+		if env.From != 1 || env.Msg.(*protocol.GlobalStop).Epoch != 7 {
+			t.Fatalf("bad delivery: %+v", env)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("well-versioned frame never delivered")
+	}
+}
+
 // TestTCPRedialAfterPeerRestart: a process that crashed and came back on
 // the same address is reachable again through the same TCPNode — Send
 // drops the dead cached connection and redials instead of failing forever.
