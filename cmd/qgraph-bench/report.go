@@ -86,6 +86,10 @@ type benchReport struct {
 	// scenarios' mean latencies: the cost of leaving tracing on. Derived
 	// automatically once both scenarios are present.
 	TracingOverheadPct *float64 `json:"tracing_overhead_pct,omitempty"`
+	// WatchdogOverheadPct compares read_only against read_only_nowatch
+	// (a server deployed with -watchdog=false) the same way: the cost of
+	// leaving the active health layer on.
+	WatchdogOverheadPct *float64 `json:"watchdog_overhead_pct,omitempty"`
 }
 
 // writeBenchJSON merges one scenario into the report at path
@@ -109,10 +113,15 @@ func writeBenchJSON(path, scenario string, sc benchScenario, keepBest bool) erro
 		rep.Scenarios[scenario] = sc
 	}
 	rep.TracingOverheadPct = nil
-	if traced, ok := rep.Scenarios["read_only"]; ok {
+	rep.WatchdogOverheadPct = nil
+	if full, ok := rep.Scenarios["read_only"]; ok {
 		if bare, ok := rep.Scenarios["read_only_notrace"]; ok && bare.Latency.MeanMS > 0 {
-			pct := 100 * (traced.Latency.MeanMS - bare.Latency.MeanMS) / bare.Latency.MeanMS
+			pct := 100 * (full.Latency.MeanMS - bare.Latency.MeanMS) / bare.Latency.MeanMS
 			rep.TracingOverheadPct = &pct
+		}
+		if bare, ok := rep.Scenarios["read_only_nowatch"]; ok && bare.Latency.MeanMS > 0 {
+			pct := 100 * (full.Latency.MeanMS - bare.Latency.MeanMS) / bare.Latency.MeanMS
+			rep.WatchdogOverheadPct = &pct
 		}
 	}
 	out, err := json.MarshalIndent(rep, "", "  ")

@@ -88,9 +88,11 @@ import (
 	"time"
 
 	"qgraph/internal/controller"
+	"qgraph/internal/faultpoint"
 	"qgraph/internal/graph"
 	"qgraph/internal/metrics"
 	"qgraph/internal/obs"
+	"qgraph/internal/obs/health"
 	"qgraph/internal/partition"
 	"qgraph/internal/protocol"
 	"qgraph/internal/query"
@@ -134,6 +136,17 @@ func main() {
 		logJSON   = flag.Bool("log-json", false, "emit structured logs as JSON instead of logfmt text")
 		pprofAddr = flag.String("pprof-addr", "", "expose net/http/pprof on this host:port (empty disables)")
 		traceOn   = flag.Bool("trace", true, "per-query tracing for /trace and /traces (-serve); /metrics is unaffected")
+
+		watchdog     = flag.Bool("watchdog", true, "active health layer: straggler/stall/fsync/admission watchdogs, /events, /slo, incident flight recorder (controller)")
+		watchFactor  = flag.Float64("watch-straggler-factor", 4, "straggler detector k: flag a worker above k x its live peers' median per-step compute")
+		watchSteps   = flag.Int("watch-straggler-steps", 3, "straggler detector m: consecutive over-threshold supersteps before firing (and under before clearing)")
+		watchStall   = flag.Duration("watch-stall-timeout", 10*time.Second, "barrier-phase/superstep age after which the stall watchdog fires")
+		watchFsync   = flag.Duration("watch-fsync-spike", 50*time.Millisecond, "absolute floor for the WAL fsync spike detector")
+		watchAdmit   = flag.Float64("watch-admission-ratio", 0.9, "admission queue fill ratio at which the saturation detector fires")
+		sloTarget    = flag.Duration("slo-target", 250*time.Millisecond, "per-request latency target for /slo accounting")
+		sloObjective = flag.Float64("slo-objective", 0.99, "fraction of requests that must meet -slo-target (error budget = 1-objective)")
+
+		faultSlowCompute = flag.Duration("fault-slow-compute", 0, "TESTING: inflate every superstep's compute by sleeping this long (role=worker; exercises the straggler watchdog)")
 	)
 	flag.Parse()
 
@@ -231,6 +244,18 @@ func main() {
 		if *id < 0 || *id >= k {
 			fatal(fmt.Errorf("worker id %d out of range [0,%d)", *id, k))
 		}
+		if *faultSlowCompute > 0 {
+			// Deterministic straggler injection: the compute-slow faultpoint
+			// sits inside the measured superstep window, so the sleep shows
+			// up in this worker's reported ComputeNS and the controller's
+			// straggler watchdog sees a genuinely slow worker.
+			d := *faultSlowCompute
+			faultpoint.Arm(faultpoint.WorkerComputeSlow, func(...int) bool {
+				time.Sleep(d)
+				return false
+			})
+			logger.Warn("fault injection armed: slow compute", "sleep", d.String())
+		}
 		node, err := transport.NewTCPNode(protocol.WorkerNode(partition.WorkerID(*id)), addrs)
 		if err != nil {
 			fatal(err)
@@ -261,9 +286,30 @@ func main() {
 		// extends request traces; serve adds the HTTP-side instruments and
 		// exposes everything at /metrics, /trace, /traces.
 		o := obs.New(logger)
+		// The health monitor is shared the same way as Obs: the controller
+		// feeds compute/fsync/stall/lifecycle signals, the serving layer
+		// feeds admission/SLO signals and exposes /events, /slo, /healthz
+		// degradation, and the incident flight recorder.
+		var mon *health.Monitor
+		if *watchdog {
+			mon = health.New(health.Config{
+				StragglerFactor: *watchFactor,
+				StragglerSteps:  *watchSteps,
+				StallTimeout:    *watchStall,
+				FsyncSpikeMin:   *watchFsync,
+				AdmissionRatio:  *watchAdmit,
+				SLOTarget:       *sloTarget,
+				SLOObjective:    *sloObjective,
+			}, o)
+			transport.SetOnCodecReject(func(remote string, peerVersion, localVersion uint8) {
+				mon.Record(health.EventCodecReject, health.SevWarn, -1,
+					fmt.Sprintf("rejected peer %s: codec version %d != local %d", remote, peerVersion, localVersion),
+					map[string]any{"remote": remote, "peer_version": peerVersion, "local_version": localVersion})
+			})
+		}
 		ctrl, err := controller.New(controller.Config{
 			K: k, Graph: baseG, Owner: assign, Adapt: *adapt, Recorder: rec,
-			Obs:         o,
+			Obs: o, Monitor: mon,
 			CommitEvery: *commitEvery, MaxBatchOps: *maxBatchOps,
 			HeartbeatEvery: *hbEvery, HeartbeatTimeout: *hbTimeout,
 			Snapshots: snapStore, BaseVersion: baseV, WAL: walLog,
@@ -296,6 +342,7 @@ func main() {
 				CacheTTL:       *cacheTTL,
 				DefaultTimeout: *reqTimeout,
 				Obs:            o,
+				Monitor:        mon,
 				NoTrace:        !*traceOn,
 			})
 			if err != nil {

@@ -132,6 +132,7 @@ func (c *Controller) release(ctl *qctl, step int32, involved map[partition.Worke
 	ctl.involved = involved
 	ctl.reports = make(map[partition.WorkerID]*protocol.BarrierSynch, len(involved))
 	ctl.outstanding = true
+	ctl.releasedAt = c.cfg.Clock()
 	ctl.paused = false
 	c.beginStepSpan(ctl, step)
 	for w := range involved {
@@ -178,6 +179,7 @@ func (c *Controller) onSynch(m *protocol.BarrierSynch) error {
 	}
 	ctl.reports[m.W] = m
 	c.obs.onReport(m)
+	c.cfg.Monitor.ObserveCompute(int(m.W), m.ComputeNS, int(m.Step-m.FromStep)+1)
 	ctl.scopeSizes[m.W] = int64(m.ScopeSize)
 	if m.Processed > 0 || m.ScopeSize > 0 {
 		ctl.everActive[m.W] = true

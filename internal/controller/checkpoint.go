@@ -1,9 +1,11 @@
 package controller
 
 import (
+	"fmt"
 	"time"
 
 	"qgraph/internal/faultpoint"
+	"qgraph/internal/obs/health"
 	"qgraph/internal/snapshot"
 )
 
@@ -139,6 +141,13 @@ func (c *Controller) onCutDone(d cutDone) {
 			c.lastCutUnixNS.Store(end.UnixNano())
 			c.spanActiveQueries("snapshot/cut", end.Add(-dur), end,
 				map[string]any{"version": res.Version, "vertices": res.Vertices, "edges": res.Edges})
+			c.healthEvent(health.EventSnapshotCut, health.SevInfo, -1,
+				fmt.Sprintf("snapshot cut at version %d (%d vertices, %d edges) in %s",
+					res.Version, res.Vertices, res.Edges, dur.Round(time.Millisecond)),
+				map[string]any{
+					"version": res.Version, "vertices": res.Vertices,
+					"edges": res.Edges, "duration_ms": float64(dur) / float64(time.Millisecond),
+				})
 		}
 		floor := d.floor
 		if c.cfg.privateSnapshots {

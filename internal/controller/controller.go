@@ -20,6 +20,7 @@ import (
 	"qgraph/internal/graph"
 	"qgraph/internal/metrics"
 	"qgraph/internal/obs"
+	"qgraph/internal/obs/health"
 	"qgraph/internal/partition"
 	"qgraph/internal/protocol"
 	"qgraph/internal/qcut"
@@ -159,6 +160,11 @@ type Config struct {
 	// barrier-phase / commit / WAL / snapshot instruments, structured
 	// logging. Nil disables all of it at zero cost.
 	Obs *obs.Obs
+	// Monitor is the active health layer (internal/obs/health): the
+	// controller feeds it per-worker compute times, fsync latency, stall
+	// ages, and lifecycle events. Nil disables the watchdogs at the cost
+	// of a nil check per signal.
+	Monitor *health.Monitor
 	// Clock abstracts time for tests; nil means time.Now.
 	Clock func() time.Time
 }
@@ -241,8 +247,9 @@ type qctl struct {
 	started time.Time
 	ch      chan<- Result
 
-	step        int32 // last fully collected superstep (-1 before step 0)
-	outstanding bool  // a release was issued; reports pending
+	step        int32     // last fully collected superstep (-1 before step 0)
+	outstanding bool      // a release was issued; reports pending
+	releasedAt  time.Time // when the outstanding release was issued (stall watchdog)
 	paused      bool  // wanted a release while a global barrier was active
 	involved    map[partition.WorkerID]bool
 	reports     map[partition.WorkerID]*protocol.BarrierSynch

@@ -158,6 +158,7 @@ func (c *Controller) applyCommit() error {
 		}
 		c.spanActiveQueries("wal/fsync", fsyncStart, fsyncEnd,
 			map[string]any{"version": batch.Version, "ops": len(batch.Ops)})
+		c.cfg.Monitor.ObserveFsync(fsyncEnd.Sub(fsyncStart))
 		if faultpoint.Hit(faultpoint.WALAppend) {
 			// Simulated crash between the fsync and the ack: the batch is
 			// durable but nobody was told — restart must recover it.

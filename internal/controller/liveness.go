@@ -51,10 +51,18 @@ func (c *Controller) heartbeat(now time.Time) {
 	}
 }
 
-// onPong records a worker's liveness answer.
+// onPong records a worker's liveness answer. An answer to the current
+// probe round also yields the worker's heartbeat round-trip time: the
+// probe round's send time is lastPingAt, so now-lastPingAt bounds the
+// Ping→Pong path through the worker's inbox — the early-warning signal
+// (a worker drowning in queued messages shows a growing RTT well before
+// it misses enough pings to be declared dead).
 func (c *Controller) onPong(m *protocol.Pong) {
 	if int(m.W) < len(c.missedPings) && !c.deadWorkers[m.W] {
 		c.missedPings[m.W] = 0
+		if m.Seq == c.pingSeq {
+			c.obs.observeRTT(int(m.W), c.cfg.Clock().Sub(c.lastPingAt))
+		}
 	}
 }
 

@@ -61,6 +61,7 @@ type ctlObs struct {
 	activeVerts   []*obs.Gauge   // last reported active vertices, per worker
 	scopeVerts    []*obs.Gauge   // last reported total scope, per worker
 	computeNS     []atomic.Int64 // cumulative compute wall time, per worker
+	pingRTT       []*obs.Gauge   // last heartbeat round-trip time, per worker
 	barrierCount  *obs.Counter
 	barrierMoves  *obs.Counter
 	walFsyncCount *obs.Counter
@@ -88,6 +89,7 @@ func newCtlObs(c *Controller) *ctlObs {
 		activeVerts:     make([]*obs.Gauge, c.cfg.K),
 		scopeVerts:      make([]*obs.Gauge, c.cfg.K),
 		computeNS:       make([]atomic.Int64, c.cfg.K),
+		pingRTT:         make([]*obs.Gauge, c.cfg.K),
 	}
 	for _, p := range []phase{phaseQuiesce, phaseStopping, phaseDraining, phaseDeltaCommit, phaseMoving, phaseScopeDrain, phaseRecover} {
 		co.barrierSeconds[p] = m.Histogram("qgraph_barrier_phase_seconds",
@@ -101,6 +103,8 @@ func newCtlObs(c *Controller) *ctlObs {
 			"active vertices in the worker's last reported superstep")
 		co.scopeVerts[w] = m.Gauge("qgraph_worker_scope_vertices", lbl,
 			"vertices in the worker's last reported query scope")
+		co.pingRTT[w] = m.Gauge("qgraph_worker_ping_rtt_seconds", lbl,
+			"heartbeat round-trip time of the worker's last current-round pong")
 		wi := w
 		m.CounterFunc("qgraph_worker_compute_seconds_total", lbl,
 			"cumulative superstep compute wall time reported by the worker",
@@ -125,6 +129,14 @@ func newCtlObs(c *Controller) *ctlObs {
 			return time.Since(time.Unix(0, ns)).Seconds()
 		})
 	return co
+}
+
+// observeRTT records a worker's heartbeat round-trip time.
+func (co *ctlObs) observeRTT(w int, rtt time.Duration) {
+	if co == nil || w < 0 || w >= len(co.pingRTT) {
+		return
+	}
+	co.pingRTT[w].Set(rtt.Seconds())
 }
 
 // onReport folds one BarrierSynch into the per-worker instruments.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"qgraph/internal/obs/health"
 	"qgraph/internal/partition"
 	"qgraph/internal/protocol"
 	"qgraph/internal/query"
@@ -59,6 +60,10 @@ func (c *Controller) onWorkerDead(w partition.WorkerID) {
 		o.Log().Warn("worker declared dead", "worker", int(w),
 			"graph_version", c.graphVersion.Load())
 	}
+	c.cfg.Monitor.MarkWorkerDead(int(w))
+	c.healthEvent(health.EventWorkerDead, health.SevWarn, int(w),
+		fmt.Sprintf("worker %d declared dead (missed heartbeats)", int(w)),
+		map[string]any{"graph_version": c.graphVersion.Load()})
 	if c.cfg.Respawn == nil {
 		// Fence a falsely-declared-dead worker that is actually alive: its
 		// partition is being reassigned under it. With in-process respawn
@@ -172,6 +177,7 @@ func (c *Controller) proceedRecovery() {
 		if c.rec.Rejoining(w) {
 			delete(c.deadWorkers, w)
 			c.missedPings[w] = 0
+			c.cfg.Monitor.MarkWorkerLive(int(w))
 			// Replay starts at the newest checkpoint, not version 0: the log
 			// was truncated there, and the rejoiner resolves the checkpoint
 			// from its snapshot store — O(ops since checkpoint) crosses the
@@ -229,6 +235,14 @@ func (c *Controller) completeRecovery() {
 		}
 	}
 	c.recCtr.Episode(dur, handoffs, rejoins, len(c.queries))
+	c.healthEvent(health.EventRecovery, health.SevInfo, -1,
+		fmt.Sprintf("recovery complete in %s (%d handoffs, %d rejoins, %d queries restarted)",
+			dur.Round(time.Millisecond), handoffs, rejoins, len(c.queries)),
+		map[string]any{
+			"duration_ms": float64(dur) / float64(time.Millisecond),
+			"handoffs":    handoffs, "rejoins": rejoins,
+			"queries_restarted": len(c.queries),
+		})
 	if o := c.cfg.Obs; o != nil {
 		o.Log().Info("recovery complete",
 			"duration_ms", float64(dur)/float64(time.Millisecond),
@@ -283,6 +297,8 @@ func (c *Controller) resetQueryForRestart(ctl *qctl) {
 func (c *Controller) enterTerminal() {
 	c.terminal = true
 	c.recovering = false
+	c.healthEvent(health.EventTerminal, health.SevCritical, -1,
+		"no live workers left: controller is terminally degraded", nil)
 	if c.rec.Active() {
 		c.rec.Finish(c.cfg.Clock())
 	}

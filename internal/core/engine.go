@@ -27,6 +27,7 @@ import (
 	"qgraph/internal/graph"
 	"qgraph/internal/metrics"
 	"qgraph/internal/obs"
+	"qgraph/internal/obs/health"
 	"qgraph/internal/partition"
 	"qgraph/internal/protocol"
 	"qgraph/internal/qcut"
@@ -125,6 +126,10 @@ type Config struct {
 	// controller and into worker structured logs. Nil disables tracing
 	// and controller metrics; in-process workers then log to discard.
 	Obs *obs.Obs
+	// Monitor is the active health layer (internal/obs/health), shared
+	// with the serving layer; the controller feeds its detectors. Nil
+	// disables the watchdogs.
+	Monitor *health.Monitor
 }
 
 // closeWAL closes a possibly-nil WAL (Start error paths).
@@ -281,6 +286,7 @@ func Start(cfg Config) (*Engine, error) {
 		WAL:         walLog,
 		Recorder:    rec,
 		Obs:         cfg.Obs,
+		Monitor:     cfg.Monitor,
 	}, net.Conn(protocol.ControllerNode))
 	if err != nil {
 		if ownNet {

@@ -34,6 +34,11 @@ const (
 	// WorkerRecover fires on RecoverStart before the reset — a worker
 	// dying during recovery itself, forcing a second recovery round.
 	WorkerRecover = "worker/recover"
+	// WorkerComputeSlow fires inside a superstep's timed compute section:
+	// a hook that sleeps and returns false models a straggling worker
+	// whose reported ComputeNS inflates deterministically, exercising the
+	// health layer's straggler detector.
+	WorkerComputeSlow = "worker/compute-slow"
 )
 
 // Controller-side checkpointing points (internal/snapshot). These carry no

@@ -1,0 +1,45 @@
+package metrics
+
+import "sync/atomic"
+
+// TenantCounters is the lock-free per-tenant request ledger behind SLO
+// accounting: the serving layer classifies every finished request into
+// exactly one outcome bucket, and Good additionally counts the completed
+// requests that met the latency target. All fields are atomics so the
+// hot path (one classify per request) never takes a lock; consistency
+// across fields is only needed at reporting time, where Snapshot's
+// slightly-racy reads are fine.
+type TenantCounters struct {
+	Requests atomic.Int64 // every classified request
+	Good     atomic.Int64 // completed within the latency target
+	SlowOK   atomic.Int64 // completed, but over the latency target
+	Rejected atomic.Int64 // 429: admission queue full
+	Expired  atomic.Int64 // 504: deadline passed before completion
+	Failed   atomic.Int64 // 503: engine-side failure
+}
+
+// TenantSnapshot is the JSON shape of one tenant's ledger.
+type TenantSnapshot struct {
+	Requests int64 `json:"requests"`
+	Good     int64 `json:"good"`
+	SlowOK   int64 `json:"slow_ok"`
+	Rejected int64 `json:"rejected"`
+	Expired  int64 `json:"expired"`
+	Failed   int64 `json:"failed"`
+}
+
+// Snapshot reads the counters (individually atomic, not mutually
+// consistent — acceptable for reporting).
+func (t *TenantCounters) Snapshot() TenantSnapshot {
+	if t == nil {
+		return TenantSnapshot{}
+	}
+	return TenantSnapshot{
+		Requests: t.Requests.Load(),
+		Good:     t.Good.Load(),
+		SlowOK:   t.SlowOK.Load(),
+		Rejected: t.Rejected.Load(),
+		Expired:  t.Expired.Load(),
+		Failed:   t.Failed.Load(),
+	}
+}

@@ -1,0 +1,185 @@
+package health
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"qgraph/internal/obs"
+)
+
+// Incident is one flight-recorder bundle: everything an operator needs
+// to diagnose a detection after the fact, captured atomically at the
+// moment the detector fired. Bundles live in a bounded ring, so a
+// flapping detector can never grow memory without bound.
+type Incident struct {
+	ID      int64     `json:"id"`
+	At      time.Time `json:"at"`
+	Key     string    `json:"key"`      // condition key, e.g. straggler/2
+	Open    bool      `json:"open"`     // condition still holds
+	Trigger Event     `json:"trigger"`  // the detection that opened it
+	Events  []Event   `json:"events"`   // recent event-log tail, newest first
+	Workers []WorkerCompute `json:"workers"` // per-worker compute table
+	Traces  []obs.TraceView `json:"slowest_traces,omitempty"`
+	Stats   any             `json:"stats,omitempty"`      // serving layer /stats snapshot
+	Goroutines string       `json:"goroutines,omitempty"` // full goroutine dump
+}
+
+// IncidentRef is the list shape (the bundle minus its bulky payloads).
+type IncidentRef struct {
+	ID      int64     `json:"id"`
+	At      time.Time `json:"at"`
+	Key     string    `json:"key"`
+	Open    bool      `json:"open"`
+	Trigger string    `json:"trigger"`
+}
+
+// incidentRing is the bounded incident store, same O(1) circular shape
+// as the event log.
+type incidentRing struct {
+	ring []*Incident
+	next int
+	n    int
+}
+
+// DefaultIncidentRing bounds how many incident bundles are retained.
+const DefaultIncidentRing = 8
+
+func newIncidentRing(capacity int) *incidentRing {
+	if capacity <= 0 {
+		capacity = DefaultIncidentRing
+	}
+	return &incidentRing{ring: make([]*Incident, capacity)}
+}
+
+func (r *incidentRing) add(inc *Incident) {
+	r.ring[r.next] = inc
+	r.next = (r.next + 1) % len(r.ring)
+	if r.n < len(r.ring) {
+		r.n++
+	}
+}
+
+// each visits retained incidents oldest-first.
+func (r *incidentRing) each(visit func(*Incident)) {
+	for i := 0; i < r.n; i++ {
+		visit(r.ring[(r.next-r.n+i+len(r.ring))%len(r.ring)])
+	}
+}
+
+var incidentSeq atomic.Int64
+
+// maxGoroutineDump bounds the goroutine dump embedded in a bundle.
+const maxGoroutineDump = 1 << 18 // 256 KiB
+
+// openIncident captures a bundle for condition key unless one is
+// already open for it or one was captured within the cooldown.
+// persistent conditions (stragglers, stalls, saturation) keep the
+// incident open until closeIncident; point events (fsync spikes) close
+// immediately but still honor the cooldown.
+func (m *Monitor) openIncident(key string, trigger Event, persistent bool) {
+	if m == nil {
+		return
+	}
+	now := m.now()
+	m.mu.Lock()
+	if _, ok := m.active[key]; ok {
+		m.mu.Unlock()
+		return
+	}
+	if last, ok := m.lastCapture[key]; ok && now.Sub(last) < m.cfg.IncidentCooldown {
+		m.mu.Unlock()
+		return
+	}
+	m.lastCapture[key] = now
+	m.mu.Unlock()
+
+	// Capture outside m.mu: the stats callback and the tracer walk other
+	// subsystems' locks, and ComputeTable re-takes m.mu itself.
+	inc := &Incident{
+		ID:      incidentSeq.Add(1),
+		At:      now,
+		Key:     key,
+		Open:    persistent,
+		Trigger: trigger,
+		Events:  m.events.List(EventFilter{Limit: 64}),
+		Workers: m.ComputeTable(),
+		Traces:  m.tracer.Slowest(5),
+	}
+	m.statsMu.Lock()
+	fn := m.statsFn
+	m.statsMu.Unlock()
+	if fn != nil {
+		inc.Stats = fn()
+	}
+	buf := make([]byte, maxGoroutineDump)
+	inc.Goroutines = string(buf[:runtime.Stack(buf, true)])
+
+	m.mu.Lock()
+	m.incidents.add(inc)
+	if persistent {
+		m.active[key] = inc.ID
+	}
+	m.mu.Unlock()
+	m.incidentsCtr.Inc()
+	m.emit(Event{Type: EventIncident, Severity: trigger.Severity, Worker: trigger.Worker,
+		Incident: inc.ID, Msg: "incident bundle captured: " + trigger.Msg,
+		Fields: map[string]any{"key": key}})
+}
+
+// closeIncident marks the condition resolved; the bundle stays in the
+// ring for inspection.
+func (m *Monitor) closeIncident(key string) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	id, ok := m.active[key]
+	if ok {
+		delete(m.active, key)
+		m.incidents.each(func(inc *Incident) {
+			if inc.ID == id {
+				inc.Open = false
+			}
+		})
+	}
+	m.mu.Unlock()
+}
+
+// Incident returns the bundle with the given id, or the newest one when
+// id <= 0 ("latest").
+func (m *Monitor) Incident(id int64) (*Incident, bool) {
+	if m == nil {
+		return nil, false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var hit *Incident
+	m.incidents.each(func(inc *Incident) {
+		if id <= 0 || inc.ID == id {
+			hit = inc // oldest-first walk: last match is the newest
+		}
+	})
+	if hit == nil {
+		return nil, false
+	}
+	cp := *hit // Open is mutated by closeIncident under m.mu; hand out a copy
+	return &cp, true
+}
+
+// Incidents lists retained incident refs newest-first.
+func (m *Monitor) Incidents() []IncidentRef {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	refs := make([]IncidentRef, 0, m.incidents.n)
+	m.incidents.each(func(inc *Incident) {
+		refs = append(refs, IncidentRef{ID: inc.ID, At: inc.At, Key: inc.Key, Open: inc.Open, Trigger: inc.Trigger.Type})
+	})
+	for i, j := 0, len(refs)-1; i < j; i, j = i+1, j-1 {
+		refs[i], refs[j] = refs[j], refs[i]
+	}
+	return refs
+}

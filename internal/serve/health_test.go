@@ -1,0 +1,235 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"qgraph/internal/core"
+	"qgraph/internal/faultpoint"
+	"qgraph/internal/obs"
+	"qgraph/internal/obs/health"
+)
+
+// getJSON decodes a GET response body into out and returns the status.
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: decode: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestStragglerWatchdogEndToEnd injects a deterministically slow worker
+// through the compute-slow faultpoint and asserts the whole detection
+// path: /healthz flips to degraded naming the straggler, /events records
+// the detection, the flight recorder captures a bundle with the
+// per-worker compute table, and clearing the fault restores ok.
+func TestStragglerWatchdogEndToEnd(t *testing.T) {
+	net := testRoad(t)
+	o := obs.New(nil)
+	mon := health.New(health.Config{
+		StragglerFactor:  3,
+		StragglerSteps:   3,
+		IncidentCooldown: 50 * time.Millisecond,
+		SLOTarget:        time.Nanosecond, // every request misses: tenant burn must show
+	}, o)
+	eng, err := core.Start(core.Config{
+		Workers: 4, Graph: net.G,
+		Obs: o, Monitor: mon,
+	})
+	if err != nil {
+		t.Fatalf("core.Start: %v", err)
+	}
+	defer eng.Close()
+	srv, err := New(Config{Backend: eng.Controller(), GraphID: 7, Obs: o, Monitor: mon})
+	if err != nil {
+		t.Fatalf("serve.New: %v", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Worker 0 sleeps 5ms inside every measured superstep window — far
+	// over both its peers and the detector's 1ms absolute floor.
+	disarm := faultpoint.Arm(faultpoint.WorkerComputeSlow, func(args ...int) bool {
+		if len(args) > 0 && args[0] == 0 {
+			time.Sleep(5 * time.Millisecond)
+		}
+		return false
+	})
+	defer disarm()
+
+	n := int64(net.G.NumVertices())
+	next := int64(0)
+	drive := func() {
+		// Distinct endpoints every call so the result cache never absorbs
+		// the query before it reaches the engine.
+		src := next % n
+		dst := (next*7 + 13) % n
+		next++
+		code, _, _ := postQuery(t, ts.URL, QueryRequest{
+			Kind: "sssp", Source: src, Target: target(dst), Tenant: "acme",
+		})
+		if code != 200 {
+			t.Fatalf("query %d: status %d", next, code)
+		}
+	}
+
+	var hz healthzResponse
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("straggler never detected; last /healthz: %+v, compute table: %+v",
+				hz, mon.ComputeTable())
+		}
+		drive()
+		code := getJSON(t, ts.URL+"/healthz", &hz)
+		if hz.Status == "degraded" {
+			if code != http.StatusServiceUnavailable {
+				t.Fatalf("degraded /healthz returned %d, want 503", code)
+			}
+			break
+		}
+	}
+	if len(hz.Stragglers) != 1 || hz.Stragglers[0] != 0 {
+		t.Fatalf("/healthz stragglers = %v, want [0]", hz.Stragglers)
+	}
+	if len(hz.ActiveIncidents) == 0 {
+		t.Fatalf("/healthz active incidents empty: %+v", hz)
+	}
+
+	// The detection is on the event timeline, filterable by type.
+	var evs eventsResponse
+	getJSON(t, ts.URL+"/events?type=event_straggler", &evs)
+	if len(evs.Events) == 0 || evs.Events[0].Worker != 0 {
+		t.Fatalf("/events?type=event_straggler = %+v", evs.Events)
+	}
+
+	// The flight recorder captured a bundle carrying the per-worker
+	// compute table that names the straggler.
+	var inc health.Incident
+	if code := getJSON(t, ts.URL+"/debug/incident/latest", &inc); code != 200 {
+		t.Fatalf("/debug/incident/latest: status %d", code)
+	}
+	if inc.Trigger.Type != health.EventStraggler || !inc.Open {
+		t.Fatalf("incident trigger = %+v open=%v", inc.Trigger, inc.Open)
+	}
+	if len(inc.Workers) != 4 || !inc.Workers[0].Straggler {
+		t.Fatalf("incident compute table = %+v", inc.Workers)
+	}
+	if inc.Goroutines == "" || len(inc.Events) == 0 {
+		t.Fatalf("incident bundle incomplete: %d events, %d goroutine bytes",
+			len(inc.Events), len(inc.Goroutines))
+	}
+
+	// Per-tenant SLO accounting saw the tenant's traffic; with a
+	// nanosecond target every request burns budget.
+	var slo health.SLOView
+	getJSON(t, ts.URL+"/slo", &slo)
+	acme, ok := slo.Tenants["acme"]
+	if !ok || acme.Requests == 0 {
+		t.Fatalf("/slo tenants = %+v, want acme with traffic", slo.Tenants)
+	}
+	if acme.BurnRate <= 0 {
+		t.Fatalf("acme burn rate = %v, want > 0 at a nanosecond target", acme.BurnRate)
+	}
+
+	// Tenant-filtered trace listing only returns acme traces.
+	var traced []tracedQuery
+	getJSON(t, ts.URL+"/traces?tenant=acme&slowest=5", &traced)
+	if len(traced) == 0 {
+		t.Fatal("/traces?tenant=acme returned nothing")
+	}
+	for _, tq := range traced {
+		if got, _ := tq.Trace.Root.Attrs["tenant"].(string); got != "acme" {
+			t.Fatalf("tenant filter leaked trace with tenant %q", got)
+		}
+	}
+	getJSON(t, ts.URL+"/traces?tenant=nobody", &traced)
+	if len(traced) != 0 {
+		t.Fatalf("/traces?tenant=nobody returned %d traces", len(traced))
+	}
+
+	// Clear the fault: after m healthy supersteps the watchdog recovers
+	// the worker and /healthz returns to ok.
+	disarm()
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("straggler never cleared; compute table: %+v", mon.ComputeTable())
+		}
+		drive()
+		hz = healthzResponse{} // omitempty fields would otherwise persist across decodes
+		code := getJSON(t, ts.URL+"/healthz", &hz)
+		if hz.Status == "ok" {
+			if code != http.StatusOK {
+				t.Fatalf("ok /healthz returned %d", code)
+			}
+			break
+		}
+	}
+	if len(hz.Stragglers) != 0 {
+		t.Fatalf("recovered /healthz still lists stragglers: %v", hz.Stragglers)
+	}
+	var clear eventsResponse
+	getJSON(t, ts.URL+"/events?type=event_straggler_clear", &clear)
+	if len(clear.Events) == 0 {
+		t.Fatal("no straggler-clear event on the timeline")
+	}
+	var refs incidentsResponse
+	getJSON(t, ts.URL+"/debug/incidents", &refs)
+	if len(refs.Incidents) == 0 || refs.Incidents[0].Open {
+		t.Fatalf("incident not closed after recovery: %+v", refs.Incidents)
+	}
+}
+
+// TestEventsEndpointValidation covers the /events and /debug/incident
+// parameter edges against a server with a monitor that saw no traffic.
+func TestHealthEndpointsValidation(t *testing.T) {
+	o := obs.New(nil)
+	mon := health.New(health.Config{}, o)
+	srv, err := New(Config{Backend: newStubBackend(), GraphID: 1, Obs: o, Monitor: mon})
+	if err != nil {
+		t.Fatalf("serve.New: %v", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var evs eventsResponse
+	if code := getJSON(t, ts.URL+"/events", &evs); code != 200 || evs.Events == nil {
+		t.Fatalf("/events = %d %+v, want 200 with empty list", code, evs)
+	}
+	if code := getJSON(t, ts.URL+"/events?severity=loud", nil); code != 400 {
+		t.Fatalf("bad severity: %d, want 400", code)
+	}
+	if code := getJSON(t, ts.URL+"/events?n=-1", nil); code != 400 {
+		t.Fatalf("bad n: %d, want 400", code)
+	}
+	if code := getJSON(t, ts.URL+"/debug/incident/latest", nil); code != 404 {
+		t.Fatalf("latest with no incidents: %d, want 404", code)
+	}
+	if code := getJSON(t, ts.URL+"/debug/incident/zzz", nil); code != 400 {
+		t.Fatalf("bad incident id: %d, want 400", code)
+	}
+	var slo health.SLOView
+	if code := getJSON(t, ts.URL+"/slo", &slo); code != 200 || slo.Tenants == nil {
+		t.Fatalf("/slo = %d %+v", code, slo)
+	}
+	mon.Record(health.EventSnapshotCut, health.SevInfo, -1, "cut", nil)
+	mon.Record(health.EventWorkerDead, health.SevWarn, 2, "gone", nil)
+	if getJSON(t, ts.URL+"/events?severity=warn", &evs); len(evs.Events) != 1 {
+		t.Fatalf("severity filter over HTTP = %+v", evs.Events)
+	}
+	if getJSON(t, fmt.Sprintf("%s/events?type=%s", ts.URL, health.EventSnapshotCut), &evs); len(evs.Events) != 1 {
+		t.Fatalf("type filter over HTTP = %+v", evs.Events)
+	}
+}

@@ -117,7 +117,10 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleTraces serves GET /traces?slowest=N: the N slowest completed
-// traces in the retention ring, slowest first.
+// traces in the retention ring, slowest first. Optional filters narrow
+// the view before the N cutoff: ?tenant= keeps traces whose root span
+// carries that tenant attribute, ?min_ms= keeps traces at least that
+// slow.
 func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	n := 10
 	if raw := r.URL.Query().Get("slowest"); raw != "" {
@@ -128,7 +131,40 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 		}
 		n = v
 	}
+	tenant := r.URL.Query().Get("tenant")
+	minMS := 0.0
+	if raw := r.URL.Query().Get("min_ms"); raw != "" {
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil || v < 0 {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad min_ms= value"})
+			return
+		}
+		minMS = v
+	}
 	views := s.obs.T().Slowest(n)
+	if tenant != "" || minMS > 0 {
+		// Filters apply before the N cutoff: refetch the whole completed
+		// ring so a filtered view isn't starved by unrelated slow traces.
+		_, completed := s.obs.T().Occupancy()
+		views = s.obs.T().Slowest(completed)
+		kept := views[:0]
+		for _, v := range views {
+			if minMS > 0 && v.DurationMS < minMS {
+				continue
+			}
+			if tenant != "" {
+				t, _ := v.Root.Attrs["tenant"].(string)
+				if t != tenant {
+					continue
+				}
+			}
+			kept = append(kept, v)
+		}
+		views = kept
+		if len(views) > n {
+			views = views[:n]
+		}
+	}
 	out := make([]tracedQuery, len(views))
 	for i, v := range views {
 		out[i] = tracedQuery{Trace: v, Phases: obs.Attribute(v)}

@@ -19,6 +19,7 @@ import (
 	"qgraph/internal/graph"
 	"qgraph/internal/metrics"
 	"qgraph/internal/obs"
+	"qgraph/internal/obs/health"
 	"qgraph/internal/query"
 	recovery "qgraph/internal/recover"
 	"qgraph/internal/snapshot"
@@ -94,6 +95,12 @@ type Config struct {
 	// NoTrace disables per-request tracing while keeping /metrics and the
 	// trace endpoints alive (used to measure tracing overhead).
 	NoTrace bool
+	// Monitor is the active health layer (internal/obs/health), shared
+	// with the engine. The serving layer feeds it admission depth and
+	// per-tenant SLO outcomes and serves its HTTP surfaces (/events,
+	// /slo, /debug/incident/{id}); its detectors drive /healthz from ok
+	// to degraded. Nil disables all of it.
+	Monitor *health.Monitor
 	// Clock abstracts time for tests; nil means time.Now.
 	Clock func() time.Time
 }
@@ -178,6 +185,9 @@ func New(cfg Config) (*Server, error) {
 		s.tracer = cfg.Obs.T()
 	}
 	s.registerMetrics()
+	// Incident bundles embed the exact state /stats serializes at the
+	// moment a detector fires.
+	s.cfg.Monitor.SetStatsFn(func() any { return s.statsSnapshot() })
 	return s, nil
 }
 
@@ -194,7 +204,11 @@ func (s *Server) Counters() *metrics.ServeCounters { return s.ctr }
 //	GET  /stats           serving, admission, cache, and engine counters
 //	GET  /metrics         the same counters in Prometheus text format
 //	GET  /trace/{query_id} span tree + phase attribution of one query
-//	GET  /traces          slowest completed traces (?slowest=N)
+//	GET  /traces          slowest completed traces (?slowest=N&tenant=T&min_ms=X)
+//	GET  /events          health event log (?type=...&severity=...&n=N)
+//	GET  /slo             per-tenant SLO accounting (latency, goodput, burn)
+//	GET  /debug/incident/{id}  one incident flight-recorder bundle ("latest" works)
+//	GET  /debug/incidents list of retained incident bundles
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.handleQuery)
@@ -206,6 +220,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /trace/{query_id}", s.handleTrace)
 	mux.HandleFunc("GET /traces", s.handleTraces)
+	mux.HandleFunc("GET /events", s.handleEvents)
+	mux.HandleFunc("GET /slo", s.handleSLO)
+	mux.HandleFunc("GET /debug/incident/{id}", s.handleIncident)
+	mux.HandleFunc("GET /debug/incidents", s.handleIncidents)
 	return mux
 }
 
@@ -417,6 +435,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		if s.admit.Full(tenant) {
 			if s.cache.SetEpoch(s.epoch()) {
 				s.ctr.Invalidated.Add(1)
+				s.cfg.Monitor.ObserveCacheFlush()
 			}
 			if req.NoCache || !s.cache.Peek(KeyOf(spec)) {
 				s.ctr.Rejected.Add(1)
@@ -494,15 +513,25 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 // Status transitions on worker failure: "ok" → "recovering" (an episode
 // is reassigning partitions and re-executing queries; still 200, because
 // requests keep completing — just slower) → "ok" again. "degraded" (503)
-// is terminal: every worker is dead. DeadWorkers lists currently-fenced
-// workers; after a handoff recovery it keeps naming the permanently lost
-// ones while status is back to "ok".
+// is either terminal (every worker is dead) or detector-driven: the
+// health layer's watchdogs flag persistent stragglers and stalled
+// barriers, and /healthz flips ok→degraded while the condition holds —
+// the active complement to binary liveness. DeadWorkers lists
+// currently-fenced workers; after a handoff recovery it keeps naming the
+// permanently lost ones while status is back to "ok".
 type healthzResponse struct {
 	Status           string `json:"status"` // ok | recovering | draining | degraded
 	GraphVersion     uint64 `json:"graph_version"`
 	RepartitionEpoch int64  `json:"repartition_epoch"`
 	DeadWorkers      []int  `json:"dead_workers,omitempty"`
-	Recoveries       int64  `json:"recoveries,omitempty"`
+	// Stragglers lists workers the straggler watchdog currently flags;
+	// Stalled marks an active barrier/superstep deadline breach;
+	// ActiveIncidents names unresolved flight-recorder bundles
+	// (GET /debug/incident/{id}).
+	Stragglers      []int   `json:"stragglers,omitempty"`
+	Stalled         bool    `json:"stalled,omitempty"`
+	ActiveIncidents []int64 `json:"active_incidents,omitempty"`
+	Recoveries      int64   `json:"recoveries,omitempty"`
 	// WALOpsSinceCheckpoint counts committed ops covered only by the WAL
 	// (no durable checkpoint yet) — the replay a restart right now would
 	// pay. Growth without bound means checkpointing has stalled.
@@ -638,6 +667,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	code := http.StatusOK
 	h := s.cfg.Backend.Health()
 	resp.DeadWorkers = h.DeadWorkers
+	// Refresh the saturation detector on the health probe too, so a
+	// saturation observed under load clears once traffic stops (the
+	// request path stops feeding it).
+	s.feedAdmission()
+	hs := s.cfg.Monitor.Snapshot()
+	resp.Stragglers = hs.Stragglers
+	resp.Stalled = hs.Stalled
+	resp.ActiveIncidents = hs.ActiveIncidents
 	switch {
 	case h.Degraded:
 		// Terminal: no live workers. Nothing will complete.
@@ -647,6 +684,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		// Requests still complete (deferred, then re-executed) — stay
 		// green so load balancers keep routing; latency is the cost.
 		resp.Status = "recovering"
+	case hs.Degraded:
+		// Detector-driven: a persistent straggler or a stalled barrier is
+		// impairing service while every worker still answers heartbeats.
+		resp.Status = "degraded"
+		code = http.StatusServiceUnavailable
 	}
 	if s.draining.Load() {
 		resp.Status = "draining"
@@ -656,6 +698,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.statsSnapshot())
+}
+
+// statsSnapshot builds the /stats body; incident bundles embed the same
+// shape via the monitor's stats callback.
+func (s *Server) statsSnapshot() StatsResponse {
 	var resp StatsResponse
 	resp.Serve = s.ctr.Snapshot(s.cfg.Clock())
 	resp.Admission = s.admit.Stats()
@@ -673,7 +721,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Recovery = s.cfg.Backend.RecoveryStats()
 	resp.Snapshot = s.cfg.Backend.SnapshotStats()
 	resp.WAL = s.cfg.Backend.WALStats()
-	writeJSON(w, http.StatusOK, resp)
+	return resp
 }
 
 // handleSnapshot triggers a checkpoint on demand (operators force one
@@ -715,7 +763,33 @@ func (s *Server) execute(ctx context.Context, spec query.Spec, req QueryRequest,
 	s.tracer.Finish(tr)
 	s.observeRequest(started,
 		time.Duration(resp.EngineMS*float64(time.Millisecond)), errBody == nil)
+	s.cfg.Monitor.ObserveRequest(tenant, s.cfg.Clock().Sub(started), outcomeClass(code, errBody))
+	s.feedAdmission()
 	return resp, code, errBody
+}
+
+// outcomeClass maps an HTTP outcome to the SLO ledger's buckets.
+func outcomeClass(code int, errBody *errorResponse) string {
+	switch {
+	case errBody == nil:
+		return "completed"
+	case code == http.StatusTooManyRequests:
+		return "rejected"
+	case code == http.StatusGatewayTimeout:
+		return "expired"
+	default:
+		return "failed"
+	}
+}
+
+// feedAdmission refreshes the saturation detector from the scheduler's
+// live queue depth.
+func (s *Server) feedAdmission() {
+	if s.cfg.Monitor == nil {
+		return
+	}
+	st := s.admit.Stats()
+	s.cfg.Monitor.ObserveAdmission(st.Queued, st.MaxQueue, s.ctr.Rejected.Load())
 }
 
 func (s *Server) executeTraced(ctx context.Context, tr *obs.Trace, spec query.Spec, req QueryRequest, tenant string, started time.Time) (QueryResponse, int, *errorResponse) {
@@ -726,6 +800,7 @@ func (s *Server) executeTraced(ctx context.Context, tr *obs.Trace, spec query.Sp
 	// version only ever changes at a commit barrier.
 	if s.cache.SetEpoch(s.epoch()) {
 		s.ctr.Invalidated.Add(1)
+		s.cfg.Monitor.ObserveCacheFlush()
 	}
 
 	var flight *Flight

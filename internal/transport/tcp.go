@@ -8,6 +8,7 @@ import (
 	"log/slog"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"qgraph/internal/protocol"
@@ -133,6 +134,9 @@ func (n *TCPNode) serveConn(conn net.Conn) {
 		slog.Warn("transport: rejecting peer with incompatible codec version",
 			"remote", conn.RemoteAddr().String(),
 			"peer_version", hs[0], "local_version", uint8(CodecVersion))
+		if fn := onCodecReject.Load(); fn != nil {
+			(*fn)(conn.RemoteAddr().String(), hs[0], CodecVersion)
+		}
 		return
 	}
 	from := protocol.NodeID(hs[1])
@@ -146,6 +150,21 @@ func (n *TCPNode) serveConn(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// onCodecReject is an optional process-wide tap on handshake rejects
+// (the health layer's event log registers here); atomic so late
+// registration cannot race running accept goroutines.
+var onCodecReject atomic.Pointer[func(remote string, peerVersion, localVersion uint8)]
+
+// SetOnCodecReject installs a callback invoked whenever an acceptor
+// drops a peer over a codec-version mismatch. Pass nil to clear.
+func SetOnCodecReject(fn func(remote string, peerVersion, localVersion uint8)) {
+	if fn == nil {
+		onCodecReject.Store(nil)
+		return
+	}
+	onCodecReject.Store(&fn)
 }
 
 func readFrame(r io.Reader) (protocol.Message, error) {

@@ -38,6 +38,10 @@ func (w *Worker) stepOnce(q query.ID, qs *queryState) error {
 	step := qs.step
 	t0 := time.Now()
 	res := w.computeStep(qs, step)
+	// Fault seam inside the timed section: an armed hook that sleeps here
+	// inflates this worker's reported ComputeNS, modeling a straggler for
+	// the health layer's detector without touching the compute itself.
+	faultpoint.Hit(faultpoint.WorkerComputeSlow, int(w.id), int(q), int(step))
 	qs.computeNS += time.Since(t0).Nanoseconds()
 	// Fault seam: a worker dying mid-superstep has computed (and possibly
 	// sent vertex batches) but never reports — its barrier wedges until

@@ -196,12 +196,13 @@ grep -q '"persisted":true' "$workdir/snapcut.json" || { echo "SMOKE FAIL: snapsh
 grep -q 'bounded=true' <<<"$out3" || { echo "SMOKE FAIL: delta log not bounded by the checkpoint"; fail=1; }
 
 # The rejoined worker replayed from the checkpoint version, not 0.
+# (PR 6 made this a structured log line: msg=rejoined ... checkpoint_version=V)
 for _ in $(seq 1 50); do
-  grep -q 'from checkpoint version' "$workdir/w3-0.log" && break
+  grep -q 'msg=rejoined' "$workdir/w3-0.log" && break
   sleep 0.2
 done
-rejline=$(grep -m1 'replayed .* from checkpoint version' "$workdir/w3-0.log") || rejline=""
-rejver=$(sed -n 's/.*from checkpoint version \([0-9]*\).*/\1/p' <<<"$rejline")
+rejline=$(grep -m1 'msg=rejoined' "$workdir/w3-0.log") || rejline=""
+rejver=$(sed -n 's/.*checkpoint_version=\([0-9]*\).*/\1/p' <<<"$rejline")
 echo "rejoin: ${rejline:-<missing>}"
 [ -n "$rejver" ] && [ "$rejver" -gt 0 ] || { echo "SMOKE FAIL: rejoin did not replay from a checkpoint (got version '${rejver:-none}')"; fail=1; }
 
@@ -383,3 +384,73 @@ if [ "$fail" -ne 0 ]; then
   exit 1
 fi
 echo "SMOKE OK: kill -9 at version $lastack, restart recovered exactly v$ver4; final v$ver4b answer $val4 == control"
+
+# ---------------------------------------------------------------------------
+# Scenario 5: active health layer — worker 0 is deterministically slow
+# (the worker/compute-slow faultpoint armed by -fault-slow-compute), so
+# under mixed-tenant load the straggler watchdog must fire: an
+# event_straggler on /events naming worker 0, an incident bundle with the
+# per-worker compute table, tenant error-budget burn on /slo, and
+# /healthz degraded with a stragglers field. (The recover-to-ok half of
+# the cycle is covered race-clean by TestStragglerWatchdogEndToEnd.)
+
+ADDRS5="127.0.0.1:7761,127.0.0.1:7762,127.0.0.1:7763,127.0.0.1:7764"
+SERVE5="127.0.0.1:7805"
+
+"$workdir/qgraphd" -role worker -id 0 -graph "$workdir/g.qgr" -addrs "$ADDRS5" \
+  -fault-slow-compute 5ms >>"$workdir/w5-0.log" 2>&1 &
+"$workdir/qgraphd" -role worker -id 1 -graph "$workdir/g.qgr" -addrs "$ADDRS5" &
+"$workdir/qgraphd" -role worker -id 2 -graph "$workdir/g.qgr" -addrs "$ADDRS5" &
+sleep 1
+"$workdir/qgraphd" -role controller -graph "$workdir/g.qgr" -addrs "$ADDRS5" \
+  -serve "$SERVE5" -commit-every 100ms \
+  -watch-straggler-factor 3 -watch-straggler-steps 3 -slo-target 10ms &
+ctrl5=$!
+wait_healthy "$SERVE5" || { echo "SMOKE FAIL: scenario-5 deployment never healthy"; exit 1; }
+
+out5=$("$workdir/qgraph-bench" -load "http://$SERVE5" -rate 100 -load-duration 6s \
+  -load-pool 32 -load-tenants 4 -mutate-rate 50 -mutate-batch 20 \
+  -mutations "$workdir/g.qgr.mut")
+echo "$out5"
+
+# Degraded /healthz answers 503, so plain -s (not -f) from here on.
+health5=$(curl -s "http://$SERVE5/healthz")
+echo "$health5"
+events5=$(curl -s "http://$SERVE5/events?type=event_straggler")
+incident5=$(curl -s "http://$SERVE5/debug/incident/latest")
+slo5=$(curl -s "http://$SERVE5/slo")
+metrics5=$(curl -s "http://$SERVE5/metrics")
+
+kill -INT "$ctrl5" >/dev/null 2>&1 || true
+wait "$ctrl5" || true
+
+fail=0
+
+grep -q '"type":"event_straggler"' <<<"$events5" || { echo "SMOKE FAIL: no event_straggler in /events"; fail=1; }
+grep -q '"worker":0' <<<"$events5" || { echo "SMOKE FAIL: straggler event does not name worker 0"; fail=1; }
+
+grep -q '"status":"degraded"' <<<"$health5" || { echo "SMOKE FAIL: /healthz not degraded under a straggler"; fail=1; }
+grep -q '"stragglers":\[0\]' <<<"$health5" || { echo "SMOKE FAIL: /healthz missing stragglers field"; fail=1; }
+
+# The flight recorder captured a bundle carrying the per-worker compute table.
+grep -q '"trigger":{"seq"' <<<"$incident5" || { echo "SMOKE FAIL: no incident bundle captured"; fail=1; }
+grep -q '"workers":\[' <<<"$incident5" || { echo "SMOKE FAIL: incident bundle has no compute table"; fail=1; }
+grep -q '"straggler":true' <<<"$incident5" || { echo "SMOKE FAIL: compute table does not flag the straggler"; fail=1; }
+
+# Every tenant's requests ride the slow worker, so at a 10ms target the
+# SLO ledger must show budget burn for the bench tenants.
+grep -q '"tenant-0"' <<<"$slo5" || { echo "SMOKE FAIL: /slo missing bench tenants"; fail=1; }
+maxburn=$(grep -o '"burn_rate":[0-9.e+-]*' <<<"$slo5" | sed 's/.*://' | sort -g | tail -1)
+awk -v b="${maxburn:-0}" 'BEGIN { exit (b > 0 ? 0 : 1) }' || {
+  echo "SMOKE FAIL: /slo shows no error-budget burn (max $maxburn)"; fail=1; }
+
+# Health metric families and the heartbeat RTT gauge are on /metrics.
+grep -q '^qgraph_health_stragglers_total [1-9]' <<<"$metrics5" || { echo "SMOKE FAIL: straggler counter not on /metrics"; fail=1; }
+grep -q 'qgraph_worker_ping_rtt_seconds{worker="0"}' <<<"$metrics5" || { echo "SMOKE FAIL: heartbeat RTT gauge missing"; fail=1; }
+grep -q 'qgraph_tenant_slo_burn{tenant="tenant-0"}' <<<"$metrics5" || { echo "SMOKE FAIL: per-tenant burn gauge missing"; fail=1; }
+
+if [ "$fail" -ne 0 ]; then
+  exit 1
+fi
+stragglerev=$(grep -o '"msg":"[^"]*"' <<<"$events5" | head -1)
+echo "SMOKE OK: straggler detected under mixed load (${stragglerev}), incident captured, tenant burn ${maxburn}"
