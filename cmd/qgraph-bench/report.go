@@ -90,6 +90,10 @@ type benchReport struct {
 	// (a server deployed with -watchdog=false) the same way: the cost of
 	// leaving the active health layer on.
 	WatchdogOverheadPct *float64 `json:"watchdog_overhead_pct,omitempty"`
+	// ReadScaleoutX compares the router_read and single_node_read
+	// scenarios' goodput: the read-throughput multiple a router-fronted
+	// replica fleet sustains over one node under the identical workload.
+	ReadScaleoutX *float64 `json:"read_scaleout_x,omitempty"`
 }
 
 // writeBenchJSON merges one scenario into the report at path
@@ -122,6 +126,13 @@ func writeBenchJSON(path, scenario string, sc benchScenario, keepBest bool) erro
 		if bare, ok := rep.Scenarios["read_only_nowatch"]; ok && bare.Latency.MeanMS > 0 {
 			pct := 100 * (full.Latency.MeanMS - bare.Latency.MeanMS) / bare.Latency.MeanMS
 			rep.WatchdogOverheadPct = &pct
+		}
+	}
+	rep.ReadScaleoutX = nil
+	if fleet, ok := rep.Scenarios["router_read"]; ok {
+		if single, ok := rep.Scenarios["single_node_read"]; ok && single.GoodputQPS > 0 {
+			x := fleet.GoodputQPS / single.GoodputQPS
+			rep.ReadScaleoutX = &x
 		}
 	}
 	out, err := json.MarshalIndent(rep, "", "  ")

@@ -250,7 +250,7 @@ type qctl struct {
 	step        int32     // last fully collected superstep (-1 before step 0)
 	outstanding bool      // a release was issued; reports pending
 	releasedAt  time.Time // when the outstanding release was issued (stall watchdog)
-	paused      bool  // wanted a release while a global barrier was active
+	paused      bool      // wanted a release while a global barrier was active
 	involved    map[partition.WorkerID]bool
 	reports     map[partition.WorkerID]*protocol.BarrierSynch
 

@@ -13,16 +13,16 @@ import (
 // moment the detector fired. Bundles live in a bounded ring, so a
 // flapping detector can never grow memory without bound.
 type Incident struct {
-	ID      int64     `json:"id"`
-	At      time.Time `json:"at"`
-	Key     string    `json:"key"`      // condition key, e.g. straggler/2
-	Open    bool      `json:"open"`     // condition still holds
-	Trigger Event     `json:"trigger"`  // the detection that opened it
-	Events  []Event   `json:"events"`   // recent event-log tail, newest first
-	Workers []WorkerCompute `json:"workers"` // per-worker compute table
-	Traces  []obs.TraceView `json:"slowest_traces,omitempty"`
-	Stats   any             `json:"stats,omitempty"`      // serving layer /stats snapshot
-	Goroutines string       `json:"goroutines,omitempty"` // full goroutine dump
+	ID         int64           `json:"id"`
+	At         time.Time       `json:"at"`
+	Key        string          `json:"key"`     // condition key, e.g. straggler/2
+	Open       bool            `json:"open"`    // condition still holds
+	Trigger    Event           `json:"trigger"` // the detection that opened it
+	Events     []Event         `json:"events"`  // recent event-log tail, newest first
+	Workers    []WorkerCompute `json:"workers"` // per-worker compute table
+	Traces     []obs.TraceView `json:"slowest_traces,omitempty"`
+	Stats      any             `json:"stats,omitempty"`      // serving layer /stats snapshot
+	Goroutines string          `json:"goroutines,omitempty"` // full goroutine dump
 }
 
 // IncidentRef is the list shape (the bundle minus its bulky payloads).

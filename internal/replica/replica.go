@@ -1,0 +1,375 @@
+// Package replica runs a read-only follower of a Q-Graph primary. It
+// bootstraps from the newest durable checkpoint plus the WAL tail, then
+// tails the primary's WAL incrementally (wal.Tailer) and replays each
+// committed batch — version-faithfully, one engine commit per WAL batch —
+// into a local in-process engine. The replica implements serve.Backend,
+// so the whole serving layer (admission, result cache, tracing, metrics)
+// fronts it unchanged; writes are refused with ErrReadOnly and belong on
+// the primary.
+//
+// Staleness model: the replica's GraphVersion is the number of primary
+// commits it has applied. The serving layer stamps it on every response
+// (serve.VersionHeader) and enforces ?min_version= floors against it, so
+// a client — or the router — can bound how stale an answer may be.
+//
+// When the primary truncates its WAL past the replica's position (the
+// tailer reports delta.ErrGap), the replica re-bootstraps from a newer
+// checkpoint: the stale engine keeps serving until the replacement is
+// ready, then is swapped out under the lock and closed. The applied
+// version never regresses across the swap — the recovered version sits at
+// or above the truncation floor, which is above anything the replica had.
+package replica
+
+import (
+	"errors"
+	"fmt"
+	"log/slog"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qgraph/internal/controller"
+	"qgraph/internal/core"
+	"qgraph/internal/delta"
+	"qgraph/internal/graph"
+	"qgraph/internal/obs"
+	"qgraph/internal/obs/health"
+	"qgraph/internal/query"
+	recovery "qgraph/internal/recover"
+	"qgraph/internal/serve"
+	"qgraph/internal/snapshot"
+	"qgraph/internal/wal"
+)
+
+// ErrReadOnly rejects writes: replicas apply the primary's WAL and
+// nothing else, so accepting a local mutation would fork the history.
+var ErrReadOnly = errors.New("replica: read-only (route writes to the primary)")
+
+// Config parameterises a replica. SnapshotDir and WALDir are the
+// primary's directories (shared filesystem or synchronized copy); Base
+// is the version-0 graph the primary was started from, used only when no
+// checkpoint exists yet.
+type Config struct {
+	SnapshotDir string
+	WALDir      string
+	// GraphID is the WAL graph identity (0 selects 1). Must match the
+	// primary's, or the log refuses to open.
+	GraphID uint64
+	Base    *graph.Graph
+	// Workers sizes the local engine (default 2 — replicas serve reads,
+	// they do not need the primary's partition layout).
+	Workers int
+	// PollEvery is the tail poll interval (default 50ms). Staleness under
+	// a healthy tail is bounded by roughly one poll interval plus apply
+	// time.
+	PollEvery time.Duration
+	Obs       *obs.Obs
+	Monitor   *health.Monitor
+	Logger    *slog.Logger
+}
+
+// Replica is a running follower. It satisfies serve.Backend; reads are
+// served by the embedded engine, writes return ErrReadOnly.
+type Replica struct {
+	cfg Config
+	log *slog.Logger
+
+	// mu guards the engine/tailer pair, which re-bootstrap swaps out
+	// whole. Request paths take the read side; only the apply loop writes.
+	mu     sync.RWMutex
+	eng    *core.Engine
+	tailer *wal.Tailer
+
+	walHead      atomic.Uint64 // newest durable version the tailer has seen
+	rebootstraps atomic.Int64
+	lastApply    atomic.Int64 // unix ns of the last applied batch
+	bootVersion  atomic.Uint64
+	bootReplayed atomic.Int64
+	applyErrs    atomic.Int64
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// Start bootstraps a replica and launches its tail loop. The initial
+// bootstrap retries a truncation gap a few times — the primary cutting a
+// checkpoint and truncating between our snapshot scan and the WAL read
+// resolves itself by rescanning — but a persistent gap (no checkpoint
+// covering the truncation floor) is an error: the deployment is not
+// sharing the primary's snapshot directory.
+func Start(cfg Config) (*Replica, error) {
+	if cfg.WALDir == "" {
+		return nil, fmt.Errorf("replica: WALDir required")
+	}
+	if cfg.Base == nil {
+		return nil, fmt.Errorf("replica: Base graph required")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.PollEvery <= 0 {
+		cfg.PollEvery = 50 * time.Millisecond
+	}
+	if cfg.Logger == nil {
+		if cfg.Obs != nil {
+			cfg.Logger = cfg.Obs.Log()
+		} else {
+			cfg.Logger = slog.Default()
+		}
+	}
+	r := &Replica{
+		cfg:  cfg,
+		log:  cfg.Logger.With("role", "replica"),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = r.bootstrap()
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, delta.ErrGap) || attempt >= 2 {
+			return nil, err
+		}
+		// Gap on first contact: the primary truncated under us mid-scan.
+		// A newer checkpoint exists by construction — rescan.
+		time.Sleep(50 * time.Millisecond)
+	}
+	go r.loop()
+	return r, nil
+}
+
+// bootstrap loads the newest intact checkpoint, replays the WAL tail
+// beyond it, starts a fresh engine at the recovered version, and points a
+// tailer there. On success the new pair is installed; any previous engine
+// is closed after the swap so reads never observe a gap.
+func (r *Replica) bootstrap() error {
+	snap, err := snapshot.LoadLatestObserved(r.cfg.SnapshotDir, func(path string, err error) {
+		r.log.Warn("replica: skipping corrupt checkpoint", "path", path, "error", err)
+		r.cfg.Monitor.Record(health.EventSnapshotCorrupt, health.SevWarn, -1,
+			"corrupt checkpoint skipped during replica bootstrap",
+			map[string]any{"path": path, "error": err.Error()})
+	})
+	if err != nil {
+		return fmt.Errorf("replica: scanning checkpoints: %w", err)
+	}
+	base, baseV := r.cfg.Base, uint64(0)
+	if snap != nil {
+		base, baseV = snap.Graph, snap.Version
+	}
+	gid := r.cfg.GraphID
+	if gid == 0 {
+		gid = 1
+	}
+	g, v, err := wal.RecoverGraph(r.cfg.WALDir, gid, base, baseV)
+	if err != nil {
+		return fmt.Errorf("replica: recovering from checkpoint v%d: %w", baseV, err)
+	}
+	// The engine owns no WAL and no snapshot dir: the primary's log is
+	// read-only ground truth here, and checkpointing is the primary's
+	// job. MaxBatchOps=1 makes every Mutate commit immediately as its own
+	// version, so replay is version-faithful: WAL batch N lands as local
+	// commit N, exactly.
+	eng, err := core.Start(core.Config{
+		Workers:     r.cfg.Workers,
+		Graph:       g,
+		BaseVersion: v,
+		Adapt:       false,
+		MaxBatchOps: 1,
+		CommitEvery: time.Millisecond,
+		Obs:         r.cfg.Obs,
+		Monitor:     r.cfg.Monitor,
+	})
+	if err != nil {
+		return fmt.Errorf("replica: starting engine at v%d: %w", v, err)
+	}
+
+	r.mu.Lock()
+	old := r.eng
+	if old != nil && old.GraphVersion() > v {
+		// Never regress: the incumbent is somehow ahead of what recovery
+		// produced (a spurious gap). Keep it.
+		r.mu.Unlock()
+		eng.Close()
+		return nil
+	}
+	r.eng = eng
+	r.tailer = wal.NewTailer(r.cfg.WALDir, gid, v)
+	r.mu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+
+	r.bootVersion.Store(v)
+	r.bootReplayed.Store(int64(v - baseV))
+	if r.walHead.Load() < v {
+		r.walHead.Store(v)
+	}
+	r.log.Info("replica: bootstrapped",
+		"checkpoint_version", baseV, "replayed_batches", v-baseV, "version", v)
+	return nil
+}
+
+// loop is the apply loop: poll the tail, replay what arrived, handle
+// truncation gaps by re-bootstrapping. Single goroutine — the tailer and
+// the engine swap are only ever driven from here.
+func (r *Replica) loop() {
+	defer close(r.done)
+	tick := time.NewTicker(r.cfg.PollEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-tick.C:
+		}
+		r.pollOnce()
+	}
+}
+
+// pollOnce drains one tail poll into the engine.
+func (r *Replica) pollOnce() {
+	r.mu.RLock()
+	t, eng := r.tailer, r.eng
+	r.mu.RUnlock()
+
+	batches, err := t.Poll()
+	if err != nil {
+		if errors.Is(err, delta.ErrGap) {
+			r.handleGap(eng.GraphVersion())
+			return
+		}
+		r.applyErrs.Add(1)
+		r.log.Warn("replica: tail poll failed", "error", err)
+		return
+	}
+	if len(batches) == 0 {
+		return
+	}
+	// The durable head advances as soon as the batches are read — lag
+	// accounting should show an apply backlog, not hide it.
+	r.walHead.Store(batches[len(batches)-1].Version)
+
+	for _, b := range batches {
+		if len(b.Ops) == 0 {
+			// A versioned empty batch cannot be replayed through Mutate;
+			// the local version can no longer mirror the log. Rebuild.
+			r.log.Warn("replica: empty batch in tail, re-bootstrapping", "version", b.Version)
+			r.handleGap(eng.GraphVersion())
+			return
+		}
+		ch, err := eng.Mutate(b.Ops)
+		if err != nil {
+			r.applyErrs.Add(1)
+			r.log.Warn("replica: apply failed", "version", b.Version, "error", err)
+			return
+		}
+		res := <-ch
+		if res.Err != nil {
+			r.applyErrs.Add(1)
+			r.log.Warn("replica: commit failed", "version", b.Version, "error", res.Err)
+			return
+		}
+		if res.Version != b.Version {
+			// Version skew between log and engine: replay fidelity is
+			// broken (this should be impossible). Resync from durable
+			// state rather than serving misversioned data.
+			r.applyErrs.Add(1)
+			r.log.Error("replica: version skew, re-bootstrapping",
+				"wal_version", b.Version, "engine_version", res.Version)
+			r.handleGap(eng.GraphVersion())
+			return
+		}
+		r.lastApply.Store(time.Now().UnixNano())
+	}
+}
+
+// handleGap reacts to the primary truncating past our tail position:
+// record the event, then bootstrap from a newer checkpoint. Failure is
+// retried on the next poll tick — the stale engine keeps serving reads
+// meanwhile.
+func (r *Replica) handleGap(applied uint64) {
+	r.cfg.Monitor.Record(health.EventReplicaGap, health.SevWarn, -1,
+		"primary truncated WAL past replica position; re-bootstrapping from checkpoint",
+		map[string]any{"applied_version": applied})
+	r.log.Warn("replica: WAL truncated past position, re-bootstrapping", "applied_version", applied)
+	if err := r.bootstrap(); err != nil {
+		r.log.Warn("replica: re-bootstrap failed (will retry)", "error", err)
+		return
+	}
+	r.rebootstraps.Add(1)
+}
+
+// engine returns the current engine under the read lock.
+func (r *Replica) engine() *core.Engine {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.eng
+}
+
+// Info snapshots the replication state for /healthz, /stats and /metrics.
+func (r *Replica) Info() serve.ReplicaInfo {
+	r.mu.RLock()
+	eng, t := r.eng, r.tailer
+	r.mu.RUnlock()
+	applied := eng.GraphVersion()
+	head := r.walHead.Load()
+	if head < applied {
+		head = applied
+	}
+	ts := t.Stats()
+	return serve.ReplicaInfo{
+		Role:              "replica",
+		AppliedVersion:    applied,
+		WALHead:           head,
+		LagVersions:       head - applied,
+		Rebootstraps:      r.rebootstraps.Load(),
+		TailPolls:         ts.Polls,
+		TailBatches:       ts.Batches,
+		TailBytes:         ts.BytesRead,
+		LastApplyUnixNS:   r.lastApply.Load(),
+		SnapshotsSkipped:  snapshot.SkippedCorrupt(),
+		BootstrapVersion:  r.bootVersion.Load(),
+		BootstrapReplayed: int(r.bootReplayed.Load()),
+	}
+}
+
+// Close stops the tail loop and shuts the engine down.
+func (r *Replica) Close() error {
+	r.stopOnce.Do(func() { close(r.stop) })
+	<-r.done
+	return r.engine().Close()
+}
+
+// serve.Backend — reads delegate to the embedded engine's controller,
+// writes are refused.
+
+func (r *Replica) Schedule(spec query.Spec) (<-chan controller.Result, error) {
+	return r.engine().Controller().Schedule(spec)
+}
+
+func (r *Replica) Cancel(q query.ID) { r.engine().Cancel(q) }
+
+func (r *Replica) RepartitionEpoch() int64 { return r.engine().RepartitionEpoch() }
+
+func (r *Replica) GraphVersion() uint64 { return r.engine().GraphVersion() }
+
+func (r *Replica) GraphView() graph.View { return r.engine().GraphView() }
+
+func (r *Replica) Mutate(ops []delta.Op) (<-chan controller.MutationResult, error) {
+	return nil, ErrReadOnly
+}
+
+func (r *Replica) Health() controller.Health { return r.engine().Health() }
+
+func (r *Replica) RecoveryStats() recovery.Stats { return r.engine().RecoveryStats() }
+
+func (r *Replica) ForceSnapshot() (snapshot.Result, error) {
+	return snapshot.Result{}, ErrReadOnly
+}
+
+func (r *Replica) SnapshotStats() snapshot.Stats { return r.engine().SnapshotStats() }
+
+func (r *Replica) WALStats() wal.Stats { return r.engine().WALStats() }

@@ -1,0 +1,313 @@
+package replica
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"qgraph/internal/controller"
+	"qgraph/internal/core"
+	"qgraph/internal/delta"
+	"qgraph/internal/graph"
+	"qgraph/internal/obs/health"
+	"qgraph/internal/partition"
+	"qgraph/internal/protocol"
+	"qgraph/internal/query"
+	"qgraph/internal/snapshot"
+	"qgraph/internal/wal"
+)
+
+const testGraphID = 77
+
+func pathGraph(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for v := 0; v+1 < n; v++ {
+		b.AddEdge(graph.VertexID(v), graph.VertexID(v+1), 1)
+	}
+	return b.MustBuild()
+}
+
+// setWeightOp reweights an existing path edge — always a valid,
+// deterministic mutation regardless of how many came before.
+func setWeightOp(k uint64) []delta.Op {
+	from := graph.VertexID(k % 9)
+	return []delta.Op{{Kind: delta.OpSetWeight, From: from, To: from + 1,
+		Weight: 1 + float32(k)*0.01}}
+}
+
+func startPrimary(t *testing.T, snapDir, walDir string) *core.Engine {
+	t.Helper()
+	g, baseV := pathGraph(10), uint64(0)
+	if snap, err := snapshot.LoadLatest(snapDir); err != nil {
+		t.Fatal(err)
+	} else if snap != nil {
+		g, baseV = snap.Graph, snap.Version
+	}
+	eng, err := core.Start(core.Config{
+		Workers: 2, Graph: g, Partitioner: partition.Hash{},
+		BaseVersion: baseV, SnapshotDir: snapDir,
+		WALDir: walDir, WALGraphID: testGraphID,
+		CommitEvery: time.Millisecond, MaxBatchOps: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func mutate(t *testing.T, eng *core.Engine, ops []delta.Op) {
+	t.Helper()
+	ch, err := eng.Mutate(ops)
+	if err != nil {
+		t.Fatalf("Mutate: %v", err)
+	}
+	select {
+	case res := <-ch:
+		if res.Err != nil {
+			t.Fatalf("commit: %v", res.Err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("commit did not happen")
+	}
+}
+
+// waitVersion blocks until the replica has applied at least v.
+func waitVersion(t *testing.T, r *Replica, v uint64) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if r.GraphVersion() >= v {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("replica stuck at version %d, want >= %d (info %+v)",
+		r.GraphVersion(), v, r.Info())
+}
+
+// scheduleFn is the Backend Schedule shape shared by the primary's
+// controller and the replica.
+type scheduleFn = func(spec query.Spec) (<-chan controller.Result, error)
+
+// TestReplicaConvergesUnderLoad: a replica started against a live
+// primary's directories catches up through the WAL tail, then follows new
+// commits as they land, converging to the primary's exact version with
+// identical query answers.
+func TestReplicaConvergesUnderLoad(t *testing.T) {
+	snapDir, walDir := t.TempDir(), t.TempDir()
+	prim := startPrimary(t, snapDir, walDir)
+	defer prim.Close()
+
+	// History before the replica exists: bootstrap must replay it.
+	for k := uint64(1); k <= 10; k++ {
+		mutate(t, prim, setWeightOp(k))
+	}
+
+	rep, err := Start(Config{
+		SnapshotDir: snapDir, WALDir: walDir, GraphID: testGraphID,
+		Base: pathGraph(10), PollEvery: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close()
+
+	// Live tail: commits land on the primary while the replica follows.
+	for k := uint64(11); k <= 30; k++ {
+		mutate(t, prim, setWeightOp(k))
+	}
+	want := prim.GraphVersion()
+	if want != 30 {
+		t.Fatalf("primary at version %d, want 30", want)
+	}
+	waitVersion(t, rep, want)
+
+	// Same version, same answers.
+	pv := runSSSP(t, prim.Controller().Schedule, 900)
+	rv := runSSSP(t, rep.Schedule, 901)
+	if pv != rv {
+		t.Fatalf("replica answer %g != primary answer %g at version %d", rv, pv, want)
+	}
+	info := rep.Info()
+	if info.Role != "replica" || info.AppliedVersion != want || info.WALHead < want {
+		t.Fatalf("info %+v, want applied=%d", info, want)
+	}
+	if info.LagVersions != info.WALHead-info.AppliedVersion {
+		t.Fatalf("lag accounting inconsistent: %+v", info)
+	}
+}
+
+// runSSSP schedules 0→9 SSSP through a Backend-shaped Schedule and
+// returns the distance.
+func runSSSP(t *testing.T, schedule scheduleFn, id query.ID) float64 {
+	t.Helper()
+	ch, err := schedule(query.Spec{ID: id, Kind: query.KindSSSP, Source: 0, Target: 9})
+	if err != nil {
+		t.Fatalf("schedule %d: %v", id, err)
+	}
+	select {
+	case res := <-ch:
+		if res.Reason != protocol.FinishConverged && res.Reason != protocol.FinishEarly {
+			t.Fatalf("query %d finished %v", id, res.Reason)
+		}
+		return res.Value
+	case <-time.After(30 * time.Second):
+		t.Fatalf("query %d never finished", id)
+		return 0
+	}
+}
+
+// TestReplicaRestartResumesFromCheckpointAndTail: an abruptly stopped
+// replica restarted over the same shared directories bootstraps from the
+// primary's newest checkpoint plus the WAL tail beyond it — no gap, no
+// replay from genesis.
+func TestReplicaRestartResumesFromCheckpointAndTail(t *testing.T) {
+	snapDir, walDir := t.TempDir(), t.TempDir()
+	prim := startPrimary(t, snapDir, walDir)
+	defer prim.Close()
+
+	for k := uint64(1); k <= 8; k++ {
+		mutate(t, prim, setWeightOp(k))
+	}
+	rep, err := Start(Config{
+		SnapshotDir: snapDir, WALDir: walDir, GraphID: testGraphID,
+		Base: pathGraph(10), PollEvery: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitVersion(t, rep, 8)
+	// Abrupt stop: a kill -9 leaves no replica-side state at all, so
+	// Close (which persists nothing) models it exactly.
+	rep.Close()
+
+	// The primary moves on: a durable checkpoint, then more commits that
+	// exist only in the WAL tail.
+	for k := uint64(9); k <= 12; k++ {
+		mutate(t, prim, setWeightOp(k))
+	}
+	if res, err := prim.ForceSnapshot(); err != nil || !res.Persisted {
+		t.Fatalf("checkpoint = %+v, %v", res, err)
+	}
+	for k := uint64(13); k <= 16; k++ {
+		mutate(t, prim, setWeightOp(k))
+	}
+
+	rep2, err := Start(Config{
+		SnapshotDir: snapDir, WALDir: walDir, GraphID: testGraphID,
+		Base: pathGraph(10), PollEvery: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep2.Close()
+	waitVersion(t, rep2, 16)
+
+	info := rep2.Info()
+	if info.BootstrapVersion < 12 {
+		t.Fatalf("bootstrap version %d: restart ignored the checkpoint at 12", info.BootstrapVersion)
+	}
+	if info.Rebootstraps != 0 {
+		t.Fatalf("%d rebootstraps on a clean restart, want 0", info.Rebootstraps)
+	}
+	pv := runSSSP(t, prim.Controller().Schedule, 910)
+	rv := runSSSP(t, rep2.Schedule, 911)
+	if pv != rv {
+		t.Fatalf("replica answer %g != primary answer %g", rv, pv)
+	}
+}
+
+// TestReplicaRebootstrapsAcrossTruncation: when the primary truncates its
+// WAL past the replica's tail position, the replica must detect the gap,
+// re-bootstrap from a newer checkpoint, and resume tailing — applied
+// version never regressing. The primary side is driven at the WAL/snapshot
+// layer so the truncation lands deterministically between replica polls.
+func TestReplicaRebootstrapsAcrossTruncation(t *testing.T) {
+	snapDir, walDir := t.TempDir(), t.TempDir()
+	base := pathGraph(10)
+
+	w, err := wal.Open(walDir, testGraphID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	for k := uint64(1); k <= 6; k++ {
+		if err := w.Append(k, setWeightOp(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	mon := health.New(health.Config{}, nil)
+	rep, err := Start(Config{
+		SnapshotDir: snapDir, WALDir: walDir, GraphID: testGraphID,
+		Base: base, PollEvery: 10 * time.Millisecond, Monitor: mon,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close()
+	waitVersion(t, rep, 6)
+
+	// The primary checkpoints at a version past the replica's position and
+	// rebases its WAL there (exactly what a primary restart after a
+	// checkpoint does): every old segment vanishes, the truncation floor
+	// persists, and the replica's position is unreachable.
+	gNow, _, err := wal.RecoverGraph(walDir, testGraphID, base, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rebasedTo = 11
+	if _, err := snapshot.WriteFile(snapDir, &snapshot.Snapshot{Version: rebasedTo, Graph: gNow}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Rebase(rebasedTo); err != nil {
+		t.Fatal(err)
+	}
+
+	waitVersion(t, rep, rebasedTo)
+	if got := rep.Info().Rebootstraps; got != 1 {
+		t.Fatalf("%d rebootstraps, want 1", got)
+	}
+
+	// Tailing resumes against the rebased log.
+	if err := w.Append(rebasedTo+1, setWeightOp(rebasedTo+1)); err != nil {
+		t.Fatal(err)
+	}
+	waitVersion(t, rep, rebasedTo+1)
+	if got := rep.GraphVersion(); got != rebasedTo+1 {
+		t.Fatalf("version %d after resume, want %d", got, rebasedTo+1)
+	}
+
+	// The gap left its trace in the health ring.
+	events := mon.Events(health.EventFilter{Type: health.EventReplicaGap})
+	if len(events) == 0 {
+		t.Fatal("no replica-gap health event recorded")
+	}
+}
+
+// TestReplicaRefusesWrites: the write surface returns ErrReadOnly — a
+// replica applies the primary's WAL and nothing else.
+func TestReplicaRefusesWrites(t *testing.T) {
+	snapDir, walDir := t.TempDir(), t.TempDir()
+	w, err := wal.Open(walDir, testGraphID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	rep, err := Start(Config{
+		SnapshotDir: snapDir, WALDir: walDir, GraphID: testGraphID,
+		Base: pathGraph(10), PollEvery: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close()
+
+	if _, err := rep.Mutate(setWeightOp(1)); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("Mutate = %v, want ErrReadOnly", err)
+	}
+	if _, err := rep.ForceSnapshot(); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("ForceSnapshot = %v, want ErrReadOnly", err)
+	}
+}

@@ -1,0 +1,461 @@
+// Package router is the read-path front door of a replicated Q-Graph
+// deployment: one primary (writes, admin, reads of last resort) and N
+// read replicas tailing the primary's WAL. The router health-checks every
+// node, round-robins read traffic over the replicas that are close enough
+// to the primary's committed version, and sends everything that must not
+// land on a follower — POST /mutate, /admin/*, and reads demanding a
+// version no replica has reached — to the primary.
+//
+// Staleness policy: a replica leaves the read rotation when its applied
+// version trails the primary's by more than MaxStalenessVersions, or when
+// it has been continuously behind for longer than MaxStaleness. It
+// re-enters automatically once it catches up — eviction is a per-request
+// predicate over the latest health probe, not a sticky state.
+//
+// Failover: a read that cannot reach its chosen replica (connection
+// error, 5xx, or a 412 staleness miss that slipped past the pre-check)
+// is retried on the next candidate and finally on the primary, so a
+// replica dying mid-request costs a retry, not a client-visible failure.
+//
+// With Affinity on, reads are pinned to a replica by a stable hash of
+// the request instead of round-robin, sharding the query population —
+// and therefore the result caches — across the fleet.
+package router
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// maxBufferedBody bounds how much of a request body the router buffers
+// for replay across failover candidates. Query and mutation bodies are
+// small; anything larger is forwarded once, to the primary, unbuffered.
+const maxBufferedBody = 1 << 20
+
+// Config parameterises a Router.
+type Config struct {
+	// Primary is the primary's base URL (scheme://host:port).
+	Primary string
+	// Replicas are the replica base URLs.
+	Replicas []string
+	// MaxStalenessVersions evicts a replica whose applied version trails
+	// the primary by more than this many commits (0 = default 64).
+	MaxStalenessVersions uint64
+	// MaxStaleness evicts a replica continuously behind the primary for
+	// longer than this (0 = no time bound).
+	MaxStaleness time.Duration
+	// Affinity routes each read to the replica chosen by a stable hash of
+	// the request (URI + body) instead of round-robin. Each replica then
+	// serves — and caches — a stable shard of the query population, so N
+	// replicas provide N× aggregate result-cache instead of N copies of
+	// the same hot set. Failover still walks the remaining candidates in
+	// rotation order, then the primary.
+	Affinity bool
+	// HealthEvery is the probe interval (default 250ms).
+	HealthEvery time.Duration
+	// Client performs upstream requests. The default timeout is 60s —
+	// deliberately above the serving nodes' own query deadline, so an
+	// overloaded-but-alive replica answers (or 504s) on its own terms
+	// instead of being misread as dead and failed over, dumping its
+	// cache-warmed shard onto a colder node.
+	Client *http.Client
+	Logger *slog.Logger
+}
+
+// replicaState is the router's live view of one replica, refreshed by
+// the health loop and read lock-free on the request path.
+type replicaState struct {
+	url         string
+	healthy     atomic.Bool
+	applied     atomic.Uint64
+	behindSince atomic.Int64 // unix ns when this replica fell behind; 0 = caught up
+	served      atomic.Int64
+}
+
+// Router fronts the deployment; it is an http.Handler.
+type Router struct {
+	cfg    Config
+	client *http.Client
+	// probeClient keeps /healthz probes on a short leash independent of
+	// the (long) forwarding timeout: a hung node must leave the rotation
+	// in seconds even while in-flight reads are allowed to take longer.
+	probeClient *http.Client
+	log         *slog.Logger
+	replicas    []*replicaState
+
+	primaryVersion atomic.Uint64
+	primaryHealthy atomic.Bool
+	rr             atomic.Uint64
+
+	readsReplica atomic.Int64
+	readsPrimary atomic.Int64
+	writes       atomic.Int64
+	failovers    atomic.Int64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// New builds a router and starts its health loop.
+func New(cfg Config) (*Router, error) {
+	if cfg.Primary == "" {
+		return nil, fmt.Errorf("router: primary URL required")
+	}
+	if cfg.MaxStalenessVersions == 0 {
+		cfg.MaxStalenessVersions = 64
+	}
+	if cfg.HealthEvery <= 0 {
+		cfg.HealthEvery = 250 * time.Millisecond
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 60 * time.Second}
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	r := &Router{
+		cfg:         cfg,
+		client:      cfg.Client,
+		probeClient: &http.Client{Timeout: 2 * time.Second},
+		log:         cfg.Logger.With("role", "router"),
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
+	}
+	for _, u := range cfg.Replicas {
+		r.replicas = append(r.replicas, &replicaState{url: strings.TrimRight(u, "/")})
+	}
+	r.cfg.Primary = strings.TrimRight(cfg.Primary, "/")
+	r.probeAll() // populate before serving so the first request routes sanely
+	go r.healthLoop()
+	return r, nil
+}
+
+// Close stops the health loop.
+func (r *Router) Close() {
+	close(r.stop)
+	<-r.done
+}
+
+func (r *Router) healthLoop() {
+	defer close(r.done)
+	tick := time.NewTicker(r.cfg.HealthEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-tick.C:
+		}
+		r.probeAll()
+	}
+}
+
+// healthzView is the subset of the nodes' /healthz the router consumes.
+type healthzView struct {
+	Status         string `json:"status"`
+	GraphVersion   uint64 `json:"graph_version"`
+	AppliedVersion uint64 `json:"applied_version"`
+}
+
+// probeAll refreshes the primary's committed version and every replica's
+// applied version in one pass.
+func (r *Router) probeAll() {
+	if hv, err := r.probe(r.cfg.Primary); err == nil {
+		r.primaryHealthy.Store(hv.Status == "ok" || hv.Status == "recovering")
+		r.primaryVersion.Store(hv.GraphVersion)
+	} else {
+		r.primaryHealthy.Store(false)
+	}
+	primaryV := r.primaryVersion.Load()
+	now := time.Now().UnixNano()
+	for _, rs := range r.replicas {
+		hv, err := r.probe(rs.url)
+		if err != nil {
+			if rs.healthy.Swap(false) {
+				r.log.Warn("router: replica unhealthy", "replica", rs.url, "error", err)
+			}
+			continue
+		}
+		applied := hv.AppliedVersion
+		if applied == 0 {
+			applied = hv.GraphVersion
+		}
+		rs.applied.Store(applied)
+		if applied >= primaryV {
+			rs.behindSince.Store(0)
+		} else {
+			rs.behindSince.CompareAndSwap(0, now)
+		}
+		if !rs.healthy.Swap(hv.Status == "ok") && hv.Status == "ok" {
+			r.log.Info("router: replica in rotation", "replica", rs.url, "applied_version", applied)
+		}
+	}
+}
+
+func (r *Router) probe(base string) (healthzView, error) {
+	var hv healthzView
+	resp, err := r.probeClient.Get(base + "/healthz")
+	if err != nil {
+		return hv, err
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&hv); err != nil {
+		return hv, err
+	}
+	return hv, nil
+}
+
+// inRotation decides whether a replica may serve reads right now.
+func (r *Router) inRotation(rs *replicaState, primaryV uint64) bool {
+	if !rs.healthy.Load() {
+		return false
+	}
+	applied := rs.applied.Load()
+	if primaryV > applied && primaryV-applied > r.cfg.MaxStalenessVersions {
+		return false
+	}
+	if r.cfg.MaxStaleness > 0 {
+		if since := rs.behindSince.Load(); since != 0 &&
+			time.Since(time.Unix(0, since)) > r.cfg.MaxStaleness {
+			return false
+		}
+	}
+	return true
+}
+
+// candidates returns the replicas eligible for this read, honoring an
+// explicit ?min_version= floor. Order is round-robin, or anchored at the
+// request's affinity shard when Affinity is on — the remaining candidates
+// keep serving as the failover chain either way.
+func (r *Router) candidates(minVersion, key uint64) []*replicaState {
+	n := len(r.replicas)
+	if n == 0 {
+		return nil
+	}
+	primaryV := r.primaryVersion.Load()
+	start := int(r.rr.Add(1))
+	if r.cfg.Affinity {
+		start = int(key % uint64(n))
+	}
+	out := make([]*replicaState, 0, n)
+	for i := 0; i < n; i++ {
+		rs := r.replicas[(start+i)%n]
+		if !r.inRotation(rs, primaryV) {
+			continue
+		}
+		if minVersion > 0 && rs.applied.Load() < minVersion {
+			continue
+		}
+		out = append(out, rs)
+	}
+	return out
+}
+
+// ServeHTTP routes one request.
+func (r *Router) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	path := req.URL.Path
+	switch {
+	case path == "/healthz" || path == "/router/status":
+		r.serveStatus(w)
+	case path == "/mutate" || strings.HasPrefix(path, "/admin/"):
+		// Writes and admin never touch a follower.
+		r.writes.Add(1)
+		r.forward(w, req, nil)
+	case path == "/query":
+		r.serveRead(w, req)
+	default:
+		// Introspection (/stats, /metrics, /trace...) reads the primary:
+		// one source of truth for operators; replicas expose their own
+		// endpoints directly for per-node diagnosis.
+		r.forward(w, req, nil)
+	}
+}
+
+// serveRead forwards a read to the best replica, failing over across the
+// remaining candidates and finally the primary.
+func (r *Router) serveRead(w http.ResponseWriter, req *http.Request) {
+	var minVersion uint64
+	if raw := req.URL.Query().Get("min_version"); raw != "" {
+		v, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			http.Error(w, `{"error":"bad min_version"}`, http.StatusBadRequest)
+			return
+		}
+		minVersion = v
+	}
+	body, ok := r.bufferBody(w, req)
+	if !ok {
+		return
+	}
+	var key uint64
+	if r.cfg.Affinity {
+		h := fnv.New64a()
+		_, _ = io.WriteString(h, req.URL.RequestURI())
+		_, _ = h.Write(body)
+		key = h.Sum64()
+	}
+	r.forwardBody(w, req, body, r.candidates(minVersion, key))
+}
+
+// bufferBody drains the (bounded) request body so it can be replayed
+// across failover attempts. A false return means the error response has
+// already been written.
+func (r *Router) bufferBody(w http.ResponseWriter, req *http.Request) ([]byte, bool) {
+	if req.Body == nil {
+		return nil, true
+	}
+	b, err := io.ReadAll(io.LimitReader(req.Body, maxBufferedBody+1))
+	req.Body.Close()
+	if err != nil {
+		http.Error(w, `{"error":"reading request body"}`, http.StatusBadRequest)
+		return nil, false
+	}
+	if len(b) > maxBufferedBody {
+		http.Error(w, `{"error":"request body too large"}`, http.StatusRequestEntityTooLarge)
+		return nil, false
+	}
+	return b, true
+}
+
+// forward buffers the body, then relays as forwardBody does.
+func (r *Router) forward(w http.ResponseWriter, req *http.Request, cands []*replicaState) {
+	body, ok := r.bufferBody(w, req)
+	if !ok {
+		return
+	}
+	r.forwardBody(w, req, body, cands)
+}
+
+// forwardBody relays req to each candidate in turn, then the primary. A
+// candidate "fails" on a transport error, a 5xx, or a 412 staleness miss;
+// anything else is the answer.
+func (r *Router) forwardBody(w http.ResponseWriter, req *http.Request, body []byte, cands []*replicaState) {
+	attempts := 0
+	for _, rs := range cands {
+		ok, terminal := r.tryUpstream(w, req, rs.url, body, false)
+		if ok || terminal {
+			if ok {
+				rs.served.Add(1)
+				r.readsReplica.Add(1)
+			}
+			return
+		}
+		attempts++
+		rs.healthy.Store(false) // next probe may bring it back
+		r.failovers.Add(1)
+		r.log.Warn("router: replica failed, failing over", "replica", rs.url, "attempt", attempts)
+	}
+	ok, _ := r.tryUpstream(w, req, r.cfg.Primary, body, true)
+	if ok && req.URL.Path == "/query" {
+		r.readsPrimary.Add(1)
+	}
+}
+
+// tryUpstream performs one upstream attempt. Returns (served, terminal):
+// served means the response was relayed; terminal means a non-retryable
+// client-error response was relayed. last relays whatever happens —
+// there is nobody left to fail over to.
+func (r *Router) tryUpstream(w http.ResponseWriter, req *http.Request, base string, body []byte, last bool) (bool, bool) {
+	out, err := http.NewRequestWithContext(req.Context(), req.Method,
+		base+req.URL.RequestURI(), bytes.NewReader(body))
+	if err != nil {
+		http.Error(w, `{"error":"router: building upstream request"}`, http.StatusInternalServerError)
+		return false, true
+	}
+	out.Header = req.Header.Clone()
+	resp, err := r.client.Do(out)
+	if err != nil {
+		if last {
+			// Context cancellation is the client hanging up, not an
+			// upstream outage.
+			code := http.StatusBadGateway
+			if errors.Is(err, req.Context().Err()) && req.Context().Err() != nil {
+				code = 499 // client closed request
+			}
+			http.Error(w, `{"error":"router: no upstream available"}`, code)
+			return false, true
+		}
+		return false, false
+	}
+	defer resp.Body.Close()
+	retryable := resp.StatusCode >= 500 || resp.StatusCode == http.StatusPreconditionFailed
+	if retryable && !last {
+		return false, false
+	}
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+	return true, resp.StatusCode < 500
+}
+
+// statusResponse is the router's own /healthz and /router/status body.
+type statusResponse struct {
+	Status               string           `json:"status"` // ok | degraded
+	Role                 string           `json:"role"`
+	GraphVersion         uint64           `json:"graph_version"` // primary's committed version
+	Primary              upstreamStatus   `json:"primary"`
+	Replicas             []upstreamStatus `json:"replicas"`
+	MaxStalenessVersions uint64           `json:"max_staleness_versions"`
+	ReadsReplica         int64            `json:"reads_replica"`
+	ReadsPrimary         int64            `json:"reads_primary"`
+	Writes               int64            `json:"writes"`
+	Failovers            int64            `json:"failovers"`
+}
+
+type upstreamStatus struct {
+	URL            string `json:"url"`
+	Healthy        bool   `json:"healthy"`
+	AppliedVersion uint64 `json:"applied_version,omitempty"`
+	LagVersions    uint64 `json:"lag_versions,omitempty"`
+	InRotation     bool   `json:"in_rotation,omitempty"`
+	Served         int64  `json:"served,omitempty"`
+}
+
+func (r *Router) serveStatus(w http.ResponseWriter) {
+	primaryV := r.primaryVersion.Load()
+	resp := statusResponse{
+		Status:               "ok",
+		Role:                 "router",
+		GraphVersion:         primaryV,
+		Primary:              upstreamStatus{URL: r.cfg.Primary, Healthy: r.primaryHealthy.Load()},
+		MaxStalenessVersions: r.cfg.MaxStalenessVersions,
+		ReadsReplica:         r.readsReplica.Load(),
+		ReadsPrimary:         r.readsPrimary.Load(),
+		Writes:               r.writes.Load(),
+		Failovers:            r.failovers.Load(),
+	}
+	if !resp.Primary.Healthy {
+		resp.Status = "degraded"
+	}
+	for _, rs := range r.replicas {
+		applied := rs.applied.Load()
+		var lag uint64
+		if primaryV > applied {
+			lag = primaryV - applied
+		}
+		resp.Replicas = append(resp.Replicas, upstreamStatus{
+			URL:            rs.url,
+			Healthy:        rs.healthy.Load(),
+			AppliedVersion: applied,
+			LagVersions:    lag,
+			InRotation:     r.inRotation(rs, primaryV),
+			Served:         rs.served.Load(),
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}

@@ -1,0 +1,360 @@
+package router
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeNode is a scriptable upstream: /healthz reports its version, /query
+// and /mutate identify who served them.
+type fakeNode struct {
+	name    string
+	role    string // "primary" | "replica"
+	version atomic.Uint64
+	status  atomic.Value // string
+	queries atomic.Int64
+	mutates atomic.Int64
+	srv     *httptest.Server
+}
+
+func newFakeNode(name, role string, version uint64) *fakeNode {
+	n := &fakeNode{name: name, role: role}
+	n.version.Store(version)
+	n.status.Store("ok")
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		resp := map[string]any{
+			"status":        n.status.Load(),
+			"graph_version": n.version.Load(),
+		}
+		if n.role == "replica" {
+			resp["role"] = "replica"
+			resp["applied_version"] = n.version.Load()
+		}
+		json.NewEncoder(w).Encode(resp)
+	})
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		n.queries.Add(1)
+		w.Header().Set("X-QGraph-Version", fmt.Sprint(n.version.Load()))
+		json.NewEncoder(w).Encode(map[string]any{"served_by": n.name})
+	})
+	mux.HandleFunc("/mutate", func(w http.ResponseWriter, r *http.Request) {
+		if n.role != "primary" {
+			w.WriteHeader(http.StatusForbidden)
+			return
+		}
+		n.mutates.Add(1)
+		json.NewEncoder(w).Encode(map[string]any{"served_by": n.name})
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]any{"served_by": n.name})
+	})
+	n.srv = httptest.NewServer(mux)
+	return n
+}
+
+func (n *fakeNode) Close() { n.srv.Close() }
+
+// newTestRouter builds a router with the health loop effectively frozen —
+// tests call probeAll themselves for deterministic rotation state.
+func newTestRouter(t *testing.T, primary *fakeNode, replicas []*fakeNode, maxLag uint64) (*Router, *httptest.Server) {
+	t.Helper()
+	urls := make([]string, len(replicas))
+	for i, r := range replicas {
+		urls[i] = r.srv.URL
+	}
+	rt, err := New(Config{
+		Primary:              primary.srv.URL,
+		Replicas:             urls,
+		MaxStalenessVersions: maxLag,
+		HealthEvery:          time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(rt)
+	t.Cleanup(func() { front.Close(); rt.Close() })
+	return rt, front
+}
+
+func get(t *testing.T, url string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(b), resp.Header
+}
+
+func post(t *testing.T, url, body string) (int, string) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(b)
+}
+
+// TestRouterSpreadsReadsAndRoutesWrites: reads round-robin over healthy
+// caught-up replicas, writes land only on the primary.
+func TestRouterSpreadsReadsAndRoutesWrites(t *testing.T) {
+	prim := newFakeNode("primary", "primary", 10)
+	ra := newFakeNode("replica-a", "replica", 10)
+	rb := newFakeNode("replica-b", "replica", 10)
+	defer prim.Close()
+	defer ra.Close()
+	defer rb.Close()
+
+	_, front := newTestRouter(t, prim, []*fakeNode{ra, rb}, 4)
+
+	for i := 0; i < 10; i++ {
+		code, _ := post(t, front.URL+"/query", `{}`)
+		if code != 200 {
+			t.Fatalf("read %d: status %d", i, code)
+		}
+	}
+	if prim.queries.Load() != 0 {
+		t.Fatalf("%d reads hit the primary with healthy replicas", prim.queries.Load())
+	}
+	if ra.queries.Load() != 5 || rb.queries.Load() != 5 {
+		t.Fatalf("round-robin skew: a=%d b=%d, want 5/5", ra.queries.Load(), rb.queries.Load())
+	}
+
+	for i := 0; i < 3; i++ {
+		code, _ := post(t, front.URL+"/mutate", `{"ops":[]}`)
+		if code != 200 {
+			t.Fatalf("write %d: status %d", i, code)
+		}
+	}
+	if prim.mutates.Load() != 3 {
+		t.Fatalf("primary saw %d writes, want 3", prim.mutates.Load())
+	}
+}
+
+// TestRouterEvictsLaggingReplica: a replica past the staleness bound
+// leaves the rotation and returns once it catches up.
+func TestRouterEvictsLaggingReplica(t *testing.T) {
+	prim := newFakeNode("primary", "primary", 100)
+	ra := newFakeNode("replica-a", "replica", 100)
+	rb := newFakeNode("replica-b", "replica", 90) // 10 behind, bound is 4
+	defer prim.Close()
+	defer ra.Close()
+	defer rb.Close()
+
+	rt, front := newTestRouter(t, prim, []*fakeNode{ra, rb}, 4)
+	rt.probeAll()
+
+	for i := 0; i < 6; i++ {
+		if code, _ := post(t, front.URL+"/query", `{}`); code != 200 {
+			t.Fatalf("read %d failed", i)
+		}
+	}
+	if rb.queries.Load() != 0 {
+		t.Fatalf("lagging replica served %d reads", rb.queries.Load())
+	}
+	if ra.queries.Load() != 6 {
+		t.Fatalf("healthy replica served %d reads, want 6", ra.queries.Load())
+	}
+
+	// It catches up: next probe brings it back.
+	rb.version.Store(99)
+	rt.probeAll()
+	for i := 0; i < 6; i++ {
+		post(t, front.URL+"/query", `{}`)
+	}
+	if rb.queries.Load() == 0 {
+		t.Fatal("caught-up replica never re-entered the rotation")
+	}
+}
+
+// TestRouterFailsOverDeadReplica: a replica dying between probes costs a
+// retry, never a client-visible failure.
+func TestRouterFailsOverDeadReplica(t *testing.T) {
+	prim := newFakeNode("primary", "primary", 10)
+	ra := newFakeNode("replica-a", "replica", 10)
+	rb := newFakeNode("replica-b", "replica", 10)
+	defer prim.Close()
+	defer ra.Close()
+
+	rt, front := newTestRouter(t, prim, []*fakeNode{ra, rb}, 4)
+	rt.probeAll()
+	rb.Close() // dies after the probe marked it healthy
+
+	for i := 0; i < 10; i++ {
+		code, body := post(t, front.URL+"/query", `{}`)
+		if code != 200 {
+			t.Fatalf("read %d: status %d body %s", i, code, body)
+		}
+	}
+	if got := ra.queries.Load() + prim.queries.Load(); got != 10 {
+		t.Fatalf("%d reads answered, want 10", got)
+	}
+	if rt.failovers.Load() == 0 {
+		t.Fatal("no failover recorded for the dead replica")
+	}
+}
+
+// TestRouterMinVersionRoutesToPrimary: a read demanding a version no
+// replica has reached goes straight to the primary.
+func TestRouterMinVersionRoutesToPrimary(t *testing.T) {
+	prim := newFakeNode("primary", "primary", 100)
+	ra := newFakeNode("replica-a", "replica", 98)
+	defer prim.Close()
+	defer ra.Close()
+
+	rt, front := newTestRouter(t, prim, []*fakeNode{ra}, 10)
+	rt.probeAll()
+
+	if code, _ := post(t, front.URL+"/query?min_version=100", `{}`); code != 200 {
+		t.Fatal("min_version read failed")
+	}
+	if prim.queries.Load() != 1 || ra.queries.Load() != 0 {
+		t.Fatalf("min_version read routed wrong: primary=%d replica=%d",
+			prim.queries.Load(), ra.queries.Load())
+	}
+	// Within reach of the replica: stays on the replica.
+	if code, _ := post(t, front.URL+"/query?min_version=97", `{}`); code != 200 {
+		t.Fatal("satisfiable min_version read failed")
+	}
+	if ra.queries.Load() != 1 {
+		t.Fatalf("replica served %d, want 1", ra.queries.Load())
+	}
+	// Malformed floor: rejected at the router.
+	if code, _ := post(t, front.URL+"/query?min_version=banana", `{}`); code != 400 {
+		t.Fatal("bad min_version accepted")
+	}
+}
+
+// TestRouterStatusEndpoint: /healthz reflects rotation and routing
+// counters, and /stats forwards to the primary.
+func TestRouterStatusEndpoint(t *testing.T) {
+	prim := newFakeNode("primary", "primary", 50)
+	ra := newFakeNode("replica-a", "replica", 50)
+	defer prim.Close()
+	defer ra.Close()
+
+	rt, front := newTestRouter(t, prim, []*fakeNode{ra}, 4)
+	rt.probeAll()
+	post(t, front.URL+"/query", `{}`)
+
+	code, body, _ := get(t, front.URL+"/healthz")
+	if code != 200 {
+		t.Fatalf("healthz status %d", code)
+	}
+	var st statusResponse
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Role != "router" || st.Status != "ok" || st.GraphVersion != 50 {
+		t.Fatalf("status %+v", st)
+	}
+	if len(st.Replicas) != 1 || !st.Replicas[0].InRotation || st.Replicas[0].Served != 1 {
+		t.Fatalf("replica view %+v", st.Replicas)
+	}
+	if st.ReadsReplica != 1 {
+		t.Fatalf("reads_replica %d, want 1", st.ReadsReplica)
+	}
+
+	_, body, _ = get(t, front.URL+"/stats")
+	if !strings.Contains(body, "primary") {
+		t.Fatalf("/stats not forwarded to primary: %s", body)
+	}
+}
+
+// TestRouterAffinityPinsQueries: with Affinity on, identical requests
+// always land on the same replica (sharding the result caches), distinct
+// requests spread across the fleet, and failover still works when the
+// pinned replica dies.
+func TestRouterAffinityPinsQueries(t *testing.T) {
+	prim := newFakeNode("primary", "primary", 10)
+	ra := newFakeNode("replica-a", "replica", 10)
+	rb := newFakeNode("replica-b", "replica", 10)
+	defer prim.Close()
+	defer ra.Close()
+	defer rb.Close()
+
+	urls := []string{ra.srv.URL, rb.srv.URL}
+	rt, err := New(Config{
+		Primary: prim.srv.URL, Replicas: urls,
+		MaxStalenessVersions: 4, HealthEvery: time.Hour, Affinity: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(rt)
+	defer front.Close()
+	defer rt.Close()
+	rt.probeAll()
+
+	// The same body always lands on the same replica.
+	pinned := `{"kind":"sssp","source":1,"target":2}`
+	for i := 0; i < 6; i++ {
+		if code, _ := post(t, front.URL+"/query", pinned); code != 200 {
+			t.Fatalf("pinned read %d failed", i)
+		}
+	}
+	a, b := ra.queries.Load(), rb.queries.Load()
+	if (a != 6 || b != 0) && (a != 0 || b != 6) {
+		t.Fatalf("pinned body split across replicas: a=%d b=%d", a, b)
+	}
+
+	// Distinct bodies shard across the fleet.
+	for i := 0; i < 32; i++ {
+		body := fmt.Sprintf(`{"kind":"sssp","source":%d,"target":9}`, i)
+		if code, _ := post(t, front.URL+"/query", body); code != 200 {
+			t.Fatalf("sharded read %d failed", i)
+		}
+	}
+	if ra.queries.Load() == a || rb.queries.Load() == b {
+		t.Fatalf("distinct bodies did not shard: a=%d->%d b=%d->%d",
+			a, ra.queries.Load(), b, rb.queries.Load())
+	}
+
+	// The pinned replica dying costs a failover, not a failure.
+	var victim, survivor *fakeNode
+	if a == 6 {
+		victim, survivor = ra, rb
+	} else {
+		victim, survivor = rb, ra
+	}
+	before := survivor.queries.Load() + prim.queries.Load()
+	victim.Close()
+	if code, _ := post(t, front.URL+"/query", pinned); code != 200 {
+		t.Fatal("pinned read failed after its replica died")
+	}
+	if survivor.queries.Load()+prim.queries.Load() != before+1 {
+		t.Fatal("failover did not reroute the pinned read")
+	}
+}
+
+// TestRouterVersionHeaderPreserved: the upstream's version stamp passes
+// through the router untouched.
+func TestRouterVersionHeaderPreserved(t *testing.T) {
+	prim := newFakeNode("primary", "primary", 42)
+	ra := newFakeNode("replica-a", "replica", 41)
+	defer prim.Close()
+	defer ra.Close()
+
+	rt, front := newTestRouter(t, prim, []*fakeNode{ra}, 10)
+	rt.probeAll()
+
+	resp, err := http.Post(front.URL+"/query", "application/json", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-QGraph-Version"); got != "41" {
+		t.Fatalf("version header %q, want 41 (the serving replica's)", got)
+	}
+}

@@ -135,7 +135,13 @@ type Cache struct {
 	entries map[Key]*list.Element
 	flights map[Key]*Flight
 
-	hits, misses, joins, flushes int64
+	// lastSweep throttles the expiry sweep: hit MoveToFront does not
+	// refresh an entry's timestamp, so expiry order does not follow LRU
+	// order and a sweep must walk the whole list — amortized by running it
+	// at most once per ttl/8.
+	lastSweep time.Time
+
+	hits, misses, joins, flushes, swept int64
 }
 
 // NewCache creates a cache holding up to capacity entries for at most ttl.
@@ -273,6 +279,7 @@ func (c *Cache) Store(key Key, epoch Epoch, out Outcome) {
 // put stores an outcome under the LRU/cap regime. Caller holds mu.
 func (c *Cache) put(key Key, out Outcome) {
 	now := c.clock()
+	c.sweep(now)
 	if el, ok := c.entries[key]; ok {
 		en := el.Value.(*entry)
 		en.out, en.at = out, now
@@ -287,6 +294,27 @@ func (c *Cache) put(key Key, out Outcome) {
 	}
 }
 
+// sweep drops every TTL-expired entry. Without it, an expired entry is
+// only removed when its exact key is looked up again — under a shifting
+// key population dead entries occupy LRU capacity until displaced,
+// silently shrinking the effective cache. Throttled; caller holds mu.
+func (c *Cache) sweep(now time.Time) {
+	if now.Sub(c.lastSweep) < c.ttl/8 {
+		return
+	}
+	c.lastSweep = now
+	for el := c.lru.Back(); el != nil; {
+		prev := el.Prev()
+		en := el.Value.(*entry)
+		if now.Sub(en.at) > c.ttl {
+			c.lru.Remove(el)
+			delete(c.entries, en.key)
+			c.swept++
+		}
+		el = prev
+	}
+}
+
 // CacheStats is the cache introspection for /stats.
 type CacheStats struct {
 	Entries  int   `json:"entries"`
@@ -296,12 +324,16 @@ type CacheStats struct {
 	Misses   int64 `json:"misses"`
 	Joins    int64 `json:"joins"`
 	Flushes  int64 `json:"flushes"`
+	Swept    int64 `json:"swept,omitempty"`
 }
 
-// Stats returns a consistent snapshot.
+// Stats returns a consistent snapshot. It also runs the (throttled)
+// expiry sweep, so an idle cache sheds expired entries on the /stats and
+// /metrics cadence even when no put arrives to piggyback on.
 func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.sweep(c.clock())
 	return CacheStats{
 		Entries:  c.lru.Len(),
 		Capacity: c.cap,
@@ -310,5 +342,6 @@ func (c *Cache) Stats() CacheStats {
 		Misses:   c.misses,
 		Joins:    c.joins,
 		Flushes:  c.flushes,
+		Swept:    c.swept,
 	}
 }

@@ -92,6 +92,47 @@ func TestCacheTTLExpiry(t *testing.T) {
 	}
 }
 
+// TestCacheExpirySweep: expired entries must leave the cache without
+// their exact keys being looked up again — under a shifting key
+// population they would otherwise occupy LRU capacity until displaced.
+func TestCacheExpirySweep(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	c := NewCache(64, 10*time.Second, clock)
+	for i := 0; i < 8; i++ {
+		_, f, _ := c.Begin(testKey(i))
+		c.Complete(f, okOutcome(float64(i)), nil)
+	}
+	if s := c.Stats(); s.Entries != 8 {
+		t.Fatalf("entries %d, want 8", s.Entries)
+	}
+	// Touch an old key so LRU order diverges from insertion/expiry order —
+	// the sweep must not rely on the back of the list being oldest.
+	if _, _, st := c.Begin(testKey(0)); st != BeginHit {
+		t.Fatal("warm hit expected")
+	}
+
+	now = now.Add(11 * time.Second)
+	// No put, no lookups of the expired keys: the Stats-side sweep alone
+	// must shed every expired entry.
+	if s := c.Stats(); s.Entries != 0 || s.Swept != 8 {
+		t.Fatalf("after TTL: entries %d swept %d, want 0 and 8", s.Entries, s.Swept)
+	}
+
+	// A put also piggybacks the sweep: refill, expire, insert one fresh
+	// key — the fresh key must be the only survivor.
+	for i := 0; i < 8; i++ {
+		_, f, _ := c.Begin(testKey(i))
+		c.Complete(f, okOutcome(float64(i)), nil)
+	}
+	now = now.Add(11 * time.Second)
+	_, f, _ := c.Begin(testKey(100))
+	c.Complete(f, okOutcome(100), nil)
+	if s := c.Stats(); s.Entries != 1 {
+		t.Fatalf("after put-side sweep: entries %d, want 1", s.Entries)
+	}
+}
+
 func TestCacheLRUEviction(t *testing.T) {
 	c := NewCache(2, time.Minute, nil)
 	for i := 0; i < 3; i++ {

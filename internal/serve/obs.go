@@ -8,6 +8,7 @@ import (
 
 	"qgraph/internal/obs"
 	"qgraph/internal/query"
+	"qgraph/internal/snapshot"
 )
 
 // This file is the serving layer's share of the observability substrate
@@ -63,6 +64,22 @@ func (s *Server) registerMetrics() {
 		func() float64 { a, _ := s.obs.T().Occupancy(); return float64(a) })
 	m.GaugeFunc("qgraph_trace_ring_completed", "", "completed traces retained for /traces",
 		func() float64 { _, c := s.obs.T().Occupancy(); return float64(c) })
+	m.CounterFunc("qgraph_snapshots_skipped_corrupt_total", "",
+		"snapshot files skipped as corrupt while loading the newest checkpoint",
+		func() float64 { return float64(snapshot.SkippedCorrupt()) })
+	if rep := s.cfg.Replication; rep != nil {
+		m.GaugeFunc("qgraph_replica_applied_version", "", "committed graph version this replica has applied",
+			func() float64 { return float64(rep().AppliedVersion) })
+		m.GaugeFunc("qgraph_replica_wal_head", "", "primary WAL head version visible to this replica",
+			func() float64 { return float64(rep().WALHead) })
+		m.GaugeFunc("qgraph_replica_lag_versions", "", "versions this replica trails the primary WAL head by",
+			func() float64 { return float64(rep().LagVersions) })
+		m.CounterFunc("qgraph_replica_rebootstraps_total", "",
+			"re-bootstraps from a newer checkpoint after the primary truncated past this replica's position",
+			func() float64 { return float64(rep().Rebootstraps) })
+		m.CounterFunc("qgraph_replica_tail_batches_total", "", "WAL batches applied from the tail",
+			func() float64 { return float64(rep().TailBatches) })
+	}
 
 	s.reqSeconds = m.Histogram("qgraph_request_seconds", "", "end-to-end /query latency (all outcomes)", nil)
 	s.engineSeconds = m.Histogram("qgraph_engine_seconds", "", "engine execution latency of completed queries", nil)

@@ -101,8 +101,40 @@ type Config struct {
 	// /slo, /debug/incident/{id}); its detectors drive /healthz from ok
 	// to degraded. Nil disables all of it.
 	Monitor *health.Monitor
+	// ReadOnly rejects every write (POST /mutate, POST /admin/*) with
+	// 403 — the mode of replica roles, whose graph state is maintained by
+	// tailing the primary's WAL, never by client writes.
+	ReadOnly bool
+	// Replication, when set, reports the node's replication position: it
+	// feeds the replica blocks of /healthz and /stats and the
+	// qgraph_replica_* metrics families. Nil on primaries.
+	Replication func() ReplicaInfo
 	// Clock abstracts time for tests; nil means time.Now.
 	Clock func() time.Time
+}
+
+// VersionHeader carries the committed graph version a response reflects.
+// Clients do read-your-writes by echoing the version their last mutation
+// reported as ?min_version=; the router uses it to verify the staleness
+// bound of replica answers.
+const VersionHeader = "X-QGraph-Version"
+
+// ReplicaInfo is the replication-position block a replica reports on
+// /healthz and /stats. WALHead is the primary's durable head version as
+// seen in the tailed WAL directory; LagVersions = WALHead - Applied.
+type ReplicaInfo struct {
+	Role              string `json:"role"`
+	AppliedVersion    uint64 `json:"applied_version"`
+	WALHead           uint64 `json:"wal_head"`
+	LagVersions       uint64 `json:"lag_versions"`
+	Rebootstraps      int64  `json:"rebootstraps"`
+	TailPolls         int64  `json:"tail_polls"`
+	TailBatches       int64  `json:"tail_batches"`
+	TailBytes         int64  `json:"tail_bytes_read"`
+	LastApplyUnixNS   int64  `json:"last_apply_unix_ns,omitempty"`
+	SnapshotsSkipped  int64  `json:"snapshots_skipped_corrupt,omitempty"`
+	BootstrapVersion  uint64 `json:"bootstrap_version"`
+	BootstrapReplayed int    `json:"bootstrap_replayed_batches"`
 }
 
 func (c *Config) fill() error {
@@ -335,6 +367,10 @@ type StatsResponse struct {
 	// checkpoints. Enabled=false when the deployment runs without one
 	// (see README "Durability modes").
 	WAL wal.Stats `json:"wal"`
+	// Replica reports this node's replication position (replica roles
+	// only): applied version vs the primary's WAL head, tailer activity,
+	// and gap-driven re-bootstraps.
+	Replica *ReplicaInfo `json:"replica,omitempty"`
 }
 
 // MutateOp is one operation of a POST /mutate batch.
@@ -382,11 +418,29 @@ func (s *Server) begin() bool {
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	s.stampVersion(w)
 	if !s.begin() {
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server draining"})
 		return
 	}
 	defer s.wg.Done()
+	// ?min_version= demands freshness: a node that has not applied that
+	// committed version yet must refuse rather than answer from older
+	// state (412; the stamped header tells the client how far behind).
+	// Checked before execution — the version only ever advances, so an
+	// admitted request can never be served below the demanded floor.
+	if raw := r.URL.Query().Get("min_version"); raw != "" {
+		min, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad min_version= value"})
+			return
+		}
+		if v := s.cfg.Backend.GraphVersion(); v < min {
+			writeJSON(w, http.StatusPreconditionFailed, errorResponse{
+				Error: fmt.Sprintf("applied version %d below requested min_version %d (lagging; retry, or read the primary)", v, min)})
+			return
+		}
+	}
 	var req QueryRequest
 	// Requests are tiny; bound the body so one client cannot buffer
 	// arbitrary amounts of memory into the decoder.
@@ -474,6 +528,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 	resp, code, errBody := s.execute(ctx, spec, req, tenant)
+	// Re-stamp: versions committed while the query executed move the
+	// header forward, never backward.
+	s.stampVersion(w)
 	if errBody != nil {
 		if code == http.StatusTooManyRequests {
 			w.Header().Set("Retry-After", s.retryAfter())
@@ -482,6 +539,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, code, resp)
+}
+
+// stampVersion sets (or refreshes) the X-QGraph-Version response header
+// from the backend's committed graph version.
+func (s *Server) stampVersion(w http.ResponseWriter) {
+	w.Header().Set(VersionHeader, strconv.FormatUint(s.cfg.Backend.GraphVersion(), 10))
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
@@ -539,6 +602,15 @@ type healthzResponse struct {
 	// SecondsSinceSnapshotCut is the age of the newest completed
 	// checkpoint cut; -1 until the first cut completes.
 	SecondsSinceSnapshotCut float64 `json:"seconds_since_snapshot_cut"`
+	// Replica-role fields (absent on primaries): the role name, the
+	// committed version this node has applied, the primary's WAL head it
+	// can see, and how many versions it trails by — the number the router
+	// compares against -max-staleness-versions.
+	Role              string `json:"role,omitempty"`
+	AppliedVersion    uint64 `json:"applied_version,omitempty"`
+	WALHead           uint64 `json:"wal_head,omitempty"`
+	StalenessVersions uint64 `json:"staleness_versions,omitempty"`
+	Rebootstraps      int64  `json:"rebootstraps,omitempty"`
 }
 
 // handleMutate ingests one batch of streaming graph updates. The batch is
@@ -547,6 +619,12 @@ type healthzResponse struct {
 // result cache is invalidated at the next lookup, so no post-commit query
 // is answered from pre-commit state.
 func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	s.stampVersion(w)
+	if s.cfg.ReadOnly {
+		writeJSON(w, http.StatusForbidden,
+			errorResponse{Error: "read-only replica: route writes to the primary"})
+		return
+	}
 	if !s.begin() {
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server draining"})
 		return
@@ -607,6 +685,9 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 		s.ctr.MutationsApplied.Add(int64(res.Applied))
 		s.ctr.MutationNoOps.Add(int64(res.NoOps))
 		s.ctr.MutationBatches.Add(1)
+		// The commit's own version is the read-your-writes token: echo it
+		// as ?min_version= to guarantee reads reflect this batch.
+		w.Header().Set(VersionHeader, strconv.FormatUint(res.Version, 10))
 		writeJSON(w, http.StatusOK, MutateResponse{
 			Version:   res.Version,
 			Applied:   res.Applied,
@@ -663,6 +744,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	if snap.LastCutUnixNS > 0 {
 		resp.SecondsSinceSnapshotCut = time.Since(time.Unix(0, snap.LastCutUnixNS)).Seconds()
+	}
+	if s.cfg.Replication != nil {
+		ri := s.cfg.Replication()
+		resp.Role = ri.Role
+		resp.AppliedVersion = ri.AppliedVersion
+		resp.WALHead = ri.WALHead
+		resp.StalenessVersions = ri.LagVersions
+		resp.Rebootstraps = ri.Rebootstraps
 	}
 	code := http.StatusOK
 	h := s.cfg.Backend.Health()
@@ -721,6 +810,10 @@ func (s *Server) statsSnapshot() StatsResponse {
 	resp.Recovery = s.cfg.Backend.RecoveryStats()
 	resp.Snapshot = s.cfg.Backend.SnapshotStats()
 	resp.WAL = s.cfg.Backend.WALStats()
+	if s.cfg.Replication != nil {
+		ri := s.cfg.Replication()
+		resp.Replica = &ri
+	}
 	return resp
 }
 
@@ -730,6 +823,11 @@ func (s *Server) statsSnapshot() StatsResponse {
 // was actually cut, whether it is durable on disk, and how many log ops
 // the cut released.
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.ReadOnly {
+		writeJSON(w, http.StatusForbidden,
+			errorResponse{Error: "read-only replica: route admin writes to the primary"})
+		return
+	}
 	if !s.begin() {
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server draining"})
 		return

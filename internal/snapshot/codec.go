@@ -5,9 +5,11 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc64"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
+	"sync/atomic"
 
 	"qgraph/internal/faultpoint"
 	"qgraph/internal/graph"
@@ -119,11 +121,32 @@ func Load(path string) (*Snapshot, error) {
 	return &Snapshot{Version: version, Graph: g}, nil
 }
 
+// skippedCorrupt counts snapshot files LoadLatest had to skip as corrupt,
+// process-wide — surfaced on /metrics as snapshots_skipped_corrupt so
+// checkpoint rot is visible before the last intact file also goes.
+var skippedCorrupt atomic.Int64
+
+// SkippedCorrupt returns the process-wide count of snapshot files skipped
+// as corrupt by LoadLatest. Safe from any goroutine.
+func SkippedCorrupt() int64 { return skippedCorrupt.Load() }
+
 // LoadLatest scans dir for the newest loadable snapshot. Corrupt or torn
 // files are skipped (an older intact checkpoint is a correct, if staler,
-// recovery point). It returns (nil, nil) when the directory holds no
-// usable snapshot.
+// recovery point), but never silently: each skip is logged via slog and
+// counted, so a directory of rotted checkpoints is distinguishable from
+// an empty one. It returns (nil, nil) when the directory holds no usable
+// snapshot.
 func LoadLatest(dir string) (*Snapshot, error) {
+	return LoadLatestObserved(dir, func(path string, err error) {
+		slog.Warn("snapshot: skipping corrupt checkpoint", "path", path, "error", err)
+	})
+}
+
+// LoadLatestObserved is LoadLatest with the caller deciding what to do
+// about each skipped file (log, emit a health event, count per-replica).
+// onSkip runs once per unloadable snapshot file, oldest-skip last; the
+// process-wide SkippedCorrupt counter advances regardless.
+func LoadLatestObserved(dir string, onSkip func(path string, err error)) (*Snapshot, error) {
 	paths, err := filepath.Glob(filepath.Join(dir, "snap-*"+fileExt))
 	if err != nil {
 		return nil, err
@@ -133,6 +156,10 @@ func LoadLatest(dir string) (*Snapshot, error) {
 		snap, err := Load(p)
 		if err == nil {
 			return snap, nil
+		}
+		skippedCorrupt.Add(1)
+		if onSkip != nil {
+			onSkip(p, err)
 		}
 	}
 	return nil, nil

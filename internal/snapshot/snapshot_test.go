@@ -123,6 +123,62 @@ func TestLoadRejectsCorruption(t *testing.T) {
 	}
 }
 
+// TestLoadLatestObservesSkips: skipped corrupt checkpoints are reported to
+// the caller and counted, never swallowed — a directory of rotted files
+// must be distinguishable from an empty one.
+func TestLoadLatestObservesSkips(t *testing.T) {
+	dir := t.TempDir()
+	g := testGraph(t, 8)
+	if _, err := WriteFile(dir, &Snapshot{Version: 1, Graph: g}); err != nil {
+		t.Fatal(err)
+	}
+	path2, err := WriteFile(dir, &Snapshot{Version: 2, Graph: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[20] ^= 0x40
+	if err := os.WriteFile(path2, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	before := SkippedCorrupt()
+	var skipped []string
+	snap, err := LoadLatestObserved(dir, func(path string, err error) {
+		if err == nil {
+			t.Errorf("onSkip(%s) with nil error", path)
+		}
+		skipped = append(skipped, path)
+	})
+	if err != nil || snap == nil || snap.Version != 1 {
+		t.Fatalf("LoadLatestObserved = %+v, %v; want v1", snap, err)
+	}
+	if len(skipped) != 1 || skipped[0] != path2 {
+		t.Fatalf("skipped = %v, want [%s]", skipped, path2)
+	}
+	if got := SkippedCorrupt() - before; got != 1 {
+		t.Fatalf("SkippedCorrupt advanced by %d, want 1", got)
+	}
+
+	// Every file corrupt: nil snapshot, every skip reported.
+	raw1, err := os.ReadFile(filepath.Join(dir, FileName(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw1[20] ^= 0x40
+	if err := os.WriteFile(filepath.Join(dir, FileName(1)), raw1, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	skipped = nil
+	snap, err = LoadLatestObserved(dir, func(path string, err error) { skipped = append(skipped, path) })
+	if err != nil || snap != nil || len(skipped) != 2 {
+		t.Fatalf("all-corrupt dir: snap=%+v err=%v skipped=%v", snap, err, skipped)
+	}
+}
+
 func TestStoreMemory(t *testing.T) {
 	s := NewStore("", 2)
 	g := testGraph(t, 4)

@@ -1,0 +1,237 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"qgraph/internal/delta"
+)
+
+// TestReadTailGapWithNoSegments is the truncation-floor regression: a
+// directory whose every segment was truncated away used to read as an
+// empty tail — indistinguishable from "no ops" — so a follower whose base
+// predates the floor silently believed it was caught up. With the
+// persisted floor, ReadTail must report the gap.
+func TestReadTailGapWithNoSegments(t *testing.T) {
+	dir := t.TempDir()
+	w := mustOpen(t, dir)
+	w.SegmentBytes = 128 // force several segments
+	appendN(t, w, 1, 10)
+	if w.TruncateTo(8) < 1 {
+		t.Fatal("truncation released no segments")
+	}
+	w.Close()
+	// Simulate the remaining history vanishing (the crash window of a
+	// Rebase, or an operator removing segments): only the floor file is
+	// left to prove anything was ever logged.
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*"+fileExt))
+	if len(segs) == 0 {
+		t.Fatal("expected retained segments to remove")
+	}
+	for _, p := range segs {
+		if err := os.Remove(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A follower at version 5 (below the floor) must see the gap, not an
+	// empty tail.
+	if _, err := ReadTail(dir, testGraphID, 5); !errors.Is(err, delta.ErrGap) {
+		t.Fatalf("ReadTail(5) over emptied log = %v, want ErrGap", err)
+	}
+	// At or past the floor the empty tail is genuine: nothing beyond it
+	// was ever retained, and a caller holding a checkpoint there is whole.
+	if tail, err := ReadTail(dir, testGraphID, w.Base()); err != nil || len(tail) != 0 {
+		t.Fatalf("ReadTail(base) = %d batches, %v", len(tail), err)
+	}
+	// RecoverGraph inherits the same semantics.
+	if _, _, err := RecoverGraph(dir, testGraphID, nil, 5); !errors.Is(err, delta.ErrGap) {
+		t.Fatalf("RecoverGraph(5) = %v, want ErrGap", err)
+	}
+}
+
+// TestRebasePersistsFloorBeforeRemoval: a crash between Rebase's segment
+// removal and the new segment's creation leaves a directory with no
+// segments; the floor written first must preserve the gap evidence.
+func TestRebasePersistsFloorBeforeRemoval(t *testing.T) {
+	dir := t.TempDir()
+	w := mustOpen(t, dir)
+	if err := w.Rebase(40); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	// Simulate the crash window: the rebased head segment never survives.
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*"+fileExt))
+	for _, p := range segs {
+		if err := os.Remove(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := ReadTail(dir, testGraphID, 39); !errors.Is(err, delta.ErrGap) {
+		t.Fatalf("ReadTail(39) = %v, want ErrGap", err)
+	}
+	if tail, err := ReadTail(dir, testGraphID, 40); err != nil || len(tail) != 0 {
+		t.Fatalf("ReadTail(40) = %d batches, %v", len(tail), err)
+	}
+}
+
+// TestTailerFollowsAppends: the tailer returns exactly the new batches on
+// each poll, and a steady-state poll reads only the new bytes instead of
+// re-parsing the segment (the offset-aware point of the type).
+func TestTailerFollowsAppends(t *testing.T) {
+	dir := t.TempDir()
+	w := mustOpen(t, dir)
+	defer w.Close()
+	appendN(t, w, 1, 5)
+
+	tl := NewTailer(dir, testGraphID, 0)
+	got, err := tl.Poll()
+	if err != nil || len(got) != 5 || got[0].Version != 1 || got[4].Version != 5 {
+		t.Fatalf("first poll = %d batches, %v", len(got), err)
+	}
+	if tl.Version() != 5 {
+		t.Fatalf("tailer version %d", tl.Version())
+	}
+	// Caught up: an empty poll, and no bytes re-read.
+	quiet := tl.Stats().BytesRead
+	if got, err := tl.Poll(); err != nil || len(got) != 0 {
+		t.Fatalf("caught-up poll = %d batches, %v", len(got), err)
+	}
+	if tl.Stats().BytesRead != quiet {
+		t.Fatalf("caught-up poll read %d bytes", tl.Stats().BytesRead-quiet)
+	}
+
+	// One more batch: the poll reads just that record, not the segment.
+	rec := encodeRecord(6, testOps(3, 6))
+	if err := w.Append(6, testOps(3, 6)); err != nil {
+		t.Fatal(err)
+	}
+	before := tl.Stats().BytesRead
+	got, err = tl.Poll()
+	if err != nil || len(got) != 1 || got[0].Version != 6 {
+		t.Fatalf("incremental poll = %+v, %v", got, err)
+	}
+	if read := tl.Stats().BytesRead - before; read != int64(len(rec)) {
+		t.Fatalf("incremental poll read %d bytes, want %d (one record)", read, len(rec))
+	}
+}
+
+// TestTailerAcrossRotation: the tailer follows the segment chain as the
+// writer rotates, whether it polls between rotations or only after many.
+func TestTailerAcrossRotation(t *testing.T) {
+	dir := t.TempDir()
+	w := mustOpen(t, dir)
+	defer w.Close()
+	w.SegmentBytes = 128 // a couple of records per segment
+
+	tl := NewTailer(dir, testGraphID, 0)
+	var seen uint64
+	for v := uint64(1); v <= 12; v++ {
+		appendN(t, w, v, v)
+		if v%3 == 0 { // poll only every third append
+			for _, b := range mustPoll(t, tl) {
+				if b.Version != seen+1 {
+					t.Fatalf("version %d after %d", b.Version, seen)
+				}
+				seen = b.Version
+			}
+		}
+	}
+	if seen != 12 {
+		t.Fatalf("tailed to %d, want 12", seen)
+	}
+	if w.Stats().Segments < 3 {
+		t.Fatalf("expected rotation, got %d segments", w.Stats().Segments)
+	}
+
+	// A tailer attaching late must catch the whole retained chain at once.
+	late := NewTailer(dir, testGraphID, 0)
+	if got := mustPoll(t, late); len(got) != 12 {
+		t.Fatalf("late attach = %d batches", len(got))
+	}
+}
+
+// TestTailerPartialRecord: a half-written record at the tail (the writer
+// mid-append) stalls the tailer at its offset without error; completing
+// the record resumes it.
+func TestTailerPartialRecord(t *testing.T) {
+	dir := t.TempDir()
+	w := mustOpen(t, dir)
+	appendN(t, w, 1, 2)
+	w.Close()
+
+	tl := NewTailer(dir, testGraphID, 0)
+	if got := mustPoll(t, tl); len(got) != 2 {
+		t.Fatalf("attach = %d batches", len(got))
+	}
+
+	// Append record 3 in two halves, polling in between.
+	rec := encodeRecord(3, testOps(2, 3))
+	path := filepath.Join(dir, segName(0))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write(rec[:len(rec)/2]); err != nil {
+		t.Fatal(err)
+	}
+	if got := mustPoll(t, tl); len(got) != 0 {
+		t.Fatalf("poll over torn tail = %d batches", len(got))
+	}
+	if _, err := f.Write(rec[len(rec)/2:]); err != nil {
+		t.Fatal(err)
+	}
+	got := mustPoll(t, tl)
+	if len(got) != 1 || got[0].Version != 3 {
+		t.Fatalf("poll after completion = %+v", got)
+	}
+}
+
+// TestTailerGap: truncation past the tailer's position must surface
+// delta.ErrGap — from a fresh attach, and from a live tailer whose
+// current segment is removed under it.
+func TestTailerGap(t *testing.T) {
+	dir := t.TempDir()
+	w := mustOpen(t, dir)
+	defer w.Close()
+	w.SegmentBytes = 128
+	appendN(t, w, 1, 10)
+
+	// Live tailer parked at version 2, inside the first segment.
+	tl := NewTailer(dir, testGraphID, 0)
+	if got := mustPoll(t, tl); len(got) != 10 {
+		t.Fatalf("attach = %d batches", len(got))
+	}
+	stale := NewTailer(dir, testGraphID, 2)
+
+	if w.TruncateTo(8) < 1 {
+		t.Fatal("truncation released no segments")
+	}
+	// The caught-up tailer rides through the truncation (its segment is
+	// the retained head) and keeps following new appends.
+	appendN(t, w, 11, 11)
+	if got := mustPoll(t, tl); len(got) != 1 || got[0].Version != 11 {
+		t.Fatalf("caught-up tailer after truncation = %+v", got)
+	}
+	// The stale tailer's base predates the retained chain: gap.
+	if _, err := stale.Poll(); !errors.Is(err, delta.ErrGap) {
+		t.Fatalf("stale tailer = %v, want ErrGap", err)
+	}
+
+	// A fresh tailer below the floor sees the gap before reading anything.
+	if _, err := NewTailer(dir, testGraphID, 0).Poll(); !errors.Is(err, delta.ErrGap) {
+		t.Fatal("fresh tailer below base did not report the gap")
+	}
+}
+
+func mustPoll(t *testing.T, tl *Tailer) []delta.LogBatch {
+	t.Helper()
+	got, err := tl.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}

@@ -67,6 +67,16 @@ const (
 	headerSize = 4 + 4 + 8 + 8
 	recHdrSize = 4 + 8
 
+	// floorFile persists the truncation floor: the committed version the
+	// oldest *ever-retained* history chains from. Without it, a directory
+	// whose every segment was truncated away (or removed mid-Rebase by a
+	// crash) reads as an empty tail — indistinguishable from "no ops" — and
+	// a follower whose base predates the floor would silently believe it is
+	// caught up. With it, ReadTail can return delta.ErrGap whenever the
+	// retained chain does not provably connect to the requested version.
+	floorFile  = "wal.floor"
+	floorMagic = "QWFL"
+
 	// maxRecordPayload bounds a record's length prefix so a corrupt
 	// prefix cannot trigger a huge allocation.
 	maxRecordPayload = 1 << 28
@@ -97,10 +107,12 @@ type WAL struct {
 	// Append to override DefaultSegmentBytes (tests use tiny segments).
 	SegmentBytes int64
 
-	mu   sync.Mutex
-	f    *os.File // head segment, opened for append
-	segs []segInfo
-	head uint64
+	mu       sync.Mutex
+	f        *os.File // head segment, opened for append
+	segs     []segInfo
+	head     uint64
+	floor    uint64 // persisted truncation floor (see floorFile)
+	hasFloor bool
 
 	appends       atomic.Int64
 	appendedBytes atomic.Int64
@@ -136,6 +148,7 @@ func Open(dir string, graphID uint64) (*WAL, error) {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
 	w := &WAL{dir: dir, graphID: graphID, SegmentBytes: DefaultSegmentBytes}
+	w.floor, w.hasFloor = readFloor(dir)
 	// Sweep rotation temp files a crash left behind.
 	if tmps, err := filepath.Glob(filepath.Join(dir, "wal-*"+fileExt+tmpSuffix)); err == nil {
 		for _, p := range tmps {
@@ -321,6 +334,13 @@ func (w *WAL) TruncateTo(v uint64) int {
 		n++
 	}
 	if n > 0 {
+		// Record where the retained chain now starts. Best-effort: a write
+		// failure only leaves the floor conservatively low, and the head
+		// segment (never deleted here) still carries its own prev for the
+		// gap check.
+		if err := writeFloor(w.dir, w.segs[0].prev); err == nil {
+			w.floor, w.hasFloor = w.segs[0].prev, true
+		}
 		syncDir(w.dir)
 		w.truncatedSegs.Add(int64(n))
 		w.publishMirrors()
@@ -345,6 +365,13 @@ func (w *WAL) Rebase(v uint64) error {
 	if err := w.f.Close(); err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
+	// Persist the floor BEFORE removing segments: a crash in the removal
+	// window leaves a directory with no segments at all, and without the
+	// floor that reads as an empty tail instead of a gap.
+	if err := writeFloor(w.dir, v); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	w.floor, w.hasFloor = v, true
 	for _, s := range w.segs {
 		if err := os.Remove(s.path); err != nil {
 			return fmt.Errorf("wal: %w", err)
@@ -361,7 +388,7 @@ func (w *WAL) Rebase(v uint64) error {
 func (w *WAL) Since(v uint64) ([]delta.LogBatch, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	return readSegs(w.segs, w.graphID, v)
+	return readSegs(w.segs, w.graphID, v, w.floor, w.hasFloor)
 }
 
 // Close closes the head segment file. The log stays replayable on disk.
@@ -379,6 +406,38 @@ func (w *WAL) Close() error {
 // segName returns the segment file name chaining from version prev.
 func segName(prev uint64) string {
 	return fmt.Sprintf("wal-%016d%s", prev, fileExt)
+}
+
+// writeFloor atomically persists the truncation floor for dir: the
+// committed version below which history is no longer retained. Written by
+// TruncateTo (after dropping covered segments) and by Rebase (before
+// dropping every segment, covering the crash window that leaves the
+// directory empty).
+func writeFloor(dir string, v uint64) error {
+	buf := make([]byte, 12)
+	copy(buf, floorMagic)
+	binary.LittleEndian.PutUint64(buf[4:12], v)
+	path := filepath.Join(dir, floorFile)
+	tmp := path + tmpSuffix
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// readFloor loads the persisted truncation floor, if any. A missing or
+// malformed floor file reads as "never truncated" — the pre-floor format,
+// where the oldest segment's prev is the only gap evidence.
+func readFloor(dir string) (uint64, bool) {
+	raw, err := os.ReadFile(filepath.Join(dir, floorFile))
+	if err != nil || len(raw) != 12 || string(raw[:4]) != floorMagic {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint64(raw[4:12]), true
 }
 
 // syncDir fsyncs a directory so file creation/removal is durable —
@@ -544,9 +603,16 @@ func scanDir(dir string, graphID uint64, repair bool) ([]segInfo, error) {
 
 // readSegs collects batches with Version > v from scanned segments,
 // re-reading each file. Torn tails already ended the seg list at scan
-// time, so every record a listed segment covers is intact.
-func readSegs(segs []segInfo, graphID uint64, v uint64) ([]delta.LogBatch, error) {
+// time, so every record a listed segment covers is intact. floor (when
+// known) is the persisted truncation floor: with no segments retained at
+// all, it is the only evidence distinguishing "log truncated past v"
+// (a gap) from "nothing ever logged" (an empty tail).
+func readSegs(segs []segInfo, graphID uint64, v uint64, floor uint64, hasFloor bool) ([]delta.LogBatch, error) {
 	if len(segs) == 0 {
+		if hasFloor && v < floor {
+			return nil, fmt.Errorf("wal: tail from version %d predates truncation floor %d with no segments retained: %w",
+				v, floor, delta.ErrGap)
+		}
 		return nil, nil
 	}
 	if v < segs[0].prev {
@@ -584,7 +650,8 @@ func ReadTail(dir string, graphID uint64, from uint64) ([]delta.LogBatch, error)
 	if err != nil {
 		return nil, err
 	}
-	return readSegs(segs, graphID, from)
+	floor, hasFloor := readFloor(dir)
+	return readSegs(segs, graphID, from, floor, hasFloor)
 }
 
 // RecoverGraph folds the WAL tail beyond baseV into base: the startup

@@ -9,6 +9,9 @@
 #   mixed              queries + streamed mutations
 #   recovery           queries through a worker SIGKILL + handoff
 #
+# A sixth section records the read scale-out A/B (single node vs router +
+# 2 replicas with -route-affinity) into a second report, BENCH_8.json.
+#
 # The report's derived tracing_overhead_pct and watchdog_overhead_pct
 # compare read_only against its two baselines; the acceptance bars are
 # ≤5% for tracing and ≤2% for the watchdog. Tune with BENCH_RATE /
@@ -134,11 +137,87 @@ start_deploy "127.0.0.1:7771,127.0.0.1:7772,127.0.0.1:7773" "127.0.0.1:7813" \
   -trace-sample 5 -scenario recovery -json-out "$OUT"
 stop_deploy
 
+# --- read scale-out: router + 2 replicas vs the single primary --------------
+# The PR-8 A/B, recorded into its own report (default BENCH_8.json): the
+# identical read workload is measured once against the primary alone and
+# once through the router fronting two WAL-tailing replicas with
+# -route-affinity. The workload is sized so one node is miss-bound (pool
+# 1024 distinct queries vs a 512-entry result cache) while the sharded
+# fleet holds the whole pool in aggregate cache — the same reason read
+# fleets scale in production. Both arms get the same warmup, rate, pool,
+# and per-node cache config; the derived read_scaleout_x in the report is
+# router_read goodput over single_node_read goodput (bar: >= 1.7x).
+OUT8="${BENCH_OUT8:-BENCH_8.json}"
+RATE8="${BENCH_SCALEOUT_RATE:-300}"
+WARM8="${BENCH_SCALEOUT_WARMUP:-30s}"
+DUR8="${BENCH_SCALEOUT_DURATION:-10s}"
+SNAP8="$workdir/snap8"
+WAL8="$workdir/wal8"
+mkdir -p "$SNAP8" "$WAL8"
+rm -f "$OUT8"
+
+arm() { # base-url scenario
+  "$workdir/qgraph-bench" -load "$1" -rate "$RATE8" -load-duration "$WARM8" \
+    -load-pool 1024 -load-tenants 1 -load-timeout 60s >/dev/null
+  sleep 3 # let the admission queue drain so the warmup doesn't bleed in
+  "$workdir/qgraph-bench" -load "$1" -rate "$RATE8" -load-duration "$DUR8" \
+    -load-pool 1024 -load-tenants 1 -load-timeout 60s \
+    -scenario "$2" -json-out "$OUT8"
+}
+
+start_deploy "127.0.0.1:7777,127.0.0.1:7778,127.0.0.1:7779" "127.0.0.1:7815" \
+  -adapt=false -snapshot-dir "$SNAP8" -wal-dir "$WAL8" \
+  -cache-size 512 -cache-ttl 10m
+arm "http://127.0.0.1:7815" single_node_read
+
+"$workdir/qgraphd" -role replica -graph "$workdir/g.qgr" \
+  -snapshot-dir "$SNAP8" -wal-dir "$WAL8" -serve 127.0.0.1:7816 \
+  -cache-size 512 -cache-ttl 10m >>"$workdir/bench.log" 2>&1 &
+REPA=$!
+"$workdir/qgraphd" -role replica -graph "$workdir/g.qgr" \
+  -snapshot-dir "$SNAP8" -wal-dir "$WAL8" -serve 127.0.0.1:7817 \
+  -cache-size 512 -cache-ttl 10m >>"$workdir/bench.log" 2>&1 &
+REPB=$!
+for p in 7816 7817; do
+  for _ in $(seq 1 50); do
+    curl -fsS "http://127.0.0.1:$p/healthz" >/dev/null 2>&1 && break
+    sleep 0.2
+  done
+done
+"$workdir/qgraphd" -role router -primary http://127.0.0.1:7815 \
+  -replicas http://127.0.0.1:7816,http://127.0.0.1:7817 \
+  -route-affinity -health-every 200ms -serve 127.0.0.1:7818 \
+  >>"$workdir/bench.log" 2>&1 &
+ROUTER=$!
+nrot=0
+for _ in $(seq 1 50); do
+  nrot=$(curl -fsS http://127.0.0.1:7818/healthz 2>/dev/null \
+    | grep -o '"in_rotation":true' | wc -l)
+  [ "$nrot" -eq 2 ] && break
+  sleep 0.2
+done
+if [ "$nrot" -ne 2 ]; then
+  echo "bench: replicas never entered the router rotation" >&2
+  exit 1
+fi
+arm "http://127.0.0.1:7818" router_read
+kill -INT "$ROUTER" "$REPA" "$REPB" >/dev/null 2>&1 || true
+stop_deploy
+
 # --- verdict ----------------------------------------------------------------
 overhead=$(sed -n 's/.*"tracing_overhead_pct": \(-\{0,1\}[0-9.]*\).*/\1/p' "$OUT")
 woverhead=$(sed -n 's/.*"watchdog_overhead_pct": \(-\{0,1\}[0-9.]*\).*/\1/p' "$OUT")
+scaleout=$(sed -n 's/.*"read_scaleout_x": \([0-9.]*\).*/\1/p' "$OUT8")
 echo "BENCH OK: report written to $OUT (tracing overhead ${overhead:-?}%, watchdog overhead ${woverhead:-?}%)"
+echo "BENCH OK: read scale-out report written to $OUT8 (router+2 replicas = ${scaleout:-?}x single node)"
 breach=0
+if [ -n "$scaleout" ]; then
+  under=$(awk -v x="$scaleout" 'BEGIN { print (x < 1.7) ? 1 : 0 }')
+  if [ "$under" -eq 1 ]; then
+    echo "BENCH WARN: read scale-out ${scaleout}x is below the 1.7x bar" >&2
+    breach=1
+  fi
+fi
 if [ -n "$overhead" ]; then
   over=$(awk -v o="$overhead" 'BEGIN { print (o > 5) ? 1 : 0 }')
   if [ "$over" -eq 1 ]; then

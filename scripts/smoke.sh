@@ -454,3 +454,122 @@ if [ "$fail" -ne 0 ]; then
 fi
 stragglerev=$(grep -o '"msg":"[^"]*"' <<<"$events5" | head -1)
 echo "SMOKE OK: straggler detected under mixed load (${stragglerev}), incident captured, tenant burn ${maxburn}"
+
+# ---------------------------------------------------------------------------
+# Scenario 6: read-path scale-out — a primary (with -snapshot-dir and
+# -wal-dir), two read replicas tailing the WAL, and a router fronting all
+# three. Mixed query+mutate load flows through the router; one replica is
+# SIGKILLed mid-load and the router must absorb it: zero failed reads,
+# writes all landing on the primary, and the surviving replica converging
+# to the primary's exact version (a min_version read at the primary's
+# version must succeed through the router).
+
+ADDRS6="127.0.0.1:7771,127.0.0.1:7772,127.0.0.1:7773"
+SERVE6="127.0.0.1:7806"     # primary
+REP6A="127.0.0.1:7807"      # replica a
+REP6B="127.0.0.1:7808"      # replica b
+ROUTE6="127.0.0.1:7809"     # router
+SNAP6="$workdir/snaps6"
+WAL6="$workdir/wal6"
+mkdir -p "$SNAP6" "$WAL6"
+
+"$workdir/qgraphd" -role worker -id 0 -graph "$workdir/g.qgr" -addrs "$ADDRS6" \
+  -snapshot-dir "$SNAP6" -wal-dir "$WAL6" >>"$workdir/d6-w0.log" 2>&1 &
+"$workdir/qgraphd" -role worker -id 1 -graph "$workdir/g.qgr" -addrs "$ADDRS6" \
+  -snapshot-dir "$SNAP6" -wal-dir "$WAL6" >>"$workdir/d6-w1.log" 2>&1 &
+sleep 1
+"$workdir/qgraphd" -role controller -graph "$workdir/g.qgr" -addrs "$ADDRS6" \
+  -serve "$SERVE6" -commit-every 50ms -snapshot-dir "$SNAP6" -wal-dir "$WAL6" \
+  >>"$workdir/d6-ctrl.log" 2>&1 &
+ctrl6=$!
+wait_healthy "$SERVE6" || { echo "SMOKE FAIL: scenario-6 primary never healthy"; exit 1; }
+
+# History before any replica exists: their bootstrap must replay it.
+apply_batches "$SERVE6" 0 5 >/dev/null || { echo "SMOKE FAIL: seed mutations failed"; exit 1; }
+
+"$workdir/qgraphd" -role replica -graph "$workdir/g.qgr" -snapshot-dir "$SNAP6" \
+  -wal-dir "$WAL6" -serve "$REP6A" -replica-poll 25ms >>"$workdir/d6-ra.log" 2>&1 &
+repa6=$!
+"$workdir/qgraphd" -role replica -graph "$workdir/g.qgr" -snapshot-dir "$SNAP6" \
+  -wal-dir "$WAL6" -serve "$REP6B" -replica-poll 25ms >>"$workdir/d6-rb.log" 2>&1 &
+repb6=$!
+wait_healthy "$REP6A" || { echo "SMOKE FAIL: replica a never healthy"; exit 1; }
+wait_healthy "$REP6B" || { echo "SMOKE FAIL: replica b never healthy"; exit 1; }
+
+grep -q '"role":"replica"' <<<"$(curl -fsS "http://$REP6A/healthz")" || {
+  echo "SMOKE FAIL: replica /healthz missing role field"; exit 1; }
+
+"$workdir/qgraphd" -role router -primary "http://$SERVE6" \
+  -replicas "http://$REP6A,http://$REP6B" -max-staleness-versions 64 \
+  -health-every 100ms -serve "$ROUTE6" >>"$workdir/d6-router.log" 2>&1 &
+router6=$!
+wait_healthy "$ROUTE6" || { echo "SMOKE FAIL: router never healthy"; exit 1; }
+
+# Both replicas must enter the rotation before load starts.
+for _ in $(seq 1 50); do
+  nrot=$(curl -fsS "http://$ROUTE6/healthz" | grep -o '"in_rotation":true' | wc -l)
+  [ "$nrot" -eq 2 ] && break
+  sleep 0.2
+done
+[ "${nrot:-0}" -eq 2 ] || { echo "SMOKE FAIL: replicas never entered rotation"; exit 1; }
+
+# Mixed load through the router; SIGKILL replica b 3s into the window.
+out6=$("$workdir/qgraph-bench" -load "http://$ROUTE6" -rate 200 -load-duration 8s \
+  -load-pool 64 -load-timeout 15s -mutate-rate 50 -mutate-batch 20 \
+  -mutations "$workdir/g.qgr.mut" -kill-pid "$repb6" -kill-after 3s)
+echo "$out6"
+
+status6=$(curl -fsS "http://$ROUTE6/router/status")
+echo "$status6"
+
+fail=0
+
+qline6=$(grep -m1 '^sent=' <<<"$out6")
+okq6=$(sed -n 's/.* ok=\([0-9]*\).*/\1/p' <<<"$qline6")
+failedq6=$(sed -n 's/.* failed=\([0-9]*\).*/\1/p' <<<"$qline6")
+[ "${okq6:-0}" -gt 0 ] || { echo "SMOKE FAIL: no successful reads through the router"; fail=1; }
+[ "${failedq6:-1}" -eq 0 ] || { echo "SMOKE FAIL: $failedq6 failed reads through a replica kill"; fail=1; }
+
+mline6=$(grep -m1 '^mutations: sent=' <<<"$out6")
+applied6=$(sed -n 's/.*applied=\([0-9]*\).*/\1/p' <<<"$mline6")
+failedm6=$(sed -n 's/.*failed=\([0-9]*\).*/\1/p' <<<"$mline6")
+[ "${applied6:-0}" -gt 0 ] || { echo "SMOKE FAIL: no mutations applied through the router"; fail=1; }
+[ "${failedm6:-1}" -eq 0 ] || { echo "SMOKE FAIL: $failedm6 failed mutation ops through the router"; fail=1; }
+
+reads_rep6=$(sed -n 's/.*"reads_replica":\([0-9]*\).*/\1/p' <<<"$status6")
+writes6=$(sed -n 's/.*"writes":\([0-9]*\).*/\1/p' <<<"$status6")
+[ "${reads_rep6:-0}" -gt 0 ] || { echo "SMOKE FAIL: router never routed a read to a replica"; fail=1; }
+[ "${writes6:-0}" -gt 0 ] || { echo "SMOKE FAIL: router never routed a write to the primary"; fail=1; }
+
+# The surviving replica converges to the primary's exact version, so a
+# bounded-staleness read demanding that version succeeds via the router.
+primver6=$(curl -fsS "http://$SERVE6/healthz" | sed -n 's/.*"graph_version":\([0-9]*\).*/\1/p')
+for _ in $(seq 1 50); do
+  repver6=$(curl -fsS "http://$REP6A/healthz" | sed -n 's/.*"applied_version":\([0-9]*\).*/\1/p')
+  [ "${repver6:-0}" -ge "${primver6:-1}" ] && break
+  sleep 0.2
+done
+[ "${repver6:-0}" -ge "${primver6:-1}" ] || {
+  echo "SMOKE FAIL: replica stuck at v${repver6:-?} behind primary v$primver6"; fail=1; }
+
+minread6=$(curl -fsS -D "$workdir/d6-head.txt" \
+  "http://$ROUTE6/query?min_version=$primver6" \
+  -d '{"kind":"sssp","source":0,"target":999,"no_cache":true}') || {
+  echo "SMOKE FAIL: min_version read through router failed"; fail=1; }
+hdrver6=$(sed -n 's/^X-Qgraph-Version: *\([0-9]*\).*/\1/Ip' "$workdir/d6-head.txt")
+[ "${hdrver6:-0}" -ge "${primver6:-1}" ] || {
+  echo "SMOKE FAIL: version header $hdrver6 below demanded floor $primver6"; fail=1; }
+
+# Writes through a replica directly are refused — the 403 read-only guard.
+wcode6=$(curl -s -o /dev/null -w '%{http_code}' "http://$REP6A/mutate" \
+  -d '{"ops":[{"op":"add_edge","from":0,"to":1,"weight":1}]}')
+[ "$wcode6" = "403" ] || { echo "SMOKE FAIL: replica accepted a direct write (HTTP $wcode6)"; fail=1; }
+
+kill -INT "$router6" "$repa6" >/dev/null 2>&1 || true
+kill -INT "$ctrl6" >/dev/null 2>&1 || true
+wait "$ctrl6" || true
+
+if [ "$fail" -ne 0 ]; then
+  exit 1
+fi
+echo "SMOKE OK: $okq6 reads (0 failed) through a replica kill, $reads_rep6 served by replicas, min_version=$primver6 satisfied with header v$hdrver6"
