@@ -94,6 +94,10 @@ type benchReport struct {
 	// scenarios' goodput: the read-throughput multiple a router-fronted
 	// replica fleet sustains over one node under the identical workload.
 	ReadScaleoutX *float64 `json:"read_scaleout_x,omitempty"`
+	// RouterTraceOverheadPct compares router_read_trace against
+	// router_read_notrace: the per-request cost of the router opening a
+	// route trace and propagating X-QGraph-Trace-ID downstream.
+	RouterTraceOverheadPct *float64 `json:"router_trace_overhead_pct,omitempty"`
 }
 
 // writeBenchJSON merges one scenario into the report at path
@@ -133,6 +137,13 @@ func writeBenchJSON(path, scenario string, sc benchScenario, keepBest bool) erro
 		if single, ok := rep.Scenarios["single_node_read"]; ok && single.GoodputQPS > 0 {
 			x := fleet.GoodputQPS / single.GoodputQPS
 			rep.ReadScaleoutX = &x
+		}
+	}
+	rep.RouterTraceOverheadPct = nil
+	if full, ok := rep.Scenarios["router_read_trace"]; ok {
+		if bare, ok := rep.Scenarios["router_read_notrace"]; ok && bare.Latency.MeanMS > 0 {
+			pct := 100 * (full.Latency.MeanMS - bare.Latency.MeanMS) / bare.Latency.MeanMS
+			rep.RouterTraceOverheadPct = &pct
 		}
 	}
 	out, err := json.MarshalIndent(rep, "", "  ")

@@ -207,6 +207,7 @@ func main() {
 			serveAddr: *serveAddr, primary: *primaryURL, replicas: *replicasFlag,
 			maxStaleVersions: *maxStaleV, maxStaleness: *maxStaleT,
 			healthEvery: *healthEvery, affinity: *routeAffinity,
+			trace: *traceOn,
 		})
 		return
 	}
@@ -393,6 +394,8 @@ func main() {
 				Obs:            o,
 				Monitor:        mon,
 				NoTrace:        !*traceOn,
+				NodeID:         *serveAddr,
+				Role:           "primary",
 			})
 			if err != nil {
 				fatal(err)
@@ -513,6 +516,8 @@ func runReplica(logger *slog.Logger, f replicaFlags) {
 		Obs:            o,
 		Monitor:        mon,
 		NoTrace:        !f.trace,
+		NodeID:         f.serveAddr,
+		Role:           "replica",
 	})
 	if err != nil {
 		fatal(err)
@@ -550,7 +555,7 @@ type routerFlags struct {
 	serveAddr, primary, replicas string
 	maxStaleVersions             uint64
 	maxStaleness, healthEvery    time.Duration
-	affinity                     bool
+	affinity, trace              bool
 }
 
 // runRouter fronts a primary plus N replicas: reads round-robin over the
@@ -577,6 +582,9 @@ func runRouter(logger *slog.Logger, f routerFlags) {
 		HealthEvery:          f.healthEvery,
 		Affinity:             f.affinity,
 		Logger:               logger,
+		Obs:                  obs.New(logger),
+		NoTrace:              !f.trace,
+		SelfName:             f.serveAddr,
 	})
 	if err != nil {
 		fatal(err)

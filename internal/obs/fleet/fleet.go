@@ -1,0 +1,394 @@
+// Package fleet aggregates per-node observability surfaces into
+// fleet-wide views: one /healthz fan-out becomes a roles-and-lags
+// status document, one concurrent /metrics scrape becomes a single
+// Prometheus page whose every series carries instance/role labels, and
+// the nodes' health-event rings merge into one time-ordered log. The
+// package is transport-thin — it fans out plain HTTP GETs and never
+// fails the whole view because one node is down; partial results plus
+// an error count are the contract (a fleet view that disappears exactly
+// when a node dies would be useless at the moment it matters).
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"qgraph/internal/obs/health"
+)
+
+// Node is one scrape target: a fleet member addressed by its base URL.
+// Name becomes the instance label / field on everything aggregated from
+// it; Role is the topology role (primary | replica | router).
+type Node struct {
+	Name string `json:"instance"`
+	Role string `json:"role"`
+	Base string `json:"-"`
+}
+
+// maxBody bounds each fetched response (a /metrics page from a node
+// with a runaway label set must not balloon the router's heap).
+const maxBody = 4 << 20
+
+// fetch GETs url and returns the body (even on non-2xx: /healthz
+// answers 503 with a JSON body that is still the node's status).
+func fetch(ctx context.Context, client *http.Client, url string) (int, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxBody))
+	if err != nil {
+		return resp.StatusCode, nil, err
+	}
+	return resp.StatusCode, body, nil
+}
+
+// ---------------------------------------------------------------------------
+// /fleet/status
+
+// NodeStatus is one node's row in the fleet status document: identity,
+// reachability, and the replication position its /healthz reported.
+type NodeStatus struct {
+	Instance string `json:"instance"`
+	Role     string `json:"role"`
+	// Reachable is transport-level: the probe got an HTTP response.
+	// Status is the node's own verdict (ok | recovering | degraded |
+	// draining); empty when unreachable.
+	Reachable  bool   `json:"reachable"`
+	HTTPStatus int    `json:"http_status,omitempty"`
+	Status     string `json:"status,omitempty"`
+	Error      string `json:"error,omitempty"`
+
+	GraphVersion   uint64 `json:"graph_version,omitempty"`
+	AppliedVersion uint64 `json:"applied_version,omitempty"`
+	WALHead        uint64 `json:"wal_head,omitempty"`
+	LagVersions    uint64 `json:"lag_versions"`
+	Rebootstraps   int64  `json:"rebootstraps,omitempty"`
+	// InRotation is a routing-policy overlay the aggregating router sets
+	// on replica rows (nil when no policy applies).
+	InRotation *bool `json:"in_rotation,omitempty"`
+}
+
+// healthzDoc is the subset of a node's /healthz body the fleet view
+// re-reports (decoded loosely: primaries lack the replica fields).
+type healthzDoc struct {
+	Status            string `json:"status"`
+	GraphVersion      uint64 `json:"graph_version"`
+	AppliedVersion    uint64 `json:"applied_version"`
+	WALHead           uint64 `json:"wal_head"`
+	StalenessVersions uint64 `json:"staleness_versions"`
+	Rebootstraps      int64  `json:"rebootstraps"`
+}
+
+// FetchStatus probes every node's /healthz concurrently and returns one
+// row per node, in input order. Unreachable nodes still get a row
+// (Reachable=false, Error set) — the whole point of the fleet view is
+// seeing the hole.
+func FetchStatus(ctx context.Context, client *http.Client, nodes []Node) []NodeStatus {
+	out := make([]NodeStatus, len(nodes))
+	var wg sync.WaitGroup
+	for i, n := range nodes {
+		wg.Add(1)
+		go func(i int, n Node) {
+			defer wg.Done()
+			row := NodeStatus{Instance: n.Name, Role: n.Role}
+			code, body, err := fetch(ctx, client, n.Base+"/healthz")
+			if err != nil {
+				row.Error = err.Error()
+				out[i] = row
+				return
+			}
+			row.Reachable = true
+			row.HTTPStatus = code
+			var doc healthzDoc
+			if err := json.Unmarshal(body, &doc); err != nil {
+				row.Error = "bad healthz body: " + err.Error()
+				out[i] = row
+				return
+			}
+			row.Status = doc.Status
+			row.GraphVersion = doc.GraphVersion
+			row.AppliedVersion = doc.AppliedVersion
+			row.WALHead = doc.WALHead
+			row.LagVersions = doc.StalenessVersions
+			row.Rebootstraps = doc.Rebootstraps
+			if row.AppliedVersion == 0 && doc.GraphVersion > 0 {
+				// Primaries report no applied_version; their committed
+				// version is the position everyone else chases.
+				row.AppliedVersion = doc.GraphVersion
+			}
+			out[i] = row
+		}(i, n)
+	}
+	wg.Wait()
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// /fleet/metrics
+
+// famAgg collects one metric family's samples across the fleet, so the
+// merged page emits a single HELP/TYPE header per family however many
+// nodes report it (the text format forbids split family groups).
+type famAgg struct {
+	fname   string
+	help    string
+	typ     string
+	samples []string
+}
+
+// name returns the family's metric name (used for the child-sample
+// prefix check in Add).
+func (f *famAgg) name() string { return f.fname }
+
+// MetricsAgg merges per-node Prometheus text pages into one fleet page.
+// Not safe for concurrent use; Scrape fans out the fetches and feeds
+// pages in sequentially.
+type MetricsAgg struct {
+	order []string
+	fams  map[string]*famAgg
+	// Errors counts nodes whose scrape failed; FailedNodes names them.
+	Errors      int
+	FailedNodes []string
+}
+
+// NewMetricsAgg returns an empty aggregator.
+func NewMetricsAgg() *MetricsAgg {
+	return &MetricsAgg{fams: make(map[string]*famAgg)}
+}
+
+// Add parses one node's Prometheus text page and merges every sample,
+// re-labeled with the node's instance and role. Samples are grouped
+// under the family the page's most recent # TYPE line declared — the
+// convention every exposition-format writer follows (and the only way
+// _bucket/_sum/_count samples can be attributed to their histogram).
+func (a *MetricsAgg) Add(node Node, text []byte) {
+	inject := fmt.Sprintf(`instance=%q,role=%q`, node.Name, node.Role)
+	var cur *famAgg
+	for _, raw := range strings.Split(string(text), "\n") {
+		line := strings.TrimRight(raw, "\r")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 {
+				continue
+			}
+			switch fields[1] {
+			case "TYPE":
+				cur = a.family(fields[2])
+				if cur.typ == "" && len(fields) >= 4 {
+					cur.typ = fields[3]
+				}
+			case "HELP":
+				f := a.family(fields[2])
+				if f.help == "" && len(fields) >= 4 {
+					f.help = fields[3]
+				}
+			}
+			continue
+		}
+		// A sample belongs to the family the last # TYPE line declared
+		// (histogram children share its name prefix); anything else — a
+		// sample with no header — starts a fresh untyped family.
+		if cur == nil || !sampleOf(line, cur.name()) {
+			cur = a.family(metricName(line))
+		}
+		cur.samples = append(cur.samples, relabel(line, inject))
+	}
+}
+
+// family returns (creating on first use) the aggregate for name.
+func (a *MetricsAgg) family(name string) *famAgg {
+	if f, ok := a.fams[name]; ok {
+		return f
+	}
+	f := &famAgg{fname: name}
+	a.fams[name] = f
+	a.order = append(a.order, name)
+	return f
+}
+
+// metricName extracts the metric name from a sample line.
+func metricName(line string) string {
+	if i := strings.IndexAny(line, "{ "); i > 0 {
+		return line[:i]
+	}
+	return line
+}
+
+// sampleOf reports whether line is a sample belonging to family fam —
+// the name itself or a histogram/summary child (fam_bucket, fam_sum,
+// fam_count).
+func sampleOf(line, fam string) bool {
+	name := metricName(line)
+	if name == fam {
+		return true
+	}
+	if rest, ok := strings.CutPrefix(name, fam+"_"); ok {
+		return rest == "bucket" || rest == "sum" || rest == "count"
+	}
+	return false
+}
+
+// relabel splices the instance/role labels into one sample line:
+// name{a="b"} v  →  name{instance="x",role="r",a="b"} v
+// name v         →  name{instance="x",role="r"} v
+func relabel(line, inject string) string {
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return line
+	}
+	if line[i] == '{' {
+		return line[:i+1] + inject + "," + line[i+1:]
+	}
+	return line[:i] + "{" + inject + "}" + line[i:]
+}
+
+// Scrape fetches every node's /metrics concurrently, then merges the
+// pages in node order (deterministic output, concurrent I/O). Failed
+// nodes are counted, named, and skipped — the page that comes back is
+// the partial truth.
+func (a *MetricsAgg) Scrape(ctx context.Context, client *http.Client, nodes []Node) {
+	type page struct {
+		body []byte
+		err  error
+	}
+	pages := make([]page, len(nodes))
+	var wg sync.WaitGroup
+	for i, n := range nodes {
+		wg.Add(1)
+		go func(i int, n Node) {
+			defer wg.Done()
+			code, body, err := fetch(ctx, client, n.Base+"/metrics")
+			if err == nil && code != http.StatusOK {
+				err = fmt.Errorf("status %d", code)
+			}
+			pages[i] = page{body: body, err: err}
+		}(i, n)
+	}
+	wg.Wait()
+	for i, p := range pages {
+		if p.err != nil {
+			a.Errors++
+			a.FailedNodes = append(a.FailedNodes, nodes[i].Name)
+			continue
+		}
+		a.Add(nodes[i], p.body)
+	}
+}
+
+// WriteTo renders the merged page: one HELP/TYPE header per family,
+// then every node's samples of it.
+func (a *MetricsAgg) WriteTo(w io.Writer) (int64, error) {
+	var buf bytes.Buffer
+	for _, name := range a.order {
+		f := a.fams[name]
+		if len(f.samples) == 0 {
+			continue
+		}
+		if f.help != "" {
+			fmt.Fprintf(&buf, "# HELP %s %s\n", name, f.help)
+		}
+		typ := f.typ
+		if typ == "" {
+			typ = "untyped"
+		}
+		fmt.Fprintf(&buf, "# TYPE %s %s\n", name, typ)
+		for _, s := range f.samples {
+			buf.WriteString(s)
+			buf.WriteByte('\n')
+		}
+	}
+	n, err := w.Write(buf.Bytes())
+	return int64(n), err
+}
+
+// ---------------------------------------------------------------------------
+// /fleet/events
+
+// Event is one node's health event tagged with where it happened.
+type Event struct {
+	Instance string `json:"instance"`
+	Role     string `json:"role"`
+	health.Event
+}
+
+// eventsDoc mirrors the serving layer's GET /events body.
+type eventsDoc struct {
+	Events []health.Event `json:"events"`
+}
+
+// FetchEvents merges every node's health-event ring into one
+// time-ordered (newest first) bounded log. Returns the merged events
+// and how many nodes could not be fetched.
+func FetchEvents(ctx context.Context, client *http.Client, nodes []Node, limit int) ([]Event, int) {
+	if limit <= 0 {
+		limit = 100
+	}
+	perNode := make([][]Event, len(nodes))
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	errs := 0
+	for i, n := range nodes {
+		wg.Add(1)
+		go func(i int, n Node) {
+			defer wg.Done()
+			code, body, err := fetch(ctx, client,
+				fmt.Sprintf("%s/events?n=%d", n.Base, limit))
+			if err == nil && code != http.StatusOK {
+				err = fmt.Errorf("status %d", code)
+			}
+			var doc eventsDoc
+			if err == nil {
+				err = json.Unmarshal(body, &doc)
+			}
+			if err != nil {
+				mu.Lock()
+				errs++
+				mu.Unlock()
+				return
+			}
+			evs := make([]Event, len(doc.Events))
+			for j, e := range doc.Events {
+				evs[j] = Event{Instance: n.Name, Role: n.Role, Event: e}
+			}
+			perNode[i] = evs
+		}(i, n)
+	}
+	wg.Wait()
+	var merged []Event
+	for _, evs := range perNode {
+		merged = append(merged, evs...)
+	}
+	sort.SliceStable(merged, func(i, j int) bool {
+		return merged[i].At.After(merged[j].At)
+	})
+	if len(merged) > limit {
+		merged = merged[:limit]
+	}
+	return merged, errs
+}
+
+// Deadline derives a per-fan-out context: the fleet view must answer
+// even when a node hangs, so every fetch shares one budget.
+func Deadline(parent context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	if d <= 0 {
+		d = 2 * time.Second
+	}
+	return context.WithTimeout(parent, d)
+}

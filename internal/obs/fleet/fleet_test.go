@@ -1,0 +1,165 @@
+package fleet
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"qgraph/internal/obs/health"
+)
+
+func TestRelabel(t *testing.T) {
+	inject := `instance="n1",role="replica"`
+	cases := []struct{ in, want string }{
+		{`m 1`, `m{instance="n1",role="replica"} 1`},
+		{`m{a="b"} 2.5`, `m{instance="n1",role="replica",a="b"} 2.5`},
+		{`m_bucket{le="+Inf"} 7`, `m_bucket{instance="n1",role="replica",le="+Inf"} 7`},
+	}
+	for _, c := range cases {
+		if got := relabel(c.in, inject); got != c.want {
+			t.Errorf("relabel(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMetricsAggMergesFamilies(t *testing.T) {
+	// Two nodes reporting the same family must merge into ONE HELP/TYPE
+	// group — the text format forbids a family appearing twice.
+	page := "# HELP qgraph_x_total things\n# TYPE qgraph_x_total counter\nqgraph_x_total 3\n" +
+		"# TYPE qgraph_h seconds\nqgraph_h_bucket{le=\"+Inf\"} 1\nqgraph_h_sum 0.5\nqgraph_h_count 1\n"
+	a := NewMetricsAgg()
+	a.Add(Node{Name: "n1", Role: "primary"}, []byte(page))
+	a.Add(Node{Name: "n2", Role: "replica"}, []byte(page))
+	var sb strings.Builder
+	if _, err := a.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if n := strings.Count(out, "# TYPE qgraph_x_total counter"); n != 1 {
+		t.Fatalf("family header appears %d times, want 1:\n%s", n, out)
+	}
+	for _, want := range []string{
+		`qgraph_x_total{instance="n1",role="primary"} 3`,
+		`qgraph_x_total{instance="n2",role="replica"} 3`,
+		`qgraph_h_bucket{instance="n1",role="primary",le="+Inf"} 1`,
+		`qgraph_h_count{instance="n2",role="replica"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("merged page missing %q:\n%s", want, out)
+		}
+	}
+	// Histogram children stay inside their family's group: no TYPE line
+	// may sit between qgraph_h's header and its _count samples.
+	hIdx := strings.Index(out, "# TYPE qgraph_h ")
+	countIdx := strings.LastIndex(out, "qgraph_h_count")
+	if hIdx < 0 || countIdx < hIdx {
+		t.Fatalf("histogram family split:\n%s", out)
+	}
+	if mid := out[hIdx+1 : countIdx]; strings.Contains(mid, "# TYPE") {
+		t.Fatalf("foreign TYPE header inside histogram group:\n%s", out)
+	}
+}
+
+func TestScrapePartialOnNodeDown(t *testing.T) {
+	up := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte("# TYPE qgraph_up gauge\nqgraph_up 1\n"))
+	}))
+	defer up.Close()
+	down := httptest.NewServer(http.HandlerFunc(nil))
+	down.Close() // immediately: connection refused
+
+	a := NewMetricsAgg()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	a.Scrape(ctx, up.Client(), []Node{
+		{Name: "good", Role: "primary", Base: up.URL},
+		{Name: "bad", Role: "replica", Base: down.URL},
+	})
+	if a.Errors != 1 || len(a.FailedNodes) != 1 || a.FailedNodes[0] != "bad" {
+		t.Fatalf("errors=%d failed=%v, want 1/[bad]", a.Errors, a.FailedNodes)
+	}
+	var sb strings.Builder
+	_, _ = a.WriteTo(&sb)
+	if !strings.Contains(sb.String(), `qgraph_up{instance="good",role="primary"} 1`) {
+		t.Fatalf("surviving node's series missing:\n%s", sb.String())
+	}
+}
+
+func TestFetchStatus(t *testing.T) {
+	replica := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"status":"ok","graph_version":9,"role":"replica",` +
+			`"applied_version":7,"wal_head":9,"staleness_versions":2,"rebootstraps":1}`))
+	}))
+	defer replica.Close()
+	degraded := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte(`{"status":"degraded","graph_version":9}`))
+	}))
+	defer degraded.Close()
+	down := httptest.NewServer(http.HandlerFunc(nil))
+	down.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	rows := FetchStatus(ctx, replica.Client(), []Node{
+		{Name: "r1", Role: "replica", Base: replica.URL},
+		{Name: "p", Role: "primary", Base: degraded.URL},
+		{Name: "gone", Role: "replica", Base: down.URL},
+	})
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	if r := rows[0]; !r.Reachable || r.Status != "ok" || r.LagVersions != 2 ||
+		r.AppliedVersion != 7 || r.WALHead != 9 || r.Rebootstraps != 1 {
+		t.Fatalf("replica row wrong: %+v", r)
+	}
+	// A 503 still yields the node's own status (degraded), with the
+	// primary's committed version filling applied_version.
+	if r := rows[1]; !r.Reachable || r.HTTPStatus != 503 || r.Status != "degraded" || r.AppliedVersion != 9 {
+		t.Fatalf("degraded row wrong: %+v", r)
+	}
+	if r := rows[2]; r.Reachable || r.Error == "" {
+		t.Fatalf("down row wrong: %+v", r)
+	}
+}
+
+func TestFetchEventsMergedAndBounded(t *testing.T) {
+	mk := func(events string) *httptest.Server {
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			_, _ = w.Write([]byte(`{"events":[` + events + `]}`))
+		}))
+	}
+	// Node A's event is newer than node B's: the merge must interleave
+	// by time, newest first.
+	a := mk(`{"seq":1,"at":"2026-08-08T10:00:02Z","type":"event_a","severity":"info","msg":"newer"}`)
+	defer a.Close()
+	b := mk(`{"seq":5,"at":"2026-08-08T10:00:01Z","type":"event_b","severity":"warn","msg":"older"},` +
+		`{"seq":4,"at":"2026-08-08T10:00:00Z","type":"event_b","severity":"info","msg":"oldest"}`)
+	defer b.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	evs, errs := FetchEvents(ctx, a.Client(), []Node{
+		{Name: "a", Role: "primary", Base: a.URL},
+		{Name: "b", Role: "replica", Base: b.URL},
+	}, 2)
+	if errs != 0 {
+		t.Fatalf("errs = %d, want 0", errs)
+	}
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2 (bounded)", len(evs))
+	}
+	if evs[0].Instance != "a" || evs[0].Msg != "newer" {
+		t.Fatalf("merge order wrong: first = %+v", evs[0])
+	}
+	if evs[1].Instance != "b" || evs[1].Msg != "older" {
+		t.Fatalf("merge order wrong: second = %+v", evs[1])
+	}
+	if evs[1].Severity != health.SevWarn {
+		t.Fatalf("embedded event lost fields: %+v", evs[1])
+	}
+}

@@ -8,10 +8,17 @@ package obs
 
 import (
 	"maps"
+	"math/rand/v2"
 	"sort"
 	"sync"
 	"time"
 )
+
+// TraceHeader is the HTTP header that carries a trace ID across process
+// hops (router → serving node). Defined here — not in the serving layer
+// — because both ends of every hop need it without depending on each
+// other.
+const TraceHeader = "X-QGraph-Trace-ID"
 
 // Span is one timed region of a trace. Spans form a tree under the
 // trace's root; a span is mutated only through its methods, which lock
@@ -213,12 +220,19 @@ type Tracer struct {
 const DefaultTraceRing = 512
 
 // NewTracer builds a tracer retaining up to capacity completed traces
-// (<=0 selects DefaultTraceRing).
+// (<=0 selects DefaultTraceRing). The ID sequence starts at a random
+// point: trace IDs cross process boundaries (a router propagates them to
+// the node that serves the request), so two processes counting from zero
+// would collide on every ID.
 func NewTracer(capacity int) *Tracer {
 	if capacity <= 0 {
 		capacity = DefaultTraceRing
 	}
-	return &Tracer{byQuery: make(map[int64]*Trace), ring: make([]*Trace, capacity)}
+	return &Tracer{
+		nextID:  rand.Uint64(),
+		byQuery: make(map[int64]*Trace),
+		ring:    make([]*Trace, capacity),
+	}
 }
 
 // completed appends to views (or collects traces via visit) the ring's
@@ -236,8 +250,27 @@ func (tr *Tracer) Begin(name string) *Trace {
 	}
 	tr.mu.Lock()
 	tr.nextID++
+	if tr.nextID == 0 { // 0 means "no trace" on the wire
+		tr.nextID++
+	}
 	id := tr.nextID
 	tr.mu.Unlock()
+	t := &Trace{id: id}
+	t.root = &Span{name: name, start: time.Now(), tr: t}
+	return t
+}
+
+// BeginWithID starts a trace under a caller-supplied ID — the inbound
+// half of cross-process propagation: a node honoring a router's
+// X-QGraph-Trace-ID keeps its spans under the originator's ID so the
+// two trees stitch into one. A zero ID falls back to Begin.
+func (tr *Tracer) BeginWithID(name string, id uint64) *Trace {
+	if tr == nil {
+		return nil
+	}
+	if id == 0 {
+		return tr.Begin(name)
+	}
 	t := &Trace{id: id}
 	t.root = &Span{name: name, start: time.Now(), tr: t}
 	return t
@@ -315,6 +348,36 @@ func (tr *Tracer) Get(q int64) (TraceView, bool) {
 	})
 	if hit == nil {
 		hit = tr.byQuery[q]
+	}
+	tr.mu.Unlock()
+	if hit == nil {
+		return TraceView{}, false
+	}
+	return hit.View(), true
+}
+
+// GetByTraceID returns the newest trace carrying the given trace ID,
+// preferring completed traces and falling back to a live view of an
+// active one. This is the lookup a router's stitching fetch uses: it
+// knows the propagated trace ID, not the node-local query ID.
+func (tr *Tracer) GetByTraceID(id uint64) (TraceView, bool) {
+	if tr == nil || id == 0 {
+		return TraceView{}, false
+	}
+	tr.mu.Lock()
+	var hit *Trace // newest completed match wins: oldest-first walk, last assignment
+	tr.completed(func(t *Trace) {
+		if t.id == id {
+			hit = t
+		}
+	})
+	if hit == nil {
+		for _, t := range tr.byQuery {
+			if t.id == id {
+				hit = t
+				break
+			}
+		}
 	}
 	tr.mu.Unlock()
 	if hit == nil {

@@ -87,6 +87,19 @@ type Replica struct {
 	bootReplayed atomic.Int64
 	applyErrs    atomic.Int64
 
+	// Apply-path instruments (nil without an Obs registry). The counters
+	// below are the replica's own monotonic accounting — tailer stats
+	// reset when a re-bootstrap swaps the tailer, so *Base carries the
+	// totals of retired tailers forward.
+	applySeconds  *obs.Histogram
+	pollSeconds   *obs.Histogram
+	lagSeconds    *obs.Histogram
+	rebootSeconds *obs.Histogram
+	appliedTotal  atomic.Int64
+	appliedOps    atomic.Int64
+	tailBytesBase atomic.Int64
+	tailPollsBase atomic.Int64
+
 	stopOnce sync.Once
 	stop     chan struct{}
 	done     chan struct{}
@@ -137,8 +150,53 @@ func Start(cfg Config) (*Replica, error) {
 		// A newer checkpoint exists by construction — rescan.
 		time.Sleep(50 * time.Millisecond)
 	}
+	r.registerMetrics()
 	go r.loop()
 	return r, nil
+}
+
+// registerMetrics publishes the apply path: how long polls and per-batch
+// applies take, how far behind the apply loop runs (poll-visibility to
+// local commit — WAL batches carry no wall-clock, so lag is measured from
+// the moment a batch became visible to the tailer), and monotonic applied
+// batch/op/byte totals that survive re-bootstrap tailer swaps.
+func (r *Replica) registerMetrics() {
+	if r.cfg.Obs == nil {
+		return
+	}
+	m := r.cfg.Obs.M()
+	r.pollSeconds = m.Histogram("qgraph_replica_poll_seconds", "",
+		"wall time of one WAL tail poll plus replay of whatever it returned", nil)
+	r.applySeconds = m.Histogram("qgraph_replica_apply_seconds", "",
+		"per-batch replay latency (engine mutate to local commit)", nil)
+	r.lagSeconds = m.Histogram("qgraph_replica_apply_lag_seconds", "",
+		"apply lag per batch: tail-poll visibility to local commit", nil)
+	r.rebootSeconds = m.Histogram("qgraph_replica_rebootstrap_seconds", "",
+		"duration of a bootstrap (checkpoint load + WAL replay + engine swap)", nil)
+	m.CounterFunc("qgraph_replica_apply_batches_total", "",
+		"WAL batches applied to the local engine",
+		func() float64 { return float64(r.appliedTotal.Load()) })
+	m.CounterFunc("qgraph_replica_apply_ops_total", "",
+		"graph ops applied to the local engine",
+		func() float64 { return float64(r.appliedOps.Load()) })
+	m.CounterFunc("qgraph_replica_tail_bytes_total", "",
+		"WAL bytes read by the tail loop (monotonic across re-bootstraps)",
+		func() float64 { return float64(r.tailBytesBase.Load() + r.tailerStats().BytesRead) })
+	m.CounterFunc("qgraph_replica_tail_polls_total", "",
+		"WAL tail polls issued (monotonic across re-bootstraps)",
+		func() float64 { return float64(r.tailPollsBase.Load() + r.tailerStats().Polls) })
+}
+
+// tailerStats reads the live tailer's counters under the lock (the tailer
+// is swapped whole on re-bootstrap).
+func (r *Replica) tailerStats() wal.TailerStats {
+	r.mu.RLock()
+	t := r.tailer
+	r.mu.RUnlock()
+	if t == nil {
+		return wal.TailerStats{}
+	}
+	return t.Stats()
 }
 
 // bootstrap loads the newest intact checkpoint, replays the WAL tail
@@ -146,6 +204,7 @@ func Start(cfg Config) (*Replica, error) {
 // tailer there. On success the new pair is installed; any previous engine
 // is closed after the swap so reads never observe a gap.
 func (r *Replica) bootstrap() error {
+	bootStarted := time.Now()
 	snap, err := snapshot.LoadLatestObserved(r.cfg.SnapshotDir, func(path string, err error) {
 		r.log.Warn("replica: skipping corrupt checkpoint", "path", path, "error", err)
 		r.cfg.Monitor.Record(health.EventSnapshotCorrupt, health.SevWarn, -1,
@@ -195,6 +254,13 @@ func (r *Replica) bootstrap() error {
 		eng.Close()
 		return nil
 	}
+	if r.tailer != nil {
+		// The retiring tailer's counters die with it; fold them into the
+		// bases so the *_total metrics stay monotonic across the swap.
+		ts := r.tailer.Stats()
+		r.tailBytesBase.Add(ts.BytesRead)
+		r.tailPollsBase.Add(ts.Polls)
+	}
 	r.eng = eng
 	r.tailer = wal.NewTailer(r.cfg.WALDir, gid, v)
 	r.mu.Unlock()
@@ -207,6 +273,7 @@ func (r *Replica) bootstrap() error {
 	if r.walHead.Load() < v {
 		r.walHead.Store(v)
 	}
+	r.rebootSeconds.Observe(time.Since(bootStarted).Seconds())
 	r.log.Info("replica: bootstrapped",
 		"checkpoint_version", baseV, "replayed_batches", v-baseV, "version", v)
 	return nil
@@ -235,6 +302,7 @@ func (r *Replica) pollOnce() {
 	t, eng := r.tailer, r.eng
 	r.mu.RUnlock()
 
+	pollStarted := time.Now()
 	batches, err := t.Poll()
 	if err != nil {
 		if errors.Is(err, delta.ErrGap) {
@@ -246,11 +314,24 @@ func (r *Replica) pollOnce() {
 		return
 	}
 	if len(batches) == 0 {
+		r.pollSeconds.Observe(time.Since(pollStarted).Seconds())
 		return
 	}
 	// The durable head advances as soon as the batches are read — lag
 	// accounting should show an apply backlog, not hide it.
 	r.walHead.Store(batches[len(batches)-1].Version)
+
+	// One trace per non-empty poll: a root "tail-poll" span with an
+	// "apply" child per batch, visible on the replica's /traces alongside
+	// query traces. Batches carry no wall-clock, so the lag histogram
+	// measures visibility-to-commit: how long a batch waited behind its
+	// siblings in this drain plus its own replay.
+	tracer := r.cfg.Obs.T()
+	tr := tracer.Begin("tail-poll")
+	tr.Root().SetAttr("batches", len(batches))
+	tr.Root().SetAttr("from_version", batches[0].Version)
+	tr.Root().SetAttr("to_version", batches[len(batches)-1].Version)
+	defer tracer.Finish(tr)
 
 	for _, b := range batches {
 		if len(b.Ops) == 0 {
@@ -260,18 +341,27 @@ func (r *Replica) pollOnce() {
 			r.handleGap(eng.GraphVersion())
 			return
 		}
+		sp := tr.StartSpan(tr.Root(), "apply")
+		sp.SetAttr("version", b.Version)
+		sp.SetAttr("ops", len(b.Ops))
+		applyStarted := time.Now()
 		ch, err := eng.Mutate(b.Ops)
 		if err != nil {
+			sp.SetAttr("error", err.Error())
+			sp.End()
 			r.applyErrs.Add(1)
 			r.log.Warn("replica: apply failed", "version", b.Version, "error", err)
 			return
 		}
 		res := <-ch
 		if res.Err != nil {
+			sp.SetAttr("error", res.Err.Error())
+			sp.End()
 			r.applyErrs.Add(1)
 			r.log.Warn("replica: commit failed", "version", b.Version, "error", res.Err)
 			return
 		}
+		sp.End()
 		if res.Version != b.Version {
 			// Version skew between log and engine: replay fidelity is
 			// broken (this should be impossible). Resync from durable
@@ -282,8 +372,14 @@ func (r *Replica) pollOnce() {
 			r.handleGap(eng.GraphVersion())
 			return
 		}
-		r.lastApply.Store(time.Now().UnixNano())
+		now := time.Now()
+		r.applySeconds.Observe(now.Sub(applyStarted).Seconds())
+		r.lagSeconds.Observe(now.Sub(pollStarted).Seconds())
+		r.appliedTotal.Add(1)
+		r.appliedOps.Add(int64(len(b.Ops)))
+		r.lastApply.Store(now.UnixNano())
 	}
+	r.pollSeconds.Observe(time.Since(pollStarted).Seconds())
 }
 
 // handleGap reacts to the primary truncating past our tail position:

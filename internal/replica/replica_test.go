@@ -265,6 +265,13 @@ func TestReplicaRebootstrapsAcrossTruncation(t *testing.T) {
 	}
 
 	waitVersion(t, rep, rebasedTo)
+	// The counter increments after the swapped-in engine (and its version)
+	// becomes visible, so poll instead of asserting the cross-goroutine
+	// ordering — under scheduler load the gap is observable.
+	deadline := time.Now().Add(10 * time.Second)
+	for rep.Info().Rebootstraps == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
 	if got := rep.Info().Rebootstraps; got != 1 {
 		t.Fatalf("%d rebootstraps, want 1", got)
 	}

@@ -1,0 +1,412 @@
+package router
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"qgraph/internal/obs"
+	"qgraph/internal/obs/fleet"
+	"qgraph/internal/obs/health"
+)
+
+// This file is the router's observability plane: its own metric
+// instruments (qgraph_router_* families, per-upstream), its health-event
+// ring, the stitched GET /trace/{id} view, and the /fleet/* aggregation
+// endpoints powered by internal/obs/fleet.
+
+// Router-side health event types, filterable via /events?type=.
+const (
+	EventRouterFailover     = "event_router_failover"
+	EventReplicaEvicted     = "event_replica_evicted"
+	EventReplicaReentered   = "event_replica_reentered"
+	EventPrimaryUnreachable = "event_primary_unreachable"
+	EventPrimaryRecovered   = "event_primary_recovered"
+)
+
+// servedRingSize bounds the traceID→serving-upstream memory backing
+// trace stitching (matches the tracer's completed ring, which bounds
+// how many traces are fetchable anyway).
+const servedRingSize = obs.DefaultTraceRing
+
+// registerMetrics wires the router's instruments into its registry:
+// aggregate routing counters, per-upstream request/failover/eviction/
+// re-entry counters, probe latency histograms, and per-replica
+// staleness-lag gauges.
+func (r *Router) registerMetrics() {
+	m := r.obs.M()
+	r.reqCtr = make(map[string]*obs.Counter)
+	r.foCtr = make(map[string]*obs.Counter)
+	r.evictCtr = make(map[string]*obs.Counter)
+	r.reenterCtr = make(map[string]*obs.Counter)
+	r.probeHist = make(map[string]*obs.Histogram)
+	if m == nil {
+		return
+	}
+	m.CounterFunc("qgraph_router_reads_replica_total", "", "reads served by a replica",
+		func() float64 { return float64(r.readsReplica.Load()) })
+	m.CounterFunc("qgraph_router_reads_primary_total", "", "reads served by the primary (fallback or empty rotation)",
+		func() float64 { return float64(r.readsPrimary.Load()) })
+	m.CounterFunc("qgraph_router_writes_total", "", "writes and admin requests forwarded to the primary",
+		func() float64 { return float64(r.writes.Load()) })
+	m.CounterFunc("qgraph_router_failovers_all_total", "", "failed upstream attempts that failed over (all upstreams)",
+		func() float64 { return float64(r.failovers.Load()) })
+	m.GaugeFunc("qgraph_router_primary_healthy", "", "1 when the primary answers its health probe",
+		func() float64 {
+			if r.primaryHealthy.Load() {
+				return 1
+			}
+			return 0
+		})
+	r.scrapeErrors = m.Counter("qgraph_fleet_scrape_errors_total", "",
+		"fleet metric scrapes that failed (one per unreachable node per scrape)")
+
+	upstream := func(base, role string) {
+		lbl := fmt.Sprintf("upstream=%q", base)
+		r.reqCtr[base] = m.Counter("qgraph_router_requests_total",
+			lbl, "requests attempted against this upstream")
+		r.foCtr[base] = m.Counter("qgraph_router_failovers_total",
+			lbl, "attempts against this upstream that failed and failed over")
+		r.probeHist[base] = m.Histogram("qgraph_router_probe_seconds",
+			lbl, "health probe latency per upstream", nil)
+		if role != "replica" {
+			return
+		}
+		r.evictCtr[base] = m.Counter("qgraph_router_evictions_total",
+			lbl, "times this replica left the read rotation")
+		r.reenterCtr[base] = m.Counter("qgraph_router_reentries_total",
+			lbl, "times this replica re-entered the read rotation after an eviction")
+	}
+	upstream(r.cfg.Primary, "primary")
+	for _, rs := range r.replicas {
+		rs := rs
+		upstream(rs.url, "replica")
+		lbl := fmt.Sprintf("upstream=%q", rs.url)
+		m.GaugeFunc("qgraph_router_replica_lag_versions", lbl,
+			"versions this replica trails the primary's committed head by", func() float64 {
+				p, a := r.primaryVersion.Load(), rs.applied.Load()
+				if p > a {
+					return float64(p - a)
+				}
+				return 0
+			})
+		m.GaugeFunc("qgraph_router_replica_in_rotation", lbl,
+			"1 when this replica is eligible for reads right now", func() float64 {
+				if r.inRotation(rs, r.primaryVersion.Load()) {
+					return 1
+				}
+				return 0
+			})
+		m.CounterFunc("qgraph_router_replica_served_total", lbl,
+			"reads this replica served through the router", func() float64 {
+				return float64(rs.served.Load())
+			})
+	}
+}
+
+// event appends one entry to the router's health-event ring.
+func (r *Router) event(sev health.Severity, typ, msg, upstream string, fields map[string]any) {
+	if fields == nil {
+		fields = map[string]any{}
+	}
+	fields["upstream"] = upstream
+	r.events.Append(health.Event{
+		At:       time.Now(),
+		Type:     typ,
+		Severity: sev,
+		Msg:      msg,
+		Worker:   -1,
+		Fields:   fields,
+	})
+}
+
+// recordServed remembers which upstream served a traced read (bounded
+// ring; the stitching fetch in serveTrace looks it up by trace ID).
+func (r *Router) recordServed(traceID uint64, url, role string) {
+	r.servedMu.Lock()
+	r.servedRing[r.servedNext] = servedEntry{traceID: traceID, url: url, role: role}
+	r.servedNext = (r.servedNext + 1) % len(r.servedRing)
+	if r.servedN < len(r.servedRing) {
+		r.servedN++
+	}
+	r.servedMu.Unlock()
+}
+
+// lookupServed finds the newest served entry for traceID.
+func (r *Router) lookupServed(traceID uint64) (servedEntry, bool) {
+	r.servedMu.Lock()
+	defer r.servedMu.Unlock()
+	for i := r.servedN - 1; i >= 0; i-- {
+		e := r.servedRing[(r.servedNext-r.servedN+i+len(r.servedRing))%len(r.servedRing)]
+		if e.traceID == traceID {
+			return e, true
+		}
+	}
+	return servedEntry{}, false
+}
+
+// errorJSON writes a one-field error body.
+func errorJSON(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// serveMetrics renders the router's own registry in Prometheus text
+// format.
+func (r *Router) serveMetrics(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	bw := bufio.NewWriter(w)
+	r.obs.M().WritePrometheus(bw)
+	_ = bw.Flush()
+}
+
+// serveEvents lists the router's health events newest-first, with the
+// same filters the serving nodes support (?type=, ?severity=, ?n=).
+func (r *Router) serveEvents(w http.ResponseWriter, req *http.Request) {
+	f := health.EventFilter{Type: req.URL.Query().Get("type")}
+	switch sev := req.URL.Query().Get("severity"); sev {
+	case "", "info":
+	case "warn":
+		f.MinSeverity = health.SevWarn
+	case "critical":
+		f.MinSeverity = health.SevCritical
+	default:
+		errorJSON(w, http.StatusBadRequest, "bad severity (want info|warn|critical)")
+		return
+	}
+	if raw := req.URL.Query().Get("n"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n <= 0 {
+			errorJSON(w, http.StatusBadRequest, "bad n")
+			return
+		}
+		f.Limit = n
+	}
+	events := r.events.List(f)
+	if events == nil {
+		events = []health.Event{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"events": events})
+}
+
+// ---------------------------------------------------------------------------
+// Stitched traces
+
+// stitchedTrace is the router's GET /trace/{id} body: the route-side
+// span tree with the serving node's tree grafted under the attempt that
+// served, plus the phase attribution of the whole.
+type stitchedTrace struct {
+	Trace  obs.TraceView    `json:"trace"`
+	Phases []obs.PhaseShare `json:"phases"`
+	// ServedBy names the upstream whose spans were stitched in; Stitched
+	// is false when the downstream fetch failed (the router half still
+	// renders — partial truth over no truth).
+	ServedBy string `json:"served_by,omitempty"`
+	Stitched bool   `json:"stitched"`
+}
+
+// downstreamTrace mirrors the serving node's /trace/by-id response.
+type downstreamTrace struct {
+	Trace obs.TraceView `json:"trace"`
+}
+
+// serveTrace answers GET /trace/{id} for router trace IDs: the local
+// route trace with the downstream tree (fetched from whichever node
+// served the request) grafted under the serving attempt span. Unknown
+// IDs — node-local query ids, /trace/by-id/... — fall through to the
+// primary, preserving the pre-fleet proxy behavior.
+func (r *Router) serveTrace(w http.ResponseWriter, req *http.Request) {
+	raw := strings.TrimPrefix(req.URL.Path, "/trace/")
+	id, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		r.forward(w, req, nil)
+		return
+	}
+	v, ok := r.obs.T().GetByTraceID(id)
+	if !ok {
+		r.forward(w, req, nil)
+		return
+	}
+	out := stitchedTrace{Trace: v}
+	if e, found := r.lookupServed(id); found {
+		out.ServedBy = e.url
+		if down, err := r.fetchDownstream(e.url, id); err == nil {
+			tagInstance(&down, nodeName(e.url), e.role)
+			out.Stitched = graft(&out.Trace, e.url, down)
+		}
+	}
+	out.Phases = obs.Attribute(out.Trace)
+	writeJSON(w, http.StatusOK, out)
+}
+
+// fetchDownstream pulls the serving node's half of a stitched trace.
+func (r *Router) fetchDownstream(base string, id uint64) (obs.SpanView, error) {
+	resp, err := r.probeClient.Get(fmt.Sprintf("%s/trace/by-id/%d", base, id))
+	if err != nil {
+		return obs.SpanView{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return obs.SpanView{}, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var dt downstreamTrace
+	if err := json.NewDecoder(resp.Body).Decode(&dt); err != nil {
+		return obs.SpanView{}, err
+	}
+	return dt.Trace.Root, nil
+}
+
+// tagInstance marks a grafted subtree's root with where it ran.
+func tagInstance(s *obs.SpanView, instance, role string) {
+	if s.Attrs == nil {
+		s.Attrs = map[string]any{}
+	}
+	s.Attrs["instance"] = instance
+	s.Attrs["role"] = role
+}
+
+// graft attaches the downstream span tree under the newest attempt span
+// that hit the serving upstream (falling back to a root child when no
+// attempt matches — the trace still renders whole).
+func graft(v *obs.TraceView, upstream string, down obs.SpanView) bool {
+	for i := len(v.Root.Children) - 1; i >= 0; i-- {
+		c := &v.Root.Children[i]
+		if u, _ := c.Attrs["upstream"].(string); u == upstream {
+			c.Children = append(c.Children, down)
+			return true
+		}
+	}
+	v.Root.Children = append(v.Root.Children, down)
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Fleet aggregation
+
+// nodeName is the instance label for an upstream: its base URL minus
+// the scheme (labels stay readable; the scheme carries no identity).
+func nodeName(base string) string {
+	name := strings.TrimPrefix(base, "http://")
+	return strings.TrimPrefix(name, "https://")
+}
+
+// fleetNodes lists every upstream as a fleet scrape target.
+func (r *Router) fleetNodes() []fleet.Node {
+	nodes := make([]fleet.Node, 0, 1+len(r.replicas))
+	nodes = append(nodes, fleet.Node{Name: nodeName(r.cfg.Primary), Role: "primary", Base: r.cfg.Primary})
+	for _, rs := range r.replicas {
+		nodes = append(nodes, fleet.Node{Name: nodeName(rs.url), Role: "replica", Base: rs.url})
+	}
+	return nodes
+}
+
+// fleetStatusResponse is the GET /fleet/status body: one row per
+// upstream plus the router's own identity and rotation policy.
+type fleetStatusResponse struct {
+	Router               string             `json:"router"`
+	Status               string             `json:"status"` // the router's own verdict
+	PrimaryVersion       uint64             `json:"primary_version"`
+	MaxStalenessVersions uint64             `json:"max_staleness_versions"`
+	Nodes                []fleet.NodeStatus `json:"nodes"`
+}
+
+// serveFleetStatus fans /healthz out to every upstream and reports one
+// document: role, reachability, applied version, and lag per node, with
+// the router's rotation verdict overlaid on replica rows.
+func (r *Router) serveFleetStatus(w http.ResponseWriter, req *http.Request) {
+	ctx, cancel := fleet.Deadline(req.Context(), 0)
+	defer cancel()
+	rows := fleet.FetchStatus(ctx, r.probeClient, r.fleetNodes())
+	primaryV := r.primaryVersion.Load()
+	inRotation := 0
+	for i := range rows {
+		if rows[i].Role != "replica" {
+			continue
+		}
+		for _, rs := range r.replicas {
+			if nodeName(rs.url) == rows[i].Instance {
+				rot := r.inRotation(rs, primaryV)
+				rows[i].InRotation = &rot
+				if rot {
+					inRotation++
+				}
+				break
+			}
+		}
+	}
+	// The same verdict /healthz serves: the fleet document must not say
+	// "ok" while the router itself reports degraded.
+	status := "ok"
+	if !r.primaryHealthy.Load() || (len(r.replicas) > 0 && inRotation == 0) {
+		status = "degraded"
+	}
+	writeJSON(w, http.StatusOK, fleetStatusResponse{
+		Router:               r.cfg.SelfName,
+		Status:               status,
+		PrimaryVersion:       primaryV,
+		MaxStalenessVersions: r.cfg.MaxStalenessVersions,
+		Nodes:                rows,
+	})
+}
+
+// serveFleetMetrics scrapes every upstream's /metrics concurrently and
+// re-emits the union as one page, each series labeled with its
+// instance and role — the router's own series included. A node that
+// fails to answer costs one qgraph_fleet_scrape_errors_total increment
+// and its series; everything else still renders.
+func (r *Router) serveFleetMetrics(w http.ResponseWriter, req *http.Request) {
+	agg := fleet.NewMetricsAgg()
+	ctx, cancel := fleet.Deadline(req.Context(), 0)
+	defer cancel()
+	agg.Scrape(ctx, r.probeClient, r.fleetNodes())
+	if agg.Errors > 0 {
+		r.scrapeErrors.Add(int64(agg.Errors))
+		r.log.Warn("router: fleet scrape incomplete", "failed_nodes", agg.FailedNodes)
+	}
+	// Render the router's own registry after the fan-out so this very
+	// response already carries the scrape errors it just counted.
+	var self bytes.Buffer
+	r.obs.M().WritePrometheus(&self)
+	agg.Add(fleet.Node{Name: r.cfg.SelfName, Role: "router"}, self.Bytes())
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = agg.WriteTo(w)
+}
+
+// serveFleetEvents merges every upstream's health events with the
+// router's own ring into one time-ordered (newest first) bounded log.
+func (r *Router) serveFleetEvents(w http.ResponseWriter, req *http.Request) {
+	limit := 100
+	if raw := req.URL.Query().Get("n"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n <= 0 {
+			errorJSON(w, http.StatusBadRequest, "bad n")
+			return
+		}
+		limit = n
+	}
+	ctx, cancel := fleet.Deadline(req.Context(), 0)
+	defer cancel()
+	merged, errs := fleet.FetchEvents(ctx, r.probeClient, r.fleetNodes(), limit)
+	for _, e := range r.events.List(health.EventFilter{Limit: limit}) {
+		merged = append(merged, fleet.Event{Instance: r.cfg.SelfName, Role: "router", Event: e})
+	}
+	sort.SliceStable(merged, func(i, j int) bool { return merged[i].At.After(merged[j].At) })
+	if len(merged) > limit {
+		merged = merged[:limit]
+	}
+	if merged == nil {
+		merged = []fleet.Event{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"events": merged, "fetch_errors": errs})
+}

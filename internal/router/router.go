@@ -33,8 +33,12 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
+
+	"qgraph/internal/obs"
+	"qgraph/internal/obs/health"
 )
 
 // maxBufferedBody bounds how much of a request body the router buffers
@@ -70,6 +74,19 @@ type Config struct {
 	// cache-warmed shard onto a colder node.
 	Client *http.Client
 	Logger *slog.Logger
+	// Obs is the router's own observability substrate: the tracer each
+	// routed read records its hop spans into, the registry /metrics
+	// serves (qgraph_router_* families), and the structured logger. Nil
+	// creates a private one — the endpoints always work.
+	Obs *obs.Obs
+	// NoTrace disables per-request route tracing while keeping /metrics,
+	// /events, and the /fleet endpoints alive (used to measure the
+	// propagation overhead). Inbound trace IDs are still propagated
+	// downstream so node-side tracing keeps working.
+	NoTrace bool
+	// SelfName is the instance label the router reports itself under on
+	// the /fleet views (default "router").
+	SelfName string
 }
 
 // replicaState is the router's live view of one replica, refreshed by
@@ -80,7 +97,18 @@ type replicaState struct {
 	applied     atomic.Uint64
 	behindSince atomic.Int64 // unix ns when this replica fell behind; 0 = caught up
 	served      atomic.Int64
+	// rotState is the probe loop's edge detector for eviction/re-entry
+	// accounting: rotUnknown until the first probe, then rotIn/rotOut.
+	// Only in→out counts as an eviction and out→in as a re-entry — the
+	// initial entry at startup is neither.
+	rotState atomic.Int32
 }
+
+const (
+	rotUnknown int32 = iota
+	rotIn
+	rotOut
+)
 
 // Router fronts the deployment; it is an http.Handler.
 type Router struct {
@@ -95,6 +123,7 @@ type Router struct {
 
 	primaryVersion atomic.Uint64
 	primaryHealthy atomic.Bool
+	primarySeen    atomic.Bool // suppresses a health-edge event on the first probe
 	rr             atomic.Uint64
 
 	readsReplica atomic.Int64
@@ -102,8 +131,36 @@ type Router struct {
 	writes       atomic.Int64
 	failovers    atomic.Int64
 
+	// Observability plane: the router's own tracer (route spans), event
+	// ring, and metric instruments keyed by upstream base URL.
+	obs          *obs.Obs
+	tracer       *obs.Tracer // nil when NoTrace
+	events       *health.EventLog
+	reqCtr       map[string]*obs.Counter
+	foCtr        map[string]*obs.Counter
+	evictCtr     map[string]*obs.Counter
+	reenterCtr   map[string]*obs.Counter
+	probeHist    map[string]*obs.Histogram
+	scrapeErrors *obs.Counter
+
+	// servedBy remembers which upstream actually served each traced
+	// read, so GET /trace/{id} knows where to fetch the downstream half
+	// of the stitched tree. Bounded ring, same retention shape as the
+	// tracer's.
+	servedMu   sync.Mutex
+	servedRing []servedEntry
+	servedNext int
+	servedN    int
+
 	stop chan struct{}
 	done chan struct{}
+}
+
+// servedEntry is one routed read's serving upstream, keyed by trace ID.
+type servedEntry struct {
+	traceID uint64
+	url     string
+	role    string
 }
 
 // New builds a router and starts its health loop.
@@ -123,18 +180,31 @@ func New(cfg Config) (*Router, error) {
 	if cfg.Logger == nil {
 		cfg.Logger = slog.Default()
 	}
+	if cfg.Obs == nil {
+		cfg.Obs = obs.New(nil)
+	}
+	if cfg.SelfName == "" {
+		cfg.SelfName = "router"
+	}
 	r := &Router{
 		cfg:         cfg,
 		client:      cfg.Client,
 		probeClient: &http.Client{Timeout: 2 * time.Second},
 		log:         cfg.Logger.With("role", "router"),
+		obs:         cfg.Obs,
+		events:      health.NewEventLog(0),
+		servedRing:  make([]servedEntry, servedRingSize),
 		stop:        make(chan struct{}),
 		done:        make(chan struct{}),
+	}
+	if !cfg.NoTrace {
+		r.tracer = cfg.Obs.T()
 	}
 	for _, u := range cfg.Replicas {
 		r.replicas = append(r.replicas, &replicaState{url: strings.TrimRight(u, "/")})
 	}
 	r.cfg.Primary = strings.TrimRight(cfg.Primary, "/")
+	r.registerMetrics()
 	r.probeAll() // populate before serving so the first request routes sanely
 	go r.healthLoop()
 	return r, nil
@@ -168,14 +238,29 @@ type healthzView struct {
 }
 
 // probeAll refreshes the primary's committed version and every replica's
-// applied version in one pass.
+// applied version in one pass, then runs the rotation edge detector:
+// in→out is an eviction, out→in a re-entry, each counted per upstream
+// and recorded on the event ring.
 func (r *Router) probeAll() {
 	if hv, err := r.probe(r.cfg.Primary); err == nil {
-		r.primaryHealthy.Store(hv.Status == "ok" || hv.Status == "recovering")
+		healthy := hv.Status == "ok" || hv.Status == "recovering"
+		if r.primaryHealthy.Swap(healthy) != healthy && r.primarySeen.Load() {
+			if healthy {
+				r.event(health.SevInfo, EventPrimaryRecovered,
+					"primary reachable again", r.cfg.Primary, nil)
+			} else {
+				r.event(health.SevCritical, EventPrimaryUnreachable,
+					"primary reports "+hv.Status, r.cfg.Primary, nil)
+			}
+		}
 		r.primaryVersion.Store(hv.GraphVersion)
 	} else {
-		r.primaryHealthy.Store(false)
+		if r.primaryHealthy.Swap(false) && r.primarySeen.Load() {
+			r.event(health.SevCritical, EventPrimaryUnreachable,
+				"primary probe failed: "+err.Error(), r.cfg.Primary, nil)
+		}
 	}
+	r.primarySeen.Store(true)
 	primaryV := r.primaryVersion.Load()
 	now := time.Now().UnixNano()
 	for _, rs := range r.replicas {
@@ -184,6 +269,7 @@ func (r *Router) probeAll() {
 			if rs.healthy.Swap(false) {
 				r.log.Warn("router: replica unhealthy", "replica", rs.url, "error", err)
 			}
+			r.observeRotation(rs, primaryV)
 			continue
 		}
 		applied := hv.AppliedVersion
@@ -199,12 +285,47 @@ func (r *Router) probeAll() {
 		if !rs.healthy.Swap(hv.Status == "ok") && hv.Status == "ok" {
 			r.log.Info("router: replica in rotation", "replica", rs.url, "applied_version", applied)
 		}
+		r.observeRotation(rs, primaryV)
+	}
+}
+
+// observeRotation runs one replica through the eviction/re-entry edge
+// detector against the rotation predicate's current verdict.
+func (r *Router) observeRotation(rs *replicaState, primaryV uint64) {
+	state := rotOut
+	if r.inRotation(rs, primaryV) {
+		state = rotIn
+	}
+	prev := rs.rotState.Swap(state)
+	switch {
+	case prev == rotIn && state == rotOut:
+		if c := r.evictCtr[rs.url]; c != nil {
+			c.Inc()
+		}
+		lag := uint64(0)
+		if a := rs.applied.Load(); primaryV > a {
+			lag = primaryV - a
+		}
+		r.event(health.SevWarn, EventReplicaEvicted,
+			"replica left the read rotation", rs.url,
+			map[string]any{"lag_versions": lag, "healthy": rs.healthy.Load()})
+	case prev == rotOut && state == rotIn:
+		if c := r.reenterCtr[rs.url]; c != nil {
+			c.Inc()
+		}
+		r.event(health.SevInfo, EventReplicaReentered,
+			"replica re-entered the read rotation", rs.url,
+			map[string]any{"applied_version": rs.applied.Load()})
 	}
 }
 
 func (r *Router) probe(base string) (healthzView, error) {
 	var hv healthzView
+	started := time.Now()
 	resp, err := r.probeClient.Get(base + "/healthz")
+	if h := r.probeHist[base]; h != nil {
+		h.Observe(time.Since(started).Seconds())
+	}
 	if err != nil {
 		return hv, err
 	}
@@ -267,6 +388,23 @@ func (r *Router) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 	switch {
 	case path == "/healthz" || path == "/router/status":
 		r.serveStatus(w)
+	case path == "/metrics":
+		// The router's own instruments — no longer proxied to the
+		// primary; /fleet/metrics is the aggregate view.
+		r.serveMetrics(w)
+	case path == "/events":
+		r.serveEvents(w, req)
+	case path == "/fleet/status":
+		r.serveFleetStatus(w, req)
+	case path == "/fleet/metrics":
+		r.serveFleetMetrics(w, req)
+	case path == "/fleet/events":
+		r.serveFleetEvents(w, req)
+	case strings.HasPrefix(path, "/trace/"):
+		// A router trace ID stitches local + downstream spans; anything
+		// else (a node-local query id, /trace/by-id/...) falls through to
+		// the primary.
+		r.serveTrace(w, req)
 	case path == "/mutate" || strings.HasPrefix(path, "/admin/"):
 		// Writes and admin never touch a follower.
 		r.writes.Add(1)
@@ -274,15 +412,18 @@ func (r *Router) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 	case path == "/query":
 		r.serveRead(w, req)
 	default:
-		// Introspection (/stats, /metrics, /trace...) reads the primary:
-		// one source of truth for operators; replicas expose their own
-		// endpoints directly for per-node diagnosis.
+		// Remaining introspection (/stats, /traces, /slo...) reads the
+		// primary: one source of truth for operators; replicas expose
+		// their own endpoints directly for per-node diagnosis.
 		r.forward(w, req, nil)
 	}
 }
 
 // serveRead forwards a read to the best replica, failing over across the
-// remaining candidates and finally the primary.
+// remaining candidates and finally the primary. Each read records a
+// route trace: candidate selection, one span per upstream attempt, and
+// the trace ID is propagated downstream so the serving node's spans
+// land in the same tree (GET /trace/{id} stitches the halves).
 func (r *Router) serveRead(w http.ResponseWriter, req *http.Request) {
 	var minVersion uint64
 	if raw := req.URL.Query().Get("min_version"); raw != "" {
@@ -304,7 +445,48 @@ func (r *Router) serveRead(w http.ResponseWriter, req *http.Request) {
 		_, _ = h.Write(body)
 		key = h.Sum64()
 	}
-	r.forwardBody(w, req, body, r.candidates(minVersion, key))
+	// Honor an inbound trace ID (a client correlating its own tree);
+	// normally the router originates the ID here.
+	var inbound uint64
+	if raw := req.Header.Get(obs.TraceHeader); raw != "" {
+		if v, err := strconv.ParseUint(raw, 10, 64); err == nil {
+			inbound = v
+		}
+	}
+	tr := r.tracer.BeginWithID("route", inbound)
+	traceID := tr.ID()
+	if traceID == 0 {
+		traceID = inbound // NoTrace: still propagate the client's ID
+	}
+	if tr != nil {
+		tr.Root().SetAttr("path", req.URL.Path)
+		if minVersion > 0 {
+			tr.Root().SetAttr("min_version", minVersion)
+		}
+	}
+	if traceID != 0 {
+		// Stamped before forwarding: the client learns the ID even when
+		// the response streams or the request fails downstream.
+		w.Header().Set(obs.TraceHeader, strconv.FormatUint(traceID, 10))
+	}
+
+	candSpan := tr.StartSpan(nil, "candidates")
+	cands := r.candidates(minVersion, key)
+	candSpan.SetAttr("eligible", len(cands))
+	candSpan.SetAttr("replicas", len(r.replicas))
+	candSpan.End()
+
+	servedURL, servedRole := r.forwardBody(w, req, body, cands, tr, traceID)
+	if tr != nil {
+		if servedURL != "" {
+			tr.Root().SetAttr("served_by", servedURL)
+			tr.Root().SetAttr("served_role", servedRole)
+		}
+		r.tracer.Finish(tr)
+	}
+	if traceID != 0 && servedURL != "" {
+		r.recordServed(traceID, servedURL, servedRole)
+	}
 }
 
 // bufferBody drains the (bounded) request body so it can be replayed
@@ -327,52 +509,92 @@ func (r *Router) bufferBody(w http.ResponseWriter, req *http.Request) ([]byte, b
 	return b, true
 }
 
-// forward buffers the body, then relays as forwardBody does.
+// forward buffers the body, then relays as forwardBody does (untraced:
+// writes and proxied introspection).
 func (r *Router) forward(w http.ResponseWriter, req *http.Request, cands []*replicaState) {
 	body, ok := r.bufferBody(w, req)
 	if !ok {
 		return
 	}
-	r.forwardBody(w, req, body, cands)
+	r.forwardBody(w, req, body, cands, nil, 0)
 }
 
 // forwardBody relays req to each candidate in turn, then the primary. A
 // candidate "fails" on a transport error, a 5xx, or a 412 staleness miss;
-// anything else is the answer.
-func (r *Router) forwardBody(w http.ResponseWriter, req *http.Request, body []byte, cands []*replicaState) {
+// anything else is the answer. Each hop gets an attempt span on tr
+// (tagged upstream + status) and a per-upstream request counter bump;
+// the return is the upstream that actually served ("" when none did).
+func (r *Router) forwardBody(w http.ResponseWriter, req *http.Request, body []byte, cands []*replicaState, tr *obs.Trace, traceID uint64) (string, string) {
 	attempts := 0
 	for _, rs := range cands {
-		ok, terminal := r.tryUpstream(w, req, rs.url, body, false)
+		sp := tr.StartSpan(nil, "attempt")
+		sp.SetAttr("upstream", rs.url)
+		sp.SetAttr("role", "replica")
+		if c := r.reqCtr[rs.url]; c != nil {
+			c.Inc()
+		}
+		ok, terminal, status := r.tryUpstream(w, req, rs.url, body, false, traceID)
+		sp.SetAttr("status", status)
+		sp.End()
 		if ok || terminal {
 			if ok {
 				rs.served.Add(1)
 				r.readsReplica.Add(1)
+				return rs.url, "replica"
 			}
-			return
+			return "", ""
 		}
 		attempts++
 		rs.healthy.Store(false) // next probe may bring it back
 		r.failovers.Add(1)
+		if c := r.foCtr[rs.url]; c != nil {
+			c.Inc()
+		}
+		sp.SetAttr("failed_over", true)
+		r.event(health.SevWarn, EventRouterFailover,
+			"replica attempt failed, failing over", rs.url,
+			map[string]any{"attempt": attempts, "status": status, "path": req.URL.Path})
 		r.log.Warn("router: replica failed, failing over", "replica", rs.url, "attempt", attempts)
 	}
-	ok, _ := r.tryUpstream(w, req, r.cfg.Primary, body, true)
-	if ok && req.URL.Path == "/query" {
-		r.readsPrimary.Add(1)
+	sp := tr.StartSpan(nil, "primary")
+	sp.SetAttr("upstream", r.cfg.Primary)
+	sp.SetAttr("role", "primary")
+	if len(cands) > 0 || len(r.replicas) > 0 {
+		sp.SetAttr("fallback", true)
 	}
+	if c := r.reqCtr[r.cfg.Primary]; c != nil {
+		c.Inc()
+	}
+	ok, _, status := r.tryUpstream(w, req, r.cfg.Primary, body, true, traceID)
+	sp.SetAttr("status", status)
+	sp.End()
+	if ok {
+		if req.URL.Path == "/query" {
+			r.readsPrimary.Add(1)
+		}
+		return r.cfg.Primary, "primary"
+	}
+	return "", ""
 }
 
-// tryUpstream performs one upstream attempt. Returns (served, terminal):
-// served means the response was relayed; terminal means a non-retryable
-// client-error response was relayed. last relays whatever happens —
-// there is nobody left to fail over to.
-func (r *Router) tryUpstream(w http.ResponseWriter, req *http.Request, base string, body []byte, last bool) (bool, bool) {
+// tryUpstream performs one upstream attempt. Returns (served, terminal,
+// status): served means the response was relayed; terminal means a
+// non-retryable client-error response was relayed; status is the
+// upstream's HTTP status (0 on a transport error). last relays whatever
+// happens — there is nobody left to fail over to. A nonzero traceID is
+// propagated on X-QGraph-Trace-ID so the serving node's spans join this
+// request's tree.
+func (r *Router) tryUpstream(w http.ResponseWriter, req *http.Request, base string, body []byte, last bool, traceID uint64) (bool, bool, int) {
 	out, err := http.NewRequestWithContext(req.Context(), req.Method,
 		base+req.URL.RequestURI(), bytes.NewReader(body))
 	if err != nil {
 		http.Error(w, `{"error":"router: building upstream request"}`, http.StatusInternalServerError)
-		return false, true
+		return false, true, 0
 	}
 	out.Header = req.Header.Clone()
+	if traceID != 0 {
+		out.Header.Set(obs.TraceHeader, strconv.FormatUint(traceID, 10))
+	}
 	resp, err := r.client.Do(out)
 	if err != nil {
 		if last {
@@ -383,28 +605,41 @@ func (r *Router) tryUpstream(w http.ResponseWriter, req *http.Request, base stri
 				code = 499 // client closed request
 			}
 			http.Error(w, `{"error":"router: no upstream available"}`, code)
-			return false, true
+			return false, true, 0
 		}
-		return false, false
+		return false, false, 0
 	}
 	defer resp.Body.Close()
 	retryable := resp.StatusCode >= 500 || resp.StatusCode == http.StatusPreconditionFailed
 	if retryable && !last {
-		return false, false
+		return false, false, resp.StatusCode
 	}
 	for k, vs := range resp.Header {
+		if k == traceHeaderKey {
+			// The node echoes the propagated trace ID; Set (not Add), or
+			// the router's own stamp would duplicate the header.
+			w.Header().Set(k, vs[len(vs)-1])
+			continue
+		}
 		for _, v := range vs {
 			w.Header().Add(k, v)
 		}
 	}
 	w.WriteHeader(resp.StatusCode)
 	_, _ = io.Copy(w, resp.Body)
-	return true, resp.StatusCode < 500
+	return true, resp.StatusCode < 500, resp.StatusCode
 }
+
+// traceHeaderKey is obs.TraceHeader in the canonical form http.Header
+// iteration yields.
+var traceHeaderKey = http.CanonicalHeaderKey(obs.TraceHeader)
 
 // statusResponse is the router's own /healthz and /router/status body.
 type statusResponse struct {
-	Status               string           `json:"status"` // ok | degraded
+	Status string `json:"status"` // ok | degraded
+	// Detail names what degraded the router (primary unreachable, empty
+	// rotation) so a load balancer's probe log is self-explanatory.
+	Detail               string           `json:"detail,omitempty"`
 	Role                 string           `json:"role"`
 	GraphVersion         uint64           `json:"graph_version"` // primary's committed version
 	Primary              upstreamStatus   `json:"primary"`
@@ -438,24 +673,43 @@ func (r *Router) serveStatus(w http.ResponseWriter) {
 		Writes:               r.writes.Load(),
 		Failovers:            r.failovers.Load(),
 	}
-	if !resp.Primary.Healthy {
-		resp.Status = "degraded"
-	}
+	inRotation := 0
 	for _, rs := range r.replicas {
 		applied := rs.applied.Load()
 		var lag uint64
 		if primaryV > applied {
 			lag = primaryV - applied
 		}
+		rot := r.inRotation(rs, primaryV)
+		if rot {
+			inRotation++
+		}
 		resp.Replicas = append(resp.Replicas, upstreamStatus{
 			URL:            rs.url,
 			Healthy:        rs.healthy.Load(),
 			AppliedVersion: applied,
 			LagVersions:    lag,
-			InRotation:     r.inRotation(rs, primaryV),
+			InRotation:     rot,
 			Served:         rs.served.Load(),
 		})
 	}
+	// Degrade for real (503, not a 200 with a sad body): a load balancer
+	// fronting several routers must be able to see a dead fleet. Primary
+	// down means writes and the read of last resort are gone; an empty
+	// rotation with replicas configured means the read plane has
+	// collapsed onto the primary.
+	code := http.StatusOK
+	switch {
+	case !resp.Primary.Healthy:
+		resp.Status = "degraded"
+		resp.Detail = "primary unreachable"
+		code = http.StatusServiceUnavailable
+	case len(r.replicas) > 0 && inRotation == 0:
+		resp.Status = "degraded"
+		resp.Detail = "no replicas in read rotation (reads falling back to the primary)"
+		code = http.StatusServiceUnavailable
+	}
 	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
 	_ = json.NewEncoder(w).Encode(resp)
 }

@@ -10,18 +10,27 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"qgraph/internal/obs/health"
 )
 
 // fakeNode is a scriptable upstream: /healthz reports its version, /query
 // and /mutate identify who served them.
 type fakeNode struct {
-	name    string
-	role    string // "primary" | "replica"
-	version atomic.Uint64
-	status  atomic.Value // string
-	queries atomic.Int64
-	mutates atomic.Int64
-	srv     *httptest.Server
+	name      string
+	role      string // "primary" | "replica"
+	version   atomic.Uint64
+	status    atomic.Value // string
+	queries   atomic.Int64
+	mutates   atomic.Int64
+	lastTrace atomic.Value // string: the X-QGraph-Trace-ID the last /query carried
+	srv       *httptest.Server
+}
+
+// lastTraceID returns the trace header the node last saw on /query.
+func (n *fakeNode) lastTraceID() string {
+	s, _ := n.lastTrace.Load().(string)
+	return s
 }
 
 func newFakeNode(name, role string, version uint64) *fakeNode {
@@ -43,7 +52,19 @@ func newFakeNode(name, role string, version uint64) *fakeNode {
 	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
 		n.queries.Add(1)
 		w.Header().Set("X-QGraph-Version", fmt.Sprint(n.version.Load()))
+		w.Header().Set("X-QGraph-Node", n.name+"/"+n.role)
+		if id := r.Header.Get("X-QGraph-Trace-ID"); id != "" {
+			// A real node honors the inbound trace ID and echoes it.
+			n.lastTrace.Store(id)
+			w.Header().Set("X-QGraph-Trace-ID", id)
+		}
 		json.NewEncoder(w).Encode(map[string]any{"served_by": n.name})
+	})
+	mux.HandleFunc("/trace/by-id/", func(w http.ResponseWriter, r *http.Request) {
+		// Canned downstream half of a stitched trace, under the asked-for ID.
+		id := strings.TrimPrefix(r.URL.Path, "/trace/by-id/")
+		fmt.Fprintf(w, `{"trace":{"trace_id":%s,"complete":true,`+
+			`"root":{"name":"query","children":[{"name":"execute"}]}}}`, id)
 	})
 	mux.HandleFunc("/mutate", func(w http.ResponseWriter, r *http.Request) {
 		if n.role != "primary" {
@@ -356,5 +377,161 @@ func TestRouterVersionHeaderPreserved(t *testing.T) {
 	resp.Body.Close()
 	if got := resp.Header.Get("X-QGraph-Version"); got != "41" {
 		t.Fatalf("version header %q, want 41 (the serving replica's)", got)
+	}
+}
+
+// TestRouterFailoverAndEvictionMetrics: failovers, evictions, and
+// re-entries increment their per-upstream counters, land in the event
+// ring, and render on the router's own /metrics page.
+func TestRouterFailoverAndEvictionMetrics(t *testing.T) {
+	prim := newFakeNode("primary", "primary", 100)
+	ra := newFakeNode("replica-a", "replica", 100)
+	rb := newFakeNode("replica-b", "replica", 100)
+	defer prim.Close()
+	defer ra.Close()
+
+	rt, front := newTestRouter(t, prim, []*fakeNode{ra, rb}, 4)
+	rt.probeAll()
+	rbURL := rb.srv.URL
+	rb.Close() // dies between probes: reads that land on it fail over
+
+	for i := 0; i < 4; i++ {
+		if code, _ := post(t, front.URL+"/query", `{}`); code != 200 {
+			t.Fatalf("read %d failed", i)
+		}
+	}
+	if rt.foCtr[rbURL].Value() == 0 {
+		t.Fatal("dead replica's failover counter never incremented")
+	}
+	if rt.reqCtr[rbURL].Value() == 0 {
+		t.Fatal("dead replica's request counter never incremented")
+	}
+
+	// The next probe sees it down and evicts it from the rotation.
+	rt.probeAll()
+	if got := rt.evictCtr[rbURL].Value(); got != 1 {
+		t.Fatalf("evictions for dead replica = %d, want 1", got)
+	}
+	if evs := rt.events.List(health.EventFilter{Type: EventReplicaEvicted}); len(evs) != 1 {
+		t.Fatalf("eviction events = %d, want 1", len(evs))
+	}
+
+	// Lag-based eviction and re-entry on the surviving replica.
+	ra.version.Store(90) // 10 behind, bound is 4
+	rt.probeAll()
+	if got := rt.evictCtr[ra.srv.URL].Value(); got != 1 {
+		t.Fatalf("evictions for lagging replica = %d, want 1", got)
+	}
+	ra.version.Store(100)
+	rt.probeAll()
+	if got := rt.reenterCtr[ra.srv.URL].Value(); got != 1 {
+		t.Fatalf("re-entries for caught-up replica = %d, want 1", got)
+	}
+	if evs := rt.events.List(health.EventFilter{Type: EventReplicaReentered}); len(evs) != 1 {
+		t.Fatalf("re-entry events = %d, want 1", len(evs))
+	}
+
+	// All of it renders on the router's own metrics page.
+	code, body, _ := get(t, front.URL+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, fam := range []string{
+		"qgraph_router_requests_total", "qgraph_router_failovers_total",
+		"qgraph_router_evictions_total", "qgraph_router_reentries_total",
+		"qgraph_router_replica_in_rotation", "qgraph_router_probe_seconds_bucket",
+	} {
+		if !strings.Contains(body, fam) {
+			t.Fatalf("/metrics missing family %s", fam)
+		}
+	}
+}
+
+// TestRouterTracePropagation: a routed read carries one trace ID through
+// router and replica — generated at the router (or honored inbound),
+// forwarded on the wire, echoed in the response — and GET /trace/{id}
+// stitches the replica's span tree under the router's serving attempt.
+func TestRouterTracePropagation(t *testing.T) {
+	prim := newFakeNode("primary", "primary", 10)
+	ra := newFakeNode("replica-a", "replica", 10)
+	defer prim.Close()
+	defer ra.Close()
+
+	rt, front := newTestRouter(t, prim, []*fakeNode{ra}, 4)
+	rt.probeAll()
+
+	resp, err := http.Post(front.URL+"/query", "application/json", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	id := resp.Header.Get("X-QGraph-Trace-ID")
+	if id == "" || id == "0" {
+		t.Fatalf("routed read returned trace id %q", id)
+	}
+	if vals := resp.Header.Values("X-QGraph-Trace-ID"); len(vals) != 1 {
+		t.Fatalf("trace header appears %d times, want once", len(vals))
+	}
+	if got := ra.lastTraceID(); got != id {
+		t.Fatalf("replica saw trace id %q, response says %q", got, id)
+	}
+	if got := resp.Header.Get("X-QGraph-Node"); got != "replica-a/replica" {
+		t.Fatalf("node header %q, want replica-a/replica", got)
+	}
+
+	code, body, _ := get(t, front.URL+"/trace/"+id)
+	if code != 200 {
+		t.Fatalf("/trace/%s status %d: %s", id, code, body)
+	}
+	var st stitchedTrace
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(st.Trace.TraceID) != id {
+		t.Fatalf("stitched trace id %d, want %s", st.Trace.TraceID, id)
+	}
+	if !st.Stitched || st.ServedBy != ra.srv.URL {
+		t.Fatalf("stitched=%v served_by=%q, want stitched by %s", st.Stitched, st.ServedBy, ra.srv.URL)
+	}
+	if st.Trace.Root.Name != "route" {
+		t.Fatalf("root span %q, want route", st.Trace.Root.Name)
+	}
+	// The replica's tree hangs under the attempt span that served.
+	grafted := false
+	for i := range st.Trace.Root.Children {
+		c := &st.Trace.Root.Children[i]
+		if c.Name != "attempt" {
+			continue
+		}
+		if u, _ := c.Attrs["upstream"].(string); u != ra.srv.URL {
+			continue
+		}
+		if len(c.Children) != 1 || c.Children[0].Name != "query" {
+			t.Fatalf("attempt children %+v, want the replica's query span", c.Children)
+		}
+		if inst, _ := c.Children[0].Attrs["instance"].(string); inst == "" {
+			t.Fatal("grafted subtree missing its instance tag")
+		}
+		grafted = true
+	}
+	if !grafted {
+		t.Fatalf("no attempt span carries the replica subtree: %+v", st.Trace.Root.Children)
+	}
+
+	// An inbound trace ID is honored end to end, not replaced.
+	req, _ := http.NewRequest("POST", front.URL+"/query", strings.NewReader(`{}`))
+	req.Header.Set("X-QGraph-Trace-ID", "7777")
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if got := resp2.Header.Get("X-QGraph-Trace-ID"); got != "7777" {
+		t.Fatalf("inbound trace id replaced: got %q, want 7777", got)
+	}
+	if got := ra.lastTraceID(); got != "7777" {
+		t.Fatalf("replica saw %q, want the inbound 7777", got)
 	}
 }

@@ -87,9 +87,11 @@ func (s *Server) registerMetrics() {
 
 // beginTrace opens the root trace for one request and binds it to the
 // query ID the controller will see; spec.TraceID carries the correlation
-// to worker logs. Returns nil when tracing is disabled.
+// to worker logs. A nonzero spec.TraceID (an inbound X-QGraph-Trace-ID,
+// propagated by the router) is honored so this node's spans join the
+// caller's tree. Returns nil when tracing is disabled.
 func (s *Server) beginTrace(spec *query.Spec, tenant string) *obs.Trace {
-	tr := s.tracer.Begin("query")
+	tr := s.tracer.BeginWithID("query", spec.TraceID)
 	if tr == nil {
 		return nil
 	}
@@ -128,6 +130,24 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	v, ok := s.obs.T().Get(q)
 	if !ok {
 		writeJSON(w, http.StatusNotFound, errorResponse{Error: "no trace for query (evicted, untraced, or never ran)"})
+		return
+	}
+	writeJSON(w, http.StatusOK, tracedQuery{Trace: v, Phases: obs.Attribute(v)})
+}
+
+// handleTraceByID serves GET /trace/by-id/{trace_id}: the newest trace
+// carrying that propagated trace ID. This is the stitching fetch — the
+// router knows the trace ID it propagated, never the node-local query
+// ID, so /trace/{query_id} cannot serve it.
+func (s *Server) handleTraceByID(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseUint(r.PathValue("trace_id"), 10, 64)
+	if err != nil || id == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad trace id"})
+		return
+	}
+	v, ok := s.obs.T().GetByTraceID(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "no trace with that id (evicted, untraced, or never ran)"})
 		return
 	}
 	writeJSON(w, http.StatusOK, tracedQuery{Trace: v, Phases: obs.Attribute(v)})

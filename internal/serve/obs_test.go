@@ -504,3 +504,63 @@ func TestRecoveryTracePropagation(t *testing.T) {
 	}
 	t.Logf("recovery episode attributed in %d of %d traces", recoveryTraces, len(views))
 }
+
+// TestInboundTraceAndNodeHeaders: a /query carrying X-QGraph-Trace-ID
+// keeps its spans under the caller's ID — echoed in the response header
+// and body, fetchable at /trace/by-id/{id} — and the node identifies
+// itself via X-QGraph-Node on every response.
+func TestInboundTraceAndNodeHeaders(t *testing.T) {
+	b := newStubBackend()
+	_, ts := newTestServer(t, b, func(c *Config) { c.NodeID = "node-1"; c.Role = "replica" })
+
+	body, _ := json.Marshal(QueryRequest{Kind: "bfs", Source: 1, NoCache: true})
+	req, _ := http.NewRequest("POST", ts.URL+"/query", bytes.NewReader(body))
+	req.Header.Set(TraceHeader, "424242")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var qr QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(TraceHeader); got != "424242" {
+		t.Fatalf("trace header %q, want the inbound 424242", got)
+	}
+	if qr.TraceID != 424242 {
+		t.Fatalf("body trace_id %d, want 424242", qr.TraceID)
+	}
+	if got := resp.Header.Get(NodeHeader); got != "node-1/replica" {
+		t.Fatalf("node header %q, want node-1/replica", got)
+	}
+
+	// The trace is fetchable under the propagated ID.
+	var tq tracedQuery
+	resp2, err := http.Get(ts.URL + "/trace/by-id/424242")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("GET /trace/by-id/424242: %d", resp2.StatusCode)
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&tq); err != nil {
+		t.Fatal(err)
+	}
+	if tq.Trace.TraceID != 424242 || tq.Trace.Root.Name != "query" {
+		t.Fatalf("by-id trace %+v, want the propagated query trace", tq.Trace)
+	}
+
+	// Without the header the node assigns its own nonzero ID and echoes it.
+	code, qr2, hdr := postQuery(t, ts.URL, QueryRequest{Kind: "bfs", Source: 2, NoCache: true})
+	if code != http.StatusOK || qr2.TraceID == 0 {
+		t.Fatalf("untraced-header query: code %d trace_id %d", code, qr2.TraceID)
+	}
+	if got := hdr.Get(TraceHeader); got != fmt.Sprint(qr2.TraceID) {
+		t.Fatalf("echoed id %q != body id %d", got, qr2.TraceID)
+	}
+}

@@ -105,6 +105,12 @@ type Config struct {
 	// 403 — the mode of replica roles, whose graph state is maintained by
 	// tailing the primary's WAL, never by client writes.
 	ReadOnly bool
+	// NodeID and Role identify this node on the X-QGraph-Node response
+	// header ("<id>/<role>"), so a client fronted by the router can tell
+	// which fleet member actually served any response. Empty disables the
+	// header.
+	NodeID string
+	Role   string
 	// Replication, when set, reports the node's replication position: it
 	// feeds the replica blocks of /healthz and /stats and the
 	// qgraph_replica_* metrics families. Nil on primaries.
@@ -118,6 +124,17 @@ type Config struct {
 // reported as ?min_version=; the router uses it to verify the staleness
 // bound of replica answers.
 const VersionHeader = "X-QGraph-Version"
+
+// TraceHeader carries a trace ID across HTTP hops. A node honors an
+// inbound value (its spans join the caller's tree — the router is the
+// usual originator) and echoes the ID it used on the response, so the
+// caller learns the ID even when the node generated one itself.
+const TraceHeader = obs.TraceHeader
+
+// NodeHeader identifies the node that produced a response as
+// "<node-id>/<role>". The router passes it through untouched, so a
+// client always sees which fleet member served it.
+const NodeHeader = "X-QGraph-Node"
 
 // ReplicaInfo is the replication-position block a replica reports on
 // /healthz and /stats. WALHead is the primary's durable head version as
@@ -236,6 +253,7 @@ func (s *Server) Counters() *metrics.ServeCounters { return s.ctr }
 //	GET  /stats           serving, admission, cache, and engine counters
 //	GET  /metrics         the same counters in Prometheus text format
 //	GET  /trace/{query_id} span tree + phase attribution of one query
+//	GET  /trace/by-id/{trace_id}  the same, looked up by propagated trace ID
 //	GET  /traces          slowest completed traces (?slowest=N&tenant=T&min_ms=X)
 //	GET  /events          health event log (?type=...&severity=...&n=N)
 //	GET  /slo             per-tenant SLO accounting (latency, goodput, burn)
@@ -251,12 +269,23 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /trace/{query_id}", s.handleTrace)
+	mux.HandleFunc("GET /trace/by-id/{trace_id}", s.handleTraceByID)
 	mux.HandleFunc("GET /traces", s.handleTraces)
 	mux.HandleFunc("GET /events", s.handleEvents)
 	mux.HandleFunc("GET /slo", s.handleSLO)
 	mux.HandleFunc("GET /debug/incident/{id}", s.handleIncident)
 	mux.HandleFunc("GET /debug/incidents", s.handleIncidents)
-	return mux
+	node := s.cfg.NodeID
+	if s.cfg.Role != "" {
+		node += "/" + s.cfg.Role
+	}
+	if node == "" {
+		return mux
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(NodeHeader, node)
+		mux.ServeHTTP(w, r)
+	})
 }
 
 // epoch reads the live cache-validity coordinates from the backend.
@@ -333,6 +362,10 @@ type QueryResponse struct {
 	LatencyMS   float64 `json:"latency_ms"`
 	EngineMS    float64 `json:"engine_ms"`
 	QueueWaitMS float64 `json:"queue_wait_ms"`
+	// TraceID is the span tree this request recorded into — inbound
+	// X-QGraph-Trace-ID when one was propagated, else locally generated.
+	// Feed it to GET /trace/by-id/{trace_id} (0 when tracing is off).
+	TraceID uint64 `json:"trace_id,omitempty"`
 }
 
 type errorResponse struct {
@@ -460,6 +493,18 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
+	// Cross-hop propagation: an inbound trace ID (the router's, usually)
+	// becomes this request's trace ID, so node-side spans land in the
+	// caller's tree. Echoed on the response either way — when the node
+	// generated the ID itself, the echo is how the client learns it.
+	if raw := r.Header.Get(TraceHeader); raw != "" {
+		if id, err := strconv.ParseUint(raw, 10, 64); err == nil {
+			spec.TraceID = id
+		}
+	}
+	if spec.TraceID != 0 {
+		w.Header().Set(TraceHeader, strconv.FormatUint(spec.TraceID, 10))
+	}
 	tenant := req.Tenant
 	if tenant == "" {
 		tenant = "default"
@@ -531,6 +576,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// Re-stamp: versions committed while the query executed move the
 	// header forward, never backward.
 	s.stampVersion(w)
+	if resp.TraceID != 0 {
+		w.Header().Set(TraceHeader, strconv.FormatUint(resp.TraceID, 10))
+	}
 	if errBody != nil {
 		if code == http.StatusTooManyRequests {
 			w.Header().Set("Retry-After", s.retryAfter())
@@ -853,6 +901,7 @@ func (s *Server) execute(ctx context.Context, spec query.Spec, req QueryRequest,
 	started := s.cfg.Clock()
 	tr := s.beginTrace(&spec, tenant)
 	resp, code, errBody := s.executeTraced(ctx, tr, spec, req, tenant, started)
+	resp.TraceID = tr.ID()
 	if errBody == nil {
 		tr.Root().SetAttr("status", code)
 	} else {

@@ -10,7 +10,10 @@
 #   recovery           queries through a worker SIGKILL + handoff
 #
 # A sixth section records the read scale-out A/B (single node vs router +
-# 2 replicas with -route-affinity) into a second report, BENCH_8.json.
+# 2 replicas with -route-affinity) into a second report, BENCH_8.json; a
+# seventh A/Bs router trace propagation (the same routed workload through
+# a -trace=false router vs a tracing one over the same fleet) into
+# BENCH_9.json with the same ≤5% bar.
 #
 # The report's derived tracing_overhead_pct and watchdog_overhead_pct
 # compare read_only against its two baselines; the acceptance bars are
@@ -201,15 +204,59 @@ if [ "$nrot" -ne 2 ]; then
   exit 1
 fi
 arm "http://127.0.0.1:7818" router_read
-kill -INT "$ROUTER" "$REPA" "$REPB" >/dev/null 2>&1 || true
+
+# --- router trace-propagation overhead: routed reads, -trace A/B ------------
+# The PR-9 A/B, recorded into its own report (default BENCH_9.json): the
+# identical cache-warm routed read workload through two routers over the
+# SAME fleet — one with -trace=false (no route trace, no propagated
+# X-QGraph-Trace-ID), one with tracing on. Both arms share the replicas,
+# their caches, and the pair methodology of the read_only comparison
+# (same-seed warmup, PAIR_REPS repetitions, best kept); the derived
+# router_trace_overhead_pct must stay within the same ≤5% bar as
+# node-local tracing.
+OUT9="${BENCH_OUT9:-BENCH_9.json}"
+rm -f "$OUT9"
+
+"$workdir/qgraphd" -role router -primary http://127.0.0.1:7815 \
+  -replicas http://127.0.0.1:7816,http://127.0.0.1:7817 \
+  -route-affinity -health-every 200ms -trace=false -serve 127.0.0.1:7819 \
+  >>"$workdir/bench.log" 2>&1 &
+ROUTERNT=$!
+nrot=0
+for _ in $(seq 1 50); do
+  nrot=$(curl -fsS http://127.0.0.1:7819/healthz 2>/dev/null \
+    | grep -o '"in_rotation":true' | wc -l)
+  [ "$nrot" -eq 2 ] && break
+  sleep 0.2
+done
+if [ "$nrot" -ne 2 ]; then
+  echo "bench: replicas never entered the untraced router's rotation" >&2
+  exit 1
+fi
+
+pair9() { # base-url scenario
+  "$workdir/qgraph-bench" -load "$1" -rate "$RATE8" -load-duration "$DUR" \
+    -load-pool 128 -load-timeout 30s >/dev/null
+  for _ in $(seq 1 "$PAIR_REPS"); do
+    "$workdir/qgraph-bench" -load "$1" -rate "$RATE8" -load-duration "$PAIR_DUR" \
+      -load-pool 128 -load-timeout 30s \
+      -scenario "$2" -json-out "$OUT9" -json-best
+  done
+}
+pair9 "http://127.0.0.1:7819" router_read_notrace
+pair9 "http://127.0.0.1:7818" router_read_trace
+
+kill -INT "$ROUTER" "$ROUTERNT" "$REPA" "$REPB" >/dev/null 2>&1 || true
 stop_deploy
 
 # --- verdict ----------------------------------------------------------------
 overhead=$(sed -n 's/.*"tracing_overhead_pct": \(-\{0,1\}[0-9.]*\).*/\1/p' "$OUT")
 woverhead=$(sed -n 's/.*"watchdog_overhead_pct": \(-\{0,1\}[0-9.]*\).*/\1/p' "$OUT")
 scaleout=$(sed -n 's/.*"read_scaleout_x": \([0-9.]*\).*/\1/p' "$OUT8")
+rtoverhead=$(sed -n 's/.*"router_trace_overhead_pct": \(-\{0,1\}[0-9.]*\).*/\1/p' "$OUT9")
 echo "BENCH OK: report written to $OUT (tracing overhead ${overhead:-?}%, watchdog overhead ${woverhead:-?}%)"
 echo "BENCH OK: read scale-out report written to $OUT8 (router+2 replicas = ${scaleout:-?}x single node)"
+echo "BENCH OK: router trace report written to $OUT9 (trace propagation overhead ${rtoverhead:-?}%)"
 breach=0
 if [ -n "$scaleout" ]; then
   under=$(awk -v x="$scaleout" 'BEGIN { print (x < 1.7) ? 1 : 0 }')
@@ -229,6 +276,13 @@ if [ -n "$woverhead" ]; then
   wover=$(awk -v o="$woverhead" 'BEGIN { print (o > 2) ? 1 : 0 }')
   if [ "$wover" -eq 1 ]; then
     echo "BENCH WARN: watchdog overhead ${woverhead}% exceeds the 2% bar" >&2
+    breach=1
+  fi
+fi
+if [ -n "$rtoverhead" ]; then
+  rtover=$(awk -v o="$rtoverhead" 'BEGIN { print (o > 5) ? 1 : 0 }')
+  if [ "$rtover" -eq 1 ]; then
+    echo "BENCH WARN: router trace overhead ${rtoverhead}% exceeds the 5% bar" >&2
     breach=1
   fi
 fi

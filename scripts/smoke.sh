@@ -573,3 +573,121 @@ if [ "$fail" -ne 0 ]; then
   exit 1
 fi
 echo "SMOKE OK: $okq6 reads (0 failed) through a replica kill, $reads_rep6 served by replicas, min_version=$primver6 satisfied with header v$hdrver6"
+
+# ---------------------------------------------------------------------------
+# Scenario 7: fleet observability — primary + two replicas + router under
+# load. A routed read must carry ONE trace ID across processes: the router
+# stamps X-QGraph-Trace-ID downstream, the replica keeps its spans under
+# that ID, and the router's GET /trace/{id} stitches both halves into one
+# tree. /fleet/metrics must re-emit instance-labeled series from all four
+# processes, and /fleet/status must report correct roles and lags.
+
+ADDRS7="127.0.0.1:7781,127.0.0.1:7782,127.0.0.1:7783"
+SERVE7="127.0.0.1:7810"     # primary
+REP7A="127.0.0.1:7811"      # replica a
+REP7B="127.0.0.1:7812"      # replica b
+ROUTE7="127.0.0.1:7813"     # router
+SNAP7="$workdir/snaps7"
+WAL7="$workdir/wal7"
+mkdir -p "$SNAP7" "$WAL7"
+
+"$workdir/qgraphd" -role worker -id 0 -graph "$workdir/g.qgr" -addrs "$ADDRS7" \
+  -snapshot-dir "$SNAP7" -wal-dir "$WAL7" >>"$workdir/d7-w0.log" 2>&1 &
+"$workdir/qgraphd" -role worker -id 1 -graph "$workdir/g.qgr" -addrs "$ADDRS7" \
+  -snapshot-dir "$SNAP7" -wal-dir "$WAL7" >>"$workdir/d7-w1.log" 2>&1 &
+sleep 1
+"$workdir/qgraphd" -role controller -graph "$workdir/g.qgr" -addrs "$ADDRS7" \
+  -serve "$SERVE7" -commit-every 50ms -snapshot-dir "$SNAP7" -wal-dir "$WAL7" \
+  >>"$workdir/d7-ctrl.log" 2>&1 &
+ctrl7=$!
+wait_healthy "$SERVE7" || { echo "SMOKE FAIL: scenario-7 primary never healthy"; exit 1; }
+apply_batches "$SERVE7" 0 5 >/dev/null || { echo "SMOKE FAIL: scenario-7 seed mutations failed"; exit 1; }
+
+"$workdir/qgraphd" -role replica -graph "$workdir/g.qgr" -snapshot-dir "$SNAP7" \
+  -wal-dir "$WAL7" -serve "$REP7A" -replica-poll 25ms >>"$workdir/d7-ra.log" 2>&1 &
+repa7=$!
+"$workdir/qgraphd" -role replica -graph "$workdir/g.qgr" -snapshot-dir "$SNAP7" \
+  -wal-dir "$WAL7" -serve "$REP7B" -replica-poll 25ms >>"$workdir/d7-rb.log" 2>&1 &
+repb7=$!
+wait_healthy "$REP7A" || { echo "SMOKE FAIL: scenario-7 replica a never healthy"; exit 1; }
+wait_healthy "$REP7B" || { echo "SMOKE FAIL: scenario-7 replica b never healthy"; exit 1; }
+
+"$workdir/qgraphd" -role router -primary "http://$SERVE7" \
+  -replicas "http://$REP7A,http://$REP7B" -max-staleness-versions 64 \
+  -health-every 100ms -serve "$ROUTE7" >>"$workdir/d7-router.log" 2>&1 &
+router7=$!
+wait_healthy "$ROUTE7" || { echo "SMOKE FAIL: scenario-7 router never healthy"; exit 1; }
+for _ in $(seq 1 50); do
+  nrot7=$(curl -fsS "http://$ROUTE7/healthz" | grep -o '"in_rotation":true' | wc -l)
+  [ "$nrot7" -eq 2 ] && break
+  sleep 0.2
+done
+[ "${nrot7:-0}" -eq 2 ] || { echo "SMOKE FAIL: scenario-7 replicas never entered rotation"; exit 1; }
+
+# Mixed load in the background; the observability probes below run while
+# the fleet is busy, not against an idle afterimage.
+"$workdir/qgraph-bench" -load "http://$ROUTE7" -rate 150 -load-duration 8s \
+  -load-pool 64 -load-timeout 15s -mutate-rate 50 -mutate-batch 20 \
+  -mutations "$workdir/g.qgr.mut" >"$workdir/d7-bench.out" 2>&1 &
+bench7=$!
+sleep 2
+
+fail=0
+
+# One trace ID, end to end: routed read -> header -> stitched /trace/{id}.
+read7=$(curl -fsS -D "$workdir/d7-head.txt" "http://$ROUTE7/query" \
+  -d '{"kind":"sssp","source":0,"target":999,"no_cache":true}')
+tid7=$(sed -n 's/^X-Qgraph-Trace-Id: *\([0-9]*\).*/\1/Ip' "$workdir/d7-head.txt")
+node7=$(sed -n 's/^X-Qgraph-Node: *\(.*\)$/\1/Ip' "$workdir/d7-head.txt" | tr -d '\r')
+[ -n "$tid7" ] && [ "$tid7" != "0" ] || { echo "SMOKE FAIL: routed read carried no trace id"; fail=1; }
+case "$node7" in
+  */replica|*/primary) : ;;
+  *) echo "SMOKE FAIL: X-QGraph-Node header missing or malformed ('$node7')"; fail=1 ;;
+esac
+
+trace7=$(curl -fsS "http://$ROUTE7/trace/$tid7")
+grep -q "\"trace_id\":$tid7" <<<"$trace7" || { echo "SMOKE FAIL: /trace/$tid7 not under the propagated id"; fail=1; }
+grep -q '"name":"route"' <<<"$trace7" || { echo "SMOKE FAIL: stitched trace has no router route span"; fail=1; }
+grep -q '"name":"attempt"' <<<"$trace7" || { echo "SMOKE FAIL: stitched trace has no attempt span"; fail=1; }
+grep -q '"name":"query"' <<<"$trace7" || { echo "SMOKE FAIL: stitched trace has no downstream query span"; fail=1; }
+grep -q '"stitched":true' <<<"$trace7" || { echo "SMOKE FAIL: downstream half not stitched in"; fail=1; }
+
+# /fleet/metrics carries instance-labeled series from all four processes.
+fm7=$(curl -fsS "http://$ROUTE7/fleet/metrics")
+for inst in "$ROUTE7" "$SERVE7" "$REP7A" "$REP7B"; do
+  grep -q "instance=\"$inst\"" <<<"$fm7" || {
+    echo "SMOKE FAIL: /fleet/metrics missing series from $inst"; fail=1; }
+done
+grep -q "role=\"router\"" <<<"$fm7" || { echo "SMOKE FAIL: /fleet/metrics missing router role label"; fail=1; }
+grep -q "qgraph_replica_apply_batches_total" <<<"$fm7" || {
+  echo "SMOKE FAIL: replica apply instrumentation absent from the fleet page"; fail=1; }
+
+# /fleet/status: one primary, two reachable replica rows with bounded lag.
+fs7=$(curl -fsS "http://$ROUTE7/fleet/status")
+echo "$fs7"
+nprim7=$(grep -o '"role":"primary"' <<<"$fs7" | wc -l)
+nrep7=$(grep -o '"role":"replica"' <<<"$fs7" | wc -l)
+[ "$nprim7" -eq 1 ] || { echo "SMOKE FAIL: /fleet/status primary rows = $nprim7"; fail=1; }
+[ "$nrep7" -eq 2 ] || { echo "SMOKE FAIL: /fleet/status replica rows = $nrep7"; fail=1; }
+grep -q '"reachable":false' <<<"$fs7" && { echo "SMOKE FAIL: /fleet/status reports an unreachable node"; fail=1; }
+maxlag7=$(grep -o '"lag_versions":[0-9]*' <<<"$fs7" | sed 's/.*://' | sort -n | tail -1)
+[ "${maxlag7:-99999}" -le 64 ] || { echo "SMOKE FAIL: fleet lag $maxlag7 beyond the staleness bound"; fail=1; }
+
+# /fleet/events answers and is well-formed JSON with an events array.
+fe7=$(curl -fsS "http://$ROUTE7/fleet/events?n=50")
+grep -q '"events":\[' <<<"$fe7" || { echo "SMOKE FAIL: /fleet/events malformed"; fail=1; }
+
+wait "$bench7" || true
+cat "$workdir/d7-bench.out"
+qline7=$(grep -m1 '^sent=' "$workdir/d7-bench.out")
+failedq7=$(sed -n 's/.* failed=\([0-9]*\).*/\1/p' <<<"$qline7")
+[ "${failedq7:-1}" -eq 0 ] || { echo "SMOKE FAIL: $failedq7 failed reads during the observability probes"; fail=1; }
+
+kill -INT "$router7" "$repa7" "$repb7" >/dev/null 2>&1 || true
+kill -INT "$ctrl7" >/dev/null 2>&1 || true
+wait "$ctrl7" || true
+
+if [ "$fail" -ne 0 ]; then
+  exit 1
+fi
+echo "SMOKE OK: trace $tid7 stitched across router+replica, /fleet/metrics spans 4 instances, roles and lags correct (max lag ${maxlag7:-0})"
