@@ -37,9 +37,13 @@ type loadOptions struct {
 
 	// Mixed read/write mode: stream MutateRate ops/s to POST /mutate in
 	// MutateBatch-sized requests while the query load runs, replaying
-	// MutationsFile if set (synthetic ops otherwise).
+	// MutationsFile if set (synthetic ops otherwise). MutateWriters splits
+	// the rate over that many concurrent closed-loop writers — overlapping
+	// commits are what the WAL's group committer amortizes into shared
+	// fsyncs (forced to 1 for a replay, which must stay ordered).
 	MutateRate    float64
 	MutateBatch   int
+	MutateWriters int
 	MutationsFile string
 
 	// Fault schedule: KillAfter into the run, SIGKILL the worker process
@@ -149,19 +153,35 @@ func runLoad(o loadOptions) error {
 		interval = time.Millisecond
 	}
 
-	// Mixed read/write mode: a closed-loop mutation streamer runs beside
-	// the open-loop query generator for the same window.
-	var mut *mutationStreamer
+	// Mixed read/write mode: closed-loop mutation streamers run beside
+	// the open-loop query generator for the same window, each owning a
+	// share of the op rate.
+	var muts []*mutationStreamer
 	stopMut := make(chan struct{})
 	mutDone := make(chan struct{})
 	if o.MutateRate > 0 {
-		var err error
-		if mut, err = newMutationStreamer(o, client, base, vertices); err != nil {
-			return err
+		writers := max(o.MutateWriters, 1)
+		if o.MutationsFile != "" {
+			writers = 1 // a replay stream must keep its order
+		}
+		for i := 0; i < writers; i++ {
+			m, err := newMutationStreamer(o, client, base, vertices, i, writers)
+			if err != nil {
+				return err
+			}
+			muts = append(muts, m)
+		}
+		var mwg sync.WaitGroup
+		for _, m := range muts {
+			mwg.Add(1)
+			go func(m *mutationStreamer) {
+				defer mwg.Done()
+				m.run(stopMut)
+			}(m)
 		}
 		go func() {
 			defer close(mutDone)
-			mut.run(stopMut)
+			mwg.Wait()
 		}()
 	} else {
 		close(mutDone)
@@ -263,10 +283,12 @@ func runLoad(o loadOptions) error {
 		fmt.Printf("latency mean=%.2fms p50=%.2fms p95=%.2fms p99=%.2fms\n",
 			msOf(sum.MeanLatency), msOf(sum.P50), msOf(sum.P95), msOf(sum.P99))
 	}
-	if mut != nil {
-		mut.report(genWindow)
+	var mut *mutationTotals
+	if len(muts) > 0 {
+		mut = sumStreamers(muts)
+		mut.report(genWindow, len(muts))
 		reportLogBound(client, base, mut.applied)
-		reportDurability(client, base)
+		reportDurability(client, base, mut)
 	}
 	var recovery *benchRecovery
 	if at := killAt.Load(); at > 0 {
@@ -296,12 +318,14 @@ func runLoad(o loadOptions) error {
 			csum := metrics.SummarizeRecords(mut.commits)
 			sc.Mutations = &benchMutations{
 				Sent: mut.sent, Applied: mut.applied, Failed: mut.failed,
-				Batches:         mut.batches,
+				Batches: mut.batches, Writers: len(muts),
 				ApplyThroughput: float64(mut.applied) / genWindow.Seconds(),
 				Commit: benchLatency{
 					MeanMS: msOf(csum.MeanLatency), P50MS: msOf(csum.P50),
 					P95MS: msOf(csum.P95), P99MS: msOf(csum.P99),
 				},
+				FsyncsPerBatch:      mut.fsyncsPerBatch,
+				MeanBatchesPerFsync: mut.meanBatchesPerFsync,
 			}
 		}
 		name := o.Scenario
@@ -347,23 +371,39 @@ func reportLogBound(client *http.Client, base string, applied int64) {
 }
 
 // reportDurability prints the write-plane durability report: the WAL's
-// version chain, fsync cost per commit, and the background checkpoint
-// cutter's wall time. With a WAL armed, the commit latency above already
-// *includes* the fsync (it happens before the ack) while last_cut_ms is
-// paid entirely off the barrier — so commit p95 staying flat while
-// last_cut_ms grows with the graph is the off-barrier evidence.
-func reportDurability(client *http.Client, base string) {
+// version chain, fsync cost per commit, the group-commit amortization,
+// and the background checkpoint cutter's wall time. With a WAL armed, the
+// commit latency above already *includes* the fsync (it happens before
+// the ack) while last_cut_ms is paid entirely off the barrier — so commit
+// p95 staying flat while last_cut_ms grows with the graph is the
+// off-barrier evidence. The amortization numbers land in mut for the JSON
+// report: fsyncs/batch < 1 is the shared-sync evidence under concurrent
+// writers.
+func reportDurability(client *http.Client, base string, mut *mutationTotals) {
 	var st struct {
 		WAL struct {
-			Enabled       bool   `json:"enabled"`
-			BaseVersion   uint64 `json:"base_version"`
-			HeadVersion   uint64 `json:"head_version"`
-			Segments      int    `json:"segments"`
-			Appends       int64  `json:"appends"`
-			AppendedBytes int64  `json:"appended_bytes"`
-			LastFsyncUS   int64  `json:"last_fsync_us"`
-			MeanFsyncUS   int64  `json:"mean_fsync_us"`
+			Enabled             bool    `json:"enabled"`
+			BaseVersion         uint64  `json:"base_version"`
+			HeadVersion         uint64  `json:"head_version"`
+			Segments            int     `json:"segments"`
+			Appends             int64   `json:"appends"`
+			AppendedBytes       int64   `json:"appended_bytes"`
+			LastFsyncUS         int64   `json:"last_fsync_us"`
+			MeanFsyncUS         int64   `json:"mean_fsync_us"`
+			Fsyncs              int64   `json:"fsyncs"`
+			GroupedAppends      int64   `json:"grouped_appends"`
+			MeanBatchesPerFsync float64 `json:"mean_batches_per_fsync"`
+			LastGroupSize       int64   `json:"last_group_size"`
 		} `json:"wal"`
+		MVCC struct {
+			Pipelined      bool   `json:"pipelined"`
+			Live           int    `json:"live_versions"`
+			Pinned         int    `json:"pinned_readers"`
+			Retired        uint64 `json:"retired_versions"`
+			Peak           int    `json:"peak_live_versions"`
+			SealedInFlight int64  `json:"sealed_in_flight"`
+			MaxWorkerLag   uint64 `json:"max_worker_lag"`
+		} `json:"mvcc"`
 		Snapshot struct {
 			LastCutMS float64 `json:"last_cut_ms"`
 		} `json:"snapshot"`
@@ -372,6 +412,9 @@ func reportDurability(client *http.Client, base string) {
 	if err != nil || json.Unmarshal([]byte(raw), &st) != nil {
 		return
 	}
+	fmt.Printf("mvcc: pipelined=%v live_versions=%d pinned_readers=%d retired=%d peak_live=%d sealed_in_flight=%d max_worker_lag=%d\n",
+		st.MVCC.Pipelined, st.MVCC.Live, st.MVCC.Pinned, st.MVCC.Retired,
+		st.MVCC.Peak, st.MVCC.SealedInFlight, st.MVCC.MaxWorkerLag)
 	w := st.WAL
 	if !w.Enabled {
 		fmt.Printf("durability: wal=off (a full restart loses ops committed after the last checkpoint)\n")
@@ -379,6 +422,16 @@ func reportDurability(client *http.Client, base string) {
 	}
 	fmt.Printf("durability: wal=on head_version=%d base_version=%d segments=%d appends=%d bytes=%d fsync_mean_us=%d fsync_last_us=%d\n",
 		w.HeadVersion, w.BaseVersion, w.Segments, w.Appends, w.AppendedBytes, w.MeanFsyncUS, w.LastFsyncUS)
+	if w.Appends > 0 {
+		fpb := float64(w.Fsyncs) / float64(w.Appends)
+		fmt.Printf("group-commit: fsyncs=%d appends=%d fsyncs_per_batch=%.2f mean_batches_per_fsync=%.2f grouped_appends=%d last_group=%d\n",
+			w.Fsyncs, w.Appends, fpb, w.MeanBatchesPerFsync, w.GroupedAppends, w.LastGroupSize)
+		if mut != nil {
+			mut.fsyncsPerBatch = &fpb
+			mpf := w.MeanBatchesPerFsync
+			mut.meanBatchesPerFsync = &mpf
+		}
+	}
 	if st.Snapshot.LastCutMS > 0 {
 		fmt.Printf("durability: last_cut_ms=%.1f (background cutter; commit latency excludes cut work)\n",
 			st.Snapshot.LastCutMS)
@@ -463,12 +516,15 @@ func windowRate(times []time.Time, from, to time.Time) float64 {
 // rate, closed-loop per batch: send, await the commit, sleep out the
 // interval. Ops come from a replay file (qgraph-gen -mutations) or from a
 // synthetic generator that adds edges and churns the weights of edges it
-// added earlier (so set_weight ops actually apply).
+// added earlier (so set_weight ops actually apply). With -mutate-writers
+// several streamers run concurrently, each owning 1/n of the rate — their
+// overlapping commits are what the WAL group committer folds into shared
+// fsyncs.
 type mutationStreamer struct {
 	client  *http.Client
 	base    string
 	batch   int
-	rate    float64
+	rate    float64          // this writer's share
 	replay  []serve.MutateOp // nil = synthetic
 	rng     *rand.Rand
 	nVerts  int64
@@ -479,13 +535,13 @@ type mutationStreamer struct {
 	commits                               []metrics.QueryRecord
 }
 
-func newMutationStreamer(o loadOptions, client *http.Client, base string, vertices int) (*mutationStreamer, error) {
+func newMutationStreamer(o loadOptions, client *http.Client, base string, vertices, idx, writers int) (*mutationStreamer, error) {
 	m := &mutationStreamer{
 		client: client,
 		base:   base,
 		batch:  max(o.MutateBatch, 1),
-		rate:   o.MutateRate,
-		rng:    rand.New(rand.NewPCG(o.Seed, 0xa0761d6478bd642f)),
+		rate:   o.MutateRate / float64(writers),
+		rng:    rand.New(rand.NewPCG(o.Seed+uint64(idx), 0xa0761d6478bd642f)),
 		nVerts: int64(vertices),
 	}
 	if o.MutationsFile != "" {
@@ -588,18 +644,41 @@ func (m *mutationStreamer) post(ops []serve.MutateOp) {
 	})
 }
 
+// mutationTotals aggregates the writers' counters for the report.
+type mutationTotals struct {
+	sent, applied, noops, failed, batches int64
+	commits                               []metrics.QueryRecord
+	// Filled by reportDurability from the server's WAL stats (nil when
+	// the server runs without a WAL).
+	fsyncsPerBatch      *float64
+	meanBatchesPerFsync *float64
+}
+
+func sumStreamers(muts []*mutationStreamer) *mutationTotals {
+	t := &mutationTotals{}
+	for _, m := range muts {
+		t.sent += m.sent
+		t.applied += m.applied
+		t.noops += m.noops
+		t.failed += m.failed
+		t.batches += m.batches
+		t.commits = append(t.commits, m.commits...)
+	}
+	return t
+}
+
 // report prints the write-plane side of the mixed run.
-func (m *mutationStreamer) report(window time.Duration) {
-	fmt.Printf("mutations: sent=%d applied=%d noop=%d failed=%d batches=%d\n",
-		m.sent, m.applied, m.noops, m.failed, m.batches)
+func (t *mutationTotals) report(window time.Duration, writers int) {
+	fmt.Printf("mutations: writers=%d sent=%d applied=%d noop=%d failed=%d batches=%d\n",
+		writers, t.sent, t.applied, t.noops, t.failed, t.batches)
 	sec := window.Seconds()
 	if sec > 0 {
 		fmt.Printf("mutations: offered=%.1f ops/s apply_throughput=%.1f ops/s\n",
-			float64(m.sent)/sec, float64(m.applied)/sec)
+			float64(t.sent)/sec, float64(t.applied)/sec)
 	}
-	if sum := metrics.SummarizeRecords(m.commits); sum.Count > 0 {
-		fmt.Printf("mutations: commit mean=%.2fms p50=%.2fms p95=%.2fms\n",
-			msOf(sum.MeanLatency), msOf(sum.P50), msOf(sum.P95))
+	if sum := metrics.SummarizeRecords(t.commits); sum.Count > 0 {
+		fmt.Printf("mutations: commit mean=%.2fms p50=%.2fms p95=%.2fms p99=%.2fms\n",
+			msOf(sum.MeanLatency), msOf(sum.P50), msOf(sum.P95), msOf(sum.P99))
 	}
 }
 

@@ -62,9 +62,10 @@ func main() {
 		loadTenants = flag.Int("load-tenants", 4, "tenants to spread requests over (-load)")
 		loadTimeout = flag.Duration("load-timeout", 10*time.Second, "client-side request timeout (-load)")
 
-		mutateRate  = flag.Float64("mutate-rate", 0, "mixed read/write mode: stream graph mutations at this many ops/s during -load")
-		mutateBatch = flag.Int("mutate-batch", 32, "ops per POST /mutate request (-mutate-rate)")
-		mutateFile  = flag.String("mutations", "", "replay this update stream (qgraph-gen -mutations) instead of synthetic ops")
+		mutateRate    = flag.Float64("mutate-rate", 0, "mixed read/write mode: stream graph mutations at this many ops/s during -load")
+		mutateBatch   = flag.Int("mutate-batch", 32, "ops per POST /mutate request (-mutate-rate)")
+		mutateWriters = flag.Int("mutate-writers", 1, "concurrent closed-loop mutation writers sharing -mutate-rate; >1 exercises WAL group-commit amortization (forced to 1 with -mutations)")
+		mutateFile    = flag.String("mutations", "", "replay this update stream (qgraph-gen -mutations) instead of synthetic ops")
 
 		killPID    = flag.Int("kill-pid", 0, "fault schedule: SIGKILL this worker process -kill-after into the -load run")
 		killAfter  = flag.Duration("kill-after", 0, "when to fire the -kill-pid fault")
@@ -85,8 +86,9 @@ func main() {
 		if err := runLoad(loadOptions{
 			URL: *load, Rate: *rate, Duration: *loadDur, Mix: *loadMix,
 			Pool: *loadPool, Tenants: *loadTenants, Timeout: *loadTimeout, Seed: s,
-			MutateRate: *mutateRate, MutateBatch: *mutateBatch, MutationsFile: *mutateFile,
-			KillPID: *killPID, KillAfter: *killAfter, KillWorker: *killWorker,
+			MutateRate: *mutateRate, MutateBatch: *mutateBatch, MutateWriters: *mutateWriters,
+			MutationsFile: *mutateFile,
+			KillPID:       *killPID, KillAfter: *killAfter, KillWorker: *killWorker,
 			TraceSample: *traceSample, JSONOut: *jsonOut, Scenario: *scenario, JSONBest: *jsonBest,
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, "qgraph-bench:", err)

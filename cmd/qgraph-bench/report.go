@@ -30,8 +30,14 @@ type benchMutations struct {
 	Applied         int64        `json:"applied"`
 	Failed          int64        `json:"failed"`
 	Batches         int64        `json:"batches"`
+	Writers         int          `json:"writers,omitempty"`
 	ApplyThroughput float64      `json:"apply_ops_per_s"`
 	Commit          benchLatency `json:"commit_latency"`
+	// Group-commit amortization, from the server's WAL stats: fsyncs per
+	// committed batch (< 1 when concurrent commits share a sync) and the
+	// inverse, batches per fsync. Nil when the server runs without a WAL.
+	FsyncsPerBatch      *float64 `json:"fsyncs_per_batch,omitempty"`
+	MeanBatchesPerFsync *float64 `json:"mean_batches_per_fsync,omitempty"`
 }
 
 // benchRecovery is the fault-schedule outcome of a recovery scenario.
@@ -98,6 +104,11 @@ type benchReport struct {
 	// router_read_notrace: the per-request cost of the router opening a
 	// route trace and propagating X-QGraph-Trace-ID downstream.
 	RouterTraceOverheadPct *float64 `json:"router_trace_overhead_pct,omitempty"`
+	// CommitPipelineSpeedupX compares the write_barrier and
+	// write_pipelined scenarios' commit p50: how many times faster a
+	// mutation commits when it no longer rides the global STOP/START
+	// barrier. Derived once both scenarios are present.
+	CommitPipelineSpeedupX *float64 `json:"commit_pipeline_speedup_x,omitempty"`
 }
 
 // writeBenchJSON merges one scenario into the report at path
@@ -144,6 +155,14 @@ func writeBenchJSON(path, scenario string, sc benchScenario, keepBest bool) erro
 		if bare, ok := rep.Scenarios["router_read_notrace"]; ok && bare.Latency.MeanMS > 0 {
 			pct := 100 * (full.Latency.MeanMS - bare.Latency.MeanMS) / bare.Latency.MeanMS
 			rep.RouterTraceOverheadPct = &pct
+		}
+	}
+	rep.CommitPipelineSpeedupX = nil
+	if barrier, ok := rep.Scenarios["write_barrier"]; ok && barrier.Mutations != nil {
+		if piped, ok := rep.Scenarios["write_pipelined"]; ok && piped.Mutations != nil &&
+			piped.Mutations.Commit.P50MS > 0 {
+			x := barrier.Mutations.Commit.P50MS / piped.Mutations.Commit.P50MS
+			rep.CommitPipelineSpeedupX = &x
 		}
 	}
 	out, err := json.MarshalIndent(rep, "", "  ")

@@ -53,6 +53,20 @@ func (c *Controller) startQuery(req scheduleReq) {
 		spec.SetHome(int(c.owner[spec.Source]))
 	}
 	prog := query.MustNew(spec.Kind)
+	// Pin the committed version this query executes against (MVCC): every
+	// worker resolves PinVersion to the same immutable snapshot, and
+	// batches committing at later versions while it runs stay invisible to
+	// it. The pin is always resolvable on every worker because the
+	// ExecuteQuery broadcast below is ordered, per link, after the
+	// DeltaBatch that produced this version and before the one that
+	// supersedes it. The controller-side pin keeps the version live for
+	// restarts and surfaces the compaction floor in MVCCStats.
+	spec.PinVersion = c.view.Version()
+	if _, err := c.views.Pin(spec.PinVersion); err != nil {
+		// Cannot happen: the pin targets the registry's latest version.
+		req.ch <- Result{Q: spec.ID, Value: query.NoResult, Reason: protocol.FinishRejected}
+		return
+	}
 	ctl := &qctl{
 		spec:       spec,
 		prog:       prog,
@@ -274,6 +288,7 @@ func (c *Controller) collect(ctl *qctl) {
 func (c *Controller) finishQuery(ctl *qctl, reason protocol.FinishReason) {
 	q := ctl.spec.ID
 	delete(c.queries, q)
+	c.views.Unpin(ctl.spec.PinVersion)
 	c.broadcast(&protocol.QueryFinish{Q: q, Reason: reason})
 
 	now := c.cfg.Clock()

@@ -104,6 +104,11 @@ type Config struct {
 	// MaxBatchOps commits the staged batch early once it holds this many
 	// operations.
 	MaxBatchOps int
+	// BarrierCommit selects the pre-MVCC baseline: mutation batches commit
+	// under the global STOP/START barrier (quiescing every query) instead
+	// of the pipelined off-barrier path. Kept for A/B benchmarking; the
+	// default (false) commits off-barrier against pinned query snapshots.
+	BarrierCommit bool
 	// HeartbeatEvery is the worker liveness probe interval; negative
 	// disables heartbeats (zero selects the default).
 	HeartbeatEvery time.Duration
@@ -380,6 +385,24 @@ type Controller struct {
 	commitBatch  *protocol.DeltaBatch
 	commitMuts   []pendingMut
 	deltaAcks    int
+	// Pipelined (off-barrier) commit state. views is the controller-side
+	// MVCC registry: every committed version a query still has pinned stays
+	// resolvable (its Stats surface the compaction floor). sealed is the
+	// FIFO of batches sealed — version assigned, enqueued to the WAL group
+	// committer — but not yet durable+applied; sealedHead is the last sealed
+	// version (applies trail it by len(sealed)). walAckCh delivers group
+	//-commit completions into the event loop; durableQ buffers completions
+	// that land mid-recovery (applying would move the version under the
+	// round's PartitionAck equality check), drained at resume. ackVersion
+	// tracks each worker's last DeltaAck for replication-lag accounting.
+	views           *delta.Registry
+	sealed          []*sealedBatch
+	sealedHead      uint64
+	walAckCh        chan wal.AppendAck
+	durableQ        []wal.AppendAck
+	sealedInFlight  atomic.Int64
+	minAckedVersion atomic.Uint64
+	ackVersion      []uint64
 	// barrierHadMoves marks the active global barrier as a repartitioning
 	// one (scope moves executed); delta-only barriers do not count as
 	// repartitions.
@@ -510,6 +533,9 @@ func New(cfg Config, conn transport.Conn) (*Controller, error) {
 		byQ:          make(map[query.ID]*windowEntry),
 		inter:        make(map[interKey]int64),
 		view:         delta.NewViewAt(cfg.Graph, cfg.BaseVersion),
+		sealedHead:   cfg.BaseVersion,
+		walAckCh:     make(chan wal.AppendAck, 2*maxSealedInFlight),
+		ackVersion:   make([]uint64, cfg.K),
 		missedPings:  make([]int, cfg.K),
 		deadWorkers:  make(map[partition.WorkerID]bool),
 		epDied:       make(map[partition.WorkerID]bool),
@@ -532,6 +558,11 @@ func New(cfg Config, conn transport.Conn) (*Controller, error) {
 	for _, w := range cfg.Owner {
 		c.vertCount[w]++
 	}
+	c.views = delta.NewRegistry(c.view)
+	for w := range c.ackVersion {
+		c.ackVersion[w] = cfg.BaseVersion
+	}
+	c.minAckedVersion.Store(cfg.BaseVersion)
 	c.graphVersion.Store(cfg.BaseVersion)
 	if err := c.deltaLog.Rebase(cfg.BaseVersion); err != nil {
 		return nil, fmt.Errorf("controller: %w", err)
@@ -670,6 +701,38 @@ func (c *Controller) WALStats() wal.Stats {
 	return c.cfg.WAL.Stats()
 }
 
+// MVCCStats describes the multi-version state of the commit pipeline: the
+// view registry's live/pinned versions (the compaction floor), how many
+// sealed batches are in flight between the event loop and the WAL group
+// committer, and how far the slowest worker replica trails the committed
+// version.
+type MVCCStats struct {
+	delta.RegistryStats
+	// Pipelined is false when Config.BarrierCommit selected the baseline.
+	Pipelined bool `json:"pipelined"`
+	// SealedInFlight is the number of batches sealed (version assigned,
+	// queued for group fsync) but not yet applied.
+	SealedInFlight int64 `json:"sealed_in_flight"`
+	// MaxWorkerLag is committed version minus the slowest live worker's
+	// last-acknowledged version (pipelined mode only; barrier commits
+	// cannot lag by construction).
+	MaxWorkerLag uint64 `json:"max_worker_lag"`
+}
+
+// MVCCStats reports the commit pipeline's multi-version accounting. Safe
+// to call concurrently with Run; the serving layer surfaces it in /stats.
+func (c *Controller) MVCCStats() MVCCStats {
+	st := MVCCStats{
+		RegistryStats:  c.views.Stats(),
+		Pipelined:      !c.cfg.BarrierCommit,
+		SealedInFlight: c.sealedInFlight.Load(),
+	}
+	if v, acked := c.graphVersion.Load(), c.minAckedVersion.Load(); !c.cfg.BarrierCommit && v > acked {
+		st.MaxWorkerLag = v - acked
+	}
+	return st
+}
+
 // QcutSnapshot returns the controller's current high-level view as a Q-cut
 // input (Fig. 6g and debugging).
 func (c *Controller) QcutSnapshot() (qcut.Input, error) {
@@ -746,6 +809,13 @@ func (c *Controller) Run() error {
 			c.onCutDone(done)
 		case req := <-c.mutateCh:
 			c.onMutate(req)
+		case ack := <-c.walAckCh:
+			if err := c.onWalAck(ack); err != nil {
+				c.runErr = err
+				c.broadcastAll(&protocol.Shutdown{})
+				c.failActive()
+				return err
+			}
 		case res := <-c.qcutCh:
 			c.onQcutDone(res)
 		case <-ticker.C:
@@ -775,6 +845,7 @@ func (c *Controller) failActive() {
 			Supersteps: ctl.stepsDone, LocalIters: ctl.localSteps,
 			Latency: now.Sub(ctl.started),
 		}
+		c.views.Unpin(ctl.spec.PinVersion)
 		delete(c.queries, q)
 	}
 	for _, req := range c.deferred {
@@ -796,6 +867,15 @@ func (c *Controller) failMutations(pendingErr, commitErr error) {
 	for _, pm := range c.commitMuts {
 		pm.ch <- MutationResult{Err: commitErr}
 	}
+	// Sealed pipelined batches are in commitBatch's position: enqueued to
+	// the WAL, possibly already durable, but never acknowledged.
+	for _, sb := range c.sealed {
+		for _, pm := range sb.muts {
+			pm.ch <- MutationResult{Err: commitErr}
+		}
+	}
+	c.sealed, c.durableQ = nil, nil
+	c.sealedInFlight.Store(0)
 	c.pendingMuts, c.commitMuts = nil, nil
 	c.pendingOps, c.pendingNewV, c.firstOpAt = nil, 0, time.Time{}
 	c.commitBatch = nil

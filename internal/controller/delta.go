@@ -2,36 +2,69 @@ package controller
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"qgraph/internal/delta"
 	"qgraph/internal/faultpoint"
 	"qgraph/internal/partition"
 	"qgraph/internal/protocol"
+	"qgraph/internal/wal"
 )
 
 // This file is the controller side of the streaming-update data plane
-// (internal/delta): Mutate calls stage operations into a pending batch;
-// the batch commits under the global STOP/START barrier — the same
-// machinery that executes Q-cut moves — while the vertex-message network
-// is provably quiet. Every node (controller and workers) applies the same
-// batch between supersteps, so queries always run against one consistent
-// graph version and the serving layer can invalidate its result cache
-// exactly at the version bump.
+// (internal/delta): Mutate calls stage operations into a pending batch,
+// and the batch commits to version v+1 through one of two paths:
+//
+// Pipelined (the default): the batch is sealed — version assigned, new
+// vertices placed — and handed to the WAL group committer; once the shared
+// fsync reports it durable, the event loop applies it to the controller
+// view, publishes the version, broadcasts the DeltaBatch to the workers,
+// and acknowledges the callers. No query stops: each query pinned an
+// immutable snapshot at admission (query.Spec.PinVersion) and runs to
+// completion against it, so commit latency is seal→fsync→apply instead of
+// a function of the longest-running superstep. The global STOP/START
+// barrier remains for repartitioning and recovery only.
+//
+// Barrier (Config.BarrierCommit, the pre-MVCC baseline kept for A/B
+// benchmarking): the batch commits under the global barrier while the
+// vertex-message network is provably quiet, quiescing every query.
+//
+// Both paths preserve the durability contract — a batch reaches the
+// fsynced WAL before any caller is told it committed — and the on-disk WAL
+// format (one record per version), so replicas tailing the WAL and restart
+// recovery never know which path produced a record.
+
+// maxSealedInFlight caps pipelined batches sealed but not yet applied. It
+// sits well below the WAL group committer's queue depth, so Enqueue never
+// blocks the event loop; at the cap, staged ops simply keep accumulating
+// into a bigger next batch.
+const maxSealedInFlight = 128
+
+// sealedBatch is one pipelined commit in flight: sealed (version assigned,
+// handed to the WAL group committer) but not yet durable and applied.
+type sealedBatch struct {
+	batch    *protocol.DeltaBatch
+	muts     []pendingMut
+	sealedAt time.Time
+}
 
 // onMutate validates and stages one client batch. During a recovery
-// episode the batch stays staged (the commit barrier needs phaseRun) and
-// commits once the live set settles — callers see latency, not failure.
+// episode the batch stays staged (sealing needs a settled live set) and
+// commits once recovery completes — callers see latency, not failure.
 func (c *Controller) onMutate(req mutateReq) {
 	if c.terminal {
 		req.ch <- MutationResult{Err: fmt.Errorf("controller: degraded (no live workers)")}
 		return
 	}
 	// Range-validate against the staged future: committed view plus every
-	// vertex an earlier staged (or in-commit) op will add.
+	// vertex an earlier staged, sealed, or in-commit op will add.
 	n := c.view.NumVertices() + c.pendingNewV
 	if c.commitBatch != nil {
 		n += len(c.commitBatch.NewOwners)
+	}
+	for _, sb := range c.sealed {
+		n += len(sb.batch.NewOwners)
 	}
 	nAfter := n
 	var err error
@@ -50,25 +83,45 @@ func (c *Controller) onMutate(req mutateReq) {
 	c.maybeCommit(c.cfg.Clock())
 }
 
-// maybeCommit starts a commit barrier once the staged batch is old or big
-// enough and no other barrier is running.
+// maybeCommit commits the staged batch once it is old or big enough,
+// through the path the configuration selected.
 func (c *Controller) maybeCommit(now time.Time) {
-	if c.phase != phaseRun || c.terminal || c.commitBatch != nil || len(c.pendingOps) == 0 {
+	if c.terminal || len(c.pendingOps) == 0 {
 		return
 	}
 	if len(c.pendingOps) < c.cfg.MaxBatchOps && now.Sub(c.firstOpAt) < c.cfg.CommitEvery {
 		return
 	}
-	c.startCommit()
+	if c.cfg.BarrierCommit {
+		// Baseline: one commit at a time, under a global barrier that needs
+		// phaseRun to start.
+		if c.phase != phaseRun || c.commitBatch != nil {
+			return
+		}
+		c.startCommit()
+		return
+	}
+	// Pipelined: sealing needs no barrier, but recovery is still resolving
+	// who is alive (new-vertex placement and the round's version-equality
+	// check both depend on it), and the in-flight cap bounds queued fsyncs.
+	if c.phase == phaseRecover || len(c.sealed) >= maxSealedInFlight {
+		return
+	}
+	c.sealPipelined()
 }
 
-// startCommit seals the staged ops into the next version's DeltaBatch —
-// assigning each new vertex to the least-loaded worker — and begins the
-// global barrier that will broadcast it.
-func (c *Controller) startCommit() {
+// assignNewOwners places each AddVertex of ops on the least-loaded live
+// worker, counting vertices that earlier sealed-but-unapplied batches will
+// add.
+func (c *Controller) assignNewOwners(ops []delta.Op) []partition.WorkerID {
 	var owners []partition.WorkerID
 	counts := append([]int64(nil), c.vertCount...)
-	for _, op := range c.pendingOps {
+	for _, sb := range c.sealed {
+		for _, o := range sb.batch.NewOwners {
+			counts[o]++
+		}
+	}
+	for _, op := range ops {
 		if op.Kind != delta.OpAddVertex {
 			continue
 		}
@@ -84,10 +137,166 @@ func (c *Controller) startCommit() {
 		owners = append(owners, partition.WorkerID(best))
 		counts[best]++
 	}
+	return owners
+}
+
+// sealPipelined seals the staged ops into version sealedHead+1 and hands
+// the batch to the WAL group committer; application happens when the
+// shared fsync acks through walAckCh. Without a WAL there is nothing to
+// wait for — a synthetic completion rides the same channel so the apply
+// path (and its fatal-error handling) stays single.
+func (c *Controller) sealPipelined() {
+	owners := c.assignNewOwners(c.pendingOps)
+	c.sealedHead++
+	sb := &sealedBatch{
+		batch: &protocol.DeltaBatch{
+			Version:   c.sealedHead,
+			Ops:       c.pendingOps,
+			NewOwners: owners,
+		},
+		muts:     c.pendingMuts,
+		sealedAt: time.Now(),
+	}
+	c.sealed = append(c.sealed, sb)
+	c.sealedInFlight.Store(int64(len(c.sealed)))
+	c.pendingOps, c.pendingMuts, c.pendingNewV, c.firstOpAt = nil, nil, 0, time.Time{}
+	if c.cfg.WAL != nil {
+		c.cfg.WAL.Enqueue(sb.batch.Version, sb.batch.Ops, c.walAckCh)
+		return
+	}
+	c.walAckCh <- wal.AppendAck{Version: sb.batch.Version, GroupSize: 1, First: true}
+}
+
+// onWalAck receives one group-commit completion in the event loop: the
+// batch at the head of the sealed FIFO is durable (acks arrive in version
+// order) and can be applied — unless a recovery round is holding the
+// committed version still, in which case the completion queues until
+// resume.
+func (c *Controller) onWalAck(ack wal.AppendAck) error {
+	if ack.Err != nil {
+		// The WAL could not make the batch durable (or closed under us).
+		// Acknowledging an op the disk never saw would break the restart
+		// contract, so the engine stops loudly; the sealed callers get
+		// explicit errors from the shutdown path.
+		return fmt.Errorf("controller: wal append version %d: %w", ack.Version, ack.Err)
+	}
+	if c.terminal || len(c.sealed) == 0 {
+		// Terminal teardown already failed the sealed callers: the batch is
+		// durable but will never be acknowledged (a restart may recover it,
+		// which the contract allows — durable-but-unacked may survive).
+		return nil
+	}
+	if ack.First && c.cfg.WAL != nil {
+		d := time.Duration(ack.FsyncUS) * time.Microsecond
+		if co := c.obs; co != nil {
+			co.walFsyncSeconds.Observe(d.Seconds())
+			co.walFsyncCount.Inc()
+			co.fsyncBatchSize.Observe(float64(ack.GroupSize))
+		}
+		c.cfg.Monitor.ObserveFsync(d)
+	}
+	if c.phase == phaseRecover {
+		// Applying would move the committed version mid-round, under the
+		// PartitionAck equality check; resume drains the queue once the
+		// live set settled.
+		c.durableQ = append(c.durableQ, ack)
+		return nil
+	}
+	return c.applyDurable(ack)
+}
+
+// drainDurable applies completions buffered during a recovery round.
+// Called from resume, after restarted queries re-pinned the recovered
+// version — per-link FIFO then guarantees their ExecuteQuery precedes
+// these batches' DeltaBatch broadcasts on every link.
+func (c *Controller) drainDurable() error {
+	for len(c.durableQ) > 0 {
+		ack := c.durableQ[0]
+		c.durableQ = c.durableQ[1:]
+		if err := c.applyDurable(ack); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyDurable applies the durable head of the sealed FIFO: advance the
+// controller view, publish the version, broadcast the batch off-barrier,
+// and acknowledge the callers. Running queries are untouched — they hold
+// pinned snapshots.
+func (c *Controller) applyDurable(ack wal.AppendAck) error {
+	sb := c.sealed[0]
+	if sb.batch.Version != ack.Version {
+		return fmt.Errorf("controller: wal acked version %d, expected %d", ack.Version, sb.batch.Version)
+	}
+	batch := sb.batch
+	nv, statuses, err := c.view.Apply(batch.Ops)
+	if err != nil {
+		// The batch was validated when staged; failing here means the
+		// durable log and the in-memory chain diverged — fatal.
+		return fmt.Errorf("controller: committed batch %d failed to apply: %w", batch.Version, err)
+	}
+	c.view = nv
+	c.curView.Store(nv)
+	c.graphVersion.Store(batch.Version)
+	c.views.Publish(nv)
+	preBytes := c.deltaLog.Bytes()
+	if err := c.deltaLog.Append(batch.Version, batch.Ops); err != nil {
+		// Impossible: versions apply contiguously from this one loop.
+		return fmt.Errorf("controller: %w", err)
+	}
+	if c.cfg.WAL != nil && faultpoint.Hit(faultpoint.WALAppend) {
+		// Simulated crash between the group fsync and the ack: the batch is
+		// durable but nobody was told — restart must recover it. The batch
+		// stays at the head of the sealed FIFO so the shutdown path fails
+		// its callers explicitly ("batch state unknown").
+		return faultpoint.ErrKilled
+	}
+	// Past the last fatal exit: the batch leaves the FIFO and its callers
+	// get acknowledged.
+	c.sealed = c.sealed[1:]
+	c.sealedInFlight.Store(int64(len(c.sealed)))
+	c.snapOps += len(batch.Ops)
+	c.snapBytes += c.deltaLog.Bytes() - preBytes
+	c.updateLogMirrors()
+	c.maybeCheckpoint(c.cfg.Clock())
+	c.owner = append(c.owner, batch.NewOwners...)
+	for _, o := range batch.NewOwners {
+		c.vertCount[o]++
+	}
+	// Off-barrier version bump: workers apply the batch between supersteps
+	// and publish it into their view registries; queries in flight keep
+	// their pinned snapshots. Broadcast ordering relative to ExecuteQuery
+	// on each link is what makes every pin resolvable (see startQuery).
+	c.broadcast(batch)
+	i := 0
+	for _, pm := range sb.muts {
+		applied, noops := 0, 0
+		for j := 0; j < pm.n; j++ {
+			if statuses[i+j] == delta.OpNoOp {
+				noops++
+			} else {
+				applied++
+			}
+		}
+		i += pm.n
+		pm.ch <- MutationResult{Version: batch.Version, Applied: applied, NoOps: noops}
+	}
+	if co := c.obs; co != nil {
+		co.commitSeconds.Observe(time.Since(sb.sealedAt).Seconds())
+	}
+	// A seal may have been held back by the in-flight cap.
+	c.maybeCommit(c.cfg.Clock())
+	return nil
+}
+
+// startCommit (barrier mode) seals the staged ops into the next version's
+// DeltaBatch and begins the global barrier that will broadcast it.
+func (c *Controller) startCommit() {
 	c.commitBatch = &protocol.DeltaBatch{
 		Version:   c.graphVersion.Load() + 1,
 		Ops:       c.pendingOps,
-		NewOwners: owners,
+		NewOwners: c.assignNewOwners(c.pendingOps),
 	}
 	c.commitMuts = c.pendingMuts
 	c.pendingOps, c.pendingMuts, c.pendingNewV, c.firstOpAt = nil, nil, 0, time.Time{}
@@ -103,10 +312,28 @@ func (c *Controller) sendCommit() {
 	c.broadcast(c.commitBatch)
 }
 
-// onDeltaAck collects worker acknowledgements; once every live worker
-// applied the batch, the controller applies it to its own view, publishes
-// the new version, and continues the barrier (moves, then resume).
+// onDeltaAck collects worker acknowledgements. In barrier mode the commit
+// completes once every live worker applied the batch; in pipelined mode
+// commits never wait for acks — they only feed replication-lag accounting.
 func (c *Controller) onDeltaAck(m *protocol.DeltaAck) error {
+	if !c.cfg.BarrierCommit {
+		if int(m.W) < len(c.ackVersion) && m.Version > c.ackVersion[m.W] {
+			c.ackVersion[m.W] = m.Version
+			min := uint64(math.MaxUint64)
+			for w, v := range c.ackVersion {
+				if c.deadWorkers[partition.WorkerID(w)] {
+					continue
+				}
+				if v < min {
+					min = v
+				}
+			}
+			if min != math.MaxUint64 {
+				c.minAckedVersion.Store(min)
+			}
+		}
+		return nil
+	}
 	if c.phase != phaseDeltaCommit || c.commitBatch == nil || m.Version != c.commitBatch.Version {
 		// Not a protocol violation: recovery aborts and retries commits, so
 		// an ack from before the abort can surface in any later phase.
@@ -119,12 +346,11 @@ func (c *Controller) onDeltaAck(m *protocol.DeltaAck) error {
 	if err := c.applyCommit(); err != nil {
 		return err
 	}
-	c.issueMoves()
-	return nil
+	return c.issueMoves()
 }
 
-// applyCommit applies the acknowledged batch to the controller's view and
-// delivers per-caller results.
+// applyCommit (barrier mode) applies the acknowledged batch to the
+// controller's view and delivers per-caller results.
 func (c *Controller) applyCommit() error {
 	batch := c.commitBatch
 	nv, statuses, err := c.view.Apply(batch.Ops)
@@ -136,6 +362,8 @@ func (c *Controller) applyCommit() error {
 	c.view = nv
 	c.curView.Store(nv)
 	c.graphVersion.Store(batch.Version)
+	c.views.Publish(nv)
+	c.sealedHead = batch.Version
 	preBytes := c.deltaLog.Bytes()
 	if err := c.deltaLog.Append(batch.Version, batch.Ops); err != nil {
 		// Impossible: versions commit contiguously from this one loop.
@@ -155,6 +383,7 @@ func (c *Controller) applyCommit() error {
 		if co := c.obs; co != nil {
 			co.walFsyncSeconds.Observe(fsyncEnd.Sub(fsyncStart).Seconds())
 			co.walFsyncCount.Inc()
+			co.fsyncBatchSize.Observe(1)
 		}
 		c.spanActiveQueries("wal/fsync", fsyncStart, fsyncEnd,
 			map[string]any{"version": batch.Version, "ops": len(batch.Ops)})

@@ -99,15 +99,13 @@ func (c *Controller) onDrainAck(m *protocol.DrainAck) error {
 			c.sendCommit()
 			return nil
 		}
-		c.issueMoves()
-		return nil
+		return c.issueMoves()
 	case phaseScopeDrain:
 		c.drainAcks++
 		if c.drainAcks < c.liveCount() {
 			return nil
 		}
-		c.resume()
-		return nil
+		return c.resume()
 	default:
 		return fmt.Errorf("controller: DrainAck in phase %d", c.phase)
 	}
@@ -115,13 +113,12 @@ func (c *Controller) onDrainAck(m *protocol.DrainAck) error {
 
 // issueMoves sends the move directives (phase draining → moving), or skips
 // straight to resume when there is nothing to do.
-func (c *Controller) issueMoves() {
+func (c *Controller) issueMoves() error {
 	c.ownDeltaV = nil
 	c.ownDeltaW = nil
 	c.movesLeft = len(c.pendingMoves)
 	if c.movesLeft == 0 {
-		c.resume()
-		return
+		return c.resume()
 	}
 	c.barrierHadMoves = true
 	c.enterPhase(phaseMoving)
@@ -131,6 +128,7 @@ func (c *Controller) issueMoves() {
 		})
 	}
 	c.pendingMoves = nil
+	return nil
 }
 
 func (c *Controller) onMoveAck(m *protocol.MoveAck) error {
@@ -193,7 +191,7 @@ func (c *Controller) onMoveAck(m *protocol.MoveAck) error {
 // worker took its share of their vertex state with it, so the whole query
 // restarts against the recovered partitioning (the caller just waits
 // longer).
-func (c *Controller) resume() {
+func (c *Controller) resume() error {
 	c.enterPhase(phaseRun)
 	if c.barrierHadMoves {
 		// Only barriers that executed scope moves count as repartitions;
@@ -247,4 +245,9 @@ func (c *Controller) resume() {
 	for _, req := range deferred {
 		c.startQuery(req)
 	}
+	// Pipelined commits that became durable while a recovery round held the
+	// version still apply now: every restarted or deferred query above
+	// pinned (and was broadcast at) the pre-drain version, so per-link FIFO
+	// keeps their pins resolvable under these batches' version bumps.
+	return c.drainDurable()
 }

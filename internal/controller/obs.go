@@ -47,6 +47,10 @@ var barrierBuckets = []float64{
 	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
 }
 
+// fsyncBatchBuckets resolve group-commit amortization: batches per fsync,
+// up to the WAL's group cap.
+var fsyncBatchBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128}
+
 // ctlObs bundles the controller's metric instruments. A nil *ctlObs (no
 // Config.Obs) makes every method a no-op.
 type ctlObs struct {
@@ -54,6 +58,7 @@ type ctlObs struct {
 
 	commitSeconds   *obs.Histogram
 	walFsyncSeconds *obs.Histogram
+	fsyncBatchSize  *obs.Histogram
 	snapCutSeconds  *obs.Histogram
 	barrierSeconds  map[phase]*obs.Histogram
 
@@ -80,6 +85,7 @@ func newCtlObs(c *Controller) *ctlObs {
 		o:               o,
 		commitSeconds:   m.Histogram("qgraph_commit_seconds", "", "end-to-end delta commit latency (seal to applied)", nil),
 		walFsyncSeconds: m.Histogram("qgraph_wal_fsync_seconds", "", "WAL append+fsync latency per committed batch", barrierBuckets),
+		fsyncBatchSize:  m.Histogram("qgraph_wal_fsync_batch_size", "", "mutation batches amortized per WAL group-commit fsync", fsyncBatchBuckets),
 		snapCutSeconds:  m.Histogram("qgraph_snapshot_cut_seconds", "", "background snapshot cut duration (materialize+persist)", nil),
 		barrierSeconds:  make(map[phase]*obs.Histogram),
 		barrierCount:    m.Counter("qgraph_barrier_total", "", "global STOP/START barriers executed"),

@@ -158,6 +158,12 @@ func (c *Controller) proceedRecovery() {
 		// worker that is now lost; re-balance them onto the live set.
 		recovery.RemapOwners(c.commitBatch.NewOwners, c.vertCount, lost)
 	}
+	for _, sb := range c.sealed {
+		// Same for every pipelined batch sealed but not yet applied: its
+		// ops are already (or about to be) durable in the WAL, but its
+		// new-vertex placement must land on workers that still exist.
+		recovery.RemapOwners(sb.batch.NewOwners, c.vertCount, lost)
+	}
 	// One immutable snapshot of the authoritative map, shared by every
 	// message of this round (receivers copy; the controller keeps
 	// mutating c.owner afterwards).
@@ -214,7 +220,7 @@ func (c *Controller) onPartitionAck(m *protocol.PartitionAck) error {
 			m.W, m.Version, c.graphVersion.Load())
 	}
 	if done {
-		c.completeRecovery()
+		return c.completeRecovery()
 	}
 	return nil
 }
@@ -223,7 +229,7 @@ func (c *Controller) onPartitionAck(m *protocol.PartitionAck) error {
 // the normal global barrier — retry the aborted delta commit while the
 // network is provably quiet, and resume() restarts every active query
 // from superstep 0 and bumps the repartition epoch exactly once.
-func (c *Controller) completeRecovery() {
+func (c *Controller) completeRecovery() error {
 	now := c.cfg.Clock()
 	dur := c.rec.Finish(now)
 	handoffs, rejoins := 0, 0
@@ -259,9 +265,9 @@ func (c *Controller) completeRecovery() {
 	c.barrierHadMoves = true
 	if c.commitBatch != nil {
 		c.sendCommit()
-		return
+		return nil
 	}
-	c.issueMoves()
+	return c.issueMoves()
 }
 
 // resetQueryForRestart rewinds a query's controller-side state to
@@ -289,6 +295,16 @@ func (c *Controller) resetQueryForRestart(ctl *qctl) {
 		// Re-pin replicated queries: the old home may be gone.
 		ctl.spec.SetHome(int(c.owner[ctl.spec.Source]))
 	}
+	// Re-pin the MVCC snapshot to the recovered version: every worker is
+	// exactly at the committed version when the re-broadcast ExecuteQuery
+	// arrives (RecoverStart/PartitionGrant carried it), so the new pin
+	// resolves; the old one may predate the recovery and is released.
+	c.views.Unpin(ctl.spec.PinVersion)
+	ctl.spec.PinVersion = c.view.Version()
+	if _, err := c.views.Pin(ctl.spec.PinVersion); err != nil {
+		// Cannot happen: the pin targets the registry's latest version.
+		panic(fmt.Sprintf("controller: re-pin query %d: %v", ctl.spec.ID, err))
+	}
 }
 
 // enterTerminal is the unrecoverable end state: every worker is dead.
@@ -314,6 +330,7 @@ func (c *Controller) enterTerminal() {
 			Supersteps: ctl.stepsDone, LocalIters: ctl.localSteps,
 			Latency: now.Sub(ctl.started),
 		}
+		c.views.Unpin(ctl.spec.PinVersion)
 		delete(c.queries, q)
 	}
 	for _, req := range c.deferred {

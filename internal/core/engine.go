@@ -75,8 +75,12 @@ type Config struct {
 	Seed             uint64
 	// Streaming-update and liveness knobs (zero = defaults; see
 	// controller.Config).
-	CommitEvery      time.Duration
-	MaxBatchOps      int
+	CommitEvery time.Duration
+	MaxBatchOps int
+	// BarrierCommit commits mutation batches under the global STOP/START
+	// barrier (the pre-MVCC baseline) instead of the pipelined off-barrier
+	// path; kept for A/B benchmarking (see controller.Config).
+	BarrierCommit    bool
 	HeartbeatEvery   time.Duration
 	HeartbeatTimeout time.Duration
 	// RespawnWorkers relaunches a dead worker in-process when the
@@ -272,6 +276,7 @@ func Start(cfg Config) (*Engine, error) {
 		Seed:             cfg.Seed,
 		CommitEvery:      cfg.CommitEvery,
 		MaxBatchOps:      cfg.MaxBatchOps,
+		BarrierCommit:    cfg.BarrierCommit,
 		HeartbeatEvery:   cfg.HeartbeatEvery,
 		HeartbeatTimeout: cfg.HeartbeatTimeout,
 		Respawn:          respawn,
@@ -497,6 +502,9 @@ func (e *Engine) SnapshotStats() snapshot.Stats { return e.ctrl.SnapshotStats() 
 // WALStats reports the durable write-ahead log's accounting (Enabled is
 // false when the engine runs without a WAL; see controller.WALStats).
 func (e *Engine) WALStats() wal.Stats { return e.ctrl.WALStats() }
+
+// MVCCStats reports the commit pipeline's version-registry accounting.
+func (e *Engine) MVCCStats() controller.MVCCStats { return e.ctrl.MVCCStats() }
 
 // GraphBase returns the graph and committed version the engine started
 // from after snapshot/WAL recovery (what Config.Graph/BaseVersion became).

@@ -144,11 +144,15 @@ func TestRecoveryFaultMatrix(t *testing.T) {
 	cases := []struct {
 		name  string
 		point string
-		// mutate triggers a commit barrier so barrier/commit points fire.
+		// mutate stages a commit so the delta-commit points fire; the
+		// pipelined path exercises them off-barrier.
 		mutate bool
+		// barrier forces the pre-MVCC barrier-commit baseline, whose
+		// commit walks the worker into the GlobalStop point.
+		barrier bool
 	}{
 		{name: "mid-superstep", point: faultpoint.WorkerSuperstep},
-		{name: "mid-barrier", point: faultpoint.WorkerBarrierStop, mutate: true},
+		{name: "mid-barrier", point: faultpoint.WorkerBarrierStop, mutate: true, barrier: true},
 		{name: "mid-delta-commit-before-apply", point: faultpoint.WorkerDeltaApply, mutate: true},
 		{name: "mid-delta-commit-after-apply", point: faultpoint.WorkerDeltaAck, mutate: true},
 	}
@@ -156,7 +160,7 @@ func TestRecoveryFaultMatrix(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			defer faultpoint.Reset()
 			g := recoverGraph(48)
-			cfg := Config{Workers: 3, Graph: g, Partitioner: partition.Hash{}}
+			cfg := Config{Workers: 3, Graph: g, Partitioner: partition.Hash{}, BarrierCommit: tc.barrier}
 			fastRecovery(&cfg)
 			eng, err := Start(cfg)
 			if err != nil {

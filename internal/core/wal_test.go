@@ -189,7 +189,12 @@ func TestSnapshotCutRunsOffTheBarrier(t *testing.T) {
 
 	// Stall the cutter indefinitely; SnapshotCut fires on its goroutine.
 	block := make(chan struct{})
+	entered := make(chan struct{}, 1)
 	disarm := faultpoint.Arm(faultpoint.SnapshotCut, func(...int) bool {
+		select {
+		case entered <- struct{}{}:
+		default:
+		}
 		<-block
 		return false
 	})
@@ -201,10 +206,17 @@ func TestSnapshotCutRunsOffTheBarrier(t *testing.T) {
 			resCh <- res
 		}
 	}()
+	// Wait until the cut actually pinned its view and blocked — pipelined
+	// commits are fast enough to win the race against the request
+	// otherwise, which would pin a later version.
+	select {
+	case <-entered:
+	case <-time.After(30 * time.Second):
+		t.Fatal("cutter never started")
+	}
 
-	// Commits must keep flowing while the cut is stuck (each mutate here
-	// rides a full commit barrier; any of them hanging fails the test via
-	// mutate's own timeout).
+	// Commits must keep flowing while the cut is stuck (any of them
+	// hanging fails the test via mutate's own timeout).
 	for i := 0; i < 3; i++ {
 		mutate(t, eng, neutralOps(2))
 	}

@@ -71,6 +71,12 @@ type Spec struct {
 	// structured logs correlate with the span tree the serving layer
 	// assembles (internal/obs).
 	TraceID uint64
+	// PinVersion is the committed graph version this query executes
+	// against: assigned by the controller at admission, resolved by every
+	// worker to the same immutable delta.View snapshot. Batches committing
+	// at later versions while the query runs are invisible to it (MVCC
+	// snapshot isolation; see the view registry in internal/delta).
+	PinVersion uint64
 	// home pins the whole query to one worker (stored as worker+1 so the
 	// zero value means "no pinning"). See SetHome.
 	home int16

@@ -469,3 +469,5 @@ func (r *Replica) ForceSnapshot() (snapshot.Result, error) {
 func (r *Replica) SnapshotStats() snapshot.Stats { return r.engine().SnapshotStats() }
 
 func (r *Replica) WALStats() wal.Stats { return r.engine().WALStats() }
+
+func (r *Replica) MVCCStats() controller.MVCCStats { return r.engine().MVCCStats() }

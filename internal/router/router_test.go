@@ -72,6 +72,8 @@ func newFakeNode(name, role string, version uint64) *fakeNode {
 			return
 		}
 		n.mutates.Add(1)
+		// A real primary stamps the commit's version for read-your-writes.
+		w.Header().Set("X-QGraph-Version", fmt.Sprint(n.version.Add(1)))
 		json.NewEncoder(w).Encode(map[string]any{"served_by": n.name})
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
@@ -377,6 +379,31 @@ func TestRouterVersionHeaderPreserved(t *testing.T) {
 	resp.Body.Close()
 	if got := resp.Header.Get("X-QGraph-Version"); got != "41" {
 		t.Fatalf("version header %q, want 41 (the serving replica's)", got)
+	}
+}
+
+// TestRouterMutateCarriesVersionHeader: a write through the router reaches
+// the primary and its committed-version stamp passes back untouched — the
+// token a client echoes as ?min_version= for read-your-writes.
+func TestRouterMutateCarriesVersionHeader(t *testing.T) {
+	prim := newFakeNode("primary", "primary", 42)
+	ra := newFakeNode("replica-a", "replica", 42)
+	defer prim.Close()
+	defer ra.Close()
+
+	_, front := newTestRouter(t, prim, []*fakeNode{ra}, 10)
+
+	resp, err := http.Post(front.URL+"/mutate", "application/json",
+		strings.NewReader(`{"ops":[{"op":"add_vertex"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if prim.mutates.Load() != 1 {
+		t.Fatalf("primary saw %d mutates, want 1", prim.mutates.Load())
+	}
+	if got := resp.Header.Get("X-QGraph-Version"); got != "43" {
+		t.Fatalf("mutate version header %q, want 43 (the commit's)", got)
 	}
 }
 

@@ -66,6 +66,56 @@ func TestMutateEndpoint(t *testing.T) {
 	}
 }
 
+// TestMutateVersionHeaderReadYourWrites: the /mutate response stamps the
+// committed version on X-QGraph-Version, and echoing it as ?min_version=
+// admits the follow-up read (while a version the node has not applied is
+// refused 412) — the whole read-your-writes loop.
+func TestMutateVersionHeaderReadYourWrites(t *testing.T) {
+	b := newStubBackend()
+	_, ts := newTestServer(t, b, nil)
+
+	body, _ := json.Marshal(MutateRequest{Ops: []MutateOp{
+		{Op: "add_edge", From: 0, To: 5, Weight: 2.5},
+	}})
+	resp, err := http.Post(ts.URL+"/mutate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mutate = %d", resp.StatusCode)
+	}
+	got := resp.Header.Get(VersionHeader)
+	if got != "1" {
+		t.Fatalf("%s = %q, want the committed version 1", VersionHeader, got)
+	}
+
+	// Echo the stamped version: the read must be admitted.
+	q, _ := json.Marshal(QueryRequest{Kind: "sssp", Source: 0, Target: ptr(int64(5))})
+	r2, err := http.Post(ts.URL+"/query?min_version="+got, "application/json", bytes.NewReader(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusOK {
+		t.Fatalf("read at min_version=%s = %d, want 200", got, r2.StatusCode)
+	}
+
+	// A version this node has not applied yet must be refused, not served
+	// from older state.
+	r3, err := http.Post(ts.URL+"/query?min_version=99", "application/json", bytes.NewReader(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3.Body.Close()
+	if r3.StatusCode != http.StatusPreconditionFailed {
+		t.Fatalf("read at min_version=99 = %d, want 412", r3.StatusCode)
+	}
+	if v := r3.Header.Get(VersionHeader); v != "1" {
+		t.Fatalf("412 response stamps %s = %q, want the applied version 1", VersionHeader, v)
+	}
+}
+
 // TestHealthzReportsVersionsAndDegradation: /healthz carries the live
 // graph version and repartition epoch, and turns 503 when the engine is
 // degraded.

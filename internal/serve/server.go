@@ -58,6 +58,9 @@ type Backend interface {
 	// WALStats reports the durable write-ahead log's accounting for
 	// /stats (Enabled=false when the deployment runs without a WAL).
 	WALStats() wal.Stats
+	// MVCCStats reports the commit pipeline's version registry: live
+	// versions, pinned readers, sealed-but-undurable batches in flight.
+	MVCCStats() controller.MVCCStats
 }
 
 // Config parameterises a Server. Zero values select sane defaults.
@@ -400,6 +403,11 @@ type StatsResponse struct {
 	// checkpoints. Enabled=false when the deployment runs without one
 	// (see README "Durability modes").
 	WAL wal.Stats `json:"wal"`
+	// MVCC reports the commit pipeline's version registry: how many
+	// immutable graph versions are live, how many readers pin them, and
+	// how many sealed batches await their group fsync. Pipelined=false
+	// means the engine runs the legacy barrier-commit path.
+	MVCC controller.MVCCStats `json:"mvcc"`
 	// Replica reports this node's replication position (replica roles
 	// only): applied version vs the primary's WAL head, tailer activity,
 	// and gap-driven re-bootstraps.
@@ -858,6 +866,7 @@ func (s *Server) statsSnapshot() StatsResponse {
 	resp.Recovery = s.cfg.Backend.RecoveryStats()
 	resp.Snapshot = s.cfg.Backend.SnapshotStats()
 	resp.WAL = s.cfg.Backend.WALStats()
+	resp.MVCC = s.cfg.Backend.MVCCStats()
 	if s.cfg.Replication != nil {
 		ri := s.cfg.Replication()
 		resp.Replica = &ri

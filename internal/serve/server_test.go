@@ -168,6 +168,10 @@ func (b *stubBackend) WALStats() wal.Stats {
 	return b.walStats
 }
 
+func (b *stubBackend) MVCCStats() controller.MVCCStats {
+	return controller.MVCCStats{Pipelined: true}
+}
+
 func (b *stubBackend) scheduledCount() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()

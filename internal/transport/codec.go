@@ -32,10 +32,11 @@ import (
 //	1 — initial encoding (implicit; pre-handshake binaries sent no
 //	    version byte and are rejected by the handshake length change)
 //	2 — ExecuteQuery gained Spec.TraceID, BarrierSynch gained ComputeNS
+//	3 — ExecuteQuery gained Spec.PinVersion (MVCC snapshot pinning)
 //
 // The value is deliberately offset from small integers so a legacy
 // 1-byte [NodeID] handshake can never alias a valid version.
-const CodecVersion = 0xA0 + 2
+const CodecVersion = 0xA0 + 3
 
 type encoder struct{ buf []byte }
 
@@ -128,6 +129,7 @@ func Encode(m protocol.Message) ([]byte, error) {
 		e.i32(int32(v.Spec.MaxIters))
 		e.f64(v.Spec.Epsilon)
 		e.u64(v.Spec.TraceID)
+		e.u64(v.Spec.PinVersion)
 		e.u32(uint32(uint16(v.Spec.HomeWire())))
 	case *protocol.BarrierReady:
 		e.i64(int64(v.Q))
@@ -315,6 +317,7 @@ func Decode(t protocol.MsgType, payload []byte) (protocol.Message, error) {
 		v.Spec.MaxIters = int(d.i32())
 		v.Spec.Epsilon = d.f64()
 		v.Spec.TraceID = d.u64()
+		v.Spec.PinVersion = d.u64()
 		v.Spec.SetHomeWire(int16(uint16(d.u32())))
 		m = v
 	case protocol.TBarrierReady:

@@ -87,6 +87,7 @@ func sampleMessages() []protocol.Message {
 	spec := query.Spec{
 		ID: 42, Kind: query.KindSSSP, Source: 7, Target: graph.NilVertex,
 		MaxIters: 100, Epsilon: 1e-9, TraceID: 0xDEADBEEFCAFE,
+		PinVersion: 0x1122334455667788,
 	}
 	pinned := spec
 	pinned.SetHome(3)

@@ -114,15 +114,30 @@ type WAL struct {
 	floor    uint64 // persisted truncation floor (see floorFile)
 	hasFloor bool
 
-	appends       atomic.Int64
-	appendedBytes atomic.Int64
-	appendErrors  atomic.Int64
-	truncatedSegs atomic.Int64
-	lastFsync     atomic.Int64 // nanoseconds
-	totalFsync    atomic.Int64
-	baseMirror    atomic.Uint64
-	headMirror    atomic.Uint64
-	segsMirror    atomic.Int64
+	appends        atomic.Int64
+	appendedBytes  atomic.Int64
+	appendErrors   atomic.Int64
+	truncatedSegs  atomic.Int64
+	lastFsync      atomic.Int64 // nanoseconds
+	totalFsync     atomic.Int64
+	fsyncs         atomic.Int64
+	groupedAppends atomic.Int64
+	lastGroupSize  atomic.Int64
+	baseMirror     atomic.Uint64
+	headMirror     atomic.Uint64
+	segsMirror     atomic.Int64
+
+	// Group-commit state (see group.go). gcMu guards gcClosed and covers
+	// every Enqueue send, so a request can never land in the queue after
+	// the committer's shutdown drain. pendingSize tracks the head
+	// segment's size including records written but not yet fsynced; it is
+	// 0 between groups (a segment is never empty — the header counts).
+	gcMu        sync.Mutex
+	gcClosed    bool
+	gcCh        chan gcReq
+	gcQuit      chan struct{}
+	gcDone      chan struct{}
+	pendingSize int64
 }
 
 // Stats is the WAL introspection block of /stats.
@@ -137,6 +152,14 @@ type Stats struct {
 	TruncatedSegs int64  `json:"truncated_segments,omitempty"`
 	LastFsyncUS   int64  `json:"last_fsync_us"`
 	MeanFsyncUS   int64  `json:"mean_fsync_us"`
+	// Group-commit amortization: Fsyncs counts actual disk syncs (<=
+	// Appends when batches share one), GroupedAppends counts appends that
+	// rode a multi-batch sync, MeanBatchesPerFsync is the amortization
+	// factor (1.0 = no sharing), LastGroupSize is the most recent group.
+	Fsyncs              int64   `json:"fsyncs"`
+	GroupedAppends      int64   `json:"grouped_appends,omitempty"`
+	MeanBatchesPerFsync float64 `json:"mean_batches_per_fsync"`
+	LastGroupSize       int64   `json:"last_group_size,omitempty"`
 }
 
 // Open opens (or creates) the WAL in dir for graphID, repairing a torn
@@ -148,6 +171,9 @@ func Open(dir string, graphID uint64) (*WAL, error) {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
 	w := &WAL{dir: dir, graphID: graphID, SegmentBytes: DefaultSegmentBytes}
+	w.gcCh = make(chan gcReq, gcQueueDepth)
+	w.gcQuit = make(chan struct{})
+	w.gcDone = make(chan struct{})
 	w.floor, w.hasFloor = readFloor(dir)
 	// Sweep rotation temp files a crash left behind.
 	if tmps, err := filepath.Glob(filepath.Join(dir, "wal-*"+fileExt+tmpSuffix)); err == nil {
@@ -164,6 +190,7 @@ func Open(dir string, graphID uint64) (*WAL, error) {
 			return nil, err
 		}
 		w.publishMirrors()
+		go w.groupLoop()
 		return w, nil
 	}
 	w.segs = segs
@@ -175,6 +202,7 @@ func Open(dir string, graphID uint64) (*WAL, error) {
 	}
 	w.f = f
 	w.publishMirrors()
+	go w.groupLoop()
 	return w, nil
 }
 
@@ -204,18 +232,22 @@ func (w *WAL) publishMirrors() {
 // Stats returns the log's accounting. Safe from any goroutine.
 func (w *WAL) Stats() Stats {
 	st := Stats{
-		Enabled:       true,
-		BaseVersion:   w.baseMirror.Load(),
-		HeadVersion:   w.headMirror.Load(),
-		Segments:      int(w.segsMirror.Load()),
-		Appends:       w.appends.Load(),
-		AppendedBytes: w.appendedBytes.Load(),
-		AppendErrors:  w.appendErrors.Load(),
-		TruncatedSegs: w.truncatedSegs.Load(),
-		LastFsyncUS:   w.lastFsync.Load() / int64(time.Microsecond),
+		Enabled:        true,
+		BaseVersion:    w.baseMirror.Load(),
+		HeadVersion:    w.headMirror.Load(),
+		Segments:       int(w.segsMirror.Load()),
+		Appends:        w.appends.Load(),
+		AppendedBytes:  w.appendedBytes.Load(),
+		AppendErrors:   w.appendErrors.Load(),
+		TruncatedSegs:  w.truncatedSegs.Load(),
+		LastFsyncUS:    w.lastFsync.Load() / int64(time.Microsecond),
+		Fsyncs:         w.fsyncs.Load(),
+		GroupedAppends: w.groupedAppends.Load(),
+		LastGroupSize:  w.lastGroupSize.Load(),
 	}
-	if n := st.Appends; n > 0 {
+	if n := st.Fsyncs; n > 0 {
 		st.MeanFsyncUS = w.totalFsync.Load() / n / int64(time.Microsecond)
+		st.MeanBatchesPerFsync = float64(st.Appends) / float64(n)
 	}
 	return st
 }
@@ -260,6 +292,8 @@ func (w *WAL) Append(v uint64, ops []delta.Op) error {
 	d := time.Since(t0)
 	w.lastFsync.Store(int64(d))
 	w.totalFsync.Add(int64(d))
+	w.fsyncs.Add(1)
+	w.lastGroupSize.Store(1)
 	head.size += int64(len(rec))
 	head.last = v
 	w.head = v
@@ -391,8 +425,16 @@ func (w *WAL) Since(v uint64) ([]delta.LogBatch, error) {
 	return readSegs(w.segs, w.graphID, v, w.floor, w.hasFloor)
 }
 
-// Close closes the head segment file. The log stays replayable on disk.
+// Close stops the group committer (failing anything still queued), then
+// closes the head segment file. The log stays replayable on disk.
 func (w *WAL) Close() error {
+	w.gcMu.Lock()
+	if !w.gcClosed {
+		w.gcClosed = true
+		close(w.gcQuit)
+	}
+	w.gcMu.Unlock()
+	<-w.gcDone
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.f == nil {

@@ -76,7 +76,9 @@ func (w *Worker) computeStep(qs *queryState, step int32) stepResult {
 		minFrontier: query.NoResult,
 		sent:        make([]int32, w.k),
 	}
-	g, spec, prog := w.view, qs.spec, qs.prog
+	// The query's pinned snapshot, not w.view: commits landing while this
+	// query runs must be invisible to it (MVCC snapshot isolation).
+	g, spec, prog := qs.view, qs.spec, qs.prog
 	emit := func(to graph.VertexID, val float64) {
 		dst := w.ownerOf(qs, to)
 		if dst == w.id {

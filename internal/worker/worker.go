@@ -103,6 +103,12 @@ func (c *Config) fill() {
 type queryState struct {
 	spec query.Spec
 	prog query.Program
+	// view is the immutable graph snapshot this query computes against,
+	// resolved from the worker's view registry by spec.PinVersion at
+	// ExecuteQuery and held (pinned) until the query finishes. Batches
+	// committed at later versions are invisible to it — MVCC snapshot
+	// isolation, which is what lets commits land without quiescing.
+	view *delta.View
 
 	// data holds the query-private value of every vertex the query touched
 	// on this worker; its key set is LS(q, w).
@@ -173,11 +179,17 @@ type Worker struct {
 	conn transport.Conn
 	// view is the worker's current graph: the shared immutable base plus
 	// the overlay of every committed mutation batch (internal/delta). It
-	// only changes inside a global barrier (onDeltaBatch), between
-	// supersteps, so query execution always sees one consistent version.
+	// advances whenever a DeltaBatch arrives (off-barrier in the pipelined
+	// commit path), but queries never read it directly mid-flight: each
+	// query pins its version's snapshot in views at ExecuteQuery, so a
+	// version bump between supersteps is invisible to running queries.
 	view *delta.View
-	k    int
-	id   partition.WorkerID
+	// views tracks every version that still has a pinned reader plus the
+	// latest, so concurrently running queries each see their own admitted
+	// snapshot while commits keep landing.
+	views *delta.Registry
+	k     int
+	id    partition.WorkerID
 
 	owner   partition.Assignment
 	queries map[query.ID]*queryState
@@ -252,10 +264,12 @@ func New(cfg Config, conn transport.Conn) (*Worker, error) {
 		return nil, fmt.Errorf("worker %d: ownership table covers %d of %d vertices",
 			cfg.ID, len(cfg.Owner), cfg.Graph.NumVertices())
 	}
+	view := delta.NewViewAt(cfg.Graph, cfg.BaseVersion)
 	w := &Worker{
 		cfg:             cfg,
 		conn:            conn,
-		view:            delta.NewViewAt(cfg.Graph, cfg.BaseVersion),
+		view:            view,
+		views:           delta.NewRegistry(view),
 		k:               cfg.K,
 		id:              cfg.ID,
 		owner:           cfg.Owner.Clone(),
@@ -404,10 +418,16 @@ func (w *Worker) onRecoverStart(m *protocol.RecoverStart) error {
 	}
 	if w.view.Version() > m.Version {
 		// The uncommitted batch this worker applied was aborted by the
-		// failure; undo it. Depth 1 is enough: at most one batch is ever
-		// in flight, and recovery intervenes before the next.
+		// failure; undo it. Depth 1 is enough: at most one barrier-mode
+		// batch is ever in flight, and recovery intervenes before the
+		// next. (Pipelined commits are durable and applied on the
+		// controller before broadcast, so RecoverStart never names a
+		// version below one — this path is the barrier-commit baseline's.)
 		if w.prevView == nil || w.prevView.Version() != m.Version {
 			return fmt.Errorf("cannot roll back from version %d to %d", w.view.Version(), m.Version)
+		}
+		if err := w.views.Drop(w.view.Version(), w.prevView); err != nil {
+			return fmt.Errorf("recover rollback: %w", err)
 		}
 		w.view = w.prevView
 		w.prevView = nil
@@ -487,6 +507,7 @@ func (w *Worker) onPartitionGrant(m *protocol.PartitionGrant) error {
 		"worker", int(w.id), "graph_version", m.Version,
 		"replayed_ops", replayed, "checkpoint_version", baseV, "gen", m.Gen)
 	w.view = view
+	w.views = delta.NewRegistry(view)
 	w.prevView = nil
 	w.joining = false
 	w.resetForRecovery(m.Gen, m.Owner)
@@ -507,6 +528,9 @@ func (w *Worker) resetForRecovery(gen int32, owner []partition.WorkerID) {
 	w.gen = gen
 	w.owner = append(w.owner[:0], owner...)
 	w.queries = make(map[query.ID]*queryState)
+	// Dropped queries release their snapshots; only the current version
+	// survives (restarted queries re-pin it when re-broadcast).
+	w.views.UnpinAll()
 	w.early = make(map[query.ID][]*protocol.VertexBatch)
 	w.ready = nil
 	w.pendingDrain = nil
@@ -532,16 +556,26 @@ func (w *Worker) onExecute(m *protocol.ExecuteQuery) error {
 	if err != nil {
 		return err
 	}
+	// Resolve the admitted snapshot. Per-link FIFO makes the pinned
+	// version exactly this worker's current one: the controller broadcast
+	// every DeltaBatch up to PinVersion before this ExecuteQuery, and the
+	// batch for PinVersion+1 (if any) comes after it. A mismatch means a
+	// lost or reordered commit — replica divergence, fail loudly.
+	view, err := w.views.Pin(m.Spec.PinVersion)
+	if err != nil {
+		return fmt.Errorf("query %d: %w", m.Spec.ID, err)
+	}
 	qs := &queryState{
 		spec:        m.Spec,
 		prog:        prog,
+		view:        view,
 		data:        make(map[graph.VertexID]float64),
 		sig:         make(map[int32]int32),
 		inbox:       make(map[int32]map[graph.VertexID]float64),
 		recvBatches: make(map[int32]int32),
 		bestGoal:    query.NoResult,
 	}
-	for _, act := range prog.Init(w.view, m.Spec) {
+	for _, act := range prog.Init(qs.view, m.Spec) {
 		if w.ownerOf(qs, act.V) == w.id {
 			w.combineIn(qs, 0, act.V, act.Msg)
 		}
@@ -553,7 +587,7 @@ func (w *Worker) onExecute(m *protocol.ExecuteQuery) error {
 		w.cfg.Logger.Info("query start",
 			"worker", int(w.id), "query", int64(m.Spec.ID),
 			"trace_id", m.Spec.TraceID, "kind", m.Spec.Kind.String(),
-			"graph_version", w.view.Version())
+			"graph_version", qs.view.Version())
 	}
 	// Replay any batches that raced ahead of this broadcast on a
 	// worker-worker link.
@@ -653,15 +687,16 @@ func (w *Worker) deliverBatch(qs *queryState, m *protocol.VertexBatch) {
 	}
 }
 
-// onDeltaBatch applies one committed mutation batch. It only arrives
-// inside a global barrier with the vertex-message network drained, so the
-// graph version changes strictly between supersteps: every query resumes
-// against the fully-applied batch, never a partial one. New vertices
-// extend the ownership table with the controller-assigned owners.
+// onDeltaBatch applies one committed mutation batch. In the pipelined
+// commit path it arrives off-barrier, between supersteps of whatever is
+// running: that is safe because queries read their pinned snapshots, not
+// this worker's current view, so a version bump mid-query is invisible to
+// it. (The barrier-commit baseline delivers it mid-barrier as before —
+// the handler no longer cares.) The event loop applies whole messages
+// between supersteps, so the view still never changes mid-superstep. New
+// vertices extend the ownership table with the controller-assigned
+// owners; running queries pinned at older versions never reference them.
 func (w *Worker) onDeltaBatch(m *protocol.DeltaBatch) error {
-	if !w.stopping {
-		return fmt.Errorf("delta batch %d outside global barrier", m.Version)
-	}
 	if faultpoint.Hit(faultpoint.WorkerDeltaApply, int(w.id)) {
 		return faultpoint.ErrKilled
 	}
@@ -681,10 +716,13 @@ func (w *Worker) onDeltaBatch(m *protocol.DeltaBatch) error {
 			m.Version, nv.Version())
 	}
 	// Keep the pre-apply view for recovery rollback: if a worker dies
-	// before every replica acks, the batch is aborted and re-committed
-	// deterministically after recovery.
+	// before every replica acks a barrier-mode commit, the batch is
+	// aborted and re-committed deterministically after recovery. (The
+	// pipelined path never rolls back — batches are durable before they
+	// are broadcast.)
 	w.prevView = w.view
 	w.view = nv
+	w.views.Publish(nv)
 	w.owner = append(w.owner, m.NewOwners...)
 	if len(w.owner) != nv.NumVertices() {
 		return fmt.Errorf("delta batch %d: ownership covers %d of %d vertices",
@@ -760,6 +798,7 @@ func (w *Worker) onFinish(m *protocol.QueryFinish) error {
 	}
 	inter := w.intersections(m.Q, qs)
 	delete(w.queries, m.Q)
+	w.views.Unpin(qs.spec.PinVersion)
 	if len(verts) > 0 {
 		w.done[m.Q] = &finishedScope{verts: verts, sig: qs.sig, at: now}
 	}

@@ -65,7 +65,7 @@ failedq=$(sed -n 's/.* failed=\([0-9]*\).*/\1/p' <<<"$qline")
 [ "${okq:-0}" -gt 0 ] || { echo "SMOKE FAIL: no successful queries"; fail=1; }
 [ "${failedq:-1}" -eq 0 ] || { echo "SMOKE FAIL: $failedq failed queries"; fail=1; }
 
-mline=$(grep -m1 '^mutations: sent=' <<<"$out")
+mline=$(grep -m1 '^mutations: writers=' <<<"$out")
 applied=$(sed -n 's/.*applied=\([0-9]*\).*/\1/p' <<<"$mline")
 failedm=$(sed -n 's/.*failed=\([0-9]*\).*/\1/p' <<<"$mline")
 [ "${applied:-0}" -gt 0 ] || { echo "SMOKE FAIL: no mutations applied"; fail=1; }
@@ -530,7 +530,7 @@ failedq6=$(sed -n 's/.* failed=\([0-9]*\).*/\1/p' <<<"$qline6")
 [ "${okq6:-0}" -gt 0 ] || { echo "SMOKE FAIL: no successful reads through the router"; fail=1; }
 [ "${failedq6:-1}" -eq 0 ] || { echo "SMOKE FAIL: $failedq6 failed reads through a replica kill"; fail=1; }
 
-mline6=$(grep -m1 '^mutations: sent=' <<<"$out6")
+mline6=$(grep -m1 '^mutations: writers=' <<<"$out6")
 applied6=$(sed -n 's/.*applied=\([0-9]*\).*/\1/p' <<<"$mline6")
 failedm6=$(sed -n 's/.*failed=\([0-9]*\).*/\1/p' <<<"$mline6")
 [ "${applied6:-0}" -gt 0 ] || { echo "SMOKE FAIL: no mutations applied through the router"; fail=1; }
@@ -691,3 +691,165 @@ if [ "$fail" -ne 0 ]; then
   exit 1
 fi
 echo "SMOKE OK: trace $tid7 stitched across router+replica, /fleet/metrics spans 4 instances, roles and lags correct (max lag ${maxlag7:-0})"
+
+# ---------------------------------------------------------------------------
+# Scenario 8: the MVCC commit pipeline — mutations commit off the global
+# barrier. Three phases against one WAL-durable deployment running hot
+# commits (-commit-every 1ms -max-batch-ops 5: every POST seals its own
+# version on arrival). (a) Sustained mutate load under a PageRank-only
+# read mix: zero failed/stalled readers while hundreds of versions
+# commit, and a long PageRank probed mid-stream answers from its pinned
+# version while the committed version moves past it. (b) The version
+# chain is strictly monotone and the /mutate response header matches the
+# body (read-your-writes). (c) kill -9 the whole deployment while six
+# concurrent writers keep the group committer busy: the restart must
+# recover at least every acknowledged version (durable-but-unacked
+# in-flight batches may survive — at most one per writer), the WAL head
+# must equal the recovered graph, and the chain must continue gap-free.
+
+ADDRS8="127.0.0.1:7791,127.0.0.1:7792,127.0.0.1:7793"
+SERVE8="127.0.0.1:7814"
+SNAP8="$workdir/snaps8"
+WAL8="$workdir/wal8"
+mkdir -p "$SNAP8" "$WAL8"
+
+start_d8() { # id-or-controller
+  if [ "$1" = controller ]; then
+    "$workdir/qgraphd" -role controller -graph "$workdir/g.qgr" -addrs "$ADDRS8" \
+      -serve "$SERVE8" -commit-every 1ms -max-batch-ops 5 \
+      -snapshot-dir "$SNAP8" -wal-dir "$WAL8" >>"$workdir/d8-ctrl.log" 2>&1 &
+  else
+    "$workdir/qgraphd" -role worker -id "$1" -graph "$workdir/g.qgr" -addrs "$ADDRS8" \
+      -snapshot-dir "$SNAP8" -wal-dir "$WAL8" >>"$workdir/d8-w$1.log" 2>&1 &
+  fi
+}
+
+start_d8 0; w8a=$!
+start_d8 1; w8b=$!
+sleep 1
+start_d8 controller; ctrl8=$!
+wait_healthy "$SERVE8" || { echo "SMOKE FAIL: scenario-8 deployment never healthy"; exit 1; }
+
+fail=0
+
+# (a) Long readers over a hot write plane. The bench read mix is pure
+# PageRank (the longest queries the engine has) while 8 writers stream
+# mutations; any reader the commit path stalled past its client timeout
+# would surface as client_timeout/failed > 0.
+ver8a=$(curl -fsS "http://$SERVE8/healthz" | sed -n 's/.*"graph_version":\([0-9]*\).*/\1/p')
+"$workdir/qgraph-bench" -load "http://$SERVE8" -rate 30 -load-duration 8s \
+  -load-pool 32 -load-timeout 15s -load-mix "pagerank=1.0" \
+  -mutate-rate 2000 -mutate-batch 5 -mutate-writers 8 \
+  >"$workdir/d8-bench.out" 2>&1 &
+bench8=$!
+sleep 2
+
+# Mid-stream probe: a PageRank issued now pins the version at admission
+# and must answer from it, even though commits keep racing past. The
+# response header carrying a version below the post-query committed
+# version is the observable MVCC fact: the reader was not quiesced, the
+# writers were not blocked.
+vq0=$(curl -fsS "http://$SERVE8/healthz" | sed -n 's/.*"graph_version":\([0-9]*\).*/\1/p')
+curl -fsS -D "$workdir/d8-head.txt" "http://$SERVE8/query" \
+  -d '{"kind":"pagerank","source":0,"no_cache":true}' >/dev/null || {
+  echo "SMOKE FAIL: mid-stream pagerank failed"; fail=1; }
+vq1=$(curl -fsS "http://$SERVE8/healthz" | sed -n 's/.*"graph_version":\([0-9]*\).*/\1/p')
+hpin=$(sed -n 's/^X-Qgraph-Version: *\([0-9]*\).*/\1/Ip' "$workdir/d8-head.txt")
+[ -n "$hpin" ] && [ "${vq0:-0}" -le "$hpin" ] && [ "$hpin" -lt "${vq1:-0}" ] || {
+  echo "SMOKE FAIL: pagerank pinned v${hpin:-?} outside [$vq0, $vq1): readers and writers are not overlapping"; fail=1; }
+
+wait "$bench8" || true
+cat "$workdir/d8-bench.out"
+qline8=$(grep -m1 '^sent=' "$workdir/d8-bench.out")
+okq8=$(sed -n 's/.* ok=\([0-9]*\).*/\1/p' <<<"$qline8")
+failedq8=$(sed -n 's/.* failed=\([0-9]*\).*/\1/p' <<<"$qline8")
+touts8=$(sed -n 's/.*client_timeout=\([0-9]*\).*/\1/p' <<<"$qline8")
+[ "${okq8:-0}" -gt 0 ] || { echo "SMOKE FAIL: no PageRanks completed under write load"; fail=1; }
+[ "${failedq8:-1}" -eq 0 ] || { echo "SMOKE FAIL: $failedq8 readers failed under write load"; fail=1; }
+[ "${touts8:-1}" -eq 0 ] || { echo "SMOKE FAIL: $touts8 readers stalled past the client timeout"; fail=1; }
+mline8=$(grep -m1 '^mutations: writers=' "$workdir/d8-bench.out")
+failedm8=$(sed -n 's/.*failed=\([0-9]*\).*/\1/p' <<<"$mline8")
+[ "${failedm8:-1}" -eq 0 ] || { echo "SMOKE FAIL: $failedm8 mutation ops failed"; fail=1; }
+
+ver8b=$(curl -fsS "http://$SERVE8/healthz" | sed -n 's/.*"graph_version":\([0-9]*\).*/\1/p')
+[ $(( ver8b - ver8a )) -ge 100 ] || {
+  echo "SMOKE FAIL: only $(( ver8b - ver8a )) versions committed under sustained load"; fail=1; }
+
+sleep 1
+stats8=$(curl -fsS "http://$SERVE8/stats")
+grep -q '"pipelined":true' <<<"$stats8" || { echo "SMOKE FAIL: engine not on the pipelined commit path"; fail=1; }
+grep -q '"pinned_readers":0' <<<"$stats8" || { echo "SMOKE FAIL: reader pins leaked after quiescence"; fail=1; }
+peak8=$(sed -n 's/.*"peak_live_versions":\([0-9]*\).*/\1/p' <<<"$stats8")
+[ "${peak8:-0}" -ge 2 ] || { echo "SMOKE FAIL: peak live versions $peak8 — no MVCC overlap ever happened"; fail=1; }
+
+# (b) Monotone version chain + read-your-writes header. Ten serial
+# batches: each ack's version must strictly exceed the previous, and the
+# X-QGraph-Version header must equal the body's version.
+prev8=$ver8b
+for b in $(seq 0 9); do
+  resp=$(curl -fsS -D "$workdir/d8-mhead.txt" "http://$SERVE8/mutate" -d "$(mut_body "$b")") || {
+    echo "SMOKE FAIL: serial mutate batch $b failed"; fail=1; break; }
+  mver=$(sed -n 's/.*"version":\([0-9]*\).*/\1/p' <<<"$resp")
+  hver=$(sed -n 's/^X-Qgraph-Version: *\([0-9]*\).*/\1/Ip' "$workdir/d8-mhead.txt")
+  [ "${mver:-0}" -gt "$prev8" ] || { echo "SMOKE FAIL: version chain not monotone ($mver after $prev8)"; fail=1; break; }
+  [ "$hver" = "$mver" ] || { echo "SMOKE FAIL: /mutate header v${hver:-?} != body v$mver"; fail=1; break; }
+  prev8=$mver
+done
+
+# (c) kill -9 mid-group-commit. Six closed-loop writers keep sealed
+# batches and shared fsyncs continuously in flight; the SIGKILL lands
+# with acks outstanding. Each writer records every version it saw acked.
+writer8() { # index; cycles its own batch range until the server dies
+  local i=$1 b resp ver
+  while :; do
+    for b in $(seq $(( 10 + i * 10 )) $(( 19 + i * 10 ))); do
+      resp=$(curl -fsS --max-time 5 "http://$SERVE8/mutate" -d "$(mut_body "$b")" 2>/dev/null) || return 0
+      ver=$(sed -n 's/.*"version":\([0-9]*\).*/\1/p' <<<"$resp")
+      [ -n "$ver" ] && echo "$ver" >>"$workdir/d8-acks-$i.txt"
+    done
+  done
+}
+w8pids=""
+for i in 0 1 2 3 4 5; do
+  writer8 "$i" &
+  w8pids="$w8pids $!"
+done
+sleep 2.5
+kill -9 "$ctrl8" "$w8a" "$w8b" >/dev/null 2>&1 || true
+wait "$ctrl8" "$w8a" "$w8b" >/dev/null 2>&1 || true
+# shellcheck disable=SC2086  # word-splitting is the point: one PID per arg
+wait $w8pids >/dev/null 2>&1 || true
+
+lastack8=$(cat "$workdir"/d8-acks-*.txt 2>/dev/null | sort -n | tail -1)
+[ "${lastack8:-0}" -gt "$prev8" ] || { echo "SMOKE FAIL: writers never got an ack before the kill"; fail=1; }
+
+start_d8 0
+start_d8 1
+sleep 1
+start_d8 controller; ctrl8b=$!
+wait_healthy "$SERVE8" || { echo "SMOKE FAIL: scenario-8 deployment did not restart"; exit 1; }
+
+ver8c=$(curl -fsS "http://$SERVE8/healthz" | sed -n 's/.*"graph_version":\([0-9]*\).*/\1/p')
+[ "${ver8c:-0}" -ge "${lastack8:-1}" ] || {
+  echo "SMOKE FAIL: recovered v$ver8c lost acked version $lastack8"; fail=1; }
+[ $(( ver8c - lastack8 )) -le 6 ] || {
+  echo "SMOKE FAIL: recovered v$ver8c is $(( ver8c - lastack8 )) past the last ack — more than the 6 possible in-flight batches"; fail=1; }
+grep -q 'wal replayed versions' "$workdir/d8-ctrl.log" || {
+  echo "SMOKE FAIL: scenario-8 restart did not replay the WAL tail"; fail=1; }
+walhead8=$(curl -fsS "http://$SERVE8/stats" | sed -n 's/.*"head_version":\([0-9]*\).*/\1/p')
+[ "${walhead8:-0}" -eq "${ver8c:-1}" ] || {
+  echo "SMOKE FAIL: WAL head v$walhead8 != recovered graph v$ver8c"; fail=1; }
+
+# The chain continues gap-free: one quiet POST lands at exactly v+1.
+resp8=$(curl -fsS "http://$SERVE8/mutate" -d "$(mut_body 70)") || { echo "SMOKE FAIL: post-restart mutate failed"; fail=1; }
+ver8d=$(sed -n 's/.*"version":\([0-9]*\).*/\1/p' <<<"$resp8")
+[ "${ver8d:-0}" -eq $(( ver8c + 1 )) ] || {
+  echo "SMOKE FAIL: post-restart version $ver8d != $(( ver8c + 1 )) — the chain has a gap"; fail=1; }
+
+kill -INT "$ctrl8b" >/dev/null 2>&1 || true
+wait "$ctrl8b" || true
+
+if [ "$fail" -ne 0 ]; then
+  exit 1
+fi
+echo "SMOKE OK: pagerank pinned v$hpin while commits ran to v$vq1, ${okq8} readers unstalled over $(( ver8b - ver8a )) versions, kill -9 recovered v$ver8c >= last ack v$lastack8, chain resumed at v$ver8d"
